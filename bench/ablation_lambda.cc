@@ -1,0 +1,94 @@
+// Ablation: Equation (1)'s lambda — the transport's ECN gain — governs how
+// large the marking threshold must be.
+//
+// Classic ECN TCP halves its window per mark (lambda = 1), so it needs
+// K ~ C*RTT of headroom to stay busy; DCTCP cuts proportionally
+// (lambda ~ 0.17), so a ~6x smaller K sustains throughput. This bench runs
+// a single long flow (40G server NIC into a 10G port, base RTT 200 us)
+// against a threshold sweep under both transports and reports goodput —
+// the reasoning behind K = lambda * C * RTT (§2.1).
+#include <cstdio>
+#include <memory>
+#include <optional>
+
+#include "aqm/dctcp_red.h"
+#include "bench_common.h"
+#include "net/host.h"
+#include "net/switch_node.h"
+#include "sched/fifo_queue_disc.h"
+#include "sim/simulator.h"
+#include "transport/tcp_stack.h"
+
+namespace {
+
+using namespace ecnsharp;
+using namespace ecnsharp::bench;
+
+double GoodputGbps(EcnMode mode, std::uint64_t threshold_bytes) {
+  Simulator sim;
+  SwitchNode sw(sim, "sw");
+  Host sender(sim, 0);
+  Host receiver(sim, 1);
+  const Time hop = Time::Microseconds(50);  // ~200 us base RTT
+
+  auto sender_nic = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(40), hop,
+      std::make_unique<FifoQueueDisc>(1ull << 26, nullptr));
+  sender_nic->ConnectTo(sw);
+  sender.AttachNic(std::move(sender_nic));
+
+  auto receiver_nic = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), hop,
+      std::make_unique<FifoQueueDisc>(1ull << 26, nullptr));
+  receiver_nic->ConnectTo(sw);
+  receiver.AttachNic(std::move(receiver_nic));
+
+  auto to_receiver = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), hop,
+      std::make_unique<FifoQueueDisc>(
+          1ull << 24, std::make_unique<DctcpRedAqm>(threshold_bytes)));
+  to_receiver->ConnectTo(receiver);
+  sw.AddRoute(receiver.address(), sw.AddPort(std::move(to_receiver)));
+
+  auto to_sender = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), hop,
+      std::make_unique<FifoQueueDisc>(1ull << 24, nullptr));
+  to_sender->ConnectTo(sender);
+  sw.AddRoute(sender.address(), sw.AddPort(std::move(to_sender)));
+
+  TcpConfig tcp;
+  tcp.ecn_mode = mode;
+  TcpStack sender_stack(sender, tcp);
+  TcpStack receiver_stack(receiver, tcp);
+
+  std::optional<FlowRecord> done;
+  sender_stack.StartFlow(receiver.address(), 40'000'000,
+                         [&done](const FlowRecord& r) { done = r; });
+  sim.RunUntil(Time::Seconds(10));
+  if (!done.has_value()) return 0.0;
+  return 40'000'000 * 8.0 / done->Fct().ToSeconds() * 1e-9;
+}
+
+}  // namespace
+
+int main() {
+  using TP = TablePrinter;
+  PrintBanner("Ablation: threshold vs transport gain (Equation 1)");
+  std::printf(
+      "single long flow, base RTT ~200us, 10G bottleneck; ideal K: classic "
+      "ECN\n(lambda=1) = 250KB, DCTCP (lambda~0.17) = 42.5KB\n");
+
+  TP table({"K (KB)", "classic ECN goodput (Gbps)", "DCTCP goodput (Gbps)"});
+  for (const std::uint64_t kb : {10, 25, 45, 100, 250}) {
+    table.AddRow({std::to_string(kb),
+                  TP::Fmt(GoodputGbps(EcnMode::kClassic, kb * 1000), 2),
+                  TP::Fmt(GoodputGbps(EcnMode::kDctcp, kb * 1000), 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: goodput rises with K for both transports and saturates "
+      "near\nK ~ C*RTT; DCTCP sustains higher goodput than classic ECN at "
+      "every sub-BDP\nthreshold because its proportional cut drains the "
+      "queue more gently —\nthe lambda factor of Equation (1).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation: static per-port buffer split vs Dynamic-Threshold shared
+// buffer under incast.
+//
+// The fig10/fig11 experiments use a static 600-packet egress buffer. Real
+// chips share one pool across ports (Choudhury-Hahne DT): a single hot port
+// can borrow far more than its static share, moving the incast loss point
+// out. This bench reruns the fanout sweep with the same TOTAL buffer
+// either statically split across 12 ports or shared with DT alpha=1.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "net/shared_buffer.h"
+#include "sched/fifo_queue_disc.h"
+#include "sim/simulator.h"
+#include "stats/fct_collector.h"
+#include "topo/dumbbell.h"
+#include "topo/rtt_variation.h"
+
+namespace {
+
+using namespace ecnsharp;
+using namespace ecnsharp::bench;
+
+struct Result {
+  std::uint64_t drops = 0;
+  double query_p99_us = 0.0;
+};
+
+Result RunOne(bool shared, std::size_t fanout, std::uint64_t seed) {
+  Simulator sim;
+  const SchemeParams params = SimulationSchemeParams();
+  // Total chip buffer: 12 ports x 600 packets.
+  const std::uint64_t total = 12ull * params.buffer_bytes;
+  auto pool = std::make_unique<SharedBufferPool>(total, /*alpha=*/1.0);
+
+  std::unique_ptr<QueueDisc> disc;
+  if (shared) {
+    disc = std::make_unique<FifoQueueDisc>(*pool,
+                                           MakeAqm(Scheme::kEcnSharp, params));
+  } else {
+    disc = std::make_unique<FifoQueueDisc>(params.buffer_bytes,
+                                           MakeAqm(Scheme::kEcnSharp, params));
+  }
+
+  DumbbellConfig topo_config;
+  topo_config.senders = 16;
+  topo_config.base_rtt = Time::FromMicroseconds(80);
+  topo_config.buffer_bytes = params.buffer_bytes;
+  topo_config.tcp = IncastExperimentConfig::SmallInitialWindowTcp();
+  Dumbbell topo(sim, topo_config, std::move(disc));
+  topo.SetSenderExtraDelays(RttExtraQuantiles(16, Time::FromMicroseconds(160),
+                                              RttProfile::kLeafSpine));
+  const std::uint32_t receiver = topo.receiver_address();
+
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t sender = i % 16;
+    sim.ScheduleAt(Time::Milliseconds(1) * static_cast<std::int64_t>(i + 1),
+                   [&topo, sender, receiver] {
+                     topo.sender_stack(sender).StartFlow(receiver, 1ull << 40,
+                                                         nullptr);
+                   });
+  }
+
+  FctCollector queries;
+  std::size_t done = 0;
+  Rng rng(seed);
+  std::uint64_t drops_before = 0;
+  const Time burst = Time::Milliseconds(150);
+  sim.ScheduleAt(burst - Time::Nanoseconds(1), [&topo, &drops_before] {
+    drops_before =
+        topo.bottleneck_port().queue_disc().stats().dropped_overflow;
+  });
+  for (std::size_t q = 0; q < fanout; ++q) {
+    const std::size_t sender = q % 16;
+    const std::uint64_t size = 3000 + rng.UniformInt(57001);
+    sim.ScheduleAt(burst, [&topo, &queries, &done, sender, size, receiver] {
+      topo.sender_stack(sender).StartFlow(
+          receiver, size, [&queries, &done](const FlowRecord& record) {
+            queries.Record(record);
+            ++done;
+          });
+    });
+  }
+  while (done < fanout && sim.Now() < Time::Seconds(20)) {
+    sim.RunFor(Time::Milliseconds(10));
+  }
+
+  Result result;
+  result.drops =
+      topo.bottleneck_port().queue_disc().stats().dropped_overflow -
+      drops_before;
+  result.query_p99_us = queries.Overall().p99_us;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using TP = TablePrinter;
+  PrintBanner("Ablation: static per-port buffer vs shared-buffer DT (ECN#)");
+  const std::uint64_t seed = BenchSeed();
+  std::printf("seed=%llu\n", static_cast<unsigned long long>(seed));
+
+  TP table({"fanout", "static: drops", "static: q p99(us)", "shared: drops",
+            "shared: q p99(us)"});
+  for (const std::size_t fanout : {100ul, 150ul, 200ul, 250ul}) {
+    const Result st = RunOne(/*shared=*/false, fanout, seed);
+    const Result sh = RunOne(/*shared=*/true, fanout, seed);
+    table.AddRow({std::to_string(fanout), std::to_string(st.drops),
+                  TP::Fmt(st.query_p99_us, 0), std::to_string(sh.drops),
+                  TP::Fmt(sh.query_p99_us, 0)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: with the same total buffer, DT sharing lets the hot port "
+      "absorb\nfanouts that overflow a static split — ECN#'s burst "
+      "tolerance extends further\non shared-buffer hardware.\n");
+  return 0;
+}

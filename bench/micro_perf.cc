@@ -1,0 +1,164 @@
+// Microbenchmarks (google-benchmark): per-packet AQM decision cost, the
+// emulated Tofino pipeline, the event engine, and queue discs.
+//
+// These quantify the §4 claims analog: ECN#'s per-packet work is a handful
+// of compares and one or two register updates — cheap enough for line rate
+// (on the real Tofino it is fixed-function pipeline stages; here we show
+// the software model is tens of nanoseconds per packet).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "aqm/codel.h"
+#include "aqm/dctcp_red.h"
+#include "aqm/red.h"
+#include "aqm/tcn.h"
+#include "core/ecn_sharp.h"
+#include "harness/schemes.h"
+#include "sched/dwrr_queue_disc.h"
+#include "sched/fifo_queue_disc.h"
+#include "sim/simulator.h"
+#include "tofino/ecn_sharp_pipeline.h"
+
+namespace ecnsharp {
+namespace {
+
+Packet MakeEctPacket() {
+  Packet pkt;
+  pkt.size_bytes = 1500;
+  pkt.ecn = EcnCodepoint::kEct0;
+  return pkt;
+}
+
+void BM_DctcpRedDecision(benchmark::State& state) {
+  DctcpRedAqm aqm(250'000);
+  Packet pkt = MakeEctPacket();
+  const QueueSnapshot snap{100, 150'000};
+  Time now = Time::Zero();
+  for (auto _ : state) {
+    now += Time::Nanoseconds(1200);
+    pkt.ecn = EcnCodepoint::kEct0;
+    benchmark::DoNotOptimize(aqm.AllowEnqueue(pkt, snap, now));
+  }
+}
+BENCHMARK(BM_DctcpRedDecision);
+
+void BM_RedDecision(benchmark::State& state) {
+  RedConfig config;
+  config.min_th_bytes = 50'000;
+  config.max_th_bytes = 200'000;
+  RedAqm aqm(config, 1);
+  Packet pkt = MakeEctPacket();
+  const QueueSnapshot snap{100, 120'000};
+  Time now = Time::Zero();
+  for (auto _ : state) {
+    now += Time::Nanoseconds(1200);
+    pkt.ecn = EcnCodepoint::kEct0;
+    benchmark::DoNotOptimize(aqm.AllowEnqueue(pkt, snap, now));
+  }
+}
+BENCHMARK(BM_RedDecision);
+
+void BM_CodelDecision(benchmark::State& state) {
+  CodelAqm aqm(CodelConfig{});
+  Packet pkt = MakeEctPacket();
+  const QueueSnapshot snap{100, 150'000};
+  Time now = Time::Zero();
+  for (auto _ : state) {
+    now += Time::Nanoseconds(1200);
+    pkt.ecn = EcnCodepoint::kEct0;
+    aqm.OnDequeue(pkt, snap, now, Time::FromMicroseconds(50));
+    benchmark::DoNotOptimize(pkt.ecn);
+  }
+}
+BENCHMARK(BM_CodelDecision);
+
+void BM_TcnDecision(benchmark::State& state) {
+  TcnAqm aqm(Time::FromMicroseconds(150));
+  Packet pkt = MakeEctPacket();
+  const QueueSnapshot snap{100, 150'000};
+  Time now = Time::Zero();
+  for (auto _ : state) {
+    now += Time::Nanoseconds(1200);
+    pkt.ecn = EcnCodepoint::kEct0;
+    aqm.OnDequeue(pkt, snap, now, Time::FromMicroseconds(120));
+    benchmark::DoNotOptimize(pkt.ecn);
+  }
+}
+BENCHMARK(BM_TcnDecision);
+
+void BM_EcnSharpDecision(benchmark::State& state) {
+  EcnSharpAqm aqm(EcnSharpConfig{});
+  Packet pkt = MakeEctPacket();
+  const QueueSnapshot snap{100, 150'000};
+  Time now = Time::Zero();
+  for (auto _ : state) {
+    now += Time::Nanoseconds(1200);
+    pkt.ecn = EcnCodepoint::kEct0;
+    aqm.OnDequeue(pkt, snap, now, Time::FromMicroseconds(120));
+    benchmark::DoNotOptimize(pkt.ecn);
+  }
+}
+BENCHMARK(BM_EcnSharpDecision);
+
+void BM_TofinoPipelineDecision(benchmark::State& state) {
+  TofinoPipelineConfig config;
+  config.num_ports = 128;
+  EcnSharpPipeline pipeline(config);
+  std::uint64_t now_ns = 0;
+  for (auto _ : state) {
+    now_ns += 1200;
+    benchmark::DoNotOptimize(
+        pipeline.ProcessDequeue(now_ns % 128, now_ns - 120'000, now_ns));
+  }
+}
+BENCHMARK(BM_TofinoPipelineDecision);
+
+void BM_SimulatorScheduleExecute(benchmark::State& state) {
+  // Cost of one schedule + dispatch round trip (the simulator's hot path).
+  Simulator sim;
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    sim.Schedule(Time::Nanoseconds(1), [&counter] { ++counter; });
+    sim.Run();
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_SimulatorScheduleExecute);
+
+void BM_FifoEnqueueDequeue(benchmark::State& state) {
+  FifoQueueDisc disc(1ull << 30, std::make_unique<DctcpRedAqm>(250'000));
+  Time now = Time::Zero();
+  for (auto _ : state) {
+    now += Time::Nanoseconds(1200);
+    auto pkt = std::make_unique<Packet>(MakeEctPacket());
+    disc.Enqueue(std::move(pkt), now);
+    benchmark::DoNotOptimize(disc.Dequeue(now));
+  }
+}
+BENCHMARK(BM_FifoEnqueueDequeue);
+
+void BM_DwrrEnqueueDequeue(benchmark::State& state) {
+  std::vector<DwrrQueueDisc::ClassConfig> classes;
+  for (int i = 0; i < 3; ++i) {
+    classes.push_back({static_cast<std::uint32_t>(i == 0 ? 2 : 1),
+                       std::make_unique<EcnSharpAqm>(EcnSharpConfig{})});
+  }
+  DwrrQueueDisc disc(1ull << 30, std::move(classes));
+  Time now = Time::Zero();
+  std::uint8_t cls = 0;
+  for (auto _ : state) {
+    now += Time::Nanoseconds(1200);
+    auto pkt = std::make_unique<Packet>(MakeEctPacket());
+    pkt->traffic_class = cls;
+    cls = static_cast<std::uint8_t>((cls + 1) % 3);
+    disc.Enqueue(std::move(pkt), now);
+    benchmark::DoNotOptimize(disc.Dequeue(now));
+  }
+}
+BENCHMARK(BM_DwrrEnqueueDequeue);
+
+}  // namespace
+}  // namespace ecnsharp
+
+BENCHMARK_MAIN();

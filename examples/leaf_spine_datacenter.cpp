@@ -1,0 +1,51 @@
+// Datacenter-fabric scenario: a leaf-spine topology with ECMP, per-host
+// base-RTT variation, and a production workload — the library's large-scale
+// simulation mode (paper §5.3).
+//
+//   $ ./build/examples/leaf_spine_datacenter [flows]
+//
+// Builds a 4x4 fabric (8 hosts/leaf), injects web-search traffic at 60%
+// load, and compares DCTCP-RED-Tail with ECN# fabric-wide.
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+int main(int argc, char** argv) {
+  using namespace ecnsharp;
+
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 1500;
+  PrintBanner("Leaf-spine fabric: 4 spine x 4 leaf x 8 hosts, ECMP, "
+              "web search @60%");
+
+  TablePrinter table({"scheme", "overall avg", "short avg", "large avg",
+                      "fabric CE marks", "fabric drops"});
+  for (const Scheme scheme : {Scheme::kDctcpRedTail, Scheme::kEcnSharp}) {
+    LeafSpineExperimentConfig config;
+    config.scheme = scheme;
+    config.params = SimulationSchemeParams();
+    config.load = 0.6;
+    config.flows = flows;
+    config.topo.spines = 4;
+    config.topo.leaves = 4;
+    config.topo.hosts_per_leaf = 8;
+    config.seed = 42;
+    const ExperimentResult r = RunLeafSpine(config);
+    table.AddRow({SchemeName(scheme),
+                  TablePrinter::FmtUs(r.overall.avg_us),
+                  TablePrinter::FmtUs(r.short_flows.avg_us),
+                  TablePrinter::FmtUs(r.large_flows.avg_us),
+                  std::to_string(r.bottleneck.ce_marked),
+                  std::to_string(r.bottleneck.dropped_overflow)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nEvery switch egress port in the fabric runs the AQM under test; "
+      "base RTTs\nvary per host (80-240 us), so fixed-threshold marking "
+      "leaves standing queues\nwherever small-RTT flows dominate a port — "
+      "ECN# drains them fabric-wide.\n");
+  return 0;
+}

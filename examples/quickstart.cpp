@@ -1,0 +1,48 @@
+// Quickstart: build a small datacenter testbed, run the same workload under
+// current practice (DCTCP-RED with a tail-RTT threshold) and under ECN#,
+// and compare flow completion times.
+//
+//   $ ./build/examples/quickstart
+//
+// This is the minimal end-to-end use of the library: a topology, a scheme,
+// a workload, and FCT statistics.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "harness/schemes.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace ecnsharp;
+
+  PrintBanner("ECN# quickstart: 7-sender dumbbell, web search @70% load");
+
+  // One experiment description; we only swap the AQM scheme.
+  DumbbellExperimentConfig config;
+  config.load = 0.7;           // offered load on the 10G bottleneck
+  config.flows = 800;          // Poisson flow arrivals, web search sizes
+  config.rtt_variation = 3.0;  // base RTTs span [70, 210] us
+  config.seed = 42;
+
+  TablePrinter table({"scheme", "overall avg", "short avg", "short p99",
+                      "large avg", "CE marks", "drops"});
+  for (const Scheme scheme : {Scheme::kDctcpRedTail, Scheme::kEcnSharp}) {
+    config.scheme = scheme;
+    const ExperimentResult r = RunDumbbell(config);
+    table.AddRow({SchemeName(scheme),
+                  TablePrinter::FmtUs(r.overall.avg_us),
+                  TablePrinter::FmtUs(r.short_flows.avg_us),
+                  TablePrinter::FmtUs(r.short_flows.p99_us),
+                  TablePrinter::FmtUs(r.large_flows.avg_us),
+                  std::to_string(r.bottleneck.ce_marked),
+                  std::to_string(r.bottleneck.dropped_overflow)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nECN# keeps the tail-RTT instantaneous threshold (same throughput "
+      "and burst\ntolerance as current practice) but additionally marks on "
+      "persistent queue\nbuildups, which is why its short-flow latency is "
+      "lower.\n");
+  return 0;
+}

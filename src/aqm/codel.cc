@@ -1,0 +1,55 @@
+#include "aqm/codel.h"
+
+#include <cmath>
+
+namespace ecnsharp {
+
+namespace {
+Time ControlLawStep(Time interval, std::uint32_t count) {
+  return interval * (1.0 / std::sqrt(static_cast<double>(count)));
+}
+}  // namespace
+
+bool CodelAqm::SojournAboveTarget(const QueueSnapshot& snapshot, Time now,
+                                  Time sojourn) {
+  if (sojourn < config_.target || snapshot.bytes <= kFullPacketBytes) {
+    // Below target, or the queue has drained to at most one MTU: the
+    // standing-queue clock resets.
+    first_above_time_ = Time::Zero();
+    return false;
+  }
+  if (first_above_time_.IsZero()) {
+    first_above_time_ = now + config_.interval;
+    return false;
+  }
+  return now >= first_above_time_;
+}
+
+void CodelAqm::OnDequeue(Packet& pkt, const QueueSnapshot& snapshot, Time now,
+                         Time sojourn) {
+  const bool ok_to_mark = SojournAboveTarget(snapshot, now, sojourn);
+  if (dropping_) {
+    if (!ok_to_mark) {
+      dropping_ = false;
+      return;
+    }
+    if (now >= mark_next_) {
+      pkt.MarkCe();
+      ++count_;
+      mark_next_ += ControlLawStep(config_.interval, count_);
+    }
+    return;
+  }
+  if (ok_to_mark) {
+    pkt.MarkCe();
+    dropping_ = true;
+    // Reference CoDel: if we were marking recently, resume close to the
+    // previous marking rate instead of restarting the control law.
+    const bool recently = (now - mark_next_) < 16 * config_.interval;
+    count_ = (recently && last_count_ > 2) ? last_count_ - 2 : 1;
+    last_count_ = count_;
+    mark_next_ = now + ControlLawStep(config_.interval, count_);
+  }
+}
+
+}  // namespace ecnsharp

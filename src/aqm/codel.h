@@ -1,0 +1,54 @@
+// CoDel (Nichols & Jacobson, ACM Queue 2012) in ECN-marking mode.
+//
+// CoDel tracks whether the packet sojourn time has stayed above `target` for
+// at least one `interval`; while that persists it marks one packet per
+// control-law interval, shortening the interval as interval/sqrt(count).
+// It reacts *only* to persistent queueing — the paper uses it as the
+// baseline that lacks instantaneous marking and therefore loses packets
+// under incast bursts (§5.4).
+#ifndef ECNSHARP_AQM_CODEL_H_
+#define ECNSHARP_AQM_CODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.h"
+#include "net/queue_disc.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+struct CodelConfig {
+  Time target = Time::FromMicroseconds(10);
+  Time interval = Time::FromMicroseconds(200);
+};
+
+class CodelAqm : public AqmPolicy {
+ public:
+  explicit CodelAqm(const CodelConfig& config) : config_(config) {}
+
+  void OnDequeue(Packet& pkt, const QueueSnapshot& snapshot, Time now,
+                 Time sojourn) override;
+
+  std::string name() const override { return "codel"; }
+
+  bool dropping_state() const { return dropping_; }
+  std::uint32_t count() const { return count_; }
+
+ private:
+  // The "ok to drop" predicate of the reference pseudocode: has the sojourn
+  // time been continuously above target for a full interval?
+  bool SojournAboveTarget(const QueueSnapshot& snapshot, Time now,
+                          Time sojourn);
+
+  CodelConfig config_;
+  Time first_above_time_ = Time::Zero();
+  Time mark_next_ = Time::Zero();
+  std::uint32_t count_ = 0;
+  std::uint32_t last_count_ = 0;
+  bool dropping_ = false;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_AQM_CODEL_H_

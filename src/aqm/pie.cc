@@ -1,0 +1,52 @@
+#include "aqm/pie.h"
+
+#include <algorithm>
+
+namespace ecnsharp {
+
+void PieAqm::MaybeUpdate(Time now) {
+  if (!started_) {
+    started_ = true;
+    last_update_ = now;
+    return;
+  }
+  while (now - last_update_ >= config_.update_interval) {
+    last_update_ += config_.update_interval;
+    const double err_s = (latest_sojourn_ - config_.target).ToSeconds();
+    const double trend_s = (latest_sojourn_ - old_delay_).ToSeconds();
+    // Gains are expressed per-update against delays in units of the target,
+    // which keeps the controller scale-free across target settings.
+    const double unit = std::max(config_.target.ToSeconds(), 1e-9);
+    prob_ += config_.alpha * (err_s / unit) * 0.01 +
+             config_.beta * (trend_s / unit) * 0.01;
+    // PIE drains p multiplicatively once the delay falls well below target
+    // (the reference algorithm's idle decay), so marking stops promptly
+    // after congestion clears.
+    if (latest_sojourn_ < config_.target / 2) prob_ *= 0.96;
+    prob_ = std::clamp(prob_, 0.0, 1.0);
+    old_delay_ = latest_sojourn_;
+    // An empty queue decays the delay estimate toward zero between
+    // departures so p can drain while idle.
+    if (backlog_bytes_ == 0) latest_sojourn_ = latest_sojourn_ / 2;
+  }
+}
+
+bool PieAqm::AllowEnqueue(Packet& pkt, const QueueSnapshot& snapshot,
+                          Time now) {
+  MaybeUpdate(now);
+  backlog_bytes_ = snapshot.bytes + pkt.size_bytes;
+  if (snapshot.bytes >= config_.min_backlog_bytes && prob_ > 0.0 &&
+      rng_.Uniform() < prob_) {
+    pkt.MarkCe();
+  }
+  return true;
+}
+
+void PieAqm::OnDequeue(Packet& /*pkt*/, const QueueSnapshot& snapshot,
+                       Time now, Time sojourn) {
+  latest_sojourn_ = sojourn;
+  backlog_bytes_ = snapshot.bytes;
+  MaybeUpdate(now);
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,62 @@
+// PIE — Proportional Integral controller Enhanced (Pan et al., HPSR 2013),
+// in ECN-marking mode.
+//
+// PIE keeps the queueing delay near a target by updating a marking
+// probability p on a fixed period with a PI control law:
+//
+//   p += a * (delay - target) + b * (delay - delay_old)
+//
+// and marking arrivals with probability p. Like CoDel it regulates only
+// persistent queueing (related work, §6) — included as an additional
+// Internet-AQM baseline to contrast with ECN#'s burst-aware design.
+#ifndef ECNSHARP_AQM_PIE_H_
+#define ECNSHARP_AQM_PIE_H_
+
+#include <string>
+
+#include "net/queue_disc.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+struct PieConfig {
+  Time target = Time::FromMicroseconds(20);
+  Time update_interval = Time::FromMicroseconds(100);
+  double alpha = 0.125;  // gain on the delay error, per update
+  double beta = 1.25;    // gain on the delay trend, per update
+  // Below this occupancy the controller drains p and never marks, so short
+  // transients pass unharmed.
+  std::uint64_t min_backlog_bytes = 3000;
+};
+
+class PieAqm : public AqmPolicy {
+ public:
+  PieAqm(const PieConfig& config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  bool AllowEnqueue(Packet& pkt, const QueueSnapshot& snapshot,
+                    Time now) override;
+  void OnDequeue(Packet& pkt, const QueueSnapshot& snapshot, Time now,
+                 Time sojourn) override;
+
+  std::string name() const override { return "pie"; }
+  double marking_probability() const { return prob_; }
+  Time estimated_delay() const { return latest_sojourn_; }
+
+ private:
+  void MaybeUpdate(Time now);
+
+  PieConfig config_;
+  Rng rng_;
+  double prob_ = 0.0;
+  Time latest_sojourn_ = Time::Zero();  // delay estimate (last departure)
+  Time old_delay_ = Time::Zero();
+  Time last_update_ = Time::Zero();
+  bool started_ = false;
+  std::uint64_t backlog_bytes_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_AQM_PIE_H_

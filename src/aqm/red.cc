@@ -1,0 +1,45 @@
+#include "aqm/red.h"
+
+#include <cmath>
+
+namespace ecnsharp {
+
+bool RedAqm::AllowEnqueue(Packet& pkt, const QueueSnapshot& snapshot,
+                          Time now) {
+  // EWMA update. If the queue is found empty, age the average as if small
+  // packets had been arriving at line rate while it drained (Floyd &
+  // Jacobson §4); the idle period is approximated by the gap since the last
+  // arrival, which is exact when the previous packet left an empty queue.
+  if (snapshot.packets == 0 && have_last_arrival_) {
+    const double m = (now - last_arrival_) / config_.mean_pkt_time;
+    avg_ *= std::pow(1.0 - config_.weight, m);
+  } else {
+    avg_ = (1.0 - config_.weight) * avg_ +
+           config_.weight * static_cast<double>(snapshot.bytes);
+  }
+  have_last_arrival_ = true;
+  last_arrival_ = now;
+
+  if (avg_ < static_cast<double>(config_.min_th_bytes)) {
+    count_ = -1;
+    return true;
+  }
+  if (avg_ >= static_cast<double>(config_.max_th_bytes)) {
+    count_ = 0;
+    pkt.MarkCe();
+    return true;
+  }
+  ++count_;
+  const double pb =
+      config_.max_p * (avg_ - static_cast<double>(config_.min_th_bytes)) /
+      static_cast<double>(config_.max_th_bytes - config_.min_th_bytes);
+  const double denom = 1.0 - static_cast<double>(count_) * pb;
+  const double pa = denom <= 0.0 ? 1.0 : pb / denom;
+  if (rng_.Uniform() < pa) {
+    count_ = 0;
+    pkt.MarkCe();
+  }
+  return true;
+}
+
+}  // namespace ecnsharp

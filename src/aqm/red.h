@@ -1,0 +1,52 @@
+// Classic RED (Floyd & Jacobson 1993) operating in ECN-marking mode, with
+// EWMA queue averaging and probabilistic marking between min_th and max_th.
+//
+// Included as the probabilistic-marking substrate the paper's §3.5 discusses
+// for DCQCN-style transports (Kmin/Kmax with a marking-probability ramp).
+#ifndef ECNSHARP_AQM_RED_H_
+#define ECNSHARP_AQM_RED_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/queue_disc.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+struct RedConfig {
+  std::uint64_t min_th_bytes = 0;
+  std::uint64_t max_th_bytes = 0;
+  double max_p = 0.1;       // marking probability at max_th
+  double weight = 0.002;    // EWMA gain w_q
+  // Mean transmission time of a packet at line rate; used to age the
+  // average while the queue is idle.
+  Time mean_pkt_time = Time::FromMicroseconds(1.2);
+};
+
+class RedAqm : public AqmPolicy {
+ public:
+  RedAqm(const RedConfig& config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  bool AllowEnqueue(Packet& pkt, const QueueSnapshot& snapshot,
+                    Time now) override;
+
+  std::string name() const override { return "red"; }
+  double average_queue_bytes() const { return avg_; }
+
+ private:
+  RedConfig config_;
+  Rng rng_;
+  double avg_ = 0.0;
+  // Packets since the last mark while in the marking band; drives the
+  // uniformization of marking gaps (Floyd's count correction).
+  std::int64_t count_ = -1;
+  Time last_arrival_ = Time::Zero();
+  bool have_last_arrival_ = false;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_AQM_RED_H_

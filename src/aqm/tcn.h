@@ -1,0 +1,36 @@
+// TCN (Bai et al., CoNEXT 2016): instantaneous sojourn-time ECN marking.
+//
+// TCN marks a departing packet whenever its sojourn time exceeds a static
+// threshold (Equation (2): T = lambda * RTT). It adapts to packet schedulers
+// (the signal is time, not queue length) but, like DCTCP-RED, a threshold
+// sized for a high-percentile RTT leaves persistent queues for small-RTT
+// flows — the gap ECN# closes.
+#ifndef ECNSHARP_AQM_TCN_H_
+#define ECNSHARP_AQM_TCN_H_
+
+#include <string>
+
+#include "net/queue_disc.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+class TcnAqm : public AqmPolicy {
+ public:
+  explicit TcnAqm(Time threshold) : threshold_(threshold) {}
+
+  void OnDequeue(Packet& pkt, const QueueSnapshot& /*snapshot*/, Time /*now*/,
+                 Time sojourn) override {
+    if (sojourn > threshold_) pkt.MarkCe();
+  }
+
+  std::string name() const override { return "tcn"; }
+  Time threshold() const { return threshold_; }
+
+ private:
+  Time threshold_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_AQM_TCN_H_

@@ -1,0 +1,31 @@
+#include "core/ecn_sharp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/equations.h"
+
+namespace ecnsharp {
+
+EcnSharpConfig RuleOfThumbConfig(Time rtt_high_percentile, Time rtt_average,
+                                 double lambda) {
+  EcnSharpConfig cfg;
+  cfg.ins_target = SojournMarkingThreshold(lambda, rtt_high_percentile);
+  cfg.pst_interval = rtt_high_percentile;
+  cfg.pst_target = rtt_average * lambda;
+  return cfg;
+}
+
+void EcnSharpAqm::OnDequeue(Packet& pkt, const QueueSnapshot& /*snapshot*/,
+                            Time now, Time sojourn) {
+  // The persistent-state machine must advance on every departure, so
+  // evaluate it unconditionally before OR-ing the two conditions.
+  const bool persistent =
+      marker_.ShouldMark(sojourn >= config_.pst_target, now);
+  const bool instantaneous = sojourn > config_.ins_target;
+  if (instantaneous) ++instantaneous_marks_;
+  if (persistent && !instantaneous) ++persistent_marks_;
+  if (instantaneous || persistent) pkt.MarkCe();
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,78 @@
+// ECN# with probabilistic instantaneous marking (§3.5).
+//
+// Rate-based transports like DCQCN need a marking *probability* that ramps
+// between two thresholds (Kmin/Kmax) rather than DCTCP's cut-off marking.
+// The paper sketches the extension: replace the cut-off instantaneous rule
+// with a probabilistic ramp and keep the persistent-congestion marking
+// unchanged (it is already probabilistic in nature). This class implements
+// that sketch with sojourn-time thresholds:
+//
+//   p(sojourn) = 0                         for sojourn <= t_min
+//              = p_max*(sojourn-t_min)/(t_max-t_min)  in between
+//              = 1                         for sojourn >= t_max
+//
+// OR persistent marking per Algorithm 1 (delegated to EcnSharpAqm with the
+// instantaneous rule disabled).
+#ifndef ECNSHARP_CORE_ECN_SHARP_PROB_H_
+#define ECNSHARP_CORE_ECN_SHARP_PROB_H_
+
+#include <string>
+
+#include "core/ecn_sharp.h"
+#include "sim/random.h"
+
+namespace ecnsharp {
+
+struct EcnSharpProbConfig {
+  Time t_min = Time::FromMicroseconds(40);
+  Time t_max = Time::FromMicroseconds(200);
+  double p_max = 0.2;  // probability at t_max (above: always mark)
+  Time pst_target = Time::FromMicroseconds(10);
+  Time pst_interval = Time::FromMicroseconds(240);
+};
+
+class EcnSharpProbabilisticAqm : public AqmPolicy {
+ public:
+  EcnSharpProbabilisticAqm(const EcnSharpProbConfig& config,
+                           std::uint64_t seed)
+      : config_(config),
+        rng_(seed),
+        persistent_(DisabledInstantaneous(config)) {}
+
+  void OnDequeue(Packet& pkt, const QueueSnapshot& snapshot, Time now,
+                 Time sojourn) override {
+    // Persistent part first (state must advance on every departure).
+    persistent_.OnDequeue(pkt, snapshot, now, sojourn);
+    if (pkt.IsCeMarked()) return;
+    // Probabilistic instantaneous ramp.
+    if (sojourn <= config_.t_min) return;
+    if (sojourn >= config_.t_max) {
+      pkt.MarkCe();
+      return;
+    }
+    const double p = config_.p_max * ((sojourn - config_.t_min) /
+                                      (config_.t_max - config_.t_min));
+    if (rng_.Uniform() < p) pkt.MarkCe();
+  }
+
+  std::string name() const override { return "ecn-sharp-prob"; }
+  const EcnSharpAqm& persistent() const { return persistent_; }
+
+ private:
+  static EcnSharpConfig DisabledInstantaneous(
+      const EcnSharpProbConfig& config) {
+    EcnSharpConfig aqm;
+    aqm.ins_target = Time::Max();  // never fires; ramp replaces it
+    aqm.pst_target = config.pst_target;
+    aqm.pst_interval = config.pst_interval;
+    return aqm;
+  }
+
+  EcnSharpProbConfig config_;
+  Rng rng_;
+  EcnSharpAqm persistent_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_CORE_ECN_SHARP_PROB_H_

@@ -1,0 +1,30 @@
+// The paper's threshold equations (§2.1, §3.2).
+#ifndef ECNSHARP_CORE_EQUATIONS_H_
+#define ECNSHARP_CORE_EQUATIONS_H_
+
+#include <cstdint>
+
+#include "sim/data_rate.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+// Equation (1): ideal instantaneous queue-length marking threshold,
+// K = lambda * C * RTT (bytes). `lambda` is the congestion-control ECN gain:
+// 1.0 for classic ECN TCP (halves the window per mark), ~0.17 for DCTCP.
+inline std::uint64_t IdealMarkingThresholdBytes(double lambda, DataRate c,
+                                                Time rtt) {
+  return static_cast<std::uint64_t>(lambda * static_cast<double>(c.bps()) *
+                                    rtt.ToSeconds() / 8.0);
+}
+
+// Equation (2): the equivalent sojourn-time threshold, T = K / C =
+// lambda * RTT. Independent of capacity, which is what makes sojourn-time
+// AQMs compose with packet schedulers.
+inline Time SojournMarkingThreshold(double lambda, Time rtt) {
+  return rtt * lambda;
+}
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_CORE_EQUATIONS_H_

@@ -1,0 +1,80 @@
+// The persistent-congestion state machine of Algorithm 1, factored out of
+// the sojourn-time AQM so it can run over EITHER congestion signal —
+// "by nature, ECN# works with both queue length and sojourn time" (§3.2).
+//
+// Feed it one observation per departing packet (is the signal at/above the
+// persistent target?) and it answers whether that packet should be marked,
+// implementing detection (one full interval above target) and conservative
+// marking (one packet per interval, shrinking as interval/sqrt(count)).
+#ifndef ECNSHARP_CORE_PERSISTENT_MARKER_H_
+#define ECNSHARP_CORE_PERSISTENT_MARKER_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+class PersistentMarker {
+ public:
+  explicit PersistentMarker(Time pst_interval)
+      : pst_interval_(pst_interval) {}
+
+  // Algorithm 1, ShouldPersistentMark: must be called for every departure
+  // so the state machine advances.
+  bool ShouldMark(bool above_target, Time now) {
+    const bool detected = Detect(above_target, now);
+    if (marking_state_) {
+      if (!detected) {
+        marking_state_ = false;
+        return false;
+      }
+      if (now > marking_next_) {
+        ++marking_count_;
+        marking_next_ +=
+            pst_interval_ *
+            (1.0 / std::sqrt(static_cast<double>(marking_count_)));
+        return true;
+      }
+      return false;
+    }
+    if (detected) {
+      marking_state_ = true;
+      marking_count_ = 1;
+      marking_next_ = now + pst_interval_;
+      return true;
+    }
+    return false;
+  }
+
+  bool marking_state() const { return marking_state_; }
+  std::uint32_t marking_count() const { return marking_count_; }
+  Time marking_next() const { return marking_next_; }
+  Time first_above_time() const { return first_above_time_; }
+  Time pst_interval() const { return pst_interval_; }
+
+ private:
+  // Algorithm 1, IsPersistentQueueBuildups.
+  bool Detect(bool above_target, Time now) {
+    if (!above_target) {
+      first_above_time_ = Time::Zero();
+      return false;
+    }
+    if (first_above_time_.IsZero()) {
+      first_above_time_ = now;
+      return false;
+    }
+    return now > first_above_time_ + pst_interval_;
+  }
+
+  Time pst_interval_;
+  bool marking_state_ = false;
+  std::uint32_t marking_count_ = 0;
+  Time marking_next_ = Time::Zero();
+  Time first_above_time_ = Time::Zero();
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_CORE_PERSISTENT_MARKER_H_

@@ -1,0 +1,31 @@
+#include "harness/env.h"
+
+#include <cstdlib>
+
+namespace ecnsharp {
+
+std::int64_t EnvInt(const std::string& name, std::int64_t fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+double EnvDouble(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtod(value, nullptr);
+}
+
+bool EnvFlag(const std::string& name) { return EnvInt(name, 0) != 0; }
+
+std::size_t BenchFlowCount(std::size_t fallback, std::size_t full_scale) {
+  const std::size_t base = EnvFlag("ECNSHARP_FULL") ? full_scale : fallback;
+  return static_cast<std::size_t>(
+      EnvInt("ECNSHARP_FLOWS", static_cast<std::int64_t>(base)));
+}
+
+std::uint64_t BenchSeed() {
+  return static_cast<std::uint64_t>(EnvInt("ECNSHARP_SEED", 1));
+}
+
+}  // namespace ecnsharp

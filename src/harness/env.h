@@ -1,0 +1,22 @@
+// Environment-variable overrides for bench scale knobs.
+#ifndef ECNSHARP_HARNESS_ENV_H_
+#define ECNSHARP_HARNESS_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ecnsharp {
+
+// ECNSHARP_FLOWS, ECNSHARP_SEED, ECNSHARP_FULL...
+std::int64_t EnvInt(const std::string& name, std::int64_t fallback);
+double EnvDouble(const std::string& name, double fallback);
+bool EnvFlag(const std::string& name);
+
+// Standard bench scale: `fallback` flows normally, `full_scale` when
+// ECNSHARP_FULL=1, always overridable via ECNSHARP_FLOWS.
+std::size_t BenchFlowCount(std::size_t fallback, std::size_t full_scale);
+std::uint64_t BenchSeed();
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_HARNESS_ENV_H_

@@ -1,0 +1,228 @@
+#include "harness/experiment.h"
+
+#include <memory>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "topo/dumbbell.h"
+#include "topo/rtt_variation.h"
+#include "workload/traffic_generator.h"
+
+namespace ecnsharp {
+
+namespace {
+void FillFctResult(const FctCollector& collector, ExperimentResult& result) {
+  result.overall = collector.Overall();
+  result.short_flows = collector.ShortFlows();
+  result.large_flows = collector.LargeFlows();
+  result.timeouts = collector.total_timeouts();
+}
+}  // namespace
+
+ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config) {
+  Simulator sim;
+
+  DumbbellConfig topo_config;
+  topo_config.senders = config.senders;
+  topo_config.rate = config.rate;
+  topo_config.base_rtt = config.base_rtt;
+  topo_config.buffer_bytes = config.params.buffer_bytes;
+  topo_config.tcp = config.tcp;
+
+  Dumbbell topo(sim, topo_config,
+                MakeFifoDisc(config.scheme, config.params));
+
+  // Per-sender netem extras spanning the requested RTT variation.
+  const Time max_extra = config.base_rtt * (config.rtt_variation - 1.0);
+  topo.SetSenderExtraDelays(RttExtraQuantiles(config.senders, max_extra));
+
+  FctCollector collector;
+  TrafficConfig traffic;
+  traffic.load = config.load;
+  traffic.reference_capacity = config.rate;
+  traffic.flow_count = config.flows;
+
+  Rng rng(config.seed);
+  const std::uint32_t receiver = topo.receiver_address();
+  TrafficGenerator generator(
+      sim, *config.workload, traffic,
+      [&topo, receiver](Rng& r) {
+        const std::size_t sender = r.UniformInt(topo.sender_count());
+        return std::make_pair(&topo.sender_stack(sender), receiver);
+      },
+      [&collector](const FlowRecord& record) { collector.Record(record); },
+      rng.Fork());
+
+  QueueMonitor monitor(sim, topo.bottleneck_port().queue_disc(),
+                       config.queue_sample_period.IsZero()
+                           ? Time::FromMicroseconds(100)
+                           : config.queue_sample_period);
+  if (!config.queue_sample_period.IsZero()) {
+    monitor.Run(Time::Zero(), config.max_sim_time);
+  }
+
+  generator.Start();
+  // Queue monitoring keeps the event heap non-empty, so run in slices until
+  // the workload drains (or the safety cap trips).
+  while (!generator.AllDone() && sim.Now() < config.max_sim_time) {
+    sim.RunFor(Time::Milliseconds(10));
+  }
+
+  ExperimentResult result;
+  FillFctResult(collector, result);
+  result.flows_started = generator.started();
+  result.flows_completed = generator.completed();
+  result.bottleneck = topo.bottleneck_port().queue_disc().stats();
+  if (!config.queue_sample_period.IsZero()) {
+    result.avg_queue_packets = monitor.AvgPackets();
+    result.max_queue_packets = monitor.MaxPackets();
+  }
+  result.sim_seconds = sim.Now().ToSeconds();
+  return result;
+}
+
+ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config) {
+  Simulator sim;
+
+  LeafSpineConfig topo_config = config.topo;
+  topo_config.buffer_bytes = config.params.buffer_bytes;
+
+  LeafSpine topo(sim, topo_config, [&config] {
+    return MakeFifoDisc(config.scheme, config.params);
+  });
+
+  Rng rng(config.seed);
+  for (std::size_t h = 0; h < topo.host_count(); ++h) {
+    topo.host(h).set_extra_egress_delay(
+        SampleRttExtra(rng, config.max_extra_delay));
+  }
+
+  FctCollector collector;
+  TrafficConfig traffic;
+  traffic.load = config.load;
+  // Load is defined per host access link; the aggregate arrival rate scales
+  // with the number of hosts.
+  traffic.reference_capacity = DataRate::BitsPerSecond(
+      config.topo.rate.bps() * static_cast<std::int64_t>(topo.host_count()));
+  traffic.flow_count = config.flows;
+
+  TrafficGenerator generator(
+      sim, *config.workload, traffic,
+      [&topo](Rng& r) {
+        const std::size_t src = r.UniformInt(topo.host_count());
+        std::size_t dst = r.UniformInt(topo.host_count() - 1);
+        if (dst >= src) ++dst;
+        return std::make_pair(&topo.stack(src),
+                              static_cast<std::uint32_t>(dst));
+      },
+      [&collector](const FlowRecord& record) { collector.Record(record); },
+      rng.Fork());
+
+  generator.Start();
+  while (!generator.AllDone() && sim.Now() < config.max_sim_time) {
+    sim.RunFor(Time::Milliseconds(10));
+  }
+
+  ExperimentResult result;
+  FillFctResult(collector, result);
+  result.flows_started = generator.started();
+  result.flows_completed = generator.completed();
+  result.bottleneck.dropped_overflow = topo.TotalOverflowDrops();
+  result.bottleneck.ce_marked = topo.TotalCeMarks();
+  result.sim_seconds = sim.Now().ToSeconds();
+  return result;
+}
+
+IncastResult RunIncast(const IncastExperimentConfig& config) {
+  Simulator sim;
+
+  DumbbellConfig topo_config;
+  topo_config.senders = config.senders;
+  topo_config.rate = config.rate;
+  topo_config.base_rtt = config.base_rtt;
+  topo_config.buffer_bytes = config.params.buffer_bytes;
+  topo_config.tcp = config.tcp;
+
+  Dumbbell topo(sim, topo_config,
+                MakeFifoDisc(config.scheme, config.params));
+  const Time max_extra = config.base_rtt * (config.rtt_variation - 1.0);
+  // §5.4 setup mirrors the large-scale simulations' RTT distribution.
+  topo.SetSenderExtraDelays(RttExtraQuantiles(config.senders, max_extra,
+                                              RttProfile::kLeafSpine));
+
+  const std::uint32_t receiver = topo.receiver_address();
+
+  // Long-lived elephants from the smallest-RTT senders: with a tail-RTT
+  // marking threshold these are exactly the flows that build the standing
+  // queue the paper's Fig. 10 shows.
+  constexpr std::uint64_t kElephantBytes = 1ull << 40;  // never finishes
+  for (std::size_t i = 0; i < config.long_flows; ++i) {
+    const std::size_t sender = i % config.senders;
+    sim.ScheduleAt(Time::Milliseconds(1) * static_cast<std::int64_t>(i + 1),
+                   [&topo, sender, receiver] {
+                     topo.sender_stack(sender).StartFlow(
+                         receiver, kElephantBytes, nullptr);
+                   });
+  }
+
+  // Query burst at burst_time.
+  FctCollector query_collector;
+  std::size_t queries_completed = 0;
+  Rng rng(config.seed);
+  for (std::size_t q = 0; q < config.query_flows; ++q) {
+    const std::size_t sender = q % config.senders;
+    const std::uint64_t size =
+        config.query_min_bytes +
+        rng.UniformInt(config.query_max_bytes - config.query_min_bytes + 1);
+    sim.ScheduleAt(config.burst_time, [&topo, &query_collector,
+                                       &queries_completed, sender, receiver,
+                                       size] {
+      topo.sender_stack(sender).StartFlow(
+          receiver, size,
+          [&query_collector, &queries_completed](const FlowRecord& record) {
+            query_collector.Record(record);
+            ++queries_completed;
+          });
+    });
+  }
+
+  QueueMonitor monitor(sim, topo.bottleneck_port().queue_disc(),
+                       config.queue_sample_period);
+  const Time trace_end = config.burst_time + Time::Milliseconds(20);
+  monitor.Run(config.burst_time - Time::Milliseconds(5), trace_end);
+
+  // Snapshot overflow drops just before the burst so the result separates
+  // burst-induced losses from background startup transients.
+  std::uint64_t drops_before_burst = 0;
+  sim.ScheduleAt(config.burst_time - Time::Nanoseconds(1),
+                 [&topo, &drops_before_burst] {
+                   drops_before_burst = topo.bottleneck_port()
+                                            .queue_disc()
+                                            .stats()
+                                            .dropped_overflow;
+                 });
+
+  // Run at least through the queue-trace window, then until the queries
+  // finish (or the safety cap).
+  while (sim.Now() < trace_end ||
+         (queries_completed < config.query_flows &&
+          sim.Now() < config.max_sim_time)) {
+    sim.RunFor(Time::Milliseconds(10));
+  }
+
+  IncastResult result;
+  result.query_fct = query_collector.Overall();
+  result.query_timeouts = query_collector.total_timeouts();
+  result.total_drops =
+      topo.bottleneck_port().queue_disc().stats().dropped_overflow;
+  result.drops = result.total_drops - drops_before_burst;
+  result.max_queue_packets = monitor.MaxPackets();
+  // Standing queue: the 5 ms window immediately before the burst.
+  result.standing_queue_packets = monitor.AvgPackets(
+      config.burst_time - Time::Milliseconds(5), config.burst_time);
+  result.queue_trace = monitor.samples();
+  result.queries_completed = queries_completed;
+  return result;
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,132 @@
+// Experiment runners assembling topology + workload + scheme + metrics.
+// Used by every bench binary and by the examples.
+#ifndef ECNSHARP_HARNESS_EXPERIMENT_H_
+#define ECNSHARP_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/schemes.h"
+#include "net/queue_disc.h"
+#include "sim/data_rate.h"
+#include "stats/fct_collector.h"
+#include "stats/queue_monitor.h"
+#include "topo/leaf_spine.h"
+#include "transport/tcp_config.h"
+#include "workload/empirical_cdf.h"
+
+namespace ecnsharp {
+
+// ---------------------------------------------------------------------------
+// Dumbbell (testbed-shaped) experiments: Figs. 2, 3, 6, 7, 8, 12.
+// ---------------------------------------------------------------------------
+
+struct DumbbellExperimentConfig {
+  Scheme scheme = Scheme::kEcnSharp;
+  SchemeParams params;
+  const EmpiricalCdf* workload = &WebSearchWorkload();
+  double load = 0.5;
+  std::size_t flows = 2000;
+  // RTT variation k: per-sender netem extras span [0, (k-1) * base_rtt], so
+  // base RTTs span [base_rtt, k * base_rtt] (§2.3's definition
+  // RTTmax/RTTmin = k).
+  double rtt_variation = 3.0;
+  Time base_rtt = Time::FromMicroseconds(70);
+  std::size_t senders = 7;
+  DataRate rate = DataRate::GigabitsPerSecond(10);
+  std::uint64_t seed = 1;
+  TcpConfig tcp;
+  // Queue occupancy sampling of the bottleneck (0 disables).
+  Time queue_sample_period = Time::Zero();
+  // Safety cap on simulated time.
+  Time max_sim_time = Time::Seconds(120);
+};
+
+struct ExperimentResult {
+  FctSummary overall;
+  FctSummary short_flows;  // < 100 KB
+  FctSummary large_flows;  // > 10 MB
+  std::size_t flows_started = 0;
+  std::size_t flows_completed = 0;
+  std::uint64_t timeouts = 0;
+  QueueDiscStats bottleneck;
+  double avg_queue_packets = 0.0;
+  std::uint32_t max_queue_packets = 0;
+  double sim_seconds = 0.0;
+};
+
+ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config);
+
+// ---------------------------------------------------------------------------
+// Leaf-spine (large-scale) experiments: Fig. 9.
+// ---------------------------------------------------------------------------
+
+struct LeafSpineExperimentConfig {
+  Scheme scheme = Scheme::kEcnSharp;
+  SchemeParams params;
+  const EmpiricalCdf* workload = &WebSearchWorkload();
+  double load = 0.5;
+  std::size_t flows = 2000;
+  LeafSpineConfig topo;
+  // Per-host extra delay upper bound: [80, 240] us base RTTs by default.
+  Time max_extra_delay = Time::FromMicroseconds(160);
+  std::uint64_t seed = 1;
+  Time max_sim_time = Time::Seconds(120);
+};
+
+ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config);
+
+// ---------------------------------------------------------------------------
+// Incast / microscopic-queue experiments: Figs. 10, 11.
+// ---------------------------------------------------------------------------
+
+struct IncastExperimentConfig {
+  Scheme scheme = Scheme::kEcnSharp;
+  SchemeParams params = SimulationSchemeParams();
+  std::size_t senders = 16;
+  // Long-lived background flows (data-mining-style elephants) that create
+  // the standing queue.
+  std::size_t long_flows = 6;
+  // Query burst: `query_flows` concurrent flows, uniform size in
+  // [query_min_bytes, query_max_bytes], all started at burst_time.
+  std::size_t query_flows = 100;
+  std::uint64_t query_min_bytes = 3000;
+  std::uint64_t query_max_bytes = 60000;
+  Time burst_time = Time::Milliseconds(150);
+  double rtt_variation = 3.0;
+  Time base_rtt = Time::FromMicroseconds(80);
+  DataRate rate = DataRate::GigabitsPerSecond(10);
+  std::uint64_t seed = 1;
+  // ns-3-style initial window of 3 segments: a 100-flow synchronized burst
+  // then peaks near (but within) a 600-packet buffer under instantaneous
+  // marking, matching the §5.4 queue traces and loss crossovers.
+  TcpConfig tcp = SmallInitialWindowTcp();
+  Time queue_sample_period = Time::FromMicroseconds(10);
+  Time max_sim_time = Time::Seconds(30);
+
+  static TcpConfig SmallInitialWindowTcp() {
+    TcpConfig tcp;
+    tcp.init_cwnd_segments = 3;
+    return tcp;
+  }
+};
+
+struct IncastResult {
+  FctSummary query_fct;
+  std::uint64_t query_timeouts = 0;
+  // Overflow drops from the burst onward (startup transients of the
+  // long-lived background flows are excluded).
+  std::uint64_t drops = 0;
+  std::uint64_t total_drops = 0;  // including background startup
+  // Queue occupancy before the burst (standing queue) and its peak.
+  double standing_queue_packets = 0.0;
+  std::uint32_t max_queue_packets = 0;
+  std::vector<QueueMonitor::Sample> queue_trace;
+  std::size_t queries_completed = 0;
+};
+
+IncastResult RunIncast(const IncastExperimentConfig& config);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_HARNESS_EXPERIMENT_H_

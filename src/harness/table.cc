@@ -1,0 +1,61 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ecnsharp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%s%-*s", c == 0 ? "" : "  ",
+                  static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::string sep;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) sep += "  ";
+    sep += std::string(widths[c], '-');
+  }
+  std::printf("%s\n", sep.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FmtUs(double microseconds) {
+  char buf[64];
+  if (microseconds >= 10000.0) {
+    std::snprintf(buf, sizeof buf, "%.1fms", microseconds / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fus", microseconds);
+  }
+  return buf;
+}
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,33 @@
+// Fixed-width ASCII table printer for bench output.
+#ifndef ECNSHARP_HARNESS_TABLE_H_
+#define ECNSHARP_HARNESS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ecnsharp {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders header + separator + rows to stdout.
+  void Print() const;
+
+  // Formatting helpers.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string FmtUs(double microseconds);  // "1234.5us" / "12.3ms"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner: "=== title ===".
+void PrintBanner(const std::string& title);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_HARNESS_TABLE_H_

@@ -1,0 +1,171 @@
+#include "hostpath/rtt_probe.h"
+
+#include <memory>
+#include <utility>
+
+#include "net/delay_line.h"
+#include "net/host.h"
+#include "net/switch_node.h"
+#include "sched/fifo_queue_disc.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "stats/percentile.h"
+
+namespace ecnsharp {
+
+namespace {
+
+constexpr std::uint32_t kRequestBytes = 100;
+
+// Issues sequential request/response RPCs and records RTT samples.
+class RpcClient : public PacketSink {
+ public:
+  RpcClient(Host& host, std::uint32_t server, std::size_t requests)
+      : host_(host), server_(server), remaining_(requests) {}
+
+  void Start() { SendRequest(); }
+
+  void HandlePacket(std::unique_ptr<Packet> /*response*/) override {
+    rtts_us_.push_back((host_.sim().Now() - sent_at_).ToMicroseconds());
+    if (remaining_ > 0) SendRequest();
+  }
+
+  const std::vector<double>& rtts_us() const { return rtts_us_; }
+
+ private:
+  void SendRequest() {
+    --remaining_;
+    sent_at_ = host_.sim().Now();
+    auto pkt = std::make_unique<Packet>();
+    pkt->flow = FlowKey{host_.address(), server_, 1000, 80};
+    pkt->size_bytes = kRequestBytes;
+    pkt->sent_time = sent_at_;
+    host_.SendPacket(std::move(pkt));
+  }
+
+  Host& host_;
+  std::uint32_t server_;
+  std::size_t remaining_;
+  Time sent_at_ = Time::Zero();
+  std::vector<double> rtts_us_;
+};
+
+// Reflects every request back to its sender.
+class RpcServer : public PacketSink {
+ public:
+  explicit RpcServer(Host& host) : host_(host) {}
+
+  void HandlePacket(std::unique_ptr<Packet> request) override {
+    auto response = std::make_unique<Packet>();
+    response->flow = request->flow.Reversed();
+    response->size_bytes = kRequestBytes;
+    host_.SendPacket(std::move(response));
+  }
+
+ private:
+  Host& host_;
+};
+
+// Builds a chain of stochastic DelayLines ending at `sink`; returns the head.
+PacketSink& BuildChain(Simulator& sim, const std::vector<StageSpec>& stages,
+                       PacketSink& sink, Rng& seed_source,
+                       std::vector<std::unique_ptr<DelayLine>>& storage) {
+  PacketSink* next = &sink;
+  // Build back-to-front so each stage forwards to the next.
+  for (auto it = stages.rbegin(); it != stages.rend(); ++it) {
+    const StageSpec spec = *it;
+    auto rng = std::make_shared<Rng>(seed_source.Fork());
+    storage.push_back(std::make_unique<DelayLine>(
+        sim, *next, [spec, rng]() -> Time {
+          if (spec.mean_us <= 0.0) return Time::Zero();
+          return Time::FromMicroseconds(
+              rng->LogNormal(spec.mean_us, spec.std_us));
+        }));
+    next = storage.back().get();
+  }
+  return *next;
+}
+
+}  // namespace
+
+std::vector<RttCaseSpec> Table1Cases() {
+  // Per-direction stage parameters. The stack and hypervisor process both
+  // directions (half of their RTT contribution each way); the SLB only the
+  // inbound request (LVS direct-server-return). "load" models the extra
+  // service time of a busy server stack.
+  const StageSpec stack{"stack", 19.65, 8.6};
+  const StageSpec slb{"slb", 24.6, 13.6};
+  const StageSpec hyper{"hypervisor", 15.0, 8.0};
+  const StageSpec load{"load", 3.15, 2.0};
+
+  return {
+      {"stack", {stack}, {stack}},
+      {"stack+slb", {stack, slb}, {stack}},
+      {"stack+hypervisor", {stack, hyper}, {stack, hyper}},
+      {"stack+slb+hypervisor", {stack, slb, hyper}, {stack, hyper}},
+      {"stack(load)+slb+hypervisor",
+       {stack, load, slb, hyper},
+       {stack, load, hyper}},
+  };
+}
+
+RttStats RunRttProbe(const RttCaseSpec& spec, std::size_t requests,
+                     std::uint64_t seed) {
+  Simulator sim;
+  Rng rng(seed);
+
+  // 100G links, sub-microsecond wire path: processing dominates, as in the
+  // paper's testbed.
+  const DataRate rate = DataRate::GigabitsPerSecond(100);
+  const Time wire_delay = Time::Nanoseconds(200);
+  const auto make_queue = [] {
+    return std::make_unique<FifoQueueDisc>(16ull * 1024 * 1024, nullptr);
+  };
+
+  SwitchNode sw(sim, "probe-switch");
+  Host client(sim, 0);
+  Host server(sim, 1);
+
+  for (Host* host : {&client, &server}) {
+    auto nic = std::make_unique<EgressPort>(sim, rate, wire_delay,
+                                            make_queue());
+    nic->ConnectTo(sw);
+    host->AttachNic(std::move(nic));
+  }
+
+  // Delivery chains: switch egress -> processing stages -> host.
+  std::vector<std::unique_ptr<DelayLine>> stages;
+  PacketSink& to_server = BuildChain(sim, spec.request_stages, server, rng,
+                                     stages);
+  PacketSink& to_client = BuildChain(sim, spec.response_stages, client, rng,
+                                     stages);
+
+  auto server_port = std::make_unique<EgressPort>(sim, rate, wire_delay,
+                                                  make_queue());
+  server_port->ConnectTo(to_server);
+  sw.AddRoute(server.address(), sw.AddPort(std::move(server_port)));
+
+  auto client_port = std::make_unique<EgressPort>(sim, rate, wire_delay,
+                                                  make_queue());
+  client_port->ConnectTo(to_client);
+  sw.AddRoute(client.address(), sw.AddPort(std::move(client_port)));
+
+  RpcClient rpc_client(client, server.address(), requests);
+  RpcServer rpc_server(server);
+  client.SetProtocolHandler(rpc_client);
+  server.SetProtocolHandler(rpc_server);
+
+  rpc_client.Start();
+  sim.Run();
+
+  const std::vector<double>& rtts = rpc_client.rtts_us();
+  RttStats stats;
+  stats.samples = rtts.size();
+  stats.mean_us = Mean(rtts);
+  stats.std_us = StdDev(rtts);
+  stats.p90_us = Percentile(rtts, 90.0);
+  stats.p99_us = Percentile(rtts, 99.0);
+  return stats;
+}
+
+}  // namespace ecnsharp

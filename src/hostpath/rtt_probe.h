@@ -1,0 +1,57 @@
+// §2.2 reproduction: RTT variation caused by host-path processing
+// components.
+//
+// The paper measures request/response RTTs between two hosts while inserting
+// processing components (layer-4 software load balancer, hypervisor, loaded
+// network stack) on the path. We model each component as a stochastic
+// DelayLine stage (log-normal service time calibrated to the per-component
+// deltas of Table 1) and run a 1-byte RPC ping-pong through the full
+// simulator data path (hosts, 100G links, switch).
+//
+// The SLB stage sits only on the request path: like the paper's LVS setup,
+// responses return directly to the client (direct server return).
+#ifndef ECNSHARP_HOSTPATH_RTT_PROBE_H_
+#define ECNSHARP_HOSTPATH_RTT_PROBE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecnsharp {
+
+// A variable-latency processing component, log-normal with the given mean
+// and standard deviation (microseconds).
+struct StageSpec {
+  std::string name;
+  double mean_us = 0.0;
+  double std_us = 0.0;
+};
+
+struct RttCaseSpec {
+  std::string name;
+  std::vector<StageSpec> request_stages;   // client -> server direction
+  std::vector<StageSpec> response_stages;  // server -> client direction
+};
+
+// The five component combinations of Table 1 / Fig. 1, calibrated so each
+// component's marginal contribution matches the paper's deltas:
+// stack ~39 us RTT, +SLB ~25 us, +hypervisor ~30 us, +load ~6 us.
+std::vector<RttCaseSpec> Table1Cases();
+
+struct RttStats {
+  std::size_t samples = 0;
+  double mean_us = 0.0;
+  double std_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+};
+
+// Runs `requests` sequential 1-byte RPCs through the simulated path and
+// returns the RTT statistics (a new request is issued when the previous
+// response arrives, as in the paper's ApacheBench methodology).
+RttStats RunRttProbe(const RttCaseSpec& spec, std::size_t requests,
+                     std::uint64_t seed);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_HOSTPATH_RTT_PROBE_H_

@@ -1,0 +1,46 @@
+// DelayLine: a netem-like stage that forwards packets to the next sink after
+// an extra delay.
+//
+// The paper emulates RTT variation by adding sender-side delay with Linux
+// netem (§2.3); a DelayLine with a fixed delay per host reproduces exactly
+// that. With a stochastic sampler it models a variable-latency processing
+// component (SLB, hypervisor, loaded network stack — §2.2).
+#ifndef ECNSHARP_NET_DELAY_LINE_H_
+#define ECNSHARP_NET_DELAY_LINE_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace ecnsharp {
+
+class DelayLine : public PacketSink {
+ public:
+  // Fixed extra delay.
+  DelayLine(Simulator& sim, PacketSink& next, Time delay)
+      : sim_(sim), next_(next), sampler_([delay] { return delay; }) {}
+
+  // Stochastic extra delay: `sampler` is invoked once per packet. Note that
+  // a stochastic stage can reorder packets, just like a real variable-latency
+  // component.
+  DelayLine(Simulator& sim, PacketSink& next, std::function<Time()> sampler)
+      : sim_(sim), next_(next), sampler_(std::move(sampler)) {}
+
+  void HandlePacket(std::unique_ptr<Packet> pkt) override {
+    sim_.Schedule(sampler_(), [this, p = std::move(pkt)]() mutable {
+      next_.HandlePacket(std::move(p));
+    });
+  }
+
+ private:
+  Simulator& sim_;
+  PacketSink& next_;
+  std::function<Time()> sampler_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_NET_DELAY_LINE_H_

@@ -1,0 +1,46 @@
+#include "net/egress_port.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ecnsharp {
+
+EgressPort::EgressPort(Simulator& sim, DataRate rate, Time propagation_delay,
+                       std::unique_ptr<QueueDisc> disc)
+    : sim_(sim),
+      rate_(rate),
+      propagation_delay_(propagation_delay),
+      disc_(std::move(disc)) {
+  assert(disc_ != nullptr);
+}
+
+void EgressPort::Enqueue(std::unique_ptr<Packet> pkt) {
+  disc_->Enqueue(std::move(pkt), sim_.Now());
+  MaybeStartTx();
+}
+
+void EgressPort::MaybeStartTx() {
+  if (busy_) return;
+  in_flight_ = disc_->Dequeue(sim_.Now());
+  if (in_flight_ == nullptr) return;
+  busy_ = true;
+  const Time tx = rate_.TransmissionTime(in_flight_->size_bytes);
+  sim_.Schedule(tx, [this] { FinishTx(); });
+}
+
+void EgressPort::FinishTx() {
+  assert(busy_ && in_flight_ != nullptr && peer_ != nullptr);
+  counters_.tx_packets++;
+  counters_.tx_bytes += in_flight_->size_bytes;
+  if (tracer_ != nullptr) tracer_->OnTransmit(*in_flight_, sim_.Now());
+  // Hand the packet to the wire: it arrives at the peer after the
+  // propagation delay. Ownership transfers into the scheduled event.
+  sim_.Schedule(propagation_delay_,
+                [peer = peer_, pkt = std::move(in_flight_)]() mutable {
+                  peer->HandlePacket(std::move(pkt));
+                });
+  busy_ = false;
+  MaybeStartTx();
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,80 @@
+// Egress port: the transmit side of a point-to-point link.
+//
+// A port serializes packets at a fixed rate, then delivers them to the peer
+// sink after the link's propagation delay. Each direction of a physical link
+// is one EgressPort owned by the sending node; there is no separate Link
+// object. The port owns its QueueDisc, which in turn owns queued packets.
+#ifndef ECNSHARP_NET_EGRESS_PORT_H_
+#define ECNSHARP_NET_EGRESS_PORT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "net/packet.h"
+#include "net/packet_tracer.h"
+#include "net/queue_disc.h"
+#include "sim/data_rate.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+struct PortCounters {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+};
+
+class EgressPort {
+ public:
+  EgressPort(Simulator& sim, DataRate rate, Time propagation_delay,
+             std::unique_ptr<QueueDisc> disc);
+
+  EgressPort(const EgressPort&) = delete;
+  EgressPort& operator=(const EgressPort&) = delete;
+
+  // Sets the receiving end of the link. Must be called before any Enqueue.
+  void ConnectTo(PacketSink& peer) { peer_ = &peer; }
+
+  // Hands a packet to the queue disc and kicks transmission if idle.
+  void Enqueue(std::unique_ptr<Packet> pkt);
+
+  QueueDisc& queue_disc() { return *disc_; }
+  const QueueDisc& queue_disc() const { return *disc_; }
+  DataRate rate() const { return rate_; }
+  Time propagation_delay() const { return propagation_delay_; }
+  const PortCounters& counters() const { return counters_; }
+
+  // Optional per-packet transmit tracing (non-owning; null disables).
+  void SetTracer(PacketTracer* tracer) { tracer_ = tracer; }
+
+ private:
+  void MaybeStartTx();
+  void FinishTx();
+
+  Simulator& sim_;
+  DataRate rate_;
+  Time propagation_delay_;
+  std::unique_ptr<QueueDisc> disc_;
+  PacketSink* peer_ = nullptr;
+  PacketTracer* tracer_ = nullptr;
+  std::unique_ptr<Packet> in_flight_;
+  bool busy_ = false;
+  PortCounters counters_;
+};
+
+// Adapter presenting an EgressPort as a PacketSink, so ports can terminate
+// a chain of PacketSink stages (e.g. DelayLines).
+class PortSink : public PacketSink {
+ public:
+  explicit PortSink(EgressPort& port) : port_(port) {}
+  void HandlePacket(std::unique_ptr<Packet> pkt) override {
+    port_.Enqueue(std::move(pkt));
+  }
+
+ private:
+  EgressPort& port_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_NET_EGRESS_PORT_H_

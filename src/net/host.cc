@@ -1,0 +1,17 @@
+#include "net/host.h"
+
+namespace ecnsharp {
+
+void Host::SendPacket(std::unique_ptr<Packet> pkt) {
+  if (extra_egress_delay_.IsZero()) {
+    nic().Enqueue(std::move(pkt));
+    return;
+  }
+  // A constant per-host delay preserves packet order because simulator
+  // events at equal offsets execute FIFO.
+  sim_.Schedule(extra_egress_delay_, [this, p = std::move(pkt)]() mutable {
+    nic().Enqueue(std::move(p));
+  });
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,97 @@
+// Packet model.
+//
+// Packets are metadata-only: the simulator never materializes payload bytes.
+// A single struct carries the fields of the Ethernet/IP/TCP headers that the
+// models read, plus the queue-enqueue timestamp used to compute sojourn time
+// (the paper implements the same thing with ns-3 packet tags, §5.3).
+#ifndef ECNSHARP_NET_PACKET_H_
+#define ECNSHARP_NET_PACKET_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+// Wire-size constants. A full-size data segment is 1500 bytes on the wire:
+// 1460 bytes of payload plus 40 bytes of IP+TCP header (we fold the Ethernet
+// overhead into the serialization model's notion of "wire bytes").
+inline constexpr std::uint32_t kMaxSegmentSize = 1460;
+inline constexpr std::uint32_t kDataHeaderBytes = 40;
+inline constexpr std::uint32_t kFullPacketBytes = kMaxSegmentSize + kDataHeaderBytes;
+inline constexpr std::uint32_t kAckPacketBytes = 60;
+
+// Connection 4-tuple. Addresses are flat 32-bit host ids assigned by the
+// topology builder.
+struct FlowKey {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  // The key of packets flowing in the opposite direction.
+  FlowKey Reversed() const { return FlowKey{dst, src, dst_port, src_port}; }
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    // FNV-1a over the four fields; cheap and well-mixed enough for tables
+    // and ECMP selection.
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(k.src);
+    mix(k.dst);
+    mix(k.src_port);
+    mix(k.dst_port);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// IP ECN field codepoints.
+enum class EcnCodepoint : std::uint8_t { kNotEct, kEct0, kEct1, kCe };
+
+enum class PacketType : std::uint8_t {
+  kData,
+  kAck,
+  kCnp,  // DCQCN congestion notification packet (receiver -> sender)
+};
+
+struct Packet {
+  FlowKey flow;
+  PacketType type = PacketType::kData;
+  std::uint32_t size_bytes = 0;     // on-wire size, headers included
+  std::uint32_t payload_bytes = 0;  // TCP payload carried
+  std::uint64_t seq = 0;            // data: offset of the first payload byte
+  std::uint64_t ack = 0;            // ack: next byte expected by the receiver
+  bool ece = false;                 // TCP ECN-Echo flag (meaningful on ACKs)
+  bool cwr = false;                 // TCP CWR flag (meaningful on data)
+  bool psh = false;                 // set on a flow's last segment: ack now
+  EcnCodepoint ecn = EcnCodepoint::kNotEct;
+  std::uint8_t traffic_class = 0;   // scheduler class (DWRR queue index)
+  Time enqueue_time = Time::Zero(); // stamped by the queue disc at enqueue
+  Time sent_time = Time::Zero();    // stamped by the transport at first send
+
+  bool IsEcnCapable() const { return ecn != EcnCodepoint::kNotEct; }
+  bool IsCeMarked() const { return ecn == EcnCodepoint::kCe; }
+  void MarkCe() {
+    if (IsEcnCapable()) ecn = EcnCodepoint::kCe;
+  }
+};
+
+// Anything that can accept a packet: a node, a protocol stack, a delay stage.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void HandlePacket(std::unique_ptr<Packet> pkt) = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_NET_PACKET_H_

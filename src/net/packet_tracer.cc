@@ -1,0 +1,21 @@
+#include "net/packet_tracer.h"
+
+namespace ecnsharp {
+
+std::string TextTracer::Format(const Packet& pkt, Time at) {
+  const char* type = "DATA";
+  if (pkt.type == PacketType::kAck) type = "ACK";
+  if (pkt.type == PacketType::kCnp) type = "CNP";
+  char buf[160];
+  std::snprintf(
+      buf, sizeof buf, "%.3fus TX %s %u:%u->%u:%u seq=%llu ack=%llu len=%u%s%s%s",
+      at.ToMicroseconds(), type, pkt.flow.src, pkt.flow.src_port,
+      pkt.flow.dst, pkt.flow.dst_port,
+      static_cast<unsigned long long>(pkt.seq),
+      static_cast<unsigned long long>(pkt.ack), pkt.size_bytes,
+      pkt.IsCeMarked() ? " CE" : "", pkt.ece ? " ECE" : "",
+      pkt.psh ? " PSH" : "");
+  return buf;
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,52 @@
+// Lightweight per-port packet tracing, tcpdump-style.
+//
+// An EgressPort optionally reports every transmitted packet to a tracer;
+// queue discs report drops through their stats. The TextTracer renders
+// events as one line each ("12.345us TX 0->1 seq=1460 len=1500 CE") for
+// debugging and for golden-trace tests.
+#ifndef ECNSHARP_NET_PACKET_TRACER_H_
+#define ECNSHARP_NET_PACKET_TRACER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+class PacketTracer {
+ public:
+  virtual ~PacketTracer() = default;
+  virtual void OnTransmit(const Packet& pkt, Time at) = 0;
+};
+
+// Collects formatted lines in memory (bounded).
+class TextTracer : public PacketTracer {
+ public:
+  explicit TextTracer(std::size_t max_lines = 100'000)
+      : max_lines_(max_lines) {}
+
+  void OnTransmit(const Packet& pkt, Time at) override {
+    if (lines_.size() >= max_lines_) {
+      ++suppressed_;
+      return;
+    }
+    lines_.push_back(Format(pkt, at));
+  }
+
+  static std::string Format(const Packet& pkt, Time at);
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  std::size_t suppressed() const { return suppressed_; }
+
+ private:
+  std::size_t max_lines_;
+  std::vector<std::string> lines_;
+  std::size_t suppressed_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_NET_PACKET_TRACER_H_

@@ -1,0 +1,52 @@
+// Shared-buffer pool with Dynamic Threshold admission (Choudhury & Hahne).
+//
+// Real switching chips (including the paper's testbed devices) share one
+// packet buffer across all egress queues: a queue may keep growing while
+//   queue_bytes < alpha * (total - used)
+// so a single hot port can take a large share of the buffer while idle
+// ports reserve almost nothing. A FifoQueueDisc optionally draws from a
+// pool; the incast ablation bench compares static per-port splits against
+// dynamic sharing.
+#ifndef ECNSHARP_NET_SHARED_BUFFER_H_
+#define ECNSHARP_NET_SHARED_BUFFER_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace ecnsharp {
+
+class SharedBufferPool {
+ public:
+  SharedBufferPool(std::uint64_t total_bytes, double alpha)
+      : total_bytes_(total_bytes), alpha_(alpha) {}
+
+  // Admission test for a queue currently holding `queue_bytes`, wanting to
+  // add `packet_bytes`. On success the bytes are reserved.
+  bool TryReserve(std::uint64_t queue_bytes, std::uint32_t packet_bytes) {
+    if (used_bytes_ + packet_bytes > total_bytes_) return false;
+    const std::uint64_t free_bytes = total_bytes_ - used_bytes_;
+    const auto limit =
+        static_cast<std::uint64_t>(alpha_ * static_cast<double>(free_bytes));
+    if (queue_bytes + packet_bytes > limit) return false;
+    used_bytes_ += packet_bytes;
+    return true;
+  }
+
+  void Release(std::uint32_t packet_bytes) {
+    assert(used_bytes_ >= packet_bytes);
+    used_bytes_ -= packet_bytes;
+  }
+
+  std::uint64_t used_bytes() const { return used_bytes_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::uint64_t total_bytes_;
+  double alpha_;
+  std::uint64_t used_bytes_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_NET_SHARED_BUFFER_H_

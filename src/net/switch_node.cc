@@ -1,0 +1,30 @@
+#include "net/switch_node.h"
+
+#include <utility>
+
+namespace ecnsharp {
+
+void SwitchNode::HandlePacket(std::unique_ptr<Packet> pkt) {
+  ++rx_packets_;
+  const auto it = routes_.find(pkt->flow.dst);
+  if (it == routes_.end() || it->second.empty()) {
+    ++no_route_drops_;
+    return;  // packet destroyed: no route
+  }
+  SelectEcmp(it->second, pkt->flow).Enqueue(std::move(pkt));
+}
+
+EgressPort& SwitchNode::SelectEcmp(const std::vector<EgressPort*>& candidates,
+                                   const FlowKey& flow) const {
+  if (candidates.size() == 1) return *candidates.front();
+  std::uint64_t h = FlowKeyHash{}(flow);
+  // Mix in the per-switch salt so consecutive hops hash independently
+  // (avoids the classic ECMP polarization problem).
+  h ^= ecmp_salt_ + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return *candidates[h % candidates.size()];
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,64 @@
+// Output-queued switch with static routing and per-flow ECMP.
+//
+// Forwarding model: a packet arriving at the switch is looked up by
+// destination address; if several egress ports match (multiple equal-cost
+// uplinks), one is selected by hashing the flow key with a per-switch salt,
+// so every packet of a flow takes the same path (per-flow ECMP, as in the
+// paper's leaf-spine simulations). Queueing happens only at egress ports.
+#ifndef ECNSHARP_NET_SWITCH_NODE_H_
+#define ECNSHARP_NET_SWITCH_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/egress_port.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace ecnsharp {
+
+class SwitchNode : public PacketSink {
+ public:
+  SwitchNode(Simulator& sim, std::string name, std::uint64_t ecmp_salt = 0)
+      : sim_(sim), name_(std::move(name)), ecmp_salt_(ecmp_salt) {}
+
+  const std::string& name() const { return name_; }
+
+  // Installs an egress port; the switch owns it.
+  EgressPort& AddPort(std::unique_ptr<EgressPort> port) {
+    ports_.push_back(std::move(port));
+    return *ports_.back();
+  }
+  std::size_t port_count() const { return ports_.size(); }
+  EgressPort& port(std::size_t i) { return *ports_.at(i); }
+  const EgressPort& port(std::size_t i) const { return *ports_.at(i); }
+
+  // Adds `port` to the ECMP set for destination address `dst`.
+  void AddRoute(std::uint32_t dst, EgressPort& port) {
+    routes_[dst].push_back(&port);
+  }
+
+  void HandlePacket(std::unique_ptr<Packet> pkt) override;
+
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t no_route_drops() const { return no_route_drops_; }
+
+ private:
+  EgressPort& SelectEcmp(const std::vector<EgressPort*>& candidates,
+                         const FlowKey& flow) const;
+
+  Simulator& sim_;
+  std::string name_;
+  std::uint64_t ecmp_salt_;
+  std::vector<std::unique_ptr<EgressPort>> ports_;
+  std::unordered_map<std::uint32_t, std::vector<EgressPort*>> routes_;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t no_route_drops_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_NET_SWITCH_NODE_H_

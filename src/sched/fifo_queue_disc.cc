@@ -1,0 +1,47 @@
+#include "sched/fifo_queue_disc.h"
+
+#include <utility>
+
+namespace ecnsharp {
+
+bool FifoQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
+  if (pool_ != nullptr) {
+    if (!pool_->TryReserve(bytes_, pkt->size_bytes)) {
+      ++stats_.dropped_overflow;
+      return false;
+    }
+  } else if (bytes_ + pkt->size_bytes > capacity_bytes_) {
+    ++stats_.dropped_overflow;
+    return false;
+  }
+  if (aqm_ != nullptr) {
+    const bool was_ce = pkt->IsCeMarked();
+    if (!aqm_->AllowEnqueue(*pkt, Snapshot(), now)) {
+      ++stats_.dropped_aqm;
+      return false;
+    }
+    if (!was_ce && pkt->IsCeMarked()) ++stats_.ce_marked;
+  }
+  pkt->enqueue_time = now;
+  bytes_ += pkt->size_bytes;
+  queue_.push_back(std::move(pkt));
+  ++stats_.enqueued;
+  return true;
+}
+
+std::unique_ptr<Packet> FifoQueueDisc::Dequeue(Time now) {
+  if (queue_.empty()) return nullptr;
+  std::unique_ptr<Packet> pkt = std::move(queue_.front());
+  queue_.pop_front();
+  bytes_ -= pkt->size_bytes;
+  if (pool_ != nullptr) pool_->Release(pkt->size_bytes);
+  ++stats_.dequeued;
+  if (aqm_ != nullptr) {
+    const bool was_ce = pkt->IsCeMarked();
+    aqm_->OnDequeue(*pkt, Snapshot(), now, now - pkt->enqueue_time);
+    if (!was_ce && pkt->IsCeMarked()) ++stats_.ce_marked;
+  }
+  return pkt;
+}
+
+}  // namespace ecnsharp

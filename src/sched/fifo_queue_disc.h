@@ -1,0 +1,51 @@
+// Single-FIFO queue discipline with a byte-capacity buffer and an optional
+// AQM policy. This models one switch output queue: tail-drop on overflow,
+// enqueue-time marking/dropping via AqmPolicy::AllowEnqueue, dequeue-time
+// (sojourn) marking via AqmPolicy::OnDequeue.
+#ifndef ECNSHARP_SCHED_FIFO_QUEUE_DISC_H_
+#define ECNSHARP_SCHED_FIFO_QUEUE_DISC_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "net/packet.h"
+#include "net/queue_disc.h"
+#include "net/shared_buffer.h"
+
+namespace ecnsharp {
+
+class FifoQueueDisc : public QueueDisc {
+ public:
+  // `capacity_bytes` is the buffer available to this queue; a null policy
+  // means plain drop-tail.
+  FifoQueueDisc(std::uint64_t capacity_bytes, std::unique_ptr<AqmPolicy> aqm)
+      : capacity_bytes_(capacity_bytes), aqm_(std::move(aqm)) {}
+
+  // Draws buffer from a shared pool (Dynamic Threshold admission) instead
+  // of a static per-queue capacity. The pool must outlive the disc.
+  FifoQueueDisc(SharedBufferPool& pool, std::unique_ptr<AqmPolicy> aqm)
+      : capacity_bytes_(pool.total_bytes()),
+        aqm_(std::move(aqm)),
+        pool_(&pool) {}
+
+  bool Enqueue(std::unique_ptr<Packet> pkt, Time now) override;
+  std::unique_ptr<Packet> Dequeue(Time now) override;
+  QueueSnapshot Snapshot() const override {
+    return QueueSnapshot{static_cast<std::uint32_t>(queue_.size()), bytes_};
+  }
+
+  AqmPolicy* aqm() { return aqm_.get(); }
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  std::uint64_t capacity_bytes_;
+  std::unique_ptr<AqmPolicy> aqm_;
+  SharedBufferPool* pool_ = nullptr;  // non-owning; null = static capacity
+  std::deque<std::unique_ptr<Packet>> queue_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SCHED_FIFO_QUEUE_DISC_H_

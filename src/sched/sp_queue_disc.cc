@@ -1,0 +1,78 @@
+#include "sched/sp_queue_disc.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ecnsharp {
+
+SpQueueDisc::SpQueueDisc(std::uint64_t capacity_bytes,
+                         std::vector<ClassConfig> classes,
+                         std::function<std::size_t(const Packet&)> classifier)
+    : capacity_bytes_(capacity_bytes), classifier_(std::move(classifier)) {
+  assert(!classes.empty());
+  classes_.reserve(classes.size());
+  for (auto& c : classes) {
+    ClassState state;
+    state.aqm = std::move(c.aqm);
+    classes_.push_back(std::move(state));
+  }
+  if (!classifier_) {
+    const std::size_t n = classes_.size();
+    classifier_ = [n](const Packet& p) {
+      return std::min<std::size_t>(p.traffic_class, n - 1);
+    };
+  }
+}
+
+bool SpQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
+  if (total_bytes_ + pkt->size_bytes > capacity_bytes_) {
+    ++stats_.dropped_overflow;
+    return false;
+  }
+  ClassState& cls = classes_[classifier_(*pkt)];
+  if (cls.aqm != nullptr) {
+    const bool was_ce = pkt->IsCeMarked();
+    const QueueSnapshot snap{static_cast<std::uint32_t>(cls.queue.size()),
+                             cls.bytes};
+    if (!cls.aqm->AllowEnqueue(*pkt, snap, now)) {
+      ++stats_.dropped_aqm;
+      return false;
+    }
+    if (!was_ce && pkt->IsCeMarked()) ++stats_.ce_marked;
+  }
+  pkt->enqueue_time = now;
+  cls.bytes += pkt->size_bytes;
+  total_bytes_ += pkt->size_bytes;
+  ++total_packets_;
+  cls.queue.push_back(std::move(pkt));
+  ++stats_.enqueued;
+  return true;
+}
+
+std::unique_ptr<Packet> SpQueueDisc::Dequeue(Time now) {
+  for (ClassState& cls : classes_) {
+    if (cls.queue.empty()) continue;
+    std::unique_ptr<Packet> pkt = std::move(cls.queue.front());
+    cls.queue.pop_front();
+    cls.bytes -= pkt->size_bytes;
+    total_bytes_ -= pkt->size_bytes;
+    --total_packets_;
+    ++stats_.dequeued;
+    if (cls.aqm != nullptr) {
+      const bool was_ce = pkt->IsCeMarked();
+      const QueueSnapshot snap{static_cast<std::uint32_t>(cls.queue.size()),
+                               cls.bytes};
+      cls.aqm->OnDequeue(*pkt, snap, now, now - pkt->enqueue_time);
+      if (!was_ce && pkt->IsCeMarked()) ++stats_.ce_marked;
+    }
+    return pkt;
+  }
+  return nullptr;
+}
+
+QueueSnapshot SpQueueDisc::ClassSnapshot(std::size_t cls) const {
+  const ClassState& c = classes_.at(cls);
+  return QueueSnapshot{static_cast<std::uint32_t>(c.queue.size()), c.bytes};
+}
+
+}  // namespace ecnsharp

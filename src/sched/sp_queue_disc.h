@@ -1,0 +1,53 @@
+// Strict-priority scheduler: class 0 is always served first, then class 1,
+// and so on. Each class has its own FIFO and optional AQM instance — the
+// second scheduler used to demonstrate that sojourn-time AQMs (TCN, ECN#)
+// compose with arbitrary schedulers (§3.2, §5.4).
+#ifndef ECNSHARP_SCHED_SP_QUEUE_DISC_H_
+#define ECNSHARP_SCHED_SP_QUEUE_DISC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/queue_disc.h"
+
+namespace ecnsharp {
+
+class SpQueueDisc : public QueueDisc {
+ public:
+  struct ClassConfig {
+    std::unique_ptr<AqmPolicy> aqm;  // may be null
+  };
+
+  SpQueueDisc(std::uint64_t capacity_bytes, std::vector<ClassConfig> classes,
+              std::function<std::size_t(const Packet&)> classifier = nullptr);
+
+  bool Enqueue(std::unique_ptr<Packet> pkt, Time now) override;
+  std::unique_ptr<Packet> Dequeue(Time now) override;
+  QueueSnapshot Snapshot() const override {
+    return QueueSnapshot{total_packets_, total_bytes_};
+  }
+
+  std::size_t class_count() const { return classes_.size(); }
+  QueueSnapshot ClassSnapshot(std::size_t cls) const;
+
+ private:
+  struct ClassState {
+    std::unique_ptr<AqmPolicy> aqm;
+    std::deque<std::unique_ptr<Packet>> queue;
+    std::uint64_t bytes = 0;
+  };
+
+  std::uint64_t capacity_bytes_;
+  std::function<std::size_t(const Packet&)> classifier_;
+  std::vector<ClassState> classes_;
+  std::uint32_t total_packets_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SCHED_SP_QUEUE_DISC_H_

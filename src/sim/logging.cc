@@ -1,0 +1,36 @@
+#include "sim/logging.h"
+
+#include <cstdio>
+
+namespace ecnsharp {
+namespace {
+LogLevel g_level = LogLevel::kError;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(g_level);
+}
+
+void Log(LogLevel level, std::string_view message) {
+  if (!LogEnabled(level)) return;
+  std::fprintf(stderr, "[%s] %.*s\n", LevelName(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,21 @@
+// Minimal leveled logging for debugging simulations. Off (kError) by default
+// so hot paths stay quiet; tests and tools can raise the level.
+#ifndef ECNSHARP_SIM_LOGGING_H_
+#define ECNSHARP_SIM_LOGGING_H_
+
+#include <string_view>
+
+namespace ecnsharp {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+bool LogEnabled(LogLevel level);
+
+// Writes "[level] message\n" to stderr if `level` is enabled.
+void Log(LogLevel level, std::string_view message);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SIM_LOGGING_H_

@@ -1,0 +1,17 @@
+#include "sim/random.h"
+
+#include <cmath>
+
+namespace ecnsharp {
+
+double Rng::LogNormal(double mean, double stddev) {
+  // Convert the target arithmetic mean m and stddev s into the (mu, sigma)
+  // of the underlying normal: sigma^2 = ln(1 + s^2/m^2), mu = ln m - sigma^2/2.
+  const double m = mean;
+  const double s = stddev;
+  const double sigma2 = std::log(1.0 + (s * s) / (m * m));
+  const double mu = std::log(m) - sigma2 / 2.0;
+  return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(engine_);
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,51 @@
+// Deterministic random-number utilities for workload and delay generation.
+#ifndef ECNSHARP_SIM_RANDOM_H_
+#define ECNSHARP_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace ecnsharp {
+
+// A seeded PRNG with the handful of distributions the models need. One Rng
+// per experiment keeps runs reproducible; components that need independent
+// streams should Fork() so that adding draws in one component does not
+// perturb another.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+  // Uniform double in [a, b).
+  double Uniform(double a, double b) { return a + (b - a) * Uniform(); }
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t UniformInt(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+  // Exponential with the given mean (inter-arrival times of a Poisson
+  // process with rate 1/mean).
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+  // Log-normal parameterized by the desired mean and standard deviation of
+  // the *resulting* distribution (not of the underlying normal).
+  double LogNormal(double mean, double stddev);
+  // Normal (Gaussian).
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Derives an independent generator seeded from this one's stream.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SIM_RANDOM_H_

@@ -1,0 +1,73 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ecnsharp {
+
+EventId Simulator::Schedule(Time delay, UniqueFunction<void()> fn) {
+  if (delay.IsNegative()) delay = Time::Zero();
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(Time when, UniqueFunction<void()> fn) {
+  if (when < now_) when = now_;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Event{when, seq, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventId{seq};
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id.valid()) cancelled_.insert(id.seq);
+}
+
+bool Simulator::PopNext(Event& out) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    const auto it = cancelled_.find(ev.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(ev);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  Event ev;
+  while (!stopped_ && PopNext(ev)) {
+    now_ = ev.when;
+    ev.fn();
+    ++events_executed_;
+  }
+}
+
+void Simulator::RunUntil(Time until) {
+  stopped_ = false;
+  while (!stopped_) {
+    if (heap_.empty()) break;
+    // Peek without popping: heap front is the earliest event.
+    if (heap_.front().when > until) break;
+    Event ev;
+    if (!PopNext(ev)) break;
+    if (ev.when > until) {
+      // Cancelled entries may have hidden a later event behind the front;
+      // push it back and stop.
+      heap_.push_back(std::move(ev));
+      std::push_heap(heap_.begin(), heap_.end(), Later{});
+      break;
+    }
+    now_ = ev.when;
+    ev.fn();
+    ++events_executed_;
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,85 @@
+// Discrete-event simulation core.
+//
+// `Simulator` owns the virtual clock and a min-heap of pending events. All
+// model components hold a reference to one Simulator and schedule callbacks
+// on it; nothing in the library uses wall-clock time. Events scheduled for
+// the same instant execute in scheduling order (FIFO), which makes runs
+// fully deterministic for a fixed seed.
+#ifndef ECNSHARP_SIM_SIMULATOR_H_
+#define ECNSHARP_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+#include "sim/unique_function.h"
+
+namespace ecnsharp {
+
+// Opaque handle to a scheduled event; used only for cancellation.
+struct EventId {
+  std::uint64_t seq = 0;
+  constexpr bool valid() const { return seq != 0; }
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` after the current time. Negative delays
+  // are clamped to zero (run "now", after currently executing events).
+  EventId Schedule(Time delay, UniqueFunction<void()> fn);
+  // Schedules `fn` at absolute time `when` (clamped to Now()).
+  EventId ScheduleAt(Time when, UniqueFunction<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-executed or invalid id is
+  // a harmless no-op.
+  void Cancel(EventId id);
+
+  // Executes events until the queue is empty or Stop() is called.
+  void Run();
+  // Executes events with timestamp <= `until`, then advances the clock to
+  // `until` (if the run was not stopped early).
+  void RunUntil(Time until);
+  void RunFor(Time duration) { RunUntil(now_ + duration); }
+
+  // Stops the run loop after the currently executing event returns.
+  void Stop() { stopped_ = true; }
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t pending_events() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq = 0;
+    UniqueFunction<void()> fn;
+  };
+  // Min-heap order: earliest time first; FIFO among equal times.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the earliest event, honouring cancellations. Returns false when the
+  // heap is exhausted.
+  bool PopNext(Event& out);
+
+  std::vector<Event> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Time now_ = Time::Zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SIM_SIMULATOR_H_

@@ -1,0 +1,23 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ecnsharp {
+
+std::string Time::ToString() const {
+  char buf[40];
+  const double ns = static_cast<double>(ns_);
+  if (std::llabs(ns_) >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", ns * 1e-9);
+  } else if (std::llabs(ns_) >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ns * 1e-6);
+  } else if (std::llabs(ns_) >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", ns * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+}  // namespace ecnsharp

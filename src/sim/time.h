@@ -1,0 +1,98 @@
+// Simulated-time representation.
+//
+// All simulation timestamps and durations are instances of `Time`, a strong
+// wrapper over a signed 64-bit count of nanoseconds. Using one type for both
+// points and durations (as ns-3 does) keeps the arithmetic simple; the
+// simulator clock starts at Time::Zero() so every point is also a valid
+// duration since the start of the run.
+#ifndef ECNSHARP_SIM_TIME_H_
+#define ECNSHARP_SIM_TIME_H_
+
+#include <cstdint>
+#include <compare>
+#include <type_traits>
+#include <string>
+
+namespace ecnsharp {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time Zero() { return Time(0); }
+  static constexpr Time Max() { return Time(INT64_MAX); }
+
+  static constexpr Time Nanoseconds(std::int64_t v) { return Time(v); }
+  static constexpr Time Microseconds(std::int64_t v) { return Time(v * 1000); }
+  static constexpr Time Milliseconds(std::int64_t v) {
+    return Time(v * 1000 * 1000);
+  }
+  static constexpr Time Seconds(std::int64_t v) {
+    return Time(v * 1000 * 1000 * 1000);
+  }
+  // Converts a floating-point count of seconds, e.g. Time::FromSeconds(1e-6).
+  static constexpr Time FromSeconds(double seconds) {
+    return Time(static_cast<std::int64_t>(seconds * 1e9));
+  }
+  static constexpr Time FromMicroseconds(double us) {
+    return Time(static_cast<std::int64_t>(us * 1e3));
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMicroseconds() const {
+    return static_cast<double>(ns_) * 1e-3;
+  }
+  constexpr double ToMilliseconds() const {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+
+  constexpr bool IsZero() const { return ns_ == 0; }
+  constexpr bool IsPositive() const { return ns_ > 0; }
+  constexpr bool IsNegative() const { return ns_ < 0; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ns_ + b.ns_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ns_ - b.ns_); }
+  template <typename I>
+    requires std::is_integral_v<I>
+  friend constexpr Time operator*(Time a, I k) {
+    return Time(a.ns_ * static_cast<std::int64_t>(k));
+  }
+  template <typename I>
+    requires std::is_integral_v<I>
+  friend constexpr Time operator*(I k, Time a) {
+    return a * k;
+  }
+  friend constexpr Time operator*(Time a, double k) {
+    return Time(static_cast<std::int64_t>(static_cast<double>(a.ns_) * k));
+  }
+  friend constexpr Time operator*(double k, Time a) { return a * k; }
+  template <typename I>
+    requires std::is_integral_v<I>
+  friend constexpr Time operator/(Time a, I k) {
+    return Time(a.ns_ / static_cast<std::int64_t>(k));
+  }
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  constexpr Time& operator+=(Time o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  // Human-readable rendering with an auto-selected unit, e.g. "137.2us".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Time(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SIM_TIME_H_

@@ -1,0 +1,26 @@
+#include "sim/timer.h"
+
+namespace ecnsharp {
+
+void Timer::Schedule(Time delay) { ScheduleAt(sim_.Now() + delay); }
+
+void Timer::ScheduleAt(Time when) {
+  Cancel();
+  pending_ = true;
+  expiry_ = when;
+  event_ = sim_.ScheduleAt(when, [this] { Fire(); });
+}
+
+void Timer::Cancel() {
+  if (pending_) {
+    sim_.Cancel(event_);
+    pending_ = false;
+  }
+}
+
+void Timer::Fire() {
+  pending_ = false;
+  callback_();
+}
+
+}  // namespace ecnsharp

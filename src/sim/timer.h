@@ -1,0 +1,46 @@
+// One-shot, reschedulable timer built on Simulator events.
+//
+// Typical users are protocol state machines (TCP retransmission timer,
+// delayed-ACK timer). Rescheduling cancels any pending expiry; destruction
+// cancels too, so a Timer member can never fire into a destroyed object.
+#ifndef ECNSHARP_SIM_TIMER_H_
+#define ECNSHARP_SIM_TIMER_H_
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+class Timer {
+ public:
+  Timer(Simulator& sim, std::function<void()> callback)
+      : sim_(sim), callback_(std::move(callback)) {}
+  ~Timer() { Cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  // (Re)arms the timer `delay` from now.
+  void Schedule(Time delay);
+  void ScheduleAt(Time when);
+  void Cancel();
+
+  bool pending() const { return pending_; }
+  // Absolute expiry time; meaningful only while pending().
+  Time expiry() const { return expiry_; }
+
+ private:
+  void Fire();
+
+  Simulator& sim_;
+  std::function<void()> callback_;
+  EventId event_{};
+  Time expiry_ = Time::Zero();
+  bool pending_ = false;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SIM_TIMER_H_

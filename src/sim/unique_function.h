@@ -1,0 +1,58 @@
+// Move-only type-erased callable (a C++20 stand-in for C++23's
+// std::move_only_function). Simulator events capture owning pointers
+// (e.g. unique_ptr<Packet>), which std::function cannot hold because it
+// requires copyable targets.
+#ifndef ECNSHARP_SIM_UNIQUE_FUNCTION_H_
+#define ECNSHARP_SIM_UNIQUE_FUNCTION_H_
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace ecnsharp {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor): mirrors std::function
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+
+  R operator()(Args... args) {
+    return impl_->Invoke(std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual R Invoke(Args... args) = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F f) : fn(std::move(f)) {}
+    R Invoke(Args... args) override {
+      return std::invoke(fn, std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SIM_UNIQUE_FUNCTION_H_

@@ -1,0 +1,39 @@
+#include "stats/csv_export.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace ecnsharp {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const { std::fclose(f); }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool WriteFctCsv(const std::string& path, const FctCollector& collector) {
+  FileHandle file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) return false;
+  std::fprintf(file.get(), "size_bytes,fct_us,timeouts\n");
+  for (const FctCollector::Sample& s : collector.samples()) {
+    std::fprintf(file.get(), "%llu,%.3f,%u\n",
+                 static_cast<unsigned long long>(s.size_bytes), s.fct_us,
+                 s.timeouts);
+  }
+  return true;
+}
+
+bool WriteQueueTraceCsv(const std::string& path,
+                        const QueueMonitor& monitor) {
+  FileHandle file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) return false;
+  std::fprintf(file.get(), "time_us,packets,bytes\n");
+  for (const QueueMonitor::Sample& s : monitor.samples()) {
+    std::fprintf(file.get(), "%.3f,%u,%llu\n", s.at.ToMicroseconds(),
+                 s.packets, static_cast<unsigned long long>(s.bytes));
+  }
+  return true;
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,22 @@
+// CSV export of experiment results for external plotting (gnuplot,
+// matplotlib). Every bench prints human-readable tables; these writers let
+// downstream users regenerate the paper's figures graphically.
+#ifndef ECNSHARP_STATS_CSV_EXPORT_H_
+#define ECNSHARP_STATS_CSV_EXPORT_H_
+
+#include <string>
+
+#include "stats/fct_collector.h"
+#include "stats/queue_monitor.h"
+
+namespace ecnsharp {
+
+// Writes "size_bytes,fct_us,timeouts" rows. Returns false on I/O error.
+bool WriteFctCsv(const std::string& path, const FctCollector& collector);
+
+// Writes "time_us,packets,bytes" rows. Returns false on I/O error.
+bool WriteQueueTraceCsv(const std::string& path, const QueueMonitor& monitor);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_STATS_CSV_EXPORT_H_

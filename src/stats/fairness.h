@@ -1,0 +1,23 @@
+// Jain's fairness index: (sum x)^2 / (n * sum x^2), 1.0 = perfectly fair.
+#ifndef ECNSHARP_STATS_FAIRNESS_H_
+#define ECNSHARP_STATS_FAIRNESS_H_
+
+#include <vector>
+
+namespace ecnsharp {
+
+inline double JainIndex(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_STATS_FAIRNESS_H_

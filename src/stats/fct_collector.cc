@@ -1,0 +1,34 @@
+#include "stats/fct_collector.h"
+
+#include <algorithm>
+
+#include "stats/percentile.h"
+
+namespace ecnsharp {
+
+std::vector<double> FctCollector::Fcts(std::uint64_t min_bytes,
+                                       std::uint64_t max_bytes) const {
+  std::vector<double> out;
+  for (const Sample& s : samples_) {
+    if (s.size_bytes >= min_bytes && s.size_bytes <= max_bytes) {
+      out.push_back(s.fct_us);
+    }
+  }
+  return out;
+}
+
+FctSummary FctCollector::Summary(std::uint64_t min_bytes,
+                                 std::uint64_t max_bytes) const {
+  std::vector<double> fcts = Fcts(min_bytes, max_bytes);
+  FctSummary summary;
+  summary.count = fcts.size();
+  if (fcts.empty()) return summary;
+  std::sort(fcts.begin(), fcts.end());
+  summary.avg_us = Mean(fcts);
+  summary.p50_us = PercentileSorted(fcts, 50.0);
+  summary.p99_us = PercentileSorted(fcts, 99.0);
+  summary.max_us = fcts.back();
+  return summary;
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,66 @@
+// Flow-completion-time collection and breakdown.
+//
+// The paper reports FCT overall, for short flows (<100 KB) and for large
+// flows (>10 MB) — averages and the 99th percentile (§5.1 "Metrics").
+#ifndef ECNSHARP_STATS_FCT_COLLECTOR_H_
+#define ECNSHARP_STATS_FCT_COLLECTOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "transport/tcp_sender.h"
+
+namespace ecnsharp {
+
+inline constexpr std::uint64_t kShortFlowMaxBytes = 100 * 1000;
+inline constexpr std::uint64_t kLargeFlowMinBytes = 10 * 1000 * 1000;
+
+struct FctSummary {
+  std::size_t count = 0;
+  double avg_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+class FctCollector {
+ public:
+  struct Sample {
+    std::uint64_t size_bytes;
+    double fct_us;
+    std::uint32_t timeouts;
+  };
+
+  void Record(const FlowRecord& record) {
+    samples_.push_back(Sample{record.size_bytes,
+                              record.Fct().ToMicroseconds(),
+                              record.timeouts});
+    total_timeouts_ += record.timeouts;
+  }
+
+  // Summary over flows with size in [min_bytes, max_bytes].
+  FctSummary Summary(
+      std::uint64_t min_bytes = 0,
+      std::uint64_t max_bytes = std::numeric_limits<std::uint64_t>::max())
+      const;
+
+  FctSummary Overall() const { return Summary(); }
+  FctSummary ShortFlows() const { return Summary(0, kShortFlowMaxBytes); }
+  FctSummary LargeFlows() const { return Summary(kLargeFlowMinBytes); }
+
+  std::size_t count() const { return samples_.size(); }
+  std::uint64_t total_timeouts() const { return total_timeouts_; }
+  // Raw FCTs (microseconds) of flows in the given size band.
+  std::vector<double> Fcts(std::uint64_t min_bytes,
+                           std::uint64_t max_bytes) const;
+  const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  std::vector<Sample> samples_;
+  std::uint64_t total_timeouts_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_STATS_FCT_COLLECTOR_H_

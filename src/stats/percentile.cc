@@ -1,0 +1,34 @@
+#include "stats/percentile.h"
+
+namespace ecnsharp {
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;  // nearest-rank: ceil(p/100 * N)-th element, 1-based
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+double Percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return PercentileSorted(values, p);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = Mean(values);
+  double ss = 0.0;
+  for (const double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,24 @@
+// Percentile and summary-statistics helpers.
+#ifndef ECNSHARP_STATS_PERCENTILE_H_
+#define ECNSHARP_STATS_PERCENTILE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ecnsharp {
+
+// Nearest-rank percentile of an unsorted sample, p in [0, 100].
+// Returns 0 for an empty sample.
+double Percentile(std::vector<double> values, double p);
+
+// Percentile of an already-sorted (ascending) sample.
+double PercentileSorted(const std::vector<double>& sorted, double p);
+
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_STATS_PERCENTILE_H_

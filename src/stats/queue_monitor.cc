@@ -1,0 +1,44 @@
+#include "stats/queue_monitor.h"
+
+#include <algorithm>
+
+namespace ecnsharp {
+
+void QueueMonitor::Run(Time from, Time until) {
+  sim_.ScheduleAt(from, [this, until] { TakeSample(until); });
+}
+
+void QueueMonitor::TakeSample(Time until) {
+  const QueueSnapshot snap = disc_.Snapshot();
+  samples_.push_back(Sample{sim_.Now(), snap.packets, snap.bytes});
+  const Time next = sim_.Now() + period_;
+  if (next <= until) {
+    sim_.ScheduleAt(next, [this, until] { TakeSample(until); });
+  }
+}
+
+double QueueMonitor::AvgPackets() const {
+  return samples_.empty()
+             ? 0.0
+             : AvgPackets(samples_.front().at, samples_.back().at);
+}
+
+double QueueMonitor::AvgPackets(Time from, Time until) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Sample& s : samples_) {
+    if (s.at >= from && s.at <= until) {
+      sum += s.packets;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::uint32_t QueueMonitor::MaxPackets() const {
+  std::uint32_t best = 0;
+  for (const Sample& s : samples_) best = std::max(best, s.packets);
+  return best;
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,45 @@
+// Periodic sampling of a queue disc's occupancy (the microscopic view of
+// Fig. 10) plus simple aggregate queries.
+#ifndef ECNSHARP_STATS_QUEUE_MONITOR_H_
+#define ECNSHARP_STATS_QUEUE_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/queue_disc.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+class QueueMonitor {
+ public:
+  struct Sample {
+    Time at;
+    std::uint32_t packets;
+    std::uint64_t bytes;
+  };
+
+  QueueMonitor(Simulator& sim, const QueueDisc& disc, Time period)
+      : sim_(sim), disc_(disc), period_(period) {}
+
+  // Starts sampling at `from`; keeps sampling every period until `until`.
+  void Run(Time from, Time until);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  double AvgPackets() const;
+  double AvgPackets(Time from, Time until) const;
+  std::uint32_t MaxPackets() const;
+
+ private:
+  void TakeSample(Time until);
+
+  Simulator& sim_;
+  const QueueDisc& disc_;
+  Time period_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_STATS_QUEUE_MONITOR_H_

@@ -1,0 +1,97 @@
+#include "tofino/ecn_sharp_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecnsharp {
+
+namespace {
+std::uint32_t ToTicks(Time t) {
+  return static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(t.ns()) >> kTickShift);
+}
+}  // namespace
+
+EcnSharpPipeline::EcnSharpPipeline(const TofinoPipelineConfig& config)
+    : ins_target_ticks_(ToTicks(config.aqm.ins_target)),
+      pst_target_ticks_(ToTicks(config.aqm.pst_target)),
+      pst_interval_ticks_(ToTicks(config.aqm.pst_interval)),
+      first_above_("first_above_time", config.num_ports),
+      count_next_("marking_count_next", config.num_ports) {
+  // Control-plane-installed lookup table for interval / sqrt(count).
+  sqrt_lut_.reserve(config.sqrt_lut_entries);
+  for (std::size_t count = 1; count <= config.sqrt_lut_entries; ++count) {
+    sqrt_lut_.push_back(static_cast<std::uint32_t>(
+        std::lround(static_cast<double>(pst_interval_ticks_) /
+                    std::sqrt(static_cast<double>(count)))));
+  }
+}
+
+std::uint32_t EcnSharpPipeline::StepTicks(std::uint32_t count) const {
+  if (count == 0) count = 1;
+  const std::size_t idx =
+      std::min<std::size_t>(count, sqrt_lut_.size()) - 1;
+  return sqrt_lut_[idx];
+}
+
+bool EcnSharpPipeline::ProcessDequeue(std::size_t port,
+                                      std::uint64_t enqueue_tstamp_ns,
+                                      std::uint64_t egress_tstamp_ns) {
+  PassContext pass;
+
+  // Stage 0: emulated 32-bit time (§4.1).
+  const std::uint32_t now = time_.CurrentTimeTicks(egress_tstamp_ns, pass);
+
+  // Stage 1: sojourn time in ticks. The subtraction happens on the 64-bit
+  // metadata before truncation (the hardware provides both timestamps).
+  const std::uint32_t sojourn = static_cast<std::uint32_t>(
+      (egress_tstamp_ns - enqueue_tstamp_ns) >> kTickShift);
+
+  // Stage 2: precompute the branch condition into metadata (Fig. 4c).
+  const bool below_target = sojourn < pst_target_ticks_;
+
+  // Stage 3: first_above_time table — one RMW, mutually exclusive actions
+  // (Algorithm 1, IsPersistentQueueBuildups).
+  const std::uint32_t interval = pst_interval_ticks_;
+  const bool detected = first_above_.Execute(
+      port, pass, [below_target, now, interval](std::uint32_t& cell) {
+        if (below_target) {
+          cell = 0;
+          return false;
+        }
+        if (cell == 0) {
+          cell = now;
+          return false;
+        }
+        return now > cell + interval;
+      });
+
+  // Stage 4: marking-state table — the whole ShouldPersistentMark transition
+  // as one RMW on the packed (count, next) 64-bit register.
+  const bool persistent = count_next_.Execute(
+      port, pass, [this, detected, now, interval](std::uint64_t& cell) {
+        std::uint32_t count = static_cast<std::uint32_t>(cell >> 32);
+        std::uint32_t next = static_cast<std::uint32_t>(cell);
+        bool mark = false;
+        if (!detected) {
+          count = 0;  // marking_state := false
+        } else if (count == 0) {
+          count = 1;  // enter marking state, mark immediately
+          next = now + interval;
+          mark = true;
+        } else if (now > next) {
+          ++count;
+          next += StepTicks(count);
+          mark = true;
+        }
+        cell = (static_cast<std::uint64_t>(count) << 32) | next;
+        return mark;
+      });
+
+  // Stage 5: instantaneous marking (pure compare, no state).
+  const bool instantaneous = sojourn > ins_target_ticks_;
+
+  return instantaneous || persistent;
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,108 @@
+// §4.2: ECN# as a Tofino egress pipeline of match-action tables.
+//
+// The naive translation of Algorithm 1 into P4 control flow reads a register
+// in one table and writes it in another — two accesses to the same register
+// in one pass, which Tofino rejects (Fig. 4b). The paper's implementation
+// restructures the control flow so that each register is touched by exactly
+// one table, whose actions are mutually exclusive and perform a single
+// read-modify-write, with branch conditions precomputed into packet
+// metadata (Fig. 4c). This class reproduces that structure:
+//
+//   stage 0  time emulation        -> md.now            (2 registers, §4.1)
+//   stage 1  sojourn computation   -> md.sojourn        (pure ALU)
+//   stage 2  condition evaluation  -> md.below_target   (pure compare)
+//   stage 3  first_above_time tbl  -> md.detected       (1 register RMW)
+//   stage 4  marking state table   -> md.persistent     (1 register RMW)
+//   stage 5  instantaneous compare -> mark decision     (pure compare)
+//
+// Stage 4 packs (marking_count, marking_next) into ONE 64-bit register so
+// the whole Algorithm-1 state transition is a single access — this is why
+// the paper's resource table lists 64-bit register arrays. marking_state is
+// implicit: marking_count > 0. The interval/sqrt(count) control law is a
+// precomputed lookup table (stateful ALUs cannot divide or take roots).
+//
+// All arithmetic runs in 32-bit 1.024 us ticks, exactly as the hardware
+// would. Equivalence with the reference EcnSharpAqm (up to tick
+// quantization) is property-tested in tests/tofino_pipeline_test.cc.
+#ifndef ECNSHARP_TOFINO_ECN_SHARP_PIPELINE_H_
+#define ECNSHARP_TOFINO_ECN_SHARP_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ecn_sharp.h"
+#include "net/queue_disc.h"
+#include "tofino/register.h"
+#include "tofino/time_emulator.h"
+
+namespace ecnsharp {
+
+struct TofinoPipelineConfig {
+  EcnSharpConfig aqm;
+  std::size_t num_ports = 128;
+  // Entries in the interval/sqrt(count) lookup table; counts beyond the
+  // table clamp to the last entry.
+  std::size_t sqrt_lut_entries = 4096;
+};
+
+class EcnSharpPipeline {
+ public:
+  explicit EcnSharpPipeline(const TofinoPipelineConfig& config);
+
+  // Processes one departing packet on `port`. Timestamps are the hardware's
+  // 64-bit nanosecond metadata. Returns true if the packet is CE-marked.
+  bool ProcessDequeue(std::size_t port, std::uint64_t enqueue_tstamp_ns,
+                      std::uint64_t egress_tstamp_ns);
+
+  // Test/observability hooks (control-plane reads).
+  std::uint32_t PeekMarkingCount(std::size_t port) const {
+    return static_cast<std::uint32_t>(count_next_.Peek(port) >> 32);
+  }
+  std::uint32_t PeekMarkingNext(std::size_t port) const {
+    return static_cast<std::uint32_t>(count_next_.Peek(port));
+  }
+  std::uint32_t PeekFirstAbove(std::size_t port) const {
+    return first_above_.Peek(port);
+  }
+  std::uint32_t ins_target_ticks() const { return ins_target_ticks_; }
+  std::uint32_t pst_target_ticks() const { return pst_target_ticks_; }
+  std::uint32_t pst_interval_ticks() const { return pst_interval_ticks_; }
+  std::uint32_t StepTicks(std::uint32_t count) const;
+
+ private:
+  std::uint32_t ins_target_ticks_;
+  std::uint32_t pst_target_ticks_;
+  std::uint32_t pst_interval_ticks_;
+  std::vector<std::uint32_t> sqrt_lut_;
+
+  TimeEmulator time_;
+  RegisterArray<std::uint32_t> first_above_;
+  RegisterArray<std::uint64_t> count_next_;
+};
+
+// AqmPolicy adapter so the pipeline can run inside simulated switches and be
+// compared end-to-end against the reference EcnSharpAqm.
+class TofinoEcnSharpAqm : public AqmPolicy {
+ public:
+  TofinoEcnSharpAqm(const TofinoPipelineConfig& config, std::size_t port)
+      : pipeline_(config), port_(port) {}
+
+  void OnDequeue(Packet& pkt, const QueueSnapshot& /*snapshot*/, Time now,
+                 Time sojourn) override {
+    const auto egress_ns = static_cast<std::uint64_t>(now.ns());
+    const auto enqueue_ns = static_cast<std::uint64_t>((now - sojourn).ns());
+    if (pipeline_.ProcessDequeue(port_, enqueue_ns, egress_ns)) pkt.MarkCe();
+  }
+
+  std::string name() const override { return "ecn-sharp-tofino"; }
+  EcnSharpPipeline& pipeline() { return pipeline_; }
+
+ private:
+  EcnSharpPipeline pipeline_;
+  std::size_t port_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_TOFINO_ECN_SHARP_PIPELINE_H_

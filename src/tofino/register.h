@@ -1,0 +1,74 @@
+// Tofino stateful-register model with hardware constraints enforced.
+//
+// On Tofino, a register array is bound to one stateful ALU; a packet's pass
+// through the pipeline may execute that ALU at most once — "a Tofino program
+// can only access a register once", where one access is a full
+// read-modify-write (§4.2). Violating this is a compile-time error on real
+// hardware; here it throws PipelineConstraintError, so unit tests can prove
+// that the control-flow decomposition into match-action tables respects the
+// constraint (the naive control-flow translation of Fig. 4b does not).
+#ifndef ECNSHARP_TOFINO_REGISTER_H_
+#define ECNSHARP_TOFINO_REGISTER_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ecnsharp {
+
+class PipelineConstraintError : public std::logic_error {
+ public:
+  explicit PipelineConstraintError(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+// One packet's traversal of the pipeline. Created per packet; registers
+// remember the last pass that executed their ALU.
+class PassContext {
+ public:
+  PassContext() : id_(++counter_) {}
+  std::uint64_t id() const { return id_; }
+
+ private:
+  static inline std::uint64_t counter_ = 0;
+  std::uint64_t id_;
+};
+
+template <typename T>
+class RegisterArray {
+ public:
+  RegisterArray(std::string name, std::size_t size)
+      : name_(std::move(name)), data_(size, T{}) {}
+
+  // Executes the stateful ALU: `alu` receives a mutable reference to the
+  // cell and returns the value exported to packet metadata. At most one
+  // Execute per PassContext.
+  template <typename Alu>
+  auto Execute(std::size_t index, const PassContext& pass, Alu&& alu) {
+    if (last_pass_ == pass.id()) {
+      throw PipelineConstraintError("register '" + name_ +
+                                    "' accessed twice in one pipeline pass");
+    }
+    last_pass_ = pass.id();
+    return alu(data_.at(index));
+  }
+
+  // Control-plane access (not subject to the data-plane constraint).
+  const T& Peek(std::size_t index) const { return data_.at(index); }
+  void ControlPlaneWrite(std::size_t index, T value) {
+    data_.at(index) = std::move(value);
+  }
+  std::size_t size() const { return data_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<T> data_;
+  std::uint64_t last_pass_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_TOFINO_REGISTER_H_

@@ -1,0 +1,32 @@
+#include "tofino/time_emulator.h"
+
+namespace ecnsharp {
+
+std::uint32_t TimeEmulator::CurrentTimeTicks(std::uint64_t egress_tstamp_ns,
+                                             const PassContext& pass) {
+  // Line 1-2: lower 32 bits of the timestamp, shifted right by 10 — a
+  // 22-bit tick counter (shift_right on Tofino accepts 32-bit input only,
+  // which is why the shift must happen after truncation).
+  const auto tmp_tstamp = static_cast<std::uint32_t>(egress_tstamp_ns);
+  const std::uint32_t time_low = tmp_tstamp >> kTickShift;
+
+  // Lines 3-6: detect wraparound of the 22-bit counter and maintain the
+  // upper bits. Two pipeline stages, one register execution each: the first
+  // exports `wrapped` as packet metadata, the second consumes it.
+  const bool wrapped =
+      reg_low_.Execute(0, pass, [time_low](std::uint32_t& low_cell) {
+        const bool w = time_low < low_cell;  // strict: see header comment
+        low_cell = time_low;
+        return w;
+      });
+  const std::uint32_t high =
+      reg_high_.Execute(0, pass, [wrapped](std::uint32_t& high_cell) {
+        if (wrapped) ++high_cell;
+        return high_cell;
+      });
+
+  // Line 7: current_time = high * 2^22 + low.
+  return (high << kLowBits) + time_low;
+}
+
+}  // namespace ecnsharp

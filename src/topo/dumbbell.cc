@@ -1,0 +1,57 @@
+#include "topo/dumbbell.h"
+
+#include <cassert>
+#include <utility>
+
+#include "sched/fifo_queue_disc.h"
+
+namespace ecnsharp {
+
+Dumbbell::Dumbbell(Simulator& sim, const DumbbellConfig& config,
+                   std::unique_ptr<QueueDisc> bottleneck_disc)
+    : sim_(sim), config_(config) {
+  assert(config_.senders >= 1);
+  switch_ = std::make_unique<SwitchNode>(sim_, "tor", /*ecmp_salt=*/1);
+  const Time link_delay = config_.base_rtt / 4;
+  const std::size_t total_hosts = config_.senders + 1;
+
+  for (std::size_t i = 0; i < total_hosts; ++i) {
+    auto host = std::make_unique<Host>(sim_, static_cast<std::uint32_t>(i));
+    // Host NIC toward the switch: large drop-tail.
+    auto nic = std::make_unique<EgressPort>(
+        sim_, config_.rate, link_delay,
+        std::make_unique<FifoQueueDisc>(config_.host_buffer_bytes, nullptr));
+    nic->ConnectTo(*switch_);
+    host->AttachNic(std::move(nic));
+
+    // Switch port toward this host: the AQM under test for the receiver,
+    // drop-tail for senders (carries mostly ACKs).
+    const bool is_receiver = (i == total_hosts - 1);
+    std::unique_ptr<QueueDisc> disc =
+        is_receiver ? std::move(bottleneck_disc)
+                    : std::make_unique<FifoQueueDisc>(config_.buffer_bytes,
+                                                      nullptr);
+    auto port = std::make_unique<EgressPort>(sim_, config_.rate, link_delay,
+                                             std::move(disc));
+    port->ConnectTo(*host);
+    EgressPort& port_ref = switch_->AddPort(std::move(port));
+    switch_->AddRoute(host->address(), port_ref);
+    if (is_receiver) bottleneck_port_ = &port_ref;
+
+    stacks_.push_back(std::make_unique<TcpStack>(*host, config_.tcp));
+    hosts_.push_back(std::move(host));
+  }
+}
+
+std::uint32_t Dumbbell::receiver_address() const {
+  return hosts_.back()->address();
+}
+
+void Dumbbell::SetSenderExtraDelays(const std::vector<Time>& extras) {
+  assert(extras.size() == config_.senders);
+  for (std::size_t i = 0; i < extras.size(); ++i) {
+    hosts_[i]->set_extra_egress_delay(extras[i]);
+  }
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,107 @@
+#include "topo/leaf_spine.h"
+
+#include <cassert>
+#include <utility>
+
+#include "sched/fifo_queue_disc.h"
+
+namespace ecnsharp {
+
+LeafSpine::LeafSpine(Simulator& sim, const LeafSpineConfig& config,
+                     std::function<std::unique_ptr<QueueDisc>()> make_disc)
+    : sim_(sim), config_(config) {
+  assert(make_disc != nullptr);
+  const std::size_t host_count = config_.leaves * config_.hosts_per_leaf;
+
+  for (std::size_t l = 0; l < config_.leaves; ++l) {
+    leaves_.push_back(std::make_unique<SwitchNode>(
+        sim_, "leaf" + std::to_string(l), /*ecmp_salt=*/0x1000 + l));
+  }
+  for (std::size_t s = 0; s < config_.spines; ++s) {
+    spines_.push_back(std::make_unique<SwitchNode>(
+        sim_, "spine" + std::to_string(s), /*ecmp_salt=*/0x2000 + s));
+  }
+
+  // Hosts and access links.
+  for (std::size_t h = 0; h < host_count; ++h) {
+    auto host = std::make_unique<Host>(sim_, static_cast<std::uint32_t>(h));
+    SwitchNode& leaf = *leaves_[LeafOfHost(h)];
+
+    auto nic = std::make_unique<EgressPort>(
+        sim_, config_.rate, config_.host_link_delay,
+        std::make_unique<FifoQueueDisc>(config_.host_buffer_bytes, nullptr));
+    nic->ConnectTo(leaf);
+    host->AttachNic(std::move(nic));
+
+    auto down = std::make_unique<EgressPort>(
+        sim_, config_.rate, config_.host_link_delay, make_disc());
+    down->ConnectTo(*host);
+    EgressPort& down_ref = leaf.AddPort(std::move(down));
+    leaf.AddRoute(host->address(), down_ref);
+
+    stacks_.push_back(std::make_unique<TcpStack>(*host, config_.tcp));
+    hosts_.push_back(std::move(host));
+  }
+
+  // Leaf <-> spine fabric.
+  for (std::size_t l = 0; l < config_.leaves; ++l) {
+    SwitchNode& leaf = *leaves_[l];
+    for (std::size_t s = 0; s < config_.spines; ++s) {
+      SwitchNode& spine = *spines_[s];
+
+      auto up = std::make_unique<EgressPort>(
+          sim_, config_.rate, config_.spine_link_delay, make_disc());
+      up->ConnectTo(spine);
+      EgressPort& up_ref = leaf.AddPort(std::move(up));
+
+      auto down = std::make_unique<EgressPort>(
+          sim_, config_.rate, config_.spine_link_delay, make_disc());
+      down->ConnectTo(leaf);
+      EgressPort& down_ref = spine.AddPort(std::move(down));
+
+      // Spine routes to every host under this leaf via the down port.
+      for (std::size_t h = 0; h < config_.hosts_per_leaf; ++h) {
+        const auto addr =
+            static_cast<std::uint32_t>(l * config_.hosts_per_leaf + h);
+        spine.AddRoute(addr, down_ref);
+      }
+      // Leaf routes to every non-local host via all uplinks (ECMP).
+      for (std::size_t h = 0; h < host_count; ++h) {
+        if (LeafOfHost(h) == l) continue;
+        leaf.AddRoute(static_cast<std::uint32_t>(h), up_ref);
+      }
+    }
+  }
+}
+
+std::uint64_t LeafSpine::TotalOverflowDrops() const {
+  std::uint64_t total = 0;
+  const auto add = [&total](const std::vector<std::unique_ptr<SwitchNode>>&
+                                switches) {
+    for (const auto& sw : switches) {
+      for (std::size_t p = 0; p < sw->port_count(); ++p) {
+        total += sw->port(p).queue_disc().stats().dropped_overflow;
+      }
+    }
+  };
+  add(leaves_);
+  add(spines_);
+  return total;
+}
+
+std::uint64_t LeafSpine::TotalCeMarks() const {
+  std::uint64_t total = 0;
+  const auto add = [&total](const std::vector<std::unique_ptr<SwitchNode>>&
+                                switches) {
+    for (const auto& sw : switches) {
+      for (std::size_t p = 0; p < sw->port_count(); ++p) {
+        total += sw->port(p).queue_disc().stats().ce_marked;
+      }
+    }
+  };
+  add(leaves_);
+  add(spines_);
+  return total;
+}
+
+}  // namespace ecnsharp

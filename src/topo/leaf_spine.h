@@ -1,0 +1,68 @@
+// Leaf-spine datacenter fabric with per-flow ECMP — the paper's large-scale
+// simulation topology (§5.3): 8 spine switches, 8 leaf switches, 16 hosts
+// per leaf, all links 10 Gbps (2:1 oversubscription at the leaves).
+#ifndef ECNSHARP_TOPO_LEAF_SPINE_H_
+#define ECNSHARP_TOPO_LEAF_SPINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/host.h"
+#include "net/switch_node.h"
+#include "sim/data_rate.h"
+#include "sim/simulator.h"
+#include "transport/tcp_stack.h"
+
+namespace ecnsharp {
+
+struct LeafSpineConfig {
+  std::size_t spines = 8;
+  std::size_t leaves = 8;
+  std::size_t hosts_per_leaf = 16;
+  DataRate rate = DataRate::GigabitsPerSecond(10);
+  // Propagation per host<->leaf hop and per leaf<->spine hop. With 10 us
+  // each, the cross-rack base RTT is ~80 us (the §5.3 minimum).
+  Time host_link_delay = Time::FromMicroseconds(10);
+  Time spine_link_delay = Time::FromMicroseconds(10);
+  std::uint64_t buffer_bytes = 600ull * kFullPacketBytes;
+  std::uint64_t host_buffer_bytes = 64ull * 1024 * 1024;
+  TcpConfig tcp;
+};
+
+class LeafSpine {
+ public:
+  // `make_disc` builds the queue disc for every switch egress port (the AQM
+  // under test runs fabric-wide, as in the paper's simulations).
+  LeafSpine(Simulator& sim, const LeafSpineConfig& config,
+            std::function<std::unique_ptr<QueueDisc>()> make_disc);
+
+  std::size_t host_count() const { return hosts_.size(); }
+  Host& host(std::size_t i) { return *hosts_.at(i); }
+  TcpStack& stack(std::size_t i) { return *stacks_.at(i); }
+  SwitchNode& leaf(std::size_t i) { return *leaves_.at(i); }
+  SwitchNode& spine(std::size_t i) { return *spines_.at(i); }
+  std::size_t leaf_count() const { return leaves_.size(); }
+  std::size_t spine_count() const { return spines_.size(); }
+
+  std::size_t LeafOfHost(std::size_t host_index) const {
+    return host_index / config_.hosts_per_leaf;
+  }
+
+  // Aggregate drop/mark counters over all switch ports (for sanity checks).
+  std::uint64_t TotalOverflowDrops() const;
+  std::uint64_t TotalCeMarks() const;
+
+ private:
+  Simulator& sim_;
+  LeafSpineConfig config_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<TcpStack>> stacks_;
+  std::vector<std::unique_ptr<SwitchNode>> leaves_;
+  std::vector<std::unique_ptr<SwitchNode>> spines_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_TOPO_LEAF_SPINE_H_

@@ -1,0 +1,51 @@
+// Base-RTT variation model.
+//
+// §2.2 measures base RTTs whose distribution is long-tailed and effectively
+// bimodal: most flows stay on the fast path (network stack only), a minority
+// traverse extra processing components (SLB, hypervisor) and land near the
+// top of the range. We model the per-host extra one-way delay as a clamped
+// two-component Normal mixture over the extra-delay range, in two
+// calibrations:
+//
+//  * kTestbed — the Fig. 1 shape used for the testbed experiments (§2.3,
+//    §5.2): bottom-heavy, ~80% of hosts near the fast path. Over a
+//    [70, 210] us RTT range this puts the average RTT near ~100 us while
+//    the 90th percentile sits near ~180 us, mirroring how far apart the
+//    paper's "AVG" and "Tail" thresholds are (80 KB vs 250 KB).
+//
+//  * kLeafSpine — the §5.3 simulation calibration: over [80, 240] us it
+//    yields mean ~137 us and p90 ~220 us, the values quoted in the paper.
+#ifndef ECNSHARP_TOPO_RTT_VARIATION_H_
+#define ECNSHARP_TOPO_RTT_VARIATION_H_
+
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+enum class RttProfile { kTestbed, kLeafSpine };
+
+// One draw of the extra one-way delay, in [0, max_extra].
+Time SampleRttExtra(Rng& rng, Time max_extra,
+                    RttProfile profile = RttProfile::kLeafSpine);
+
+// Deterministic assignment for small sender counts: returns `n` extras that
+// follow the mixture's quantiles (evenly spaced in probability), so a 7-host
+// testbed reliably contains both small- and large-RTT senders regardless of
+// seed — mirroring how the paper configures netem per sender from the
+// Fig. 1 distribution.
+std::vector<Time> RttExtraQuantiles(std::size_t n, Time max_extra,
+                                    RttProfile profile = RttProfile::kTestbed);
+
+// Statistics of the mixture, for deriving "average-RTT" and "p90-RTT"
+// marking thresholds the way an operator with PingMesh data would (§2.3).
+Time RttExtraMean(Time max_extra,
+                  RttProfile profile = RttProfile::kTestbed);
+Time RttExtraPercentile(Time max_extra, double p,
+                        RttProfile profile = RttProfile::kTestbed);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_TOPO_RTT_VARIATION_H_

@@ -1,0 +1,233 @@
+#include "transport/dcqcn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ecnsharp {
+
+namespace {
+constexpr std::uint32_t kCnpBytes = 60;
+
+DataRate Halfway(DataRate target, DataRate current) {
+  return DataRate::BitsPerSecond((target.bps() + current.bps()) / 2);
+}
+}  // namespace
+
+// --------------------------- DcqcnSender -----------------------------------
+
+DcqcnSender::DcqcnSender(Host& host, const DcqcnConfig& config, FlowKey flow,
+                         std::uint64_t flow_size,
+                         std::function<void(const FlowRecord&)> on_complete)
+    : host_(host),
+      config_(config),
+      flow_(flow),
+      flow_size_(flow_size),
+      on_complete_(std::move(on_complete)),
+      current_rate_(config.line_rate),
+      target_rate_(config.line_rate),
+      pacing_timer_(host.sim(), [this] { SendNext(); }),
+      alpha_timer_(host.sim(), [this] { OnAlphaTimer(); }),
+      increase_timer_(host.sim(), [this] { OnIncreaseTimer(); }) {
+  assert(flow_size_ > 0);
+  record_.flow = flow_;
+  record_.size_bytes = flow_size_;
+}
+
+void DcqcnSender::Start() {
+  record_.start_time = host_.sim().Now();
+  alpha_timer_.Schedule(config_.alpha_timer);
+  increase_timer_.Schedule(config_.increase_timer);
+  SendNext();
+}
+
+void DcqcnSender::SendNext() {
+  if (complete_ || sent_bytes_ >= flow_size_) return;
+  const std::uint64_t payload = std::min<std::uint64_t>(
+      config_.mtu_payload, flow_size_ - sent_bytes_);
+  auto pkt = std::make_unique<Packet>();
+  pkt->flow = flow_;
+  pkt->type = PacketType::kData;
+  pkt->payload_bytes = static_cast<std::uint32_t>(payload);
+  pkt->size_bytes = static_cast<std::uint32_t>(payload) + kDataHeaderBytes;
+  pkt->seq = sent_bytes_;
+  // RDMA transfer lengths are announced out of band; model that by carrying
+  // the total in every data packet so the receiver knows when to signal
+  // completion.
+  pkt->ack = flow_size_;
+  pkt->ecn = EcnCodepoint::kEct0;
+  pkt->sent_time = host_.sim().Now();
+  const std::uint32_t wire_bytes = pkt->size_bytes;
+  host_.SendPacket(std::move(pkt));
+  sent_bytes_ += payload;
+
+  // Byte-counter increase events.
+  bytes_since_increase_ += payload;
+  if (bytes_since_increase_ >= config_.increase_bytes) {
+    bytes_since_increase_ = 0;
+    ++byte_events_;
+    IncreaseEvent();
+  }
+
+  if (sent_bytes_ < flow_size_) {
+    pacing_timer_.Schedule(current_rate_.TransmissionTime(wire_bytes));
+  }
+}
+
+void DcqcnSender::OnCnp() {
+  if (complete_) return;
+  // DCQCN rate decrease: remember the current rate as the recovery target,
+  // cut proportionally to alpha, then raise alpha.
+  target_rate_ = current_rate_;
+  current_rate_ = std::max(
+      DataRate::BitsPerSecond(static_cast<std::int64_t>(
+          static_cast<double>(current_rate_.bps()) * (1.0 - alpha_ / 2.0))),
+      config_.min_rate);
+  alpha_ = (1.0 - config_.g) * alpha_ + config_.g;
+  // Restart the recovery machinery.
+  timer_events_ = 0;
+  byte_events_ = 0;
+  bytes_since_increase_ = 0;
+  alpha_timer_.Schedule(config_.alpha_timer);
+  increase_timer_.Schedule(config_.increase_timer);
+}
+
+void DcqcnSender::OnAlphaTimer() {
+  if (complete_) return;
+  // No CNP for a full alpha period: congestion estimate decays.
+  alpha_ = (1.0 - config_.g) * alpha_;
+  alpha_timer_.Schedule(config_.alpha_timer);
+}
+
+void DcqcnSender::OnIncreaseTimer() {
+  if (complete_) return;
+  ++timer_events_;
+  IncreaseEvent();
+  increase_timer_.Schedule(config_.increase_timer);
+}
+
+void DcqcnSender::IncreaseEvent() {
+  const std::uint32_t f = config_.fast_recovery_stages;
+  if (timer_events_ > f && byte_events_ > f) {
+    // Hyper increase: both clocks past fast recovery.
+    target_rate_ = std::min(
+        DataRate::BitsPerSecond(target_rate_.bps() + config_.rate_hai.bps()),
+        config_.line_rate);
+  } else if (timer_events_ > f || byte_events_ > f) {
+    // Additive increase.
+    target_rate_ = std::min(
+        DataRate::BitsPerSecond(target_rate_.bps() + config_.rate_ai.bps()),
+        config_.line_rate);
+  }
+  // Fast recovery (and every stage): move halfway back to the target.
+  current_rate_ = std::min(Halfway(target_rate_, current_rate_),
+                           config_.line_rate);
+}
+
+void DcqcnSender::OnCompleted() {
+  if (complete_) return;
+  complete_ = true;
+  pacing_timer_.Cancel();
+  alpha_timer_.Cancel();
+  increase_timer_.Cancel();
+  record_.completion_time = host_.sim().Now();
+  if (on_complete_) on_complete_(record_);
+}
+
+// --------------------------- DcqcnReceiver ---------------------------------
+
+DcqcnReceiver::DcqcnReceiver(Host& host, const DcqcnConfig& config,
+                             FlowKey flow, std::uint64_t expected_bytes)
+    : host_(host),
+      config_(config),
+      flow_(flow),
+      expected_bytes_(expected_bytes) {}
+
+void DcqcnReceiver::OnData(const Packet& pkt) {
+  bytes_received_ += pkt.payload_bytes;
+  if (pkt.IsCeMarked() &&
+      host_.sim().Now() - last_cnp_ >= config_.cnp_interval) {
+    last_cnp_ = host_.sim().Now();
+    SendCnp();
+  }
+  if (!completed_sent_ && bytes_received_ >= expected_bytes_) {
+    completed_sent_ = true;
+    SendCompletion();
+  }
+}
+
+void DcqcnReceiver::SendCnp() {
+  auto cnp = std::make_unique<Packet>();
+  cnp->flow = flow_.Reversed();
+  cnp->type = PacketType::kCnp;
+  cnp->size_bytes = kCnpBytes;
+  host_.SendPacket(std::move(cnp));
+}
+
+void DcqcnReceiver::SendCompletion() {
+  auto done = std::make_unique<Packet>();
+  done->flow = flow_.Reversed();
+  done->type = PacketType::kAck;
+  done->size_bytes = kCnpBytes;
+  done->ack = expected_bytes_;
+  host_.SendPacket(std::move(done));
+}
+
+// --------------------------- DcqcnStack ------------------------------------
+
+DcqcnStack::DcqcnStack(Host& host, const DcqcnConfig& config)
+    : host_(host), config_(config) {
+  host_.SetProtocolHandler(*this);
+}
+
+DcqcnSender& DcqcnStack::StartFlow(
+    std::uint32_t dst, std::uint64_t size_bytes,
+    std::function<void(const FlowRecord&)> on_complete) {
+  FlowKey key;
+  key.src = host_.address();
+  key.dst = dst;
+  key.dst_port = 4791;  // RoCEv2 UDP port
+  do {
+    key.src_port = next_port_++;
+    if (next_port_ == 0) next_port_ = 1;
+  } while (senders_.contains(key));
+
+  auto sender = std::make_unique<DcqcnSender>(host_, config_, key, size_bytes,
+                                              std::move(on_complete));
+  DcqcnSender& ref = *sender;
+  senders_.emplace(key, std::move(sender));
+  ref.Start();
+  return ref;
+}
+
+void DcqcnStack::HandlePacket(std::unique_ptr<Packet> pkt) {
+  assert(pkt->flow.dst == host_.address());
+  switch (pkt->type) {
+    case PacketType::kData: {
+      auto it = receivers_.find(pkt->flow);
+      if (it == receivers_.end()) {
+        // The expected transfer length rides in the data packets' `ack`
+        // field (see DcqcnSender::SendNext).
+        it = receivers_
+                 .emplace(pkt->flow, std::make_unique<DcqcnReceiver>(
+                                         host_, config_, pkt->flow,
+                                         pkt->ack))
+                 .first;
+      }
+      it->second->OnData(*pkt);
+      break;
+    }
+    case PacketType::kCnp: {
+      const auto it = senders_.find(pkt->flow.Reversed());
+      if (it != senders_.end()) it->second->OnCnp();
+      break;
+    }
+    case PacketType::kAck: {
+      const auto it = senders_.find(pkt->flow.Reversed());
+      if (it != senders_.end()) it->second->OnCompleted();
+      break;
+    }
+  }
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,143 @@
+// DCQCN (Zhu et al., SIGCOMM 2015): rate-based congestion control for
+// RoCEv2-style transports, driven by ECN marks echoed as CNPs.
+//
+// Implemented as the paper's §3.5 extension target: DCQCN senders pace
+// packets at a current rate Rc; the notification point (receiver) sends at
+// most one CNP per `cnp_interval` while it sees CE marks; the reaction
+// point reduces on CNP with the DCQCN alpha estimator and recovers through
+// fast-recovery / additive-increase / hyper-increase stages clocked by a
+// timer and a byte counter.
+//
+// Modeling notes: RoCE runs over a lossless (PFC) fabric, so this sender
+// has no retransmission logic — experiments must provision buffers so AQM
+// marking (not loss) is the only congestion signal. Completion is signalled
+// by the receiver once all bytes arrive.
+#ifndef ECNSHARP_TRANSPORT_DCQCN_H_
+#define ECNSHARP_TRANSPORT_DCQCN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/host.h"
+#include "net/packet.h"
+#include "sim/data_rate.h"
+#include "sim/timer.h"
+#include "transport/tcp_sender.h"  // FlowRecord
+
+namespace ecnsharp {
+
+struct DcqcnConfig {
+  DataRate line_rate = DataRate::GigabitsPerSecond(10);
+  std::uint32_t mtu_payload = kMaxSegmentSize;
+
+  // Reaction-point (sender) parameters.
+  double g = 1.0 / 256.0;               // alpha gain
+  Time alpha_timer = Time::FromMicroseconds(55);
+  Time increase_timer = Time::FromMicroseconds(300);
+  std::uint64_t increase_bytes = 150'000;  // byte counter period
+  std::uint32_t fast_recovery_stages = 5;  // F
+  DataRate rate_ai = DataRate::MegabitsPerSecond(40);
+  DataRate rate_hai = DataRate::MegabitsPerSecond(400);
+  DataRate min_rate = DataRate::MegabitsPerSecond(10);
+
+  // Notification-point (receiver) parameter.
+  Time cnp_interval = Time::FromMicroseconds(50);
+};
+
+class DcqcnSender {
+ public:
+  DcqcnSender(Host& host, const DcqcnConfig& config, FlowKey flow,
+              std::uint64_t flow_size,
+              std::function<void(const FlowRecord&)> on_complete);
+
+  void Start();
+  // Congestion notification packet from the receiver.
+  void OnCnp();
+  // Completion notification (all bytes delivered).
+  void OnCompleted();
+
+  DataRate current_rate() const { return current_rate_; }
+  DataRate target_rate() const { return target_rate_; }
+  double alpha() const { return alpha_; }
+  bool complete() const { return complete_; }
+  const FlowKey& flow() const { return flow_; }
+
+ private:
+  void SendNext();
+  void OnAlphaTimer();
+  void OnIncreaseTimer();
+  void IncreaseEvent();
+  void UpdateRate();
+
+  Host& host_;
+  DcqcnConfig config_;
+  FlowKey flow_;
+  std::uint64_t flow_size_;
+  std::function<void(const FlowRecord&)> on_complete_;
+  FlowRecord record_;
+
+  std::uint64_t sent_bytes_ = 0;
+  DataRate current_rate_;
+  DataRate target_rate_;
+  double alpha_ = 1.0;
+  // Increase-stage counters: timer events and byte-counter events since the
+  // last rate decrease.
+  std::uint32_t timer_events_ = 0;
+  std::uint32_t byte_events_ = 0;
+  std::uint64_t bytes_since_increase_ = 0;
+
+  Timer pacing_timer_;
+  Timer alpha_timer_;
+  Timer increase_timer_;
+  bool complete_ = false;
+};
+
+// Notification point: counts delivered bytes, emits rate-limited CNPs on CE
+// marks, and signals completion.
+class DcqcnReceiver {
+ public:
+  DcqcnReceiver(Host& host, const DcqcnConfig& config, FlowKey flow,
+                std::uint64_t expected_bytes);
+
+  void OnData(const Packet& pkt);
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  void SendCnp();
+  void SendCompletion();
+
+  Host& host_;
+  DcqcnConfig config_;
+  FlowKey flow_;
+  std::uint64_t expected_bytes_;
+  std::uint64_t bytes_received_ = 0;
+  Time last_cnp_ = Time::Nanoseconds(-1'000'000'000);
+  bool completed_sent_ = false;
+};
+
+// Per-host DCQCN endpoint: dispatches data/CNP/completion packets and
+// originates flows, mirroring TcpStack's interface.
+class DcqcnStack : public PacketSink {
+ public:
+  DcqcnStack(Host& host, const DcqcnConfig& config);
+
+  DcqcnSender& StartFlow(std::uint32_t dst, std::uint64_t size_bytes,
+                         std::function<void(const FlowRecord&)> on_complete);
+
+  void HandlePacket(std::unique_ptr<Packet> pkt) override;
+
+ private:
+  Host& host_;
+  DcqcnConfig config_;
+  std::uint16_t next_port_ = 1;
+  std::unordered_map<FlowKey, std::unique_ptr<DcqcnSender>, FlowKeyHash>
+      senders_;
+  std::unordered_map<FlowKey, std::unique_ptr<DcqcnReceiver>, FlowKeyHash>
+      receivers_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_TRANSPORT_DCQCN_H_

@@ -1,0 +1,59 @@
+// Transport configuration shared by senders and receivers.
+#ifndef ECNSHARP_TRANSPORT_TCP_CONFIG_H_
+#define ECNSHARP_TRANSPORT_TCP_CONFIG_H_
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+enum class EcnMode {
+  kNone,     // ECN disabled; losses are the only congestion signal
+  kClassic,  // RFC 3168: halve cwnd once per window on ECE (lambda = 1)
+  kDctcp,    // RFC 8257: proportional cut cwnd *= (1 - alpha/2) (lambda ~ 0.17)
+};
+
+struct TcpConfig {
+  std::uint32_t mss = kMaxSegmentSize;
+  std::uint32_t init_cwnd_segments = 10;
+  EcnMode ecn_mode = EcnMode::kDctcp;
+
+  // DCTCP parameters (RFC 8257 / DCTCP paper): EWMA gain g and initial
+  // marked-fraction estimate.
+  double dctcp_g = 1.0 / 16.0;
+  double dctcp_init_alpha = 1.0;
+
+  // Retransmission timer. Datacenter stacks run a reduced RTOmin; the
+  // default (5 ms) matches common DCTCP deployments and makes each timeout
+  // cost >1 ms of FCT, as the paper observes (§5.2).
+  Time min_rto = Time::Milliseconds(5);
+  Time max_rto = Time::Seconds(2);
+  std::uint32_t dupack_threshold = 3;
+
+  // Delayed ACK: ack every Nth in-order segment, or when the timer fires,
+  // or immediately on a PSH segment / out-of-order data.
+  std::uint32_t delayed_ack_count = 2;
+  Time delayed_ack_timeout = Time::FromMicroseconds(500);
+
+  // Packet pacing: spread transmissions at pacing_gain * cwnd / srtt
+  // instead of bursting the whole permitted window per ACK. Off by default
+  // (classic ACK clocking); enables the burstiness ablation.
+  bool pacing = false;
+  double pacing_gain = 1.2;
+  // Pacing rate assumed before the first RTT sample.
+  DataRate initial_pacing_rate = DataRate::GigabitsPerSecond(10);
+
+  // Upper bound on the congestion window. Models the receive-window /
+  // TCP-small-queues limit of a real stack: without it a lone flow whose
+  // own NIC is the bottleneck grows cwnd without bound and head-of-line
+  // blocks its host's NIC queue for milliseconds, which no tuned datacenter
+  // stack does. 1 MB comfortably exceeds the largest base-RTT BDP in the
+  // paper's settings (10 Gbps x 350 us = 437 KB) plus any marking threshold.
+  std::uint64_t max_cwnd_bytes = 1024 * 1024;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_TRANSPORT_TCP_CONFIG_H_

@@ -1,0 +1,98 @@
+#include "transport/tcp_receiver.h"
+
+#include <utility>
+
+namespace ecnsharp {
+
+TcpReceiver::TcpReceiver(Host& host, const TcpConfig& config, FlowKey flow)
+    : host_(host),
+      config_(config),
+      flow_(flow),
+      delack_timer_(host.sim(), [this] { OnDelayedAckTimer(); }) {}
+
+bool TcpReceiver::CurrentEce() const {
+  switch (config_.ecn_mode) {
+    case EcnMode::kDctcp:
+      return dctcp_ce_state_;
+    case EcnMode::kClassic:
+      return classic_ece_latched_;
+    case EcnMode::kNone:
+      return false;
+  }
+  return false;
+}
+
+void TcpReceiver::OnData(const Packet& pkt) {
+  // ECN echo state updates come first so the ACK for this packet reflects it.
+  if (config_.ecn_mode == EcnMode::kDctcp) {
+    const bool ce = pkt.IsCeMarked();
+    if (ce != dctcp_ce_state_) {
+      // RFC 8257: on a CE-state change, immediately ACK the packets received
+      // so far with the *old* state, then switch.
+      if (unacked_segments_ > 0) SendAckNow();
+      dctcp_ce_state_ = ce;
+    }
+  } else if (config_.ecn_mode == EcnMode::kClassic) {
+    if (pkt.IsCeMarked()) classic_ece_latched_ = true;
+    if (pkt.cwr) classic_ece_latched_ = false;
+  }
+
+  const bool in_order = pkt.seq == rcv_nxt_;
+  const bool had_holes = !ooo_.empty();
+  AcceptPayload(pkt);
+
+  if (!in_order || had_holes) {
+    // Duplicate/out-of-order data (emit a dupack for fast retransmit), or a
+    // retransmission filling a hole (ack the jump immediately so the sender
+    // exits recovery without waiting on the delayed-ACK clock).
+    SendAckNow();
+    return;
+  }
+  ++unacked_segments_;
+  if (unacked_segments_ >= config_.delayed_ack_count || pkt.psh) {
+    SendAckNow();
+  } else if (!delack_timer_.pending()) {
+    delack_timer_.Schedule(config_.delayed_ack_timeout);
+  }
+}
+
+void TcpReceiver::AcceptPayload(const Packet& pkt) {
+  const std::uint64_t start = pkt.seq;
+  const std::uint64_t end = pkt.seq + pkt.payload_bytes;
+  if (end <= rcv_nxt_) return;  // pure duplicate
+  if (start > rcv_nxt_) {
+    // Buffer the range, merging overlaps.
+    auto [it, inserted] = ooo_.emplace(start, end);
+    if (!inserted && end > it->second) it->second = end;
+    return;
+  }
+  bytes_received_ += end - rcv_nxt_;
+  rcv_nxt_ = end;
+  // Pull any now-contiguous buffered ranges.
+  for (auto it = ooo_.begin(); it != ooo_.end();) {
+    if (it->first > rcv_nxt_) break;
+    if (it->second > rcv_nxt_) {
+      bytes_received_ += it->second - rcv_nxt_;
+      rcv_nxt_ = it->second;
+    }
+    it = ooo_.erase(it);
+  }
+}
+
+void TcpReceiver::SendAckNow() {
+  unacked_segments_ = 0;
+  delack_timer_.Cancel();
+  auto ack = std::make_unique<Packet>();
+  ack->flow = flow_.Reversed();
+  ack->type = PacketType::kAck;
+  ack->size_bytes = kAckPacketBytes;
+  ack->ack = rcv_nxt_;
+  ack->ece = CurrentEce();
+  host_.SendPacket(std::move(ack));
+}
+
+void TcpReceiver::OnDelayedAckTimer() {
+  if (unacked_segments_ > 0) SendAckNow();
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,54 @@
+// TCP receiver: cumulative ACK generation with delayed ACKs, out-of-order
+// buffering, and ECN echo in classic (latched ECE until CWR) or DCTCP
+// (RFC 8257 §3.2 delayed-ACK CE state machine) mode.
+#ifndef ECNSHARP_TRANSPORT_TCP_RECEIVER_H_
+#define ECNSHARP_TRANSPORT_TCP_RECEIVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "net/host.h"
+#include "net/packet.h"
+#include "sim/timer.h"
+#include "transport/tcp_config.h"
+
+namespace ecnsharp {
+
+class TcpReceiver {
+ public:
+  // `flow` is the key of the arriving data packets (sender -> receiver);
+  // ACKs are emitted on the reversed key.
+  TcpReceiver(Host& host, const TcpConfig& config, FlowKey flow);
+
+  void OnData(const Packet& pkt);
+
+  std::uint64_t rcv_nxt() const { return rcv_nxt_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  void AcceptPayload(const Packet& pkt);
+  void SendAckNow();
+  void OnDelayedAckTimer();
+  bool CurrentEce() const;
+
+  Host& host_;
+  TcpConfig config_;
+  FlowKey flow_;
+  std::uint64_t rcv_nxt_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  // Out-of-order byte ranges beyond rcv_nxt_: start -> end (exclusive).
+  std::map<std::uint64_t, std::uint64_t> ooo_;
+
+  // Delayed-ACK state.
+  std::uint32_t unacked_segments_ = 0;
+  Timer delack_timer_;
+
+  // ECN echo state.
+  bool dctcp_ce_state_ = false;  // DCTCP.CE of RFC 8257
+  bool classic_ece_latched_ = false;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_TRANSPORT_TCP_RECEIVER_H_

@@ -1,0 +1,114 @@
+// TCP sender state machine.
+//
+// Models a one-directional bulk transfer of `flow_size` bytes: slow start,
+// congestion avoidance, NewReno-style fast retransmit/recovery, an RFC 6298
+// retransmission timer with exponential backoff, and ECN reaction in either
+// classic (RFC 3168) or DCTCP (RFC 8257) mode. Data is metadata-only; the
+// receiver acknowledges byte offsets cumulatively.
+#ifndef ECNSHARP_TRANSPORT_TCP_SENDER_H_
+#define ECNSHARP_TRANSPORT_TCP_SENDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/host.h"
+#include "net/packet.h"
+#include "sim/timer.h"
+#include "transport/tcp_config.h"
+
+namespace ecnsharp {
+
+// Outcome summary handed to the completion callback.
+struct FlowRecord {
+  FlowKey flow;
+  std::uint64_t size_bytes = 0;
+  Time start_time = Time::Zero();
+  Time completion_time = Time::Zero();
+  std::uint32_t timeouts = 0;
+  std::uint32_t fast_retransmits = 0;
+
+  Time Fct() const { return completion_time - start_time; }
+};
+
+class TcpSender {
+ public:
+  using CompletionCallback = std::function<void(const FlowRecord&)>;
+
+  TcpSender(Host& host, const TcpConfig& config, FlowKey flow,
+            std::uint64_t flow_size, std::uint8_t traffic_class,
+            CompletionCallback on_complete);
+
+  // Begins transmission (sends the initial window).
+  void Start();
+
+  // Called by the stack for every ACK of this flow.
+  void OnAck(const Packet& ack);
+
+  bool complete() const { return complete_; }
+  const FlowKey& flow() const { return flow_; }
+  const FlowRecord& record() const { return record_; }
+  double cwnd_bytes() const { return cwnd_; }
+  double dctcp_alpha() const { return dctcp_alpha_; }
+  std::uint64_t bytes_acked() const { return snd_una_; }
+
+ private:
+  void SendAvailable();
+  void PacedSend();
+  void SendSegment(std::uint64_t seq, bool is_retransmit);
+  void OnNewDataAcked(std::uint64_t ack_no, bool ece);
+  void OnDupAck();
+  void OnRtoExpired();
+  void RestartRtoTimer();
+  void UpdateRttEstimate(Time sample);
+  Time CurrentRto() const;
+  void HandleEceClassic();
+  void DctcpWindowUpdate(std::uint64_t newly_acked, bool ece);
+  void ReduceWindowOnEcn(double factor);
+  void Complete();
+
+  Host& host_;
+  TcpConfig config_;
+  FlowKey flow_;
+  std::uint64_t flow_size_;
+  std::uint8_t traffic_class_;
+  CompletionCallback on_complete_;
+  FlowRecord record_;
+
+  // Sequence state (byte offsets within the flow).
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+
+  // Congestion control.
+  double cwnd_ = 0.0;      // bytes
+  double ssthresh_ = 0.0;  // bytes
+  std::uint32_t dupacks_ = 0;
+  bool in_fast_recovery_ = false;
+  std::uint64_t recover_point_ = 0;
+
+  // ECN.
+  bool cwr_pending_ = false;          // set CWR on the next data segment
+  std::uint64_t ecn_cut_window_end_ = 0;  // classic: one cut per window
+  double dctcp_alpha_;
+  std::uint64_t dctcp_window_end_ = 0;
+  std::uint64_t dctcp_bytes_acked_ = 0;
+  std::uint64_t dctcp_bytes_marked_ = 0;
+
+  // RTT estimation / RTO (RFC 6298).
+  bool rtt_valid_ = false;
+  Time srtt_ = Time::Zero();
+  Time rttvar_ = Time::Zero();
+  std::uint32_t rto_backoff_ = 0;  // consecutive timeouts
+  Timer rto_timer_;
+  Timer pace_timer_;
+  // Karn's algorithm: one outstanding un-retransmitted RTT probe.
+  bool probe_armed_ = false;
+  std::uint64_t probe_seq_end_ = 0;
+  Time probe_sent_at_ = Time::Zero();
+
+  bool complete_ = false;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_TRANSPORT_TCP_SENDER_H_

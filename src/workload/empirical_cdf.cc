@@ -1,0 +1,91 @@
+#include "workload/empirical_cdf.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecnsharp {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<Point> points)
+    : points_(std::move(points)) {
+  assert(points_.size() >= 2);
+  assert(std::is_sorted(points_.begin(), points_.end(),
+                        [](const Point& a, const Point& b) {
+                          return a.cum < b.cum;
+                        }));
+  assert(points_.back().cum == 1.0);
+}
+
+double EmpiricalCdf::Quantile(double p) const {
+  p = std::clamp(p, points_.front().cum, 1.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (p <= points_[i].cum) {
+      const Point& lo = points_[i - 1];
+      const Point& hi = points_[i];
+      if (hi.cum == lo.cum) return hi.value;
+      const double f = (p - lo.cum) / (hi.cum - lo.cum);
+      return lo.value + f * (hi.value - lo.value);
+    }
+  }
+  return points_.back().value;
+}
+
+double EmpiricalCdf::Sample(Rng& rng) const { return Quantile(rng.Uniform()); }
+
+double EmpiricalCdf::Mean() const {
+  // For each linear CDF segment the conditional mean is the midpoint of the
+  // segment's value range.
+  double mean = points_.front().cum * points_.front().value;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const Point& lo = points_[i - 1];
+    const Point& hi = points_[i];
+    mean += (hi.cum - lo.cum) * (lo.value + hi.value) / 2.0;
+  }
+  return mean;
+}
+
+namespace {
+// Control points in packets (1460 B MSS), taken from the public simulation
+// configurations of the DCTCP / pFabric line of work that the paper's
+// Figure 5 reproduces.
+EmpiricalCdf MakeWebSearch() {
+  const double kPkt = 1460.0;
+  return EmpiricalCdf({{1 * kPkt, 0.0},
+                       {1 * kPkt, 0.15},
+                       {2 * kPkt, 0.20},
+                       {3 * kPkt, 0.30},
+                       {5 * kPkt, 0.40},
+                       {7 * kPkt, 0.53},
+                       {40 * kPkt, 0.60},
+                       {72 * kPkt, 0.70},
+                       {137 * kPkt, 0.80},
+                       {267 * kPkt, 0.90},
+                       {1187 * kPkt, 0.95},
+                       {2107 * kPkt, 0.99},
+                       {66667 * kPkt, 1.0}});
+}
+
+EmpiricalCdf MakeDataMining() {
+  const double kPkt = 1460.0;
+  return EmpiricalCdf({{1 * kPkt, 0.0},
+                       {1 * kPkt, 0.50},
+                       {2 * kPkt, 0.60},
+                       {3 * kPkt, 0.70},
+                       {7 * kPkt, 0.80},
+                       {267 * kPkt, 0.90},
+                       {2107 * kPkt, 0.95},
+                       {66667 * kPkt, 0.99},
+                       {666667 * kPkt, 1.0}});
+}
+}  // namespace
+
+const EmpiricalCdf& WebSearchWorkload() {
+  static const EmpiricalCdf cdf = MakeWebSearch();
+  return cdf;
+}
+
+const EmpiricalCdf& DataMiningWorkload() {
+  static const EmpiricalCdf cdf = MakeDataMining();
+  return cdf;
+}
+
+}  // namespace ecnsharp

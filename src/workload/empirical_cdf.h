@@ -1,0 +1,50 @@
+// Empirical flow-size distribution defined by CDF control points with
+// linear interpolation between them — the same format used by the HKUST
+// TrafficGenerator the paper's testbed experiments use.
+#ifndef ECNSHARP_WORKLOAD_EMPIRICAL_CDF_H_
+#define ECNSHARP_WORKLOAD_EMPIRICAL_CDF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace ecnsharp {
+
+class EmpiricalCdf {
+ public:
+  struct Point {
+    double value = 0.0;  // flow size in bytes
+    double cum = 0.0;    // cumulative probability in [0, 1]
+  };
+
+  // `points` must be sorted by cum, start at cum <= 0 semantics are
+  // implied by the first point, and end with cum == 1.
+  explicit EmpiricalCdf(std::vector<Point> points);
+
+  // Inverse-transform sampling with linear interpolation.
+  double Sample(Rng& rng) const;
+
+  // Analytic mean of the piecewise-linear distribution.
+  double Mean() const;
+
+  // Value at cumulative probability p (the quantile function).
+  double Quantile(double p) const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+// The two production workloads of the paper's Fig. 5.
+// Web search (DCTCP, Alizadeh et al. 2010): mean ~1.6 MB, >95% of bytes in
+// flows >1 MB but ~60% of flows <100 KB.
+const EmpiricalCdf& WebSearchWorkload();
+// Data mining (VL2, Greenberg et al. 2009): mean ~7 MB, even heavier tail —
+// 80% of flows <10 KB.
+const EmpiricalCdf& DataMiningWorkload();
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_WORKLOAD_EMPIRICAL_CDF_H_

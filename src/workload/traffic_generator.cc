@@ -1,0 +1,45 @@
+#include "workload/traffic_generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecnsharp {
+
+TrafficGenerator::TrafficGenerator(
+    Simulator& sim, const EmpiricalCdf& sizes, const TrafficConfig& config,
+    std::function<std::pair<TcpStack*, std::uint32_t>(Rng&)> pick_pair,
+    TcpSender::CompletionCallback on_complete, Rng rng)
+    : sim_(sim),
+      sizes_(sizes),
+      config_(config),
+      pick_pair_(std::move(pick_pair)),
+      on_complete_(std::move(on_complete)),
+      rng_(rng) {}
+
+double TrafficGenerator::ArrivalRate() const {
+  const double bits_per_flow = sizes_.Mean() * 8.0;
+  return config_.load *
+         static_cast<double>(config_.reference_capacity.bps()) /
+         bits_per_flow;
+}
+
+void TrafficGenerator::Start() {
+  const double mean_gap_s = 1.0 / ArrivalRate();
+  Time at = config_.start_time;
+  for (std::size_t i = 0; i < config_.flow_count; ++i) {
+    at += Time::FromSeconds(rng_.Exponential(mean_gap_s));
+    const auto size = static_cast<std::uint64_t>(
+        std::max(1.0, sizes_.Sample(rng_)));
+    auto [stack, dst] = pick_pair_(rng_);
+    assert(stack != nullptr);
+    sim_.ScheduleAt(at, [this, stack, dst, size] {
+      ++started_;
+      stack->StartFlow(dst, size, [this](const FlowRecord& record) {
+        ++completed_;
+        if (on_complete_) on_complete_(record);
+      });
+    });
+  }
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,62 @@
+// Open-loop traffic generation: flows arrive as a Poisson process whose rate
+// achieves a target utilization of a reference capacity, with sizes drawn
+// from an empirical workload CDF (the methodology of §5.1).
+#ifndef ECNSHARP_WORKLOAD_TRAFFIC_GENERATOR_H_
+#define ECNSHARP_WORKLOAD_TRAFFIC_GENERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/data_rate.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "transport/tcp_stack.h"
+#include "workload/empirical_cdf.h"
+
+namespace ecnsharp {
+
+struct TrafficConfig {
+  double load = 0.5;       // target utilization of `reference_capacity`
+  DataRate reference_capacity = DataRate::GigabitsPerSecond(10);
+  std::size_t flow_count = 2000;
+  Time start_time = Time::Zero();
+};
+
+class TrafficGenerator {
+ public:
+  // `pick_pair` chooses (sending stack, destination address) for each flow.
+  // `on_complete` receives every finished flow's record.
+  TrafficGenerator(Simulator& sim, const EmpiricalCdf& sizes,
+                   const TrafficConfig& config,
+                   std::function<std::pair<TcpStack*, std::uint32_t>(Rng&)>
+                       pick_pair,
+                   TcpSender::CompletionCallback on_complete, Rng rng);
+
+  // Draws all arrivals and schedules the flow starts.
+  void Start();
+
+  std::size_t started() const { return started_; }
+  std::size_t completed() const { return completed_; }
+  bool AllDone() const {
+    return started_ == config_.flow_count &&
+           completed_ == config_.flow_count;
+  }
+  // Poisson arrival rate in flows/second implied by the config.
+  double ArrivalRate() const;
+
+ private:
+  Simulator& sim_;
+  const EmpiricalCdf& sizes_;
+  TrafficConfig config_;
+  std::function<std::pair<TcpStack*, std::uint32_t>(Rng&)> pick_pair_;
+  TcpSender::CompletionCallback on_complete_;
+  Rng rng_;
+  std::size_t started_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_WORKLOAD_TRAFFIC_GENERATOR_H_

@@ -1,0 +1,280 @@
+// Unit tests for the baseline AQM policies: DCTCP-RED, RED, CoDel, TCN.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "aqm/codel.h"
+#include "aqm/dctcp_red.h"
+#include "aqm/red.h"
+#include "aqm/tcn.h"
+#include "core/equations.h"
+#include "net/packet.h"
+#include "sched/fifo_queue_disc.h"
+
+namespace ecnsharp {
+namespace {
+
+Packet EctPacket(std::uint32_t bytes = 1500) {
+  Packet pkt;
+  pkt.size_bytes = bytes;
+  pkt.ecn = EcnCodepoint::kEct0;
+  return pkt;
+}
+
+// --------------------------- Equations (§2.1, §3.2) ------------------------
+
+TEST(EquationsTest, IdealThresholdMatchesPaperExamples) {
+  // K = lambda * C * RTT. At 10 Gbps with RTT 200 us and lambda 1:
+  // 10e9 * 200e-6 / 8 = 250 KB — the paper's DCTCP-RED-Tail threshold.
+  EXPECT_EQ(IdealMarkingThresholdBytes(1.0, DataRate::GigabitsPerSecond(10),
+                                       Time::Microseconds(200)),
+            250'000u);
+  // DCTCP's theoretical lambda = 0.17.
+  EXPECT_EQ(IdealMarkingThresholdBytes(0.17, DataRate::GigabitsPerSecond(10),
+                                       Time::Microseconds(200)),
+            42'500u);
+}
+
+TEST(EquationsTest, SojournThresholdIsCapacityIndependent) {
+  // T = K / C = lambda * RTT (Equation 2).
+  EXPECT_EQ(SojournMarkingThreshold(1.0, Time::Microseconds(200)),
+            Time::Microseconds(200));
+  EXPECT_EQ(SojournMarkingThreshold(0.5, Time::Microseconds(200)),
+            Time::Microseconds(100));
+}
+
+// --------------------------- DCTCP-RED -------------------------------------
+
+TEST(DctcpRedTest, MarksAboveThreshold) {
+  DctcpRedAqm aqm(10'000);
+  Packet pkt = EctPacket();
+  QueueSnapshot q{10, 12'000};
+  EXPECT_TRUE(aqm.AllowEnqueue(pkt, q, Time::Zero()));  // never drops
+  EXPECT_TRUE(pkt.IsCeMarked());
+}
+
+TEST(DctcpRedTest, NoMarkBelowThreshold) {
+  DctcpRedAqm aqm(10'000);
+  Packet pkt = EctPacket();
+  QueueSnapshot q{2, 3'000};
+  aqm.AllowEnqueue(pkt, q, Time::Zero());
+  EXPECT_FALSE(pkt.IsCeMarked());
+}
+
+TEST(DctcpRedTest, CutoffCountsArrivingPacket) {
+  // Occupancy exactly at K - size: adding this packet crosses K => mark.
+  DctcpRedAqm aqm(10'000);
+  Packet pkt = EctPacket(1500);
+  QueueSnapshot q{6, 9'000};
+  aqm.AllowEnqueue(pkt, q, Time::Zero());
+  EXPECT_TRUE(pkt.IsCeMarked());
+}
+
+TEST(DctcpRedTest, CannotMarkNonEctPacket) {
+  DctcpRedAqm aqm(1'000);
+  Packet pkt;
+  pkt.size_bytes = 1500;
+  pkt.ecn = EcnCodepoint::kNotEct;
+  QueueSnapshot q{10, 50'000};
+  aqm.AllowEnqueue(pkt, q, Time::Zero());
+  EXPECT_FALSE(pkt.IsCeMarked());
+}
+
+// --------------------------- RED -------------------------------------------
+
+TEST(RedTest, NeverMarksBelowMinThreshold) {
+  RedConfig config;
+  config.min_th_bytes = 30'000;
+  config.max_th_bytes = 90'000;
+  RedAqm aqm(config, 1);
+  for (int i = 0; i < 1000; ++i) {
+    Packet pkt = EctPacket();
+    aqm.AllowEnqueue(pkt, QueueSnapshot{4, 6'000}, Time::Microseconds(i));
+    EXPECT_FALSE(pkt.IsCeMarked());
+  }
+}
+
+TEST(RedTest, AlwaysMarksAboveMaxThresholdOnceAverageCatchesUp) {
+  RedConfig config;
+  config.min_th_bytes = 10'000;
+  config.max_th_bytes = 20'000;
+  config.weight = 0.5;  // fast EWMA for the test
+  RedAqm aqm(config, 1);
+  // Drive the average well above max_th.
+  for (int i = 0; i < 20; ++i) {
+    Packet pkt = EctPacket();
+    aqm.AllowEnqueue(pkt, QueueSnapshot{100, 150'000}, Time::Microseconds(i));
+  }
+  Packet pkt = EctPacket();
+  aqm.AllowEnqueue(pkt, QueueSnapshot{100, 150'000}, Time::Microseconds(21));
+  EXPECT_TRUE(pkt.IsCeMarked());
+}
+
+TEST(RedTest, MarkingProbabilityGrowsWithAverageQueue) {
+  const auto mark_fraction = [](std::uint64_t queue_bytes) {
+    RedConfig config;
+    config.min_th_bytes = 30'000;
+    config.max_th_bytes = 300'000;
+    config.weight = 1.0;  // average == instantaneous for the test
+    RedAqm aqm(config, 42);
+    int marked = 0;
+    for (int i = 0; i < 4000; ++i) {
+      Packet pkt = EctPacket();
+      aqm.AllowEnqueue(pkt, QueueSnapshot{10, queue_bytes},
+                       Time::Microseconds(i));
+      if (pkt.IsCeMarked()) ++marked;
+    }
+    return static_cast<double>(marked) / 4000.0;
+  };
+  const double low = mark_fraction(60'000);
+  const double high = mark_fraction(250'000);
+  EXPECT_LT(low, high);
+  EXPECT_GT(high, 0.05);
+}
+
+TEST(RedTest, AverageDecaysWhileIdle) {
+  RedConfig config;
+  config.min_th_bytes = 10'000;
+  config.max_th_bytes = 50'000;
+  config.weight = 0.25;
+  RedAqm aqm(config, 1);
+  for (int i = 0; i < 50; ++i) {
+    Packet pkt = EctPacket();
+    aqm.AllowEnqueue(pkt, QueueSnapshot{40, 60'000}, Time::Microseconds(i));
+  }
+  const double before = aqm.average_queue_bytes();
+  // A long-idle arrival must see a much smaller average.
+  Packet pkt = EctPacket();
+  aqm.AllowEnqueue(pkt, QueueSnapshot{0, 0}, Time::Milliseconds(50));
+  EXPECT_LT(aqm.average_queue_bytes(), before / 4.0);
+}
+
+// --------------------------- CoDel -----------------------------------------
+
+CodelConfig TestCodel() {
+  CodelConfig config;
+  config.target = Time::FromMicroseconds(10);
+  config.interval = Time::FromMicroseconds(100);
+  return config;
+}
+
+// Feeds a steady sequence of dequeues with constant sojourn time.
+int CountCodelMarks(CodelAqm& aqm, Time sojourn, Time from, Time until,
+                    Time gap, std::uint64_t queue_bytes = 100'000) {
+  int marks = 0;
+  for (Time t = from; t < until; t += gap) {
+    Packet pkt = EctPacket();
+    aqm.OnDequeue(pkt, QueueSnapshot{10, queue_bytes}, t, sojourn);
+    if (pkt.IsCeMarked()) ++marks;
+  }
+  return marks;
+}
+
+TEST(CodelTest, NoMarkWhileBelowTarget) {
+  CodelAqm aqm(TestCodel());
+  const int marks =
+      CountCodelMarks(aqm, Time::FromMicroseconds(5), Time::Zero(),
+                      Time::Milliseconds(5), Time::FromMicroseconds(10));
+  EXPECT_EQ(marks, 0);
+  EXPECT_FALSE(aqm.dropping_state());
+}
+
+TEST(CodelTest, NoMarkUntilIntervalElapses) {
+  CodelAqm aqm(TestCodel());
+  // Above target, but for less than one interval.
+  const int marks =
+      CountCodelMarks(aqm, Time::FromMicroseconds(50), Time::Zero(),
+                      Time::FromMicroseconds(90), Time::FromMicroseconds(10));
+  EXPECT_EQ(marks, 0);
+}
+
+TEST(CodelTest, EntersMarkingAfterInterval) {
+  CodelAqm aqm(TestCodel());
+  const int marks =
+      CountCodelMarks(aqm, Time::FromMicroseconds(50), Time::Zero(),
+                      Time::FromMicroseconds(200), Time::FromMicroseconds(10));
+  EXPECT_GE(marks, 1);
+  EXPECT_TRUE(aqm.dropping_state());
+}
+
+TEST(CodelTest, MarkingRateAcceleratesWhileAboveTarget) {
+  CodelAqm aqm(TestCodel());
+  const int first_half = CountCodelMarks(
+      aqm, Time::FromMicroseconds(50), Time::Zero(), Time::Milliseconds(2),
+      Time::FromMicroseconds(5));
+  const int second_half = CountCodelMarks(
+      aqm, Time::FromMicroseconds(50), Time::Milliseconds(2),
+      Time::Milliseconds(4), Time::FromMicroseconds(5));
+  // The control law shortens the marking interval as sqrt(count) grows.
+  EXPECT_GT(second_half, first_half);
+}
+
+TEST(CodelTest, ExitsMarkingWhenQueueDrains) {
+  CodelAqm aqm(TestCodel());
+  CountCodelMarks(aqm, Time::FromMicroseconds(50), Time::Zero(),
+                  Time::Milliseconds(1), Time::FromMicroseconds(10));
+  ASSERT_TRUE(aqm.dropping_state());
+  Packet pkt = EctPacket();
+  aqm.OnDequeue(pkt, QueueSnapshot{1, 1000}, Time::Milliseconds(1),
+                Time::FromMicroseconds(2));
+  EXPECT_FALSE(aqm.dropping_state());
+  EXPECT_FALSE(pkt.IsCeMarked());
+}
+
+TEST(CodelTest, SmallQueueResetsStandingClock) {
+  // Even with sojourn above target, a queue of <= 1 MTU means no standing
+  // queue worth marking (reference CoDel behaviour).
+  CodelAqm aqm(TestCodel());
+  const int marks = CountCodelMarks(aqm, Time::FromMicroseconds(50),
+                                    Time::Zero(), Time::Milliseconds(2),
+                                    Time::FromMicroseconds(10),
+                                    /*queue_bytes=*/1000);
+  EXPECT_EQ(marks, 0);
+}
+
+// --------------------------- TCN -------------------------------------------
+
+TEST(TcnTest, MarksOnInstantaneousSojourn) {
+  TcnAqm aqm(Time::FromMicroseconds(150));
+  Packet over = EctPacket();
+  aqm.OnDequeue(over, QueueSnapshot{}, Time::Zero(),
+                Time::FromMicroseconds(151));
+  EXPECT_TRUE(over.IsCeMarked());
+
+  Packet under = EctPacket();
+  aqm.OnDequeue(under, QueueSnapshot{}, Time::Zero(),
+                Time::FromMicroseconds(149));
+  EXPECT_FALSE(under.IsCeMarked());
+}
+
+TEST(TcnTest, NoMemoryBetweenPackets) {
+  // Unlike CoDel/ECN#, TCN is stateless: a long streak above threshold does
+  // not change behaviour for a later below-threshold packet.
+  TcnAqm aqm(Time::FromMicroseconds(100));
+  for (int i = 0; i < 100; ++i) {
+    Packet pkt = EctPacket();
+    aqm.OnDequeue(pkt, QueueSnapshot{}, Time::Microseconds(i),
+                  Time::FromMicroseconds(500));
+    EXPECT_TRUE(pkt.IsCeMarked());
+  }
+  Packet pkt = EctPacket();
+  aqm.OnDequeue(pkt, QueueSnapshot{}, Time::Microseconds(101),
+                Time::FromMicroseconds(50));
+  EXPECT_FALSE(pkt.IsCeMarked());
+}
+
+// --------------------------- queue-disc + AQM integration ------------------
+
+TEST(FifoAqmTest, MarkCountingTracksCeTransitions) {
+  auto disc = FifoQueueDisc(1ull << 20,
+                            std::make_unique<DctcpRedAqm>(2'000));
+  for (int i = 0; i < 5; ++i) {
+    auto pkt = std::make_unique<Packet>(EctPacket());
+    disc.Enqueue(std::move(pkt), Time::Microseconds(i));
+  }
+  // First packet enqueued below threshold, rest above.
+  EXPECT_EQ(disc.stats().ce_marked, 4u);
+}
+
+}  // namespace
+}  // namespace ecnsharp

@@ -1,0 +1,232 @@
+// DCQCN tests: rate-control state machine, CNP generation, end-to-end
+// behaviour with probabilistic marking, and the §3.5 ECN#+DCQCN combination.
+#include "transport/dcqcn.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "aqm/red.h"
+#include "core/ecn_sharp_prob.h"
+#include "net/switch_node.h"
+#include "sched/fifo_queue_disc.h"
+#include "sim/simulator.h"
+
+namespace ecnsharp {
+namespace {
+
+constexpr DataRate kRate = DataRate::GigabitsPerSecond(10);
+
+// Two hosts through a switch whose egress to the receiver runs `aqm`.
+struct DcqcnNet {
+  Simulator sim;
+  std::unique_ptr<SwitchNode> sw;
+  std::unique_ptr<Host> sender;
+  std::unique_ptr<Host> receiver;
+  std::unique_ptr<DcqcnStack> sender_stack;
+  std::unique_ptr<DcqcnStack> receiver_stack;
+  EgressPort* bottleneck = nullptr;
+
+  explicit DcqcnNet(std::unique_ptr<AqmPolicy> aqm,
+                    const DcqcnConfig& config = DcqcnConfig{},
+                    DataRate sender_nic_rate = DataRate::GigabitsPerSecond(
+                        40)) {
+    sw = std::make_unique<SwitchNode>(sim, "sw");
+    sender = std::make_unique<Host>(sim, 0);
+    receiver = std::make_unique<Host>(sim, 1);
+    for (Host* h : {sender.get(), receiver.get()}) {
+      auto nic = std::make_unique<EgressPort>(
+          sim, h == sender.get() ? sender_nic_rate : kRate,
+          Time::Microseconds(5),
+          std::make_unique<FifoQueueDisc>(1ull << 26, nullptr));
+      nic->ConnectTo(*sw);
+      h->AttachNic(std::move(nic));
+      const bool to_receiver = (h == receiver.get());
+      auto port = std::make_unique<EgressPort>(
+          sim, kRate, Time::Microseconds(5),
+          std::make_unique<FifoQueueDisc>(
+              1ull << 24, to_receiver ? std::move(aqm) : nullptr));
+      port->ConnectTo(*h);
+      EgressPort& ref = sw->AddPort(std::move(port));
+      sw->AddRoute(h->address(), ref);
+      if (to_receiver) bottleneck = &ref;
+    }
+    sender_stack = std::make_unique<DcqcnStack>(*sender, config);
+    receiver_stack = std::make_unique<DcqcnStack>(*receiver, config);
+  }
+};
+
+TEST(DcqcnTest, TransferCompletesWithoutCongestion) {
+  DcqcnNet net(nullptr, DcqcnConfig{}, /*sender_nic_rate=*/kRate);
+  std::optional<FlowRecord> done;
+  net.sender_stack->StartFlow(1, 1'000'000,
+                              [&done](const FlowRecord& r) { done = r; });
+  net.sim.RunUntil(Time::Seconds(2));
+  ASSERT_TRUE(done.has_value());
+  // Line-rate pacing: 1 MB at ~10 Gbps ~ 0.85 ms including headers.
+  EXPECT_LT(done->Fct(), Time::Milliseconds(2));
+}
+
+TEST(DcqcnTest, RateDropsOnCnpAndRecovers) {
+  Simulator sim;
+  Host host(sim, 0);
+  auto nic = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(40), Time::Zero(),
+      std::make_unique<FifoQueueDisc>(1ull << 26, nullptr));
+  struct NullSink : PacketSink {
+    void HandlePacket(std::unique_ptr<Packet>) override {}
+  } sink;
+  nic->ConnectTo(sink);
+  host.AttachNic(std::move(nic));
+
+  DcqcnConfig config;
+  DcqcnSender sender(host, config, FlowKey{0, 1, 7, 4791}, 1ull << 30,
+                     nullptr);
+  sender.Start();
+  sim.RunFor(Time::Microseconds(100));
+  EXPECT_EQ(sender.current_rate(), config.line_rate);
+
+  sender.OnCnp();
+  // alpha ~1 (one 55 us decay tick may have fired): the first CNP roughly
+  // halves the rate.
+  EXPECT_NEAR(static_cast<double>(sender.current_rate().bps()),
+              config.line_rate.bps() / 2.0, 5e7);
+  EXPECT_GT(sender.alpha(), 0.99);
+
+  // Fast recovery: each increase event moves halfway back to the target.
+  sim.RunFor(Time::Milliseconds(3));
+  EXPECT_GT(sender.current_rate().bps(), config.line_rate.bps() * 0.9);
+}
+
+TEST(DcqcnTest, AlphaDecaysWithoutCnps) {
+  Simulator sim;
+  Host host(sim, 0);
+  auto nic = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(40), Time::Zero(),
+      std::make_unique<FifoQueueDisc>(1ull << 26, nullptr));
+  struct NullSink : PacketSink {
+    void HandlePacket(std::unique_ptr<Packet>) override {}
+  } sink;
+  nic->ConnectTo(sink);
+  host.AttachNic(std::move(nic));
+
+  DcqcnConfig config;
+  DcqcnSender sender(host, config, FlowKey{0, 1, 7, 4791}, 1ull << 30,
+                     nullptr);
+  sender.Start();
+  sender.OnCnp();
+  const double alpha_after_cnp = sender.alpha();
+  sim.RunFor(Time::Milliseconds(2));
+  EXPECT_LT(sender.alpha(), alpha_after_cnp * 0.95);
+}
+
+TEST(DcqcnTest, RepeatedCnpsFloorAtMinRate) {
+  Simulator sim;
+  Host host(sim, 0);
+  auto nic = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(40), Time::Zero(),
+      std::make_unique<FifoQueueDisc>(1ull << 26, nullptr));
+  struct NullSink : PacketSink {
+    void HandlePacket(std::unique_ptr<Packet>) override {}
+  } sink;
+  nic->ConnectTo(sink);
+  host.AttachNic(std::move(nic));
+
+  DcqcnConfig config;
+  DcqcnSender sender(host, config, FlowKey{0, 1, 7, 4791}, 1ull << 30,
+                     nullptr);
+  sender.Start();
+  for (int i = 0; i < 100; ++i) sender.OnCnp();
+  EXPECT_GE(sender.current_rate().bps(), config.min_rate.bps());
+}
+
+TEST(DcqcnTest, CnpGenerationIsRateLimited) {
+  // A CE-marking AQM that marks everything: CNPs must still be spaced by
+  // cnp_interval.
+  class MarkAll : public AqmPolicy {
+   public:
+    void OnDequeue(Packet& pkt, const QueueSnapshot&, Time, Time) override {
+      pkt.MarkCe();
+    }
+    std::string name() const override { return "mark-all"; }
+  };
+  DcqcnNet net(std::make_unique<MarkAll>());
+  std::optional<FlowRecord> done;
+  net.sender_stack->StartFlow(1, 2'000'000,
+                              [&done](const FlowRecord& r) { done = r; });
+  net.sim.RunUntil(Time::Seconds(5));
+  ASSERT_TRUE(done.has_value());
+  // With every packet marked, the sender throttles hard but completes.
+  EXPECT_GT(done->Fct(), Time::Milliseconds(2));
+}
+
+TEST(DcqcnTest, QueueControlledByProbabilisticRed) {
+  // The classic DCQCN deployment: RED-style Kmin/Kmax marking at the
+  // switch. The 40G sender into a 10G bottleneck must stabilize without
+  // filling the buffer.
+  RedConfig red;
+  red.min_th_bytes = 30'000;
+  red.max_th_bytes = 150'000;
+  red.max_p = 0.1;
+  red.weight = 0.1;
+  DcqcnConfig config;
+  config.line_rate = DataRate::GigabitsPerSecond(40);  // RDMA NIC at 40G
+  DcqcnNet net(std::make_unique<RedAqm>(red, 3), config);
+  std::optional<FlowRecord> done;
+  net.sender_stack->StartFlow(1, 20'000'000,
+                              [&done](const FlowRecord& r) { done = r; });
+  std::uint32_t max_queue = 0;
+  while (!done.has_value() && net.sim.Now() < Time::Seconds(5)) {
+    net.sim.RunFor(Time::Microseconds(100));
+    max_queue = std::max(max_queue,
+                         net.bottleneck->queue_disc().Snapshot().packets);
+  }
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(net.bottleneck->queue_disc().stats().dropped_overflow, 0u);
+  EXPECT_GT(net.bottleneck->queue_disc().stats().ce_marked, 0u);
+  // Goodput must stay reasonable (>= 4 Gbps over the transfer).
+  const double gbps = 20'000'000 * 8.0 / done->Fct().ToSeconds() * 1e-9;
+  EXPECT_GT(gbps, 4.0);
+}
+
+TEST(DcqcnTest, EcnSharpProbabilisticDrainsStandingQueue) {
+  // §3.5: ECN# with a probabilistic instantaneous ramp works under DCQCN
+  // and keeps the standing queue below what the plain ramp (RED-equivalent
+  // thresholds) sustains, by marking on persistent congestion too.
+  const auto run = [](std::unique_ptr<AqmPolicy> aqm) {
+    DcqcnConfig config;
+    config.line_rate = DataRate::GigabitsPerSecond(40);  // 40G NIC, 10G link
+    DcqcnNet net(std::move(aqm), config);
+    net.sender_stack->StartFlow(1, 1ull << 30, nullptr);
+    // Let it reach steady state, then average the queue.
+    net.sim.RunUntil(Time::Milliseconds(50));
+    double sum = 0.0;
+    int n = 0;
+    while (net.sim.Now() < Time::Milliseconds(100)) {
+      net.sim.RunFor(Time::Microseconds(100));
+      sum += net.bottleneck->queue_disc().Snapshot().packets;
+      ++n;
+    }
+    return sum / n;
+  };
+
+  EcnSharpProbConfig with_persistent;
+  with_persistent.t_min = Time::FromMicroseconds(40);
+  with_persistent.t_max = Time::FromMicroseconds(200);
+  with_persistent.p_max = 0.1;
+  with_persistent.pst_target = Time::FromMicroseconds(10);
+  with_persistent.pst_interval = Time::FromMicroseconds(240);
+
+  EcnSharpProbConfig ramp_only = with_persistent;
+  ramp_only.pst_target = Time::Max() / 4;  // disable persistent marking
+
+  const double with_pst = run(
+      std::make_unique<EcnSharpProbabilisticAqm>(with_persistent, 5));
+  const double without_pst =
+      run(std::make_unique<EcnSharpProbabilisticAqm>(ramp_only, 5));
+  EXPECT_LT(with_pst, without_pst);
+}
+
+}  // namespace
+}  // namespace ecnsharp

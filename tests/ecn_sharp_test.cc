@@ -1,0 +1,306 @@
+// Unit and property tests for the ECN# AQM (Algorithm 1 + instantaneous
+// sojourn marking).
+#include "core/ecn_sharp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.h"
+
+namespace ecnsharp {
+namespace {
+
+EcnSharpConfig TestConfig() {
+  EcnSharpConfig config;
+  config.ins_target = Time::FromMicroseconds(200);
+  config.pst_target = Time::FromMicroseconds(85);
+  config.pst_interval = Time::FromMicroseconds(200);
+  return config;
+}
+
+Packet EctPacket() {
+  Packet pkt;
+  pkt.size_bytes = 1500;
+  pkt.ecn = EcnCodepoint::kEct0;
+  return pkt;
+}
+
+bool Dequeue(EcnSharpAqm& aqm, Time now, Time sojourn) {
+  Packet pkt = EctPacket();
+  aqm.OnDequeue(pkt, QueueSnapshot{10, 15'000}, now, sojourn);
+  return pkt.IsCeMarked();
+}
+
+// --------------------------- instantaneous marking -------------------------
+
+TEST(EcnSharpTest, InstantaneousMarkAboveInsTarget) {
+  EcnSharpAqm aqm(TestConfig());
+  EXPECT_TRUE(Dequeue(aqm, Time::Microseconds(1),
+                      Time::FromMicroseconds(201)));
+  EXPECT_EQ(aqm.instantaneous_marks(), 1u);
+}
+
+TEST(EcnSharpTest, NoInstantaneousMarkAtOrBelowTarget) {
+  EcnSharpAqm aqm(TestConfig());
+  EXPECT_FALSE(Dequeue(aqm, Time::Microseconds(1),
+                       Time::FromMicroseconds(200)));
+  EXPECT_FALSE(Dequeue(aqm, Time::Microseconds(2),
+                       Time::FromMicroseconds(60)));
+}
+
+// --------------------------- persistent detection --------------------------
+
+TEST(EcnSharpTest, BelowPstTargetNeverDetects) {
+  EcnSharpAqm aqm(TestConfig());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(Dequeue(aqm, Time::Microseconds(10 * i),
+                         Time::FromMicroseconds(84)));
+  }
+  EXPECT_FALSE(aqm.marking_state());
+}
+
+TEST(EcnSharpTest, NoPersistentMarkWithinFirstInterval) {
+  EcnSharpAqm aqm(TestConfig());
+  // Sojourn above pst_target but below ins_target, for less than one
+  // pst_interval: no marks yet.
+  for (int t_us = 0; t_us <= 190; t_us += 10) {
+    EXPECT_FALSE(Dequeue(aqm, Time::Microseconds(t_us),
+                         Time::FromMicroseconds(100)));
+  }
+  EXPECT_FALSE(aqm.marking_state());
+}
+
+TEST(EcnSharpTest, MarksOnceIntervalExceeded) {
+  EcnSharpAqm aqm(TestConfig());
+  bool marked = false;
+  for (int t_us = 0; t_us <= 250; t_us += 10) {
+    marked = Dequeue(aqm, Time::Microseconds(t_us),
+                     Time::FromMicroseconds(100));
+    if (marked) break;
+  }
+  EXPECT_TRUE(marked);
+  EXPECT_TRUE(aqm.marking_state());
+  EXPECT_EQ(aqm.marking_count(), 1u);
+  EXPECT_EQ(aqm.persistent_marks(), 1u);
+}
+
+TEST(EcnSharpTest, FirstAboveTimeResetsWhenQueueExpires) {
+  EcnSharpAqm aqm(TestConfig());
+  // 150 us above target...
+  for (int t_us = 0; t_us <= 150; t_us += 10) {
+    Dequeue(aqm, Time::Microseconds(t_us), Time::FromMicroseconds(100));
+  }
+  // ...then one dip below resets the detector...
+  Dequeue(aqm, Time::Microseconds(160), Time::FromMicroseconds(10));
+  EXPECT_TRUE(aqm.first_above_time().IsZero());
+  // ...so another 150 us above target still does not mark.
+  for (int t_us = 170; t_us <= 320; t_us += 10) {
+    EXPECT_FALSE(Dequeue(aqm, Time::Microseconds(t_us),
+                         Time::FromMicroseconds(100)));
+  }
+}
+
+// --------------------------- conservative marking cadence ------------------
+
+TEST(EcnSharpTest, MarksOnePacketPerIntervalInitially) {
+  EcnSharpAqm aqm(TestConfig());
+  int marks = 0;
+  // Persistent queueing for 5 ms, dequeues every 5 us.
+  for (int t_us = 0; t_us < 5000; t_us += 5) {
+    if (Dequeue(aqm, Time::Microseconds(t_us),
+                Time::FromMicroseconds(100))) {
+      ++marks;
+    }
+  }
+  // First mark at ~200 us; afterwards the interval shrinks as
+  // interval/sqrt(count), so over T=5 ms the budget is
+  // (T / (2*interval))^2 ~ 156 marks — far fewer than the 1000 dequeues.
+  EXPECT_GE(marks, 5);
+  EXPECT_LE(marks, 210);
+}
+
+TEST(EcnSharpTest, MarkingIntervalShrinksWithSqrtCount) {
+  EcnSharpAqm aqm(TestConfig());
+  std::vector<Time> mark_times;
+  for (int t_us = 0; t_us < 4000; t_us += 2) {
+    if (Dequeue(aqm, Time::Microseconds(t_us),
+                Time::FromMicroseconds(100))) {
+      mark_times.push_back(Time::Microseconds(t_us));
+    }
+  }
+  ASSERT_GE(mark_times.size(), 4u);
+  // Gaps between consecutive marks must be non-increasing (within the 2 us
+  // dequeue quantization).
+  for (std::size_t i = 2; i < mark_times.size(); ++i) {
+    const Time prev_gap = mark_times[i - 1] - mark_times[i - 2];
+    const Time gap = mark_times[i] - mark_times[i - 1];
+    EXPECT_LE(gap, prev_gap + Time::FromMicroseconds(4));
+  }
+  // And the gap should approximately follow interval/sqrt(k).
+  const Time second_gap = mark_times[2] - mark_times[1];
+  EXPECT_NEAR(second_gap.ToMicroseconds(),
+              200.0 / std::sqrt(2.0), 25.0);
+}
+
+TEST(EcnSharpTest, ExitsMarkingStateWhenQueueExpires) {
+  EcnSharpAqm aqm(TestConfig());
+  for (int t_us = 0; t_us < 1000; t_us += 5) {
+    Dequeue(aqm, Time::Microseconds(t_us), Time::FromMicroseconds(100));
+  }
+  ASSERT_TRUE(aqm.marking_state());
+  // Queue drains below target.
+  EXPECT_FALSE(Dequeue(aqm, Time::Microseconds(1005),
+                       Time::FromMicroseconds(20)));
+  EXPECT_FALSE(aqm.marking_state());
+}
+
+TEST(EcnSharpTest, ReEntryRestartsCadence) {
+  EcnSharpAqm aqm(TestConfig());
+  for (int t_us = 0; t_us < 1000; t_us += 5) {
+    Dequeue(aqm, Time::Microseconds(t_us), Time::FromMicroseconds(100));
+  }
+  Dequeue(aqm, Time::Microseconds(1005), Time::FromMicroseconds(20));
+  ASSERT_FALSE(aqm.marking_state());
+  // Build up persistence again: needs a full interval before the next mark.
+  bool marked = false;
+  Time first_mark = Time::Zero();
+  for (int t_us = 1010; t_us < 1400; t_us += 5) {
+    if (Dequeue(aqm, Time::Microseconds(t_us),
+                Time::FromMicroseconds(100))) {
+      marked = true;
+      first_mark = Time::Microseconds(t_us);
+      break;
+    }
+  }
+  ASSERT_TRUE(marked);
+  EXPECT_GE(first_mark, Time::Microseconds(1010) +
+                            TestConfig().pst_interval);
+  EXPECT_EQ(aqm.marking_count(), 1u);
+}
+
+TEST(EcnSharpTest, InstantaneousAndPersistentAreOrthogonal) {
+  // A burst (sojourn > ins_target) during a persistent episode marks
+  // through the instantaneous path without disturbing the cadence counter.
+  EcnSharpAqm aqm(TestConfig());
+  for (int t_us = 0; t_us < 1000; t_us += 5) {
+    Dequeue(aqm, Time::Microseconds(t_us), Time::FromMicroseconds(100));
+  }
+  const std::uint32_t count_before = aqm.marking_count();
+  EXPECT_TRUE(Dequeue(aqm, Time::Microseconds(1001),
+                      Time::FromMicroseconds(500)));
+  EXPECT_GE(aqm.marking_count(), count_before);
+  EXPECT_GE(aqm.instantaneous_marks(), 1u);
+}
+
+// --------------------------- rule of thumb (§3.4) --------------------------
+
+TEST(EcnSharpTest, RuleOfThumbMatchesPaperSetup) {
+  // Testbed: p90 RTT ~200 us, average RTT ~85 us, classic-ECN lambda 1 —
+  // yields the §5.2 parameters (ins 200 us, interval 200 us, target 85 us).
+  const EcnSharpConfig config = RuleOfThumbConfig(
+      Time::FromMicroseconds(200), Time::FromMicroseconds(85), 1.0);
+  EXPECT_EQ(config.ins_target, Time::FromMicroseconds(200));
+  EXPECT_EQ(config.pst_interval, Time::FromMicroseconds(200));
+  EXPECT_EQ(config.pst_target, Time::FromMicroseconds(85));
+}
+
+TEST(EcnSharpTest, RuleOfThumbScalesWithLambda) {
+  const EcnSharpConfig config = RuleOfThumbConfig(
+      Time::FromMicroseconds(220), Time::FromMicroseconds(137), 0.5);
+  EXPECT_EQ(config.ins_target, Time::FromMicroseconds(110));
+  EXPECT_EQ(config.pst_target, Time::FromMicroseconds(68) +
+                                   Time::Nanoseconds(500));
+}
+
+// --------------------------- property-style sweeps -------------------------
+
+struct CadenceParam {
+  int sojourn_us;
+  int dequeue_gap_us;
+};
+
+class EcnSharpCadenceTest : public ::testing::TestWithParam<CadenceParam> {};
+
+TEST_P(EcnSharpCadenceTest, MarkCountFollowsControlLawBound) {
+  // Whatever the (above-target, below-ins-target) sojourn level and dequeue
+  // rate, persistent marking must (a) start only after one full interval and
+  // (b) stay within the control law's analytic budget: after k marks the
+  // elapsed marking time is ~ sum interval/sqrt(i) ~ 2*interval*sqrt(k), so
+  // k <= (T / (2*interval))^2 up to rounding. Marking is time-paced, never
+  // per-packet.
+  const CadenceParam param = GetParam();
+  const Time horizon = Time::Milliseconds(10);
+  EcnSharpAqm aqm(TestConfig());
+  int marks = 0;
+  Time first_mark = Time::Zero();
+  for (int t_us = 0; t_us < static_cast<int>(horizon.ToMicroseconds());
+       t_us += param.dequeue_gap_us) {
+    if (Dequeue(aqm, Time::Microseconds(t_us),
+                Time::FromMicroseconds(param.sojourn_us))) {
+      ++marks;
+      if (first_mark.IsZero()) first_mark = Time::Microseconds(t_us);
+    }
+  }
+  ASSERT_GT(marks, 0);
+  EXPECT_GE(first_mark, TestConfig().pst_interval);
+  const double budget =
+      horizon / (TestConfig().pst_interval * 2);  // = T / (2*interval)
+  EXPECT_LE(marks, static_cast<int>(budget * budget * 1.3) + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EcnSharpCadenceTest,
+    ::testing::Values(CadenceParam{90, 1}, CadenceParam{90, 10},
+                      CadenceParam{120, 2}, CadenceParam{150, 5},
+                      CadenceParam{199, 1}, CadenceParam{199, 20}),
+    [](const ::testing::TestParamInfo<CadenceParam>& info) {
+      return "sojourn" + std::to_string(info.param.sojourn_us) + "us_gap" +
+             std::to_string(info.param.dequeue_gap_us) + "us";
+    });
+
+TEST(EcnSharpPropertyTest, NeverMarksWhenSojournAlwaysBelowBothTargets) {
+  Rng rng(7);
+  EcnSharpAqm aqm(TestConfig());
+  Time t = Time::Zero();
+  for (int i = 0; i < 5000; ++i) {
+    t += Time::FromMicroseconds(rng.Uniform(0.5, 20.0));
+    EXPECT_FALSE(Dequeue(aqm, t, Time::FromMicroseconds(
+                                     rng.Uniform(0.0, 84.9))));
+  }
+  EXPECT_EQ(aqm.instantaneous_marks() + aqm.persistent_marks(), 0u);
+}
+
+TEST(EcnSharpPropertyTest, AlwaysMarksWhenSojournAlwaysAboveInsTarget) {
+  Rng rng(8);
+  EcnSharpAqm aqm(TestConfig());
+  Time t = Time::Zero();
+  for (int i = 0; i < 5000; ++i) {
+    t += Time::FromMicroseconds(rng.Uniform(0.5, 20.0));
+    EXPECT_TRUE(Dequeue(aqm, t, Time::FromMicroseconds(
+                                    rng.Uniform(200.1, 1000.0))));
+  }
+}
+
+TEST(EcnSharpPropertyTest, StateMachineInvariants) {
+  // marking_count > 0 iff marking_state; first_above_time resets exactly
+  // when sojourn < pst_target.
+  Rng rng(9);
+  EcnSharpAqm aqm(TestConfig());
+  Time t = Time::Zero();
+  for (int i = 0; i < 20'000; ++i) {
+    t += Time::FromMicroseconds(rng.Uniform(0.5, 30.0));
+    const Time sojourn = Time::FromMicroseconds(rng.Uniform(0.0, 400.0));
+    Dequeue(aqm, t, sojourn);
+    if (aqm.marking_state()) {
+      EXPECT_GE(aqm.marking_count(), 1u);
+    }
+    if (sojourn < TestConfig().pst_target) {
+      EXPECT_TRUE(aqm.first_above_time().IsZero());
+      EXPECT_FALSE(aqm.marking_state());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecnsharp

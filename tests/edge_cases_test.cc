@@ -1,0 +1,245 @@
+// Focused edge-case coverage across modules: scheduler quanta, simulator
+// determinism under load, leaf-spine routing, Tofino clock wrap limits,
+// host-path reordering, and DCQCN multiplexing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "harness/experiment.h"
+#include "hostpath/rtt_probe.h"
+#include "sched/dwrr_queue_disc.h"
+#include "sched/fifo_queue_disc.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "tofino/ecn_sharp_pipeline.h"
+#include "topo/leaf_spine.h"
+#include "topo/rtt_variation.h"
+#include "transport/dcqcn.h"
+
+namespace ecnsharp {
+namespace {
+
+// --------------------------- DWRR quanta ------------------------------------
+
+std::unique_ptr<Packet> SizedPacket(std::uint8_t cls, std::uint32_t bytes) {
+  auto pkt = std::make_unique<Packet>();
+  pkt->traffic_class = cls;
+  pkt->size_bytes = bytes;
+  return pkt;
+}
+
+TEST(DwrrEdgeTest, QuantumSmallerThanPacketStillServes) {
+  // Quantum 100B << 1500B packets: a class must accumulate deficit over
+  // rounds but service must not stall.
+  std::vector<DwrrQueueDisc::ClassConfig> classes;
+  classes.push_back({1, nullptr});
+  classes.push_back({1, nullptr});
+  DwrrQueueDisc disc(1ull << 20, std::move(classes), nullptr,
+                     /*quantum_bytes=*/100);
+  for (int i = 0; i < 4; ++i) {
+    disc.Enqueue(SizedPacket(0, 1500), Time::Zero());
+    disc.Enqueue(SizedPacket(1, 1500), Time::Zero());
+  }
+  int served = 0;
+  while (disc.Dequeue(Time::Zero()) != nullptr) ++served;
+  EXPECT_EQ(served, 8);
+}
+
+TEST(DwrrEdgeTest, MixedPacketSizesConserveAllPackets) {
+  Rng rng(3);
+  std::vector<DwrrQueueDisc::ClassConfig> classes;
+  for (int i = 0; i < 3; ++i) classes.push_back({1u + i, nullptr});
+  DwrrQueueDisc disc(1ull << 24, std::move(classes));
+  int enqueued = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto cls = static_cast<std::uint8_t>(rng.UniformInt(3));
+    const auto bytes = static_cast<std::uint32_t>(60 + rng.UniformInt(1441));
+    if (disc.Enqueue(SizedPacket(cls, bytes), Time::Zero())) ++enqueued;
+  }
+  int dequeued = 0;
+  while (disc.Dequeue(Time::Zero()) != nullptr) ++dequeued;
+  EXPECT_EQ(dequeued, enqueued);
+  EXPECT_EQ(disc.Snapshot().packets, 0u);
+  EXPECT_EQ(disc.Snapshot().bytes, 0u);
+}
+
+// --------------------------- simulator determinism --------------------------
+
+TEST(SimulatorDeterminismTest, IdenticalRunsProduceIdenticalSchedules) {
+  const auto run_hash = [] {
+    Simulator sim;
+    Rng rng(99);
+    std::uint64_t hash = 1469598103934665603ull;
+    // Random self-rescheduling events.
+    std::function<void(int)> tick = [&](int depth) {
+      hash ^= static_cast<std::uint64_t>(sim.Now().ns());
+      hash *= 1099511628211ull;
+      if (depth > 0) {
+        sim.Schedule(Time::Nanoseconds(
+                         static_cast<std::int64_t>(rng.Uniform(1, 1000))),
+                     [&tick, depth] { tick(depth - 1); });
+      }
+    };
+    for (int i = 0; i < 50; ++i) tick(20);
+    sim.Run();
+    return hash;
+  };
+  EXPECT_EQ(run_hash(), run_hash());
+}
+
+TEST(SimulatorDeterminismTest, HighVolumeEventOrdering) {
+  Simulator sim;
+  Rng rng(5);
+  Time last = Time::Zero();
+  std::size_t executed = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    sim.Schedule(
+        Time::Nanoseconds(static_cast<std::int64_t>(rng.Uniform(0, 1e6))),
+        [&sim, &last, &executed] {
+          EXPECT_GE(sim.Now(), last);  // monotone execution
+          last = sim.Now();
+          ++executed;
+        });
+  }
+  sim.Run();
+  EXPECT_EQ(executed, 100'000u);
+}
+
+// --------------------------- leaf-spine routing -----------------------------
+
+TEST(LeafSpineRoutingTest, NoPacketIsEverUnroutable) {
+  Simulator sim;
+  LeafSpineConfig config;
+  config.spines = 2;
+  config.leaves = 3;
+  config.hosts_per_leaf = 2;
+  LeafSpine topo(sim, config, [] {
+    return std::make_unique<FifoQueueDisc>(1ull << 24, nullptr);
+  });
+  // Every ordered pair exchanges one small flow.
+  int done = 0;
+  int flows = 0;
+  for (std::size_t src = 0; src < topo.host_count(); ++src) {
+    for (std::size_t dst = 0; dst < topo.host_count(); ++dst) {
+      if (src == dst) continue;
+      ++flows;
+      topo.stack(src).StartFlow(static_cast<std::uint32_t>(dst), 5000,
+                                [&done](const FlowRecord&) { ++done; });
+    }
+  }
+  sim.RunUntil(Time::Seconds(5));
+  EXPECT_EQ(done, flows);
+  for (std::size_t l = 0; l < topo.leaf_count(); ++l) {
+    EXPECT_EQ(topo.leaf(l).no_route_drops(), 0u);
+  }
+  for (std::size_t s = 0; s < topo.spine_count(); ++s) {
+    EXPECT_EQ(topo.spine(s).no_route_drops(), 0u);
+  }
+}
+
+TEST(LeafSpineRoutingTest, IntraRackTrafficStaysOffTheSpine) {
+  Simulator sim;
+  LeafSpineConfig config;
+  config.spines = 2;
+  config.leaves = 2;
+  config.hosts_per_leaf = 2;
+  LeafSpine topo(sim, config, [] {
+    return std::make_unique<FifoQueueDisc>(1ull << 24, nullptr);
+  });
+  bool done = false;
+  topo.stack(0).StartFlow(1, 100'000, [&done](const FlowRecord&) {
+    done = true;
+  });  // host 0 -> host 1, same leaf
+  sim.RunUntil(Time::Seconds(2));
+  ASSERT_TRUE(done);
+  for (std::size_t s = 0; s < topo.spine_count(); ++s) {
+    EXPECT_EQ(topo.spine(s).rx_packets(), 0u);
+  }
+}
+
+// --------------------------- Tofino clock bounds ----------------------------
+
+TEST(TofinoClockTest, EmulatedClockWrapsAtDocumentedHorizon) {
+  // The emulated 32-bit tick clock wraps every 2^32 * 1.024 us ~ 73.4 min
+  // (§4.1: "more than 1 hour"). Verify the wrap point matches the
+  // documented value rather than the raw timestamp's ~4.29 s.
+  const std::uint64_t horizon_ns = (1ull << 32) << kTickShift;
+  EXPECT_NEAR(static_cast<double>(horizon_ns) * 1e-9, 4398.0, 1.0);
+  TimeEmulator emu;
+  // Two reads a tick apart across the horizon still produce consecutive
+  // 32-bit values (modulo wrap).
+  PassContext p1;
+  const std::uint32_t before =
+      emu.CurrentTimeTicks(horizon_ns - kTickNs, p1);
+  PassContext p2;
+  const std::uint32_t after = emu.CurrentTimeTicks(horizon_ns, p2);
+  EXPECT_EQ(static_cast<std::uint32_t>(before + 1), after);
+}
+
+TEST(TofinoClockTest, PipelineKeepsMarkingAcrossLongRuns) {
+  // Sanity at multi-minute uptimes (well past several low-32-bit wraps of
+  // the raw timestamp): instantaneous marking still fires.
+  TofinoPipelineConfig config;
+  config.num_ports = 1;
+  EcnSharpPipeline pipe(config);
+  const std::uint64_t minutes30 = 30ull * 60 * 1'000'000'000;
+  EXPECT_TRUE(pipe.ProcessDequeue(0, minutes30 - 400'000, minutes30));
+  EXPECT_FALSE(
+      pipe.ProcessDequeue(0, minutes30 + 1'000'000 - 5'000,
+                          minutes30 + 1'000'000));
+}
+
+// --------------------------- host-path probe --------------------------------
+
+TEST(HostPathEdgeTest, CustomChainsCompose) {
+  // A user-defined case with a single deterministic-ish stage produces RTTs
+  // tightly around twice the stage mean plus the wire time.
+  RttCaseSpec spec;
+  spec.name = "custom";
+  spec.request_stages = {{"fixed", 10.0, 0.7}};
+  spec.response_stages = {{"fixed", 10.0, 0.7}};
+  const RttStats stats = RunRttProbe(spec, 400, 1);
+  EXPECT_NEAR(stats.mean_us, 20.0, 2.5);
+  EXPECT_LT(stats.std_us, 2.0);
+}
+
+TEST(HostPathEdgeTest, EmptyChainsMeasureWireRtt) {
+  RttCaseSpec spec;
+  spec.name = "wire";
+  const RttStats stats = RunRttProbe(spec, 100, 1);
+  // 100G links, 200ns propagation x4 + tiny serialization: ~1us.
+  EXPECT_LT(stats.mean_us, 3.0);
+  EXPECT_GT(stats.mean_us, 0.5);
+}
+
+// --------------------------- DCQCN multiplexing -----------------------------
+
+TEST(DcqcnEdgeTest, ManyFlowsPerStackCompleteIndependently) {
+  Simulator sim;
+  Host a(sim, 0);
+  Host b(sim, 1);
+  auto nic_a = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), Time::Microseconds(2),
+      std::make_unique<FifoQueueDisc>(1ull << 26, nullptr));
+  auto nic_b = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), Time::Microseconds(2),
+      std::make_unique<FifoQueueDisc>(1ull << 26, nullptr));
+  nic_a->ConnectTo(b);
+  nic_b->ConnectTo(a);
+  a.AttachNic(std::move(nic_a));
+  b.AttachNic(std::move(nic_b));
+  DcqcnConfig config;
+  DcqcnStack stack_a(a, config);
+  DcqcnStack stack_b(b, config);
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    stack_a.StartFlow(1, 50'000 + i * 1000,
+                      [&done](const FlowRecord&) { ++done; });
+  }
+  sim.RunUntil(Time::Seconds(2));
+  EXPECT_EQ(done, 10);
+}
+
+}  // namespace
+}  // namespace ecnsharp

@@ -1,0 +1,140 @@
+// Harness tests: scheme factory, parameter presets, env knobs, tables.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "aqm/codel.h"
+#include "aqm/dctcp_red.h"
+#include "aqm/tcn.h"
+#include "core/ecn_sharp.h"
+#include "harness/env.h"
+#include "harness/experiment.h"
+#include "harness/schemes.h"
+#include "harness/table.h"
+#include "sched/fifo_queue_disc.h"
+#include "tofino/ecn_sharp_pipeline.h"
+
+namespace ecnsharp {
+namespace {
+
+TEST(SchemesTest, NamesAreStable) {
+  EXPECT_STREQ(SchemeName(Scheme::kDctcpRedTail), "DCTCP-RED-Tail");
+  EXPECT_STREQ(SchemeName(Scheme::kEcnSharp), "ECN#");
+  EXPECT_STREQ(SchemeName(Scheme::kEcnSharpTofino), "ECN#-Tofino");
+  EXPECT_STREQ(SchemeName(Scheme::kDropTail), "DropTail");
+}
+
+TEST(SchemesTest, FactoryBuildsMatchingPolicies) {
+  const SchemeParams params;
+  EXPECT_NE(dynamic_cast<DctcpRedAqm*>(
+                MakeAqm(Scheme::kDctcpRedTail, params).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<DctcpRedAqm*>(
+                MakeAqm(Scheme::kDctcpRedAvg, params).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<CodelAqm*>(MakeAqm(Scheme::kCodel, params).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<TcnAqm*>(MakeAqm(Scheme::kTcn, params).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<EcnSharpAqm*>(
+                MakeAqm(Scheme::kEcnSharp, params).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<TofinoEcnSharpAqm*>(
+                MakeAqm(Scheme::kEcnSharpTofino, params).get()),
+            nullptr);
+  EXPECT_EQ(MakeAqm(Scheme::kDropTail, params), nullptr);
+}
+
+TEST(SchemesTest, TailAndAvgUseDistinctThresholds) {
+  const SchemeParams params;
+  const auto tail = MakeAqm(Scheme::kDctcpRedTail, params);
+  const auto avg = MakeAqm(Scheme::kDctcpRedAvg, params);
+  EXPECT_EQ(dynamic_cast<DctcpRedAqm&>(*tail).threshold_bytes(), 250'000u);
+  EXPECT_EQ(dynamic_cast<DctcpRedAqm&>(*avg).threshold_bytes(), 80'000u);
+}
+
+TEST(SchemesTest, SimulationPresetMatchesSection53) {
+  const SchemeParams params = SimulationSchemeParams();
+  // C * p90RTT = 10 Gbps * 220 us = 275 KB; C * avgRTT = 171 KB.
+  EXPECT_EQ(params.red_tail_threshold_bytes, 275'000u);
+  EXPECT_EQ(params.red_avg_threshold_bytes, 171'000u);
+  EXPECT_EQ(params.codel.interval, Time::FromMicroseconds(240));
+  EXPECT_EQ(params.ecn_sharp.ins_target, Time::FromMicroseconds(220));
+  EXPECT_EQ(params.ecn_sharp.pst_target, Time::FromMicroseconds(10));
+}
+
+TEST(SchemesTest, FifoDiscWiresAqm) {
+  const SchemeParams params;
+  auto disc = MakeFifoDisc(Scheme::kEcnSharp, params);
+  auto* fifo = dynamic_cast<FifoQueueDisc*>(disc.get());
+  ASSERT_NE(fifo, nullptr);
+  EXPECT_EQ(fifo->capacity_bytes(), params.buffer_bytes);
+  EXPECT_NE(dynamic_cast<EcnSharpAqm*>(fifo->aqm()), nullptr);
+}
+
+TEST(EnvTest, IntAndDoubleParsing) {
+  ::setenv("ECNSHARP_TEST_INT", "1234", 1);
+  EXPECT_EQ(EnvInt("ECNSHARP_TEST_INT", 7), 1234);
+  EXPECT_EQ(EnvInt("ECNSHARP_TEST_MISSING", 7), 7);
+  ::setenv("ECNSHARP_TEST_DBL", "0.75", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("ECNSHARP_TEST_DBL", 0.1), 0.75);
+  ::setenv("ECNSHARP_TEST_EMPTY", "", 1);
+  EXPECT_EQ(EnvInt("ECNSHARP_TEST_EMPTY", 9), 9);
+  ::unsetenv("ECNSHARP_TEST_INT");
+  ::unsetenv("ECNSHARP_TEST_DBL");
+  ::unsetenv("ECNSHARP_TEST_EMPTY");
+}
+
+TEST(EnvTest, BenchFlowCountPrecedence) {
+  ::unsetenv("ECNSHARP_FLOWS");
+  ::unsetenv("ECNSHARP_FULL");
+  EXPECT_EQ(BenchFlowCount(100, 500), 100u);
+  ::setenv("ECNSHARP_FULL", "1", 1);
+  EXPECT_EQ(BenchFlowCount(100, 500), 500u);
+  ::setenv("ECNSHARP_FLOWS", "42", 1);
+  EXPECT_EQ(BenchFlowCount(100, 500), 42u);
+  ::unsetenv("ECNSHARP_FLOWS");
+  ::unsetenv("ECNSHARP_FULL");
+}
+
+TEST(TablePrinterTest, Formatting) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(10.0, 0), "10");
+  EXPECT_EQ(TablePrinter::FmtUs(123.4), "123.4us");
+  EXPECT_EQ(TablePrinter::FmtUs(25000.0), "25.0ms");
+}
+
+TEST(ExperimentTest, DumbbellResultIsDeterministicForSeed) {
+  DumbbellExperimentConfig config;
+  config.flows = 60;
+  config.load = 0.4;
+  config.seed = 99;
+  const ExperimentResult a = RunDumbbell(config);
+  const ExperimentResult b = RunDumbbell(config);
+  EXPECT_DOUBLE_EQ(a.overall.avg_us, b.overall.avg_us);
+  EXPECT_EQ(a.bottleneck.ce_marked, b.bottleneck.ce_marked);
+  EXPECT_EQ(a.flows_completed, 60u);
+}
+
+TEST(ExperimentTest, SeedChangesTraffic) {
+  DumbbellExperimentConfig config;
+  config.flows = 60;
+  config.load = 0.4;
+  config.seed = 1;
+  const ExperimentResult a = RunDumbbell(config);
+  config.seed = 2;
+  const ExperimentResult b = RunDumbbell(config);
+  EXPECT_NE(a.overall.avg_us, b.overall.avg_us);
+}
+
+TEST(ExperimentTest, QueueMonitoringOptIn) {
+  DumbbellExperimentConfig config;
+  config.flows = 40;
+  config.load = 0.5;
+  config.queue_sample_period = Time::FromMicroseconds(50);
+  const ExperimentResult r = RunDumbbell(config);
+  EXPECT_GT(r.max_queue_packets, 0u);
+}
+
+}  // namespace
+}  // namespace ecnsharp

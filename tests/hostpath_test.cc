@@ -1,0 +1,67 @@
+// §2.2 RTT-probe tests: the processing-component model reproduces the
+// monotone growth and magnitude of Table 1's RTT statistics.
+#include "hostpath/rtt_probe.h"
+
+#include <gtest/gtest.h>
+
+namespace ecnsharp {
+namespace {
+
+TEST(RttProbeTest, FiveCasesDefined) {
+  const auto cases = Table1Cases();
+  ASSERT_EQ(cases.size(), 5u);
+  EXPECT_EQ(cases[0].name, "stack");
+  EXPECT_EQ(cases.back().name, "stack(load)+slb+hypervisor");
+}
+
+TEST(RttProbeTest, CollectsRequestedSampleCount) {
+  const RttStats stats = RunRttProbe(Table1Cases()[0], 200, /*seed=*/1);
+  EXPECT_EQ(stats.samples, 200u);
+}
+
+TEST(RttProbeTest, StackCaseMatchesTable1Magnitude) {
+  const RttStats stats = RunRttProbe(Table1Cases()[0], 1000, /*seed=*/2);
+  // Table 1 row 1: mean 39.3 us, std 12.2, p90 59, p99 79.
+  EXPECT_NEAR(stats.mean_us, 39.3, 5.0);
+  EXPECT_NEAR(stats.std_us, 12.2, 4.0);
+  EXPECT_NEAR(stats.p90_us, 59.0, 10.0);
+}
+
+TEST(RttProbeTest, MeansGrowMonotonicallyAcrossCases) {
+  const auto cases = Table1Cases();
+  double prev = 0.0;
+  for (const auto& c : cases) {
+    const RttStats stats = RunRttProbe(c, 600, /*seed=*/3);
+    EXPECT_GT(stats.mean_us, prev) << c.name;
+    prev = stats.mean_us;
+  }
+}
+
+TEST(RttProbeTest, VariationFactorMatchesPaper) {
+  // The last case's mean is ~2.4-2.7x the first's (paper: 2.68x).
+  const auto cases = Table1Cases();
+  const RttStats first = RunRttProbe(cases.front(), 1000, /*seed=*/4);
+  const RttStats last = RunRttProbe(cases.back(), 1000, /*seed=*/4);
+  const double factor = last.mean_us / first.mean_us;
+  EXPECT_GT(factor, 2.0);
+  EXPECT_LT(factor, 3.2);
+}
+
+TEST(RttProbeTest, TailDominatesMean) {
+  // Every case is right-skewed: p99 well above the mean.
+  for (const auto& c : Table1Cases()) {
+    const RttStats stats = RunRttProbe(c, 800, /*seed=*/5);
+    EXPECT_GT(stats.p99_us, stats.mean_us * 1.3) << c.name;
+    EXPECT_GT(stats.p90_us, stats.mean_us) << c.name;
+  }
+}
+
+TEST(RttProbeTest, DeterministicForSeed) {
+  const RttStats a = RunRttProbe(Table1Cases()[1], 300, /*seed=*/9);
+  const RttStats b = RunRttProbe(Table1Cases()[1], 300, /*seed=*/9);
+  EXPECT_DOUBLE_EQ(a.mean_us, b.mean_us);
+  EXPECT_DOUBLE_EQ(a.p99_us, b.p99_us);
+}
+
+}  // namespace
+}  // namespace ecnsharp

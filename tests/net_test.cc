@@ -1,0 +1,255 @@
+// Link/port/switch behaviour: serialization timing, propagation, FIFO
+// draining, overflow drops, ECMP routing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/delay_line.h"
+#include "net/egress_port.h"
+#include "net/host.h"
+#include "net/switch_node.h"
+#include "sched/fifo_queue_disc.h"
+#include "sim/simulator.h"
+
+namespace ecnsharp {
+namespace {
+
+std::unique_ptr<Packet> MakePacket(std::uint32_t src, std::uint32_t dst,
+                                   std::uint32_t bytes,
+                                   std::uint16_t sport = 1) {
+  auto pkt = std::make_unique<Packet>();
+  pkt->flow = FlowKey{src, dst, sport, 80};
+  pkt->size_bytes = bytes;
+  return pkt;
+}
+
+// Collects delivered packets with their arrival times.
+class CollectorSink : public PacketSink {
+ public:
+  explicit CollectorSink(Simulator& sim) : sim_(sim) {}
+  void HandlePacket(std::unique_ptr<Packet> pkt) override {
+    arrivals_.emplace_back(sim_.Now(), std::move(pkt));
+  }
+  std::size_t count() const { return arrivals_.size(); }
+  Time arrival(std::size_t i) const { return arrivals_.at(i).first; }
+  const Packet& packet(std::size_t i) const { return *arrivals_.at(i).second; }
+
+ private:
+  Simulator& sim_;
+  std::vector<std::pair<Time, std::unique_ptr<Packet>>> arrivals_;
+};
+
+std::unique_ptr<FifoQueueDisc> BigFifo() {
+  return std::make_unique<FifoQueueDisc>(1ull << 30, nullptr);
+}
+
+TEST(EgressPortTest, SinglePacketTiming) {
+  Simulator sim;
+  CollectorSink sink(sim);
+  EgressPort port(sim, DataRate::GigabitsPerSecond(10),
+                  Time::Microseconds(5), BigFifo());
+  port.ConnectTo(sink);
+  port.Enqueue(MakePacket(0, 1, 1500));
+  sim.Run();
+  ASSERT_EQ(sink.count(), 1u);
+  // 1.2 us serialization + 5 us propagation.
+  EXPECT_EQ(sink.arrival(0), Time::Nanoseconds(6200));
+}
+
+TEST(EgressPortTest, BackToBackSerialization) {
+  Simulator sim;
+  CollectorSink sink(sim);
+  EgressPort port(sim, DataRate::GigabitsPerSecond(10), Time::Zero(),
+                  BigFifo());
+  port.ConnectTo(sink);
+  for (int i = 0; i < 3; ++i) port.Enqueue(MakePacket(0, 1, 1500));
+  sim.Run();
+  ASSERT_EQ(sink.count(), 3u);
+  EXPECT_EQ(sink.arrival(0), Time::Nanoseconds(1200));
+  EXPECT_EQ(sink.arrival(1), Time::Nanoseconds(2400));
+  EXPECT_EQ(sink.arrival(2), Time::Nanoseconds(3600));
+  EXPECT_EQ(port.counters().tx_packets, 3u);
+  EXPECT_EQ(port.counters().tx_bytes, 4500u);
+}
+
+TEST(EgressPortTest, PreservesFifoOrder) {
+  Simulator sim;
+  CollectorSink sink(sim);
+  EgressPort port(sim, DataRate::GigabitsPerSecond(1), Time::Zero(),
+                  BigFifo());
+  port.ConnectTo(sink);
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    port.Enqueue(MakePacket(0, 1, 500, i));
+  }
+  sim.Run();
+  ASSERT_EQ(sink.count(), 10u);
+  for (std::uint16_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(sink.packet(i).flow.src_port, i);
+  }
+}
+
+TEST(EgressPortTest, IdlePortResumesAfterDrain) {
+  Simulator sim;
+  CollectorSink sink(sim);
+  EgressPort port(sim, DataRate::GigabitsPerSecond(10), Time::Zero(),
+                  BigFifo());
+  port.ConnectTo(sink);
+  port.Enqueue(MakePacket(0, 1, 1500));
+  sim.Run();
+  ASSERT_EQ(sink.count(), 1u);
+  sim.ScheduleAt(Time::Microseconds(100),
+                 [&port] { port.Enqueue(MakePacket(0, 1, 1500)); });
+  sim.Run();
+  ASSERT_EQ(sink.count(), 2u);
+  EXPECT_EQ(sink.arrival(1), Time::Microseconds(100) + Time::Nanoseconds(1200));
+}
+
+TEST(FifoQueueDiscTest, OverflowDropsTail) {
+  FifoQueueDisc disc(3000, nullptr);  // two 1500B packets fit
+  EXPECT_TRUE(disc.Enqueue(MakePacket(0, 1, 1500), Time::Zero()));
+  EXPECT_TRUE(disc.Enqueue(MakePacket(0, 1, 1500), Time::Zero()));
+  EXPECT_FALSE(disc.Enqueue(MakePacket(0, 1, 1500), Time::Zero()));
+  EXPECT_EQ(disc.stats().dropped_overflow, 1u);
+  EXPECT_EQ(disc.Snapshot().packets, 2u);
+  EXPECT_EQ(disc.Snapshot().bytes, 3000u);
+}
+
+TEST(FifoQueueDiscTest, DequeueEmptyReturnsNull) {
+  FifoQueueDisc disc(3000, nullptr);
+  EXPECT_EQ(disc.Dequeue(Time::Zero()), nullptr);
+}
+
+TEST(FifoQueueDiscTest, StampsEnqueueTime) {
+  FifoQueueDisc disc(1 << 20, nullptr);
+  disc.Enqueue(MakePacket(0, 1, 100), Time::Microseconds(7));
+  auto out = disc.Dequeue(Time::Microseconds(11));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->enqueue_time, Time::Microseconds(7));
+}
+
+TEST(DelayLineTest, AddsFixedDelay) {
+  Simulator sim;
+  CollectorSink sink(sim);
+  DelayLine line(sim, sink, Time::Microseconds(42));
+  line.HandlePacket(MakePacket(0, 1, 100));
+  sim.Run();
+  ASSERT_EQ(sink.count(), 1u);
+  EXPECT_EQ(sink.arrival(0), Time::Microseconds(42));
+}
+
+TEST(HostTest, ExtraEgressDelayAppliesToSends) {
+  Simulator sim;
+  CollectorSink sink(sim);
+  Host host(sim, 0);
+  auto nic = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), Time::Zero(), BigFifo());
+  nic->ConnectTo(sink);
+  host.AttachNic(std::move(nic));
+  host.set_extra_egress_delay(Time::Microseconds(30));
+  host.SendPacket(MakePacket(0, 1, 1500));
+  sim.Run();
+  ASSERT_EQ(sink.count(), 1u);
+  EXPECT_EQ(sink.arrival(0),
+            Time::Microseconds(30) + Time::Nanoseconds(1200));
+}
+
+TEST(SwitchTest, RoutesByDestination) {
+  Simulator sim;
+  SwitchNode sw(sim, "sw");
+  CollectorSink sink_a(sim);
+  CollectorSink sink_b(sim);
+  auto port_a = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), Time::Zero(), BigFifo());
+  port_a->ConnectTo(sink_a);
+  auto port_b = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), Time::Zero(), BigFifo());
+  port_b->ConnectTo(sink_b);
+  sw.AddRoute(1, sw.AddPort(std::move(port_a)));
+  sw.AddRoute(2, sw.AddPort(std::move(port_b)));
+
+  sw.HandlePacket(MakePacket(0, 1, 100));
+  sw.HandlePacket(MakePacket(0, 2, 100));
+  sw.HandlePacket(MakePacket(0, 2, 100));
+  sim.Run();
+  EXPECT_EQ(sink_a.count(), 1u);
+  EXPECT_EQ(sink_b.count(), 2u);
+  EXPECT_EQ(sw.rx_packets(), 3u);
+}
+
+TEST(SwitchTest, DropsWithoutRoute) {
+  Simulator sim;
+  SwitchNode sw(sim, "sw");
+  sw.HandlePacket(MakePacket(0, 99, 100));
+  EXPECT_EQ(sw.no_route_drops(), 1u);
+}
+
+TEST(SwitchTest, EcmpIsPerFlowStable) {
+  Simulator sim;
+  SwitchNode sw(sim, "sw", /*ecmp_salt=*/7);
+  CollectorSink sink_a(sim);
+  CollectorSink sink_b(sim);
+  auto port_a = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), Time::Zero(), BigFifo());
+  port_a->ConnectTo(sink_a);
+  auto port_b = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), Time::Zero(), BigFifo());
+  port_b->ConnectTo(sink_b);
+  EgressPort& pa = sw.AddPort(std::move(port_a));
+  EgressPort& pb = sw.AddPort(std::move(port_b));
+  sw.AddRoute(5, pa);
+  sw.AddRoute(5, pb);
+
+  // Same flow always takes the same port.
+  for (int i = 0; i < 20; ++i) sw.HandlePacket(MakePacket(1, 5, 100, 33));
+  sim.Run();
+  EXPECT_TRUE(sink_a.count() == 20 || sink_b.count() == 20);
+}
+
+TEST(SwitchTest, EcmpSpreadsFlows) {
+  Simulator sim;
+  SwitchNode sw(sim, "sw", /*ecmp_salt=*/7);
+  CollectorSink sink_a(sim);
+  CollectorSink sink_b(sim);
+  auto port_a = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), Time::Zero(), BigFifo());
+  port_a->ConnectTo(sink_a);
+  auto port_b = std::make_unique<EgressPort>(
+      sim, DataRate::GigabitsPerSecond(10), Time::Zero(), BigFifo());
+  port_b->ConnectTo(sink_b);
+  EgressPort& pa = sw.AddPort(std::move(port_a));
+  EgressPort& pb = sw.AddPort(std::move(port_b));
+  sw.AddRoute(5, pa);
+  sw.AddRoute(5, pb);
+
+  for (std::uint16_t sport = 0; sport < 200; ++sport) {
+    sw.HandlePacket(MakePacket(1, 5, 100, sport));
+  }
+  sim.Run();
+  // Both uplinks must carry a substantial share of the 200 flows.
+  EXPECT_GT(sink_a.count(), 50u);
+  EXPECT_GT(sink_b.count(), 50u);
+}
+
+TEST(PacketTest, MarkCeRequiresEcnCapability) {
+  Packet pkt;
+  pkt.ecn = EcnCodepoint::kNotEct;
+  pkt.MarkCe();
+  EXPECT_FALSE(pkt.IsCeMarked());
+  pkt.ecn = EcnCodepoint::kEct0;
+  pkt.MarkCe();
+  EXPECT_TRUE(pkt.IsCeMarked());
+}
+
+TEST(PacketTest, FlowKeyReversal) {
+  const FlowKey k{10, 20, 1111, 80};
+  const FlowKey r = k.Reversed();
+  EXPECT_EQ(r.src, 20u);
+  EXPECT_EQ(r.dst, 10u);
+  EXPECT_EQ(r.src_port, 80);
+  EXPECT_EQ(r.dst_port, 1111);
+  EXPECT_EQ(r.Reversed(), k);
+}
+
+}  // namespace
+}  // namespace ecnsharp

@@ -1,0 +1,105 @@
+// PIE AQM tests: controller behaviour and marking statistics.
+#include "aqm/pie.h"
+
+#include <gtest/gtest.h>
+
+namespace ecnsharp {
+namespace {
+
+Packet EctPacket() {
+  Packet pkt;
+  pkt.size_bytes = 1500;
+  pkt.ecn = EcnCodepoint::kEct0;
+  return pkt;
+}
+
+PieConfig TestConfig() {
+  PieConfig config;
+  config.target = Time::FromMicroseconds(20);
+  config.update_interval = Time::FromMicroseconds(100);
+  return config;
+}
+
+// Drives arrivals+departures with a constant sojourn time and returns the
+// fraction of arrivals marked during [from, until).
+double RunConstantDelay(PieAqm& aqm, Time sojourn, Time from, Time until,
+                        Time gap) {
+  int marks = 0;
+  int arrivals = 0;
+  for (Time t = from; t < until; t += gap) {
+    Packet in = EctPacket();
+    aqm.AllowEnqueue(in, QueueSnapshot{20, 30'000}, t);
+    ++arrivals;
+    if (in.IsCeMarked()) ++marks;
+    Packet out = EctPacket();
+    aqm.OnDequeue(out, QueueSnapshot{20, 30'000}, t, sojourn);
+  }
+  return static_cast<double>(marks) / arrivals;
+}
+
+TEST(PieTest, NoMarkingAtLowDelay) {
+  PieAqm aqm(TestConfig(), 1);
+  const double fraction = RunConstantDelay(
+      aqm, Time::FromMicroseconds(5), Time::Zero(), Time::Milliseconds(20),
+      Time::FromMicroseconds(5));
+  EXPECT_DOUBLE_EQ(fraction, 0.0);
+  EXPECT_DOUBLE_EQ(aqm.marking_probability(), 0.0);
+}
+
+TEST(PieTest, ProbabilityRampsUpUnderSustainedDelay) {
+  PieAqm aqm(TestConfig(), 1);
+  RunConstantDelay(aqm, Time::FromMicroseconds(200), Time::Zero(),
+                   Time::Milliseconds(10), Time::FromMicroseconds(5));
+  EXPECT_GT(aqm.marking_probability(), 0.05);
+}
+
+TEST(PieTest, ProbabilityDecaysWhenDelayDrops) {
+  PieAqm aqm(TestConfig(), 1);
+  RunConstantDelay(aqm, Time::FromMicroseconds(200), Time::Zero(),
+                   Time::Milliseconds(10), Time::FromMicroseconds(5));
+  const double high = aqm.marking_probability();
+  RunConstantDelay(aqm, Time::FromMicroseconds(1), Time::Milliseconds(10),
+                   Time::Milliseconds(30), Time::FromMicroseconds(5));
+  EXPECT_LT(aqm.marking_probability(), high / 2.0);
+}
+
+TEST(PieTest, MarkingFractionTracksProbability) {
+  PieAqm aqm(TestConfig(), 7);
+  // Warm up to a steady probability, then measure the empirical fraction.
+  RunConstantDelay(aqm, Time::FromMicroseconds(100), Time::Zero(),
+                   Time::Milliseconds(20), Time::FromMicroseconds(5));
+  const double p = aqm.marking_probability();
+  const double fraction = RunConstantDelay(
+      aqm, Time::FromMicroseconds(100), Time::Milliseconds(20),
+      Time::Milliseconds(40), Time::FromMicroseconds(5));
+  EXPECT_NEAR(fraction, p, 0.35 * p + 0.02);
+}
+
+TEST(PieTest, SmallBacklogBypassesMarking) {
+  PieConfig config = TestConfig();
+  config.min_backlog_bytes = 10'000;
+  PieAqm aqm(config, 1);
+  // Sustained delay drives probability up...
+  for (Time t = Time::Zero(); t < Time::Milliseconds(10);
+       t += Time::FromMicroseconds(5)) {
+    Packet out = EctPacket();
+    aqm.OnDequeue(out, QueueSnapshot{20, 30'000}, t, Time::FromMicroseconds(200));
+  }
+  ASSERT_GT(aqm.marking_probability(), 0.0);
+  // ...but arrivals into a tiny backlog are never marked.
+  Packet pkt = EctPacket();
+  aqm.AllowEnqueue(pkt, QueueSnapshot{2, 3'000}, Time::Milliseconds(10));
+  EXPECT_FALSE(pkt.IsCeMarked());
+}
+
+TEST(PieTest, NeverDropsOnEnqueue) {
+  PieAqm aqm(TestConfig(), 1);
+  for (int i = 0; i < 1000; ++i) {
+    Packet pkt = EctPacket();
+    EXPECT_TRUE(aqm.AllowEnqueue(pkt, QueueSnapshot{100, 150'000},
+                                 Time::Microseconds(i)));
+  }
+}
+
+}  // namespace
+}  // namespace ecnsharp

@@ -1,0 +1,73 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/percentile.h"
+
+namespace ecnsharp {
+namespace {
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(5.0, 9.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(3);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[rng.UniformInt(7)];
+  for (const int c : counts) EXPECT_GT(c, 700);  // each bucket well hit
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(4);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(42.0);
+  EXPECT_NEAR(sum / kN, 42.0, 1.0);
+}
+
+TEST(RngTest, LogNormalMatchesTargetMoments) {
+  Rng rng(5);
+  std::vector<double> xs;
+  constexpr int kN = 200000;
+  xs.reserve(kN);
+  for (int i = 0; i < kN; ++i) xs.push_back(rng.LogNormal(39.3, 12.2));
+  EXPECT_NEAR(Mean(xs), 39.3, 0.5);
+  EXPECT_NEAR(StdDev(xs), 12.2, 0.5);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(77);
+  Rng b(77);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(RngTest, ForkIsIndependentStream) {
+  Rng a(9);
+  Rng forked = a.Fork();
+  // The fork must not replay the parent's stream.
+  bool all_equal = true;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Uniform() != forked.Uniform()) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+}  // namespace
+}  // namespace ecnsharp

@@ -1,0 +1,178 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/timer.h"
+
+namespace ecnsharp {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Time::Microseconds(30), [&order] { order.push_back(3); });
+  sim.Schedule(Time::Microseconds(10), [&order] { order.push_back(1); });
+  sim.Schedule(Time::Microseconds(20), [&order] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Time::Microseconds(30));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, FifoAmongEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Time::Microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Time::Microseconds(1), [&sim, &fired] {
+    ++fired;
+    sim.Schedule(Time::Microseconds(1), [&fired] { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), Time::Microseconds(2));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(Time::Microseconds(5), [&sim, &fired] {
+    sim.Schedule(Time::Microseconds(-3), [&sim, &fired] {
+      fired = true;
+      EXPECT_EQ(sim.Now(), Time::Microseconds(5));
+    });
+  });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id =
+      sim.Schedule(Time::Microseconds(1), [&fired] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelInvalidIdIsNoOp) {
+  Simulator sim;
+  sim.Cancel(EventId{});
+  sim.Cancel(EventId{12345});
+  sim.Run();
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Time::Microseconds(1), [&sim, &fired] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.Schedule(Time::Microseconds(2), [&fired] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(Time::Milliseconds(7));
+  EXPECT_EQ(sim.Now(), Time::Milliseconds(7));
+}
+
+TEST(SimulatorTest, RunUntilExecutesOnlyDueEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Time::Microseconds(10), [&fired] { ++fired; });
+  sim.Schedule(Time::Microseconds(30), [&fired] { ++fired; });
+  sim.RunUntil(Time::Microseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Time::Microseconds(20));
+  sim.RunUntil(Time::Microseconds(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.RunFor(Time::Microseconds(10));
+  sim.RunFor(Time::Microseconds(10));
+  EXPECT_EQ(sim.Now(), Time::Microseconds(20));
+}
+
+TEST(SimulatorTest, EventAtExactRunUntilBoundaryExecutes) {
+  Simulator sim;
+  bool fired = false;
+  sim.Schedule(Time::Microseconds(10), [&fired] { fired = true; });
+  sim.RunUntil(Time::Microseconds(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerTest, FiresOnce) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&fired] { ++fired; });
+  timer.Schedule(Time::Microseconds(5));
+  EXPECT_TRUE(timer.pending());
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.pending());
+}
+
+TEST(TimerTest, RescheduleReplacesPending) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&fired] { ++fired; });
+  timer.Schedule(Time::Microseconds(5));
+  timer.Schedule(Time::Microseconds(50));
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Time::Microseconds(50));
+}
+
+TEST(TimerTest, CancelStopsFire) {
+  Simulator sim;
+  int fired = 0;
+  Timer timer(sim, [&fired] { ++fired; });
+  timer.Schedule(Time::Microseconds(5));
+  timer.Cancel();
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, ReschedulableFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer* handle = nullptr;
+  Timer timer(sim, [&] {
+    if (++fired < 3) handle->Schedule(Time::Microseconds(10));
+  });
+  handle = &timer;
+  timer.Schedule(Time::Microseconds(10));
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.Now(), Time::Microseconds(30));
+}
+
+TEST(TimerTest, ExpiryReportsAbsoluteTime) {
+  Simulator sim;
+  Timer timer(sim, [] {});
+  sim.RunUntil(Time::Microseconds(100));
+  timer.Schedule(Time::Microseconds(20));
+  EXPECT_EQ(timer.expiry(), Time::Microseconds(120));
+}
+
+}  // namespace
+}  // namespace ecnsharp

@@ -1,0 +1,93 @@
+// QueueMonitor and harness-level statistics tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/egress_port.h"
+#include "sched/fifo_queue_disc.h"
+#include "sim/simulator.h"
+#include "stats/queue_monitor.h"
+
+namespace ecnsharp {
+namespace {
+
+std::unique_ptr<Packet> MakePacket(std::uint32_t bytes = 1500) {
+  auto pkt = std::make_unique<Packet>();
+  pkt->flow = FlowKey{0, 1, 1, 80};
+  pkt->size_bytes = bytes;
+  return pkt;
+}
+
+TEST(QueueMonitorTest, SamplesAtConfiguredPeriod) {
+  Simulator sim;
+  FifoQueueDisc disc(1ull << 20, nullptr);
+  QueueMonitor monitor(sim, disc, Time::Microseconds(10));
+  monitor.Run(Time::Zero(), Time::Microseconds(100));
+  sim.Run();
+  // Samples at 0, 10, ..., 100 us inclusive.
+  ASSERT_EQ(monitor.samples().size(), 11u);
+  EXPECT_EQ(monitor.samples()[3].at, Time::Microseconds(30));
+}
+
+TEST(QueueMonitorTest, ObservesQueueEvolution) {
+  Simulator sim;
+  FifoQueueDisc disc(1ull << 20, nullptr);
+  QueueMonitor monitor(sim, disc, Time::Microseconds(10));
+  monitor.Run(Time::Zero(), Time::Microseconds(100));
+  // Fill the queue at t=25us, drain one at t=55us.
+  sim.ScheduleAt(Time::Microseconds(25), [&disc, &sim] {
+    disc.Enqueue(MakePacket(), sim.Now());
+    disc.Enqueue(MakePacket(), sim.Now());
+  });
+  sim.ScheduleAt(Time::Microseconds(55),
+                 [&disc, &sim] { disc.Dequeue(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(monitor.samples()[2].packets, 0u);   // t=20
+  EXPECT_EQ(monitor.samples()[3].packets, 2u);   // t=30
+  EXPECT_EQ(monitor.samples()[6].packets, 1u);   // t=60
+  EXPECT_EQ(monitor.MaxPackets(), 2u);
+}
+
+TEST(QueueMonitorTest, WindowedAverage) {
+  Simulator sim;
+  FifoQueueDisc disc(1ull << 20, nullptr);
+  QueueMonitor monitor(sim, disc, Time::Microseconds(10));
+  monitor.Run(Time::Zero(), Time::Microseconds(100));
+  sim.ScheduleAt(Time::Microseconds(45), [&disc, &sim] {
+    disc.Enqueue(MakePacket(), sim.Now());
+  });
+  sim.Run();
+  // Queue is 0 for samples <= 40 us, 1 afterwards.
+  EXPECT_DOUBLE_EQ(
+      monitor.AvgPackets(Time::Zero(), Time::Microseconds(40)), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.AvgPackets(Time::Microseconds(50),
+                                      Time::Microseconds(100)),
+                   1.0);
+  EXPECT_NEAR(monitor.AvgPackets(), 6.0 / 11.0, 1e-9);
+}
+
+TEST(QueueMonitorTest, EmptyMonitorIsSafe) {
+  Simulator sim;
+  FifoQueueDisc disc(1ull << 20, nullptr);
+  QueueMonitor monitor(sim, disc, Time::Microseconds(10));
+  EXPECT_DOUBLE_EQ(monitor.AvgPackets(), 0.0);
+  EXPECT_EQ(monitor.MaxPackets(), 0u);
+}
+
+TEST(PortCountersTest, TrackTransmissions) {
+  Simulator sim;
+  struct Sink : PacketSink {
+    void HandlePacket(std::unique_ptr<Packet>) override {}
+  } sink;
+  EgressPort port(sim, DataRate::GigabitsPerSecond(10), Time::Zero(),
+                  std::make_unique<FifoQueueDisc>(1ull << 20, nullptr));
+  port.ConnectTo(sink);
+  port.Enqueue(MakePacket(1500));
+  port.Enqueue(MakePacket(500));
+  sim.Run();
+  EXPECT_EQ(port.counters().tx_packets, 2u);
+  EXPECT_EQ(port.counters().tx_bytes, 2000u);
+}
+
+}  // namespace
+}  // namespace ecnsharp

@@ -1,0 +1,194 @@
+// Focused receiver-side tests: ACK generation, delayed-ACK coalescing, the
+// DCTCP CE-echo state machine (RFC 8257 §3.2), classic-ECN ECE latching,
+// and out-of-order buffering.
+#include "transport/tcp_receiver.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/host.h"
+#include "sched/fifo_queue_disc.h"
+#include "sim/simulator.h"
+
+namespace ecnsharp {
+namespace {
+
+// Captures every packet the receiver's host transmits.
+class AckCapture : public PacketSink {
+ public:
+  void HandlePacket(std::unique_ptr<Packet> pkt) override {
+    acks.push_back(std::move(pkt));
+  }
+  std::vector<std::unique_ptr<Packet>> acks;
+};
+
+struct ReceiverHarness {
+  Simulator sim;
+  AckCapture capture;
+  Host host{sim, 1};
+  FlowKey flow{0, 1, 100, 80};
+
+  explicit ReceiverHarness(const TcpConfig& config) {
+    auto nic = std::make_unique<EgressPort>(
+        sim, DataRate::GigabitsPerSecond(100), Time::Zero(),
+        std::make_unique<FifoQueueDisc>(1ull << 26, nullptr));
+    nic->ConnectTo(capture);
+    host.AttachNic(std::move(nic));
+    receiver = std::make_unique<TcpReceiver>(host, config, flow);
+  }
+
+  void Deliver(std::uint64_t seq, std::uint32_t payload, bool ce = false,
+               bool psh = false, bool cwr = false) {
+    Packet pkt;
+    pkt.flow = flow;
+    pkt.type = PacketType::kData;
+    pkt.seq = seq;
+    pkt.payload_bytes = payload;
+    pkt.size_bytes = payload + kDataHeaderBytes;
+    pkt.ecn = ce ? EcnCodepoint::kCe : EcnCodepoint::kEct0;
+    pkt.psh = psh;
+    pkt.cwr = cwr;
+    receiver->OnData(pkt);
+    // Flush any immediate ACK through the 100G NIC without advancing far
+    // enough to fire the 500 us delayed-ACK timer.
+    sim.RunFor(Time::Microseconds(10));
+  }
+
+  std::unique_ptr<TcpReceiver> receiver;
+};
+
+TcpConfig DctcpConfig() {
+  TcpConfig config;
+  config.ecn_mode = EcnMode::kDctcp;
+  config.delayed_ack_count = 2;
+  return config;
+}
+
+TEST(TcpReceiverTest, DelayedAckCoalescesTwoSegments) {
+  ReceiverHarness h(DctcpConfig());
+  h.Deliver(0, 1460);
+  EXPECT_EQ(h.capture.acks.size(), 0u);  // first segment: ack delayed
+  h.Deliver(1460, 1460);
+  ASSERT_EQ(h.capture.acks.size(), 1u);  // second segment: ack now
+  EXPECT_EQ(h.capture.acks[0]->ack, 2920u);
+  EXPECT_EQ(h.capture.acks[0]->type, PacketType::kAck);
+}
+
+TEST(TcpReceiverTest, DelayedAckTimerFlushesSingleSegment) {
+  ReceiverHarness h(DctcpConfig());
+  h.Deliver(0, 1460);
+  EXPECT_TRUE(h.capture.acks.empty());
+  h.sim.RunFor(Time::Milliseconds(1));  // past the 500 us delack timeout
+  ASSERT_EQ(h.capture.acks.size(), 1u);
+  EXPECT_EQ(h.capture.acks[0]->ack, 1460u);
+}
+
+TEST(TcpReceiverTest, PshForcesImmediateAck) {
+  ReceiverHarness h(DctcpConfig());
+  h.Deliver(0, 1000, /*ce=*/false, /*psh=*/true);
+  ASSERT_EQ(h.capture.acks.size(), 1u);
+  EXPECT_EQ(h.capture.acks[0]->ack, 1000u);
+}
+
+TEST(TcpReceiverTest, AckPacketsAreNotEcnCapable) {
+  ReceiverHarness h(DctcpConfig());
+  h.Deliver(0, 1460, /*ce=*/true, /*psh=*/true);
+  ASSERT_EQ(h.capture.acks.size(), 1u);
+  EXPECT_EQ(h.capture.acks[0]->ecn, EcnCodepoint::kNotEct);
+  EXPECT_EQ(h.capture.acks[0]->size_bytes, kAckPacketBytes);
+  EXPECT_EQ(h.capture.acks[0]->flow, h.flow.Reversed());
+}
+
+TEST(TcpReceiverTest, DctcpEchoesCePerPacketState) {
+  // CE-marked segments produce ECE acks; unmarked segments clear ECE.
+  ReceiverHarness h(DctcpConfig());
+  h.Deliver(0, 1460, /*ce=*/true);
+  h.Deliver(1460, 1460, /*ce=*/true);
+  ASSERT_EQ(h.capture.acks.size(), 1u);
+  EXPECT_TRUE(h.capture.acks[0]->ece);
+
+  h.Deliver(2920, 1460, /*ce=*/false);  // state change -> no pending? below
+  h.Deliver(4380, 1460, /*ce=*/false);
+  ASSERT_GE(h.capture.acks.size(), 2u);
+  EXPECT_FALSE(h.capture.acks.back()->ece);
+}
+
+TEST(TcpReceiverTest, DctcpCeStateChangeFlushesPendingWithOldState) {
+  // RFC 8257: one unacked non-CE segment pending, then a CE segment arrives.
+  // The receiver must immediately ack the pending data with ECE=0 (the old
+  // state) before switching to CE state.
+  ReceiverHarness h(DctcpConfig());
+  h.Deliver(0, 1460, /*ce=*/false);
+  EXPECT_TRUE(h.capture.acks.empty());
+  h.Deliver(1460, 1460, /*ce=*/true);
+  ASSERT_EQ(h.capture.acks.size(), 1u);
+  EXPECT_FALSE(h.capture.acks[0]->ece);    // old state
+  EXPECT_EQ(h.capture.acks[0]->ack, 1460u);  // covers only the old data
+  // Next delivery completes the delayed-ack pair with the new state.
+  h.Deliver(2920, 1460, /*ce=*/true);
+  ASSERT_EQ(h.capture.acks.size(), 2u);
+  EXPECT_TRUE(h.capture.acks[1]->ece);
+  EXPECT_EQ(h.capture.acks[1]->ack, 4380u);
+}
+
+TEST(TcpReceiverTest, ClassicEceLatchesUntilCwr) {
+  TcpConfig config;
+  config.ecn_mode = EcnMode::kClassic;
+  config.delayed_ack_count = 1;  // ack every segment for clarity
+  ReceiverHarness h(config);
+  h.Deliver(0, 1460, /*ce=*/true);
+  h.Deliver(1460, 1460, /*ce=*/false);  // still latched
+  ASSERT_EQ(h.capture.acks.size(), 2u);
+  EXPECT_TRUE(h.capture.acks[0]->ece);
+  EXPECT_TRUE(h.capture.acks[1]->ece);
+  // CWR from the sender clears the latch.
+  h.Deliver(2920, 1460, /*ce=*/false, /*psh=*/false, /*cwr=*/true);
+  ASSERT_EQ(h.capture.acks.size(), 3u);
+  EXPECT_FALSE(h.capture.acks[2]->ece);
+}
+
+TEST(TcpReceiverTest, OutOfOrderGeneratesDupAcks) {
+  ReceiverHarness h(DctcpConfig());
+  h.Deliver(0, 1460);
+  h.Deliver(1460, 1460);  // ack 2920
+  ASSERT_EQ(h.capture.acks.size(), 1u);
+  // Segment 2 lost; 3, 4, 5 arrive out of order -> three dupacks of 2920.
+  h.Deliver(4380, 1460);
+  h.Deliver(5840, 1460);
+  h.Deliver(7300, 1460);
+  ASSERT_EQ(h.capture.acks.size(), 4u);
+  for (std::size_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(h.capture.acks[i]->ack, 2920u);
+  }
+  // The retransmission fills the hole: cumulative ack jumps to 8760.
+  h.Deliver(2920, 1460);
+  ASSERT_EQ(h.capture.acks.size(), 5u);
+  EXPECT_EQ(h.capture.acks[4]->ack, 8760u);
+}
+
+TEST(TcpReceiverTest, DuplicateDataReAcked) {
+  ReceiverHarness h(DctcpConfig());
+  h.Deliver(0, 1460, false, /*psh=*/true);
+  ASSERT_EQ(h.capture.acks.size(), 1u);
+  h.Deliver(0, 1460, false, /*psh=*/true);  // spurious retransmit
+  ASSERT_EQ(h.capture.acks.size(), 2u);
+  EXPECT_EQ(h.capture.acks[1]->ack, 1460u);
+  EXPECT_EQ(h.receiver->bytes_received(), 1460u);  // counted once
+}
+
+TEST(TcpReceiverTest, TracksBytesAcrossReordering) {
+  ReceiverHarness h(DctcpConfig());
+  h.Deliver(1460, 1460);
+  h.Deliver(4380, 1460);
+  EXPECT_EQ(h.receiver->rcv_nxt(), 0u);
+  h.Deliver(0, 1460);
+  EXPECT_EQ(h.receiver->rcv_nxt(), 2920u);
+  h.Deliver(2920, 1460);
+  EXPECT_EQ(h.receiver->rcv_nxt(), 5840u);
+  EXPECT_EQ(h.receiver->bytes_received(), 5840u);
+}
+
+}  // namespace
+}  // namespace ecnsharp

@@ -1,0 +1,284 @@
+// Tofino emulation tests: register single-access constraint, the §4.1 time
+// emulation (Algorithm 2) across wraparounds, and equivalence of the
+// match-action ECN# pipeline with the reference algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/ecn_sharp.h"
+#include "sim/random.h"
+#include "tofino/ecn_sharp_pipeline.h"
+#include "tofino/register.h"
+#include "tofino/time_emulator.h"
+
+namespace ecnsharp {
+namespace {
+
+// --------------------------- RegisterArray ---------------------------------
+
+TEST(RegisterArrayTest, SingleAccessPerPassAllowed) {
+  RegisterArray<std::uint32_t> reg("r", 4);
+  PassContext pass;
+  const std::uint32_t out = reg.Execute(2, pass, [](std::uint32_t& cell) {
+    cell += 7;
+    return cell;
+  });
+  EXPECT_EQ(out, 7u);
+  EXPECT_EQ(reg.Peek(2), 7u);
+}
+
+TEST(RegisterArrayTest, SecondAccessInSamePassThrows) {
+  // This is exactly the Fig. 4b failure mode: a control-flow translation
+  // that reads first_above_time in one table and writes it in another.
+  RegisterArray<std::uint32_t> reg("first_above_time", 1);
+  PassContext pass;
+  reg.Execute(0, pass, [](std::uint32_t& cell) { return cell; });
+  EXPECT_THROW(
+      reg.Execute(0, pass, [](std::uint32_t& cell) { return cell; }),
+      PipelineConstraintError);
+}
+
+TEST(RegisterArrayTest, FreshPassResetsConstraint) {
+  RegisterArray<std::uint32_t> reg("r", 1);
+  for (int i = 0; i < 10; ++i) {
+    PassContext pass;
+    reg.Execute(0, pass, [](std::uint32_t& cell) { return ++cell; });
+  }
+  EXPECT_EQ(reg.Peek(0), 10u);
+}
+
+TEST(RegisterArrayTest, ControlPlaneBypassesConstraint) {
+  RegisterArray<std::uint32_t> reg("r", 2);
+  PassContext pass;
+  reg.Execute(1, pass, [](std::uint32_t& cell) { return cell; });
+  reg.ControlPlaneWrite(1, 99);  // allowed any time
+  EXPECT_EQ(reg.Peek(1), 99u);
+}
+
+// --------------------------- TimeEmulator ----------------------------------
+
+TEST(TimeEmulatorTest, MatchesReferenceForMonotonicSmallTimes) {
+  TimeEmulator emu;
+  for (std::uint64_t ns = 0; ns < 50'000'000; ns += 1'234'567) {
+    PassContext pass;
+    EXPECT_EQ(emu.CurrentTimeTicks(ns, pass), TimeEmulator::ReferenceTicks(ns))
+        << "at ns=" << ns;
+  }
+}
+
+TEST(TimeEmulatorTest, SameTickTwiceDoesNotAdvanceClock) {
+  // Two packets within the same 1.024 us tick: the emulated time must not
+  // jump (the listing's `<=` would add a spurious 2^22 ticks here).
+  TimeEmulator emu;
+  PassContext p1;
+  const std::uint32_t t1 = emu.CurrentTimeTicks(5000, p1);
+  PassContext p2;
+  const std::uint32_t t2 = emu.CurrentTimeTicks(5100, p2);  // same tick
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(TimeEmulatorTest, SurvivesLower32BitWraparound) {
+  // The 22-bit low part wraps every 2^32 ns ~ 4.29 s. Walk across several
+  // wraps and verify against the unconstrained reference clock.
+  TimeEmulator emu;
+  const std::uint64_t step = 100'000'000;  // 100 ms
+  for (std::uint64_t ns = 0; ns < 20'000'000'000ull; ns += step) {
+    PassContext pass;
+    EXPECT_EQ(emu.CurrentTimeTicks(ns, pass),
+              TimeEmulator::ReferenceTicks(ns))
+        << "at ns=" << ns;
+  }
+}
+
+TEST(TimeEmulatorTest, RandomIncrementsProperty) {
+  // Property: for any monotonically increasing ns sequence with gaps below
+  // one low-part wrap period, the emulated clock equals the reference.
+  TimeEmulator emu;
+  Rng rng(5);
+  std::uint64_t ns = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    ns += static_cast<std::uint64_t>(rng.Uniform(1.0, 3e9));
+    PassContext pass;
+    ASSERT_EQ(emu.CurrentTimeTicks(ns, pass),
+              TimeEmulator::ReferenceTicks(ns))
+        << "at ns=" << ns;
+  }
+}
+
+TEST(TimeEmulatorTest, UsesExactlyTwoRegisterAccessesPerPacket) {
+  // Indirect check: a second call with the same PassContext must violate
+  // the single-access constraint on the low register.
+  TimeEmulator emu;
+  PassContext pass;
+  emu.CurrentTimeTicks(1000, pass);
+  EXPECT_THROW(emu.CurrentTimeTicks(2000, pass), PipelineConstraintError);
+}
+
+// --------------------------- ECN# pipeline ---------------------------------
+
+TofinoPipelineConfig TestPipelineConfig() {
+  TofinoPipelineConfig config;
+  config.aqm.ins_target = Time::FromMicroseconds(200);
+  config.aqm.pst_target = Time::FromMicroseconds(85);
+  config.aqm.pst_interval = Time::FromMicroseconds(200);
+  config.num_ports = 4;
+  return config;
+}
+
+TEST(EcnSharpPipelineTest, InstantaneousMarkingMatchesThreshold) {
+  EcnSharpPipeline pipe(TestPipelineConfig());
+  // Sojourn 300 us >> ins_target.
+  EXPECT_TRUE(pipe.ProcessDequeue(0, 1'000'000, 1'300'000));
+  // Sojourn 50 us: no condition holds.
+  EXPECT_FALSE(pipe.ProcessDequeue(0, 2'000'000, 2'050'000));
+}
+
+TEST(EcnSharpPipelineTest, PortsAreIsolated) {
+  EcnSharpPipeline pipe(TestPipelineConfig());
+  // Build persistence on port 1 only.
+  for (int t_us = 0; t_us < 1000; t_us += 10) {
+    const std::uint64_t now = static_cast<std::uint64_t>(t_us) * 1000;
+    pipe.ProcessDequeue(1, now - std::min<std::uint64_t>(now, 100'000), now);
+  }
+  EXPECT_GT(pipe.PeekMarkingCount(1), 0u);
+  EXPECT_EQ(pipe.PeekMarkingCount(0), 0u);
+  EXPECT_EQ(pipe.PeekMarkingCount(2), 0u);
+}
+
+TEST(EcnSharpPipelineTest, SqrtLutMatchesControlLaw) {
+  EcnSharpPipeline pipe(TestPipelineConfig());
+  const double interval = pipe.pst_interval_ticks();
+  for (std::uint32_t count : {1u, 2u, 3u, 10u, 100u, 1000u}) {
+    EXPECT_NEAR(pipe.StepTicks(count), interval / std::sqrt(count), 1.0)
+        << "count=" << count;
+  }
+  // Beyond the LUT: clamps to the last entry instead of misbehaving.
+  EXPECT_EQ(pipe.StepTicks(1'000'000), pipe.StepTicks(4096));
+}
+
+// Reference model in tick arithmetic: Algorithm 1 exactly as the pipeline
+// should behave after time quantization, with the same LUT-based control
+// law. The pipeline must match this bit-for-bit; the floating/ns reference
+// EcnSharpAqm must agree closely (quantization aside), which is checked
+// statistically below.
+class TickReference {
+ public:
+  TickReference(std::uint32_t ins, std::uint32_t pst, std::uint32_t interval,
+                const EcnSharpPipeline& lut_source)
+      : ins_(ins), pst_(pst), interval_(interval), lut_(lut_source) {}
+
+  bool Dequeue(std::uint32_t now, std::uint32_t sojourn) {
+    const bool detected = Detect(now, sojourn);
+    bool persistent = false;
+    if (marking_state_) {
+      if (!detected) {
+        marking_state_ = false;
+      } else if (now > next_) {
+        ++count_;
+        next_ += lut_.StepTicks(count_);
+        persistent = true;
+      }
+    } else if (detected) {
+      marking_state_ = true;
+      count_ = 1;
+      next_ = now + interval_;
+      persistent = true;
+    }
+    return sojourn > ins_ || persistent;
+  }
+
+ private:
+  bool Detect(std::uint32_t now, std::uint32_t sojourn) {
+    if (sojourn < pst_) {
+      first_above_ = 0;
+      return false;
+    }
+    if (first_above_ == 0) {
+      first_above_ = now;
+      return false;
+    }
+    return now > first_above_ + interval_;
+  }
+
+  std::uint32_t ins_, pst_, interval_;
+  const EcnSharpPipeline& lut_;
+  bool marking_state_ = false;
+  std::uint32_t count_ = 0;
+  std::uint32_t next_ = 0;
+  std::uint32_t first_above_ = 0;
+};
+
+struct TraceParam {
+  std::uint64_t seed;
+  double max_sojourn_us;
+  double max_gap_us;
+};
+
+class PipelineEquivalenceTest : public ::testing::TestWithParam<TraceParam> {
+};
+
+TEST_P(PipelineEquivalenceTest, PipelineMatchesTickReferenceExactly) {
+  const TraceParam param = GetParam();
+  EcnSharpPipeline pipe(TestPipelineConfig());
+  TickReference ref(pipe.ins_target_ticks(), pipe.pst_target_ticks(),
+                    pipe.pst_interval_ticks(), pipe);
+  Rng rng(param.seed);
+  std::uint64_t now_ns = 1'000'000;
+  for (int i = 0; i < 50'000; ++i) {
+    now_ns += static_cast<std::uint64_t>(
+        rng.Uniform(0.5, param.max_gap_us) * 1000.0);
+    const auto sojourn_ns = static_cast<std::uint64_t>(
+        rng.Uniform(0.0, param.max_sojourn_us) * 1000.0);
+    const bool pipeline_mark =
+        pipe.ProcessDequeue(0, now_ns - sojourn_ns, now_ns);
+    const bool ref_mark =
+        ref.Dequeue(TimeEmulator::ReferenceTicks(now_ns),
+                    static_cast<std::uint32_t>(sojourn_ns >> kTickShift));
+    ASSERT_EQ(pipeline_mark, ref_mark) << "packet " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Traces, PipelineEquivalenceTest,
+    ::testing::Values(TraceParam{1, 400.0, 20.0},   // mixed regime
+                      TraceParam{2, 120.0, 5.0},    // persistent band only
+                      TraceParam{3, 84.0, 10.0},    // never above pst_target
+                      TraceParam{4, 1000.0, 50.0},  // bursty
+                      TraceParam{5, 200.0, 2.0}),   // high dequeue rate
+    [](const ::testing::TestParamInfo<TraceParam>& info) {
+      return "trace" + std::to_string(info.param.seed);
+    });
+
+TEST(EcnSharpPipelineTest, AgreesWithReferenceAqmStatistically) {
+  // Same random trace through the hardware pipeline and the ns-precision
+  // reference AQM: mark totals must agree within the quantization noise.
+  EcnSharpPipeline pipe(TestPipelineConfig());
+  EcnSharpAqm reference(TestPipelineConfig().aqm);
+  Rng rng(17);
+  std::uint64_t now_ns = 1'000'000;
+  int pipe_marks = 0;
+  int ref_marks = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    now_ns +=
+        static_cast<std::uint64_t>(rng.Uniform(0.5, 10.0) * 1000.0);
+    const auto sojourn_ns = static_cast<std::uint64_t>(
+        rng.Uniform(0.0, 300.0) * 1000.0);
+    if (pipe.ProcessDequeue(0, now_ns - sojourn_ns, now_ns)) ++pipe_marks;
+    Packet pkt;
+    pkt.size_bytes = 1500;
+    pkt.ecn = EcnCodepoint::kEct0;
+    reference.OnDequeue(pkt, QueueSnapshot{},
+                        Time::Nanoseconds(static_cast<std::int64_t>(now_ns)),
+                        Time::Nanoseconds(
+                            static_cast<std::int64_t>(sojourn_ns)));
+    if (pkt.IsCeMarked()) ++ref_marks;
+  }
+  ASSERT_GT(ref_marks, 0);
+  const double ratio = static_cast<double>(pipe_marks) / ref_marks;
+  EXPECT_NEAR(ratio, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace ecnsharp

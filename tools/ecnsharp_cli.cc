@@ -1,0 +1,194 @@
+// ecnsharp_cli — run any experiment from the command line.
+//
+//   ecnsharp_cli --topo=dumbbell --scheme=ecn-sharp --workload=websearch \
+//                --load=0.6 --flows=1000 --variation=3 --seed=1
+//   ecnsharp_cli --topo=leafspine --scheme=dctcp-red-tail --load=0.4
+//   ecnsharp_cli --topo=incast --scheme=codel --fanout=100
+//
+// Prints the experiment's FCT breakdown (or incast metrics) as a table.
+// Run with --help for all options.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "workload/empirical_cdf.h"
+
+namespace {
+
+using namespace ecnsharp;
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& key) const { return values.contains(key); }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : std::strtod(it->second.c_str(),
+                                                       nullptr);
+  }
+  std::uint64_t GetU64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values.find(key);
+    return it == values.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values[arg] = "1";
+    } else {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+int Usage() {
+  std::printf(
+      "ecnsharp_cli — run an ECN# experiment\n\n"
+      "  --topo=dumbbell|leafspine|incast   topology (default dumbbell)\n"
+      "  --scheme=<name>                    dctcp-red-tail, dctcp-red-avg,\n"
+      "                                     codel, tcn, ecn-sharp,\n"
+      "                                     ecn-sharp-tofino, droptail, pie,\n"
+      "                                     ecn-sharp-inst-only,\n"
+      "                                     ecn-sharp-pst-only\n"
+      "  --workload=websearch|datamining    flow size distribution\n"
+      "  --load=<0..1>                      offered load (default 0.5)\n"
+      "  --flows=<n>                        flow count (default 1000)\n"
+      "  --variation=<k>                    RTT variation factor (default 3)\n"
+      "  --fanout=<n>                       incast query flows (default "
+      "100)\n"
+      "  --seed=<n>                         RNG seed (default 1)\n"
+      "  --sim-params                       use the paper's simulation\n"
+      "                                     parameter preset (§5.3)\n"
+      "  --help                             this text\n");
+  return 0;
+}
+
+bool ParseScheme(const std::string& name, Scheme& out) {
+  static const std::map<std::string, Scheme> kNames = {
+      {"dctcp-red-tail", Scheme::kDctcpRedTail},
+      {"dctcp-red-avg", Scheme::kDctcpRedAvg},
+      {"codel", Scheme::kCodel},
+      {"tcn", Scheme::kTcn},
+      {"ecn-sharp", Scheme::kEcnSharp},
+      {"ecn-sharp-tofino", Scheme::kEcnSharpTofino},
+      {"droptail", Scheme::kDropTail},
+      {"pie", Scheme::kPie},
+      {"ecn-sharp-inst-only", Scheme::kEcnSharpInstOnly},
+      {"ecn-sharp-pst-only", Scheme::kEcnSharpPstOnly},
+  };
+  const auto it = kNames.find(name);
+  if (it == kNames.end()) return false;
+  out = it->second;
+  return true;
+}
+
+void PrintFctResult(const ExperimentResult& r) {
+  TablePrinter table({"metric", "count", "avg(us)", "p50(us)", "p99(us)",
+                      "max(us)"});
+  const auto row = [&table](const char* name, const FctSummary& s) {
+    table.AddRow({name, std::to_string(s.count),
+                  TablePrinter::Fmt(s.avg_us, 1),
+                  TablePrinter::Fmt(s.p50_us, 1),
+                  TablePrinter::Fmt(s.p99_us, 1),
+                  TablePrinter::Fmt(s.max_us, 1)});
+  };
+  row("overall", r.overall);
+  row("short (<100KB)", r.short_flows);
+  row("large (>10MB)", r.large_flows);
+  table.Print();
+  std::printf(
+      "flows: %zu/%zu completed  timeouts: %llu  CE marks: %llu  drops: "
+      "%llu  sim time: %.3fs\n",
+      r.flows_completed, r.flows_started,
+      static_cast<unsigned long long>(r.timeouts),
+      static_cast<unsigned long long>(r.bottleneck.ce_marked),
+      static_cast<unsigned long long>(r.bottleneck.dropped_overflow),
+      r.sim_seconds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  if (flags.Has("help")) return Usage();
+
+  Scheme scheme = Scheme::kEcnSharp;
+  if (!ParseScheme(flags.Get("scheme", "ecn-sharp"), scheme)) {
+    std::fprintf(stderr, "unknown scheme '%s' (see --help)\n",
+                 flags.Get("scheme", "").c_str());
+    return 2;
+  }
+  const std::string workload_name = flags.Get("workload", "websearch");
+  const EmpiricalCdf* workload = workload_name == "datamining"
+                                     ? &DataMiningWorkload()
+                                     : &WebSearchWorkload();
+  const std::string topo = flags.Get("topo", "dumbbell");
+
+  if (topo == "dumbbell") {
+    DumbbellExperimentConfig config;
+    config.scheme = scheme;
+    if (flags.Has("sim-params")) config.params = SimulationSchemeParams();
+    config.workload = workload;
+    config.load = flags.GetDouble("load", 0.5);
+    config.flows = flags.GetU64("flows", 1000);
+    config.rtt_variation = flags.GetDouble("variation", 3.0);
+    config.seed = flags.GetU64("seed", 1);
+    PrintBanner("dumbbell / " + std::string(SchemeName(scheme)) + " / " +
+                workload_name);
+    PrintFctResult(RunDumbbell(config));
+  } else if (topo == "leafspine") {
+    LeafSpineExperimentConfig config;
+    config.scheme = scheme;
+    config.params = SimulationSchemeParams();
+    config.workload = workload;
+    config.load = flags.GetDouble("load", 0.5);
+    config.flows = flags.GetU64("flows", 1000);
+    config.seed = flags.GetU64("seed", 1);
+    PrintBanner("leaf-spine / " + std::string(SchemeName(scheme)) + " / " +
+                workload_name);
+    PrintFctResult(RunLeafSpine(config));
+  } else if (topo == "incast") {
+    IncastExperimentConfig config;
+    config.scheme = scheme;
+    config.query_flows = flags.GetU64("fanout", 100);
+    config.seed = flags.GetU64("seed", 1);
+    PrintBanner("incast / " + std::string(SchemeName(scheme)) + " / fanout " +
+                std::to_string(config.query_flows));
+    const IncastResult r = RunIncast(config);
+    TablePrinter table({"metric", "value"});
+    table.AddRow({"standing queue (pkts)",
+                  TablePrinter::Fmt(r.standing_queue_packets, 1)});
+    table.AddRow({"peak queue (pkts)", std::to_string(r.max_queue_packets)});
+    table.AddRow({"burst drops", std::to_string(r.drops)});
+    table.AddRow({"query avg FCT (us)",
+                  TablePrinter::Fmt(r.query_fct.avg_us, 1)});
+    table.AddRow({"query p99 FCT (us)",
+                  TablePrinter::Fmt(r.query_fct.p99_us, 1)});
+    table.AddRow({"query timeouts", std::to_string(r.query_timeouts)});
+    table.Print();
+  } else {
+    std::fprintf(stderr, "unknown topo '%s' (see --help)\n", topo.c_str());
+    return 2;
+  }
+  return 0;
+}
