@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_internet_aqm.dir/ablation_internet_aqm.cc.o"
+  "CMakeFiles/ablation_internet_aqm.dir/ablation_internet_aqm.cc.o.d"
+  "ablation_internet_aqm"
+  "ablation_internet_aqm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_internet_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shared_buffer.dir/ablation_shared_buffer.cc.o"
+  "CMakeFiles/ablation_shared_buffer.dir/ablation_shared_buffer.cc.o.d"
+  "ablation_shared_buffer"
+  "ablation_shared_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shared_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dcqcn.dir/ext_dcqcn.cc.o"
+  "CMakeFiles/ext_dcqcn.dir/ext_dcqcn.cc.o.d"
+  "ext_dcqcn"
+  "ext_dcqcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dcqcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_rtt_variations.dir/fig01_rtt_variations.cc.o"
+  "CMakeFiles/fig01_rtt_variations.dir/fig01_rtt_variations.cc.o.d"
+  "fig01_rtt_variations"
+  "fig01_rtt_variations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_rtt_variations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_variation_sweep.dir/fig03_variation_sweep.cc.o"
+  "CMakeFiles/fig03_variation_sweep.dir/fig03_variation_sweep.cc.o.d"
+  "fig03_variation_sweep"
+  "fig03_variation_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_variation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

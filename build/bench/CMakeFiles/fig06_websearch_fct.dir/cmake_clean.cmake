@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_websearch_fct.dir/fig06_websearch_fct.cc.o"
+  "CMakeFiles/fig06_websearch_fct.dir/fig06_websearch_fct.cc.o.d"
+  "fig06_websearch_fct"
+  "fig06_websearch_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_websearch_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_datamining_fct.dir/fig07_datamining_fct.cc.o"
+  "CMakeFiles/fig07_datamining_fct.dir/fig07_datamining_fct.cc.o.d"
+  "fig07_datamining_fct"
+  "fig07_datamining_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_datamining_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_larger_variation.dir/fig08_larger_variation.cc.o"
+  "CMakeFiles/fig08_larger_variation.dir/fig08_larger_variation.cc.o.d"
+  "fig08_larger_variation"
+  "fig08_larger_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_larger_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

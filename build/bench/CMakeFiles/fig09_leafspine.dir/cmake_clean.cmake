@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_leafspine.dir/fig09_leafspine.cc.o"
+  "CMakeFiles/fig09_leafspine.dir/fig09_leafspine.cc.o.d"
+  "fig09_leafspine"
+  "fig09_leafspine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_leafspine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

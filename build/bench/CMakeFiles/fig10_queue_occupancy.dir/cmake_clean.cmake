@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_queue_occupancy.dir/fig10_queue_occupancy.cc.o"
+  "CMakeFiles/fig10_queue_occupancy.dir/fig10_queue_occupancy.cc.o.d"
+  "fig10_queue_occupancy"
+  "fig10_queue_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_queue_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

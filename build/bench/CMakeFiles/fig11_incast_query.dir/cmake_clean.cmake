@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_incast_query.dir/fig11_incast_query.cc.o"
+  "CMakeFiles/fig11_incast_query.dir/fig11_incast_query.cc.o.d"
+  "fig11_incast_query"
+  "fig11_incast_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_incast_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

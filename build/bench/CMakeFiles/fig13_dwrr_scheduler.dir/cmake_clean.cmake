@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_dwrr_scheduler.dir/fig13_dwrr_scheduler.cc.o"
+  "CMakeFiles/fig13_dwrr_scheduler.dir/fig13_dwrr_scheduler.cc.o.d"
+  "fig13_dwrr_scheduler"
+  "fig13_dwrr_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_dwrr_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

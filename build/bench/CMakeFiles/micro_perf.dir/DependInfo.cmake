@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_perf.cc" "bench/CMakeFiles/micro_perf.dir/micro_perf.cc.o" "gcc" "bench/CMakeFiles/micro_perf.dir/micro_perf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/ecnsharp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqm/CMakeFiles/ecnsharp_aqm.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ecnsharp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ecnsharp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecnsharp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ecnsharp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ecnsharp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/tofino/CMakeFiles/ecnsharp_tofino.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecnsharp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecnsharp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnsharp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

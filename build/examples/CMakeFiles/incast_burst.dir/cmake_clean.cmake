@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_burst.dir/incast_burst.cpp.o"
+  "CMakeFiles/incast_burst.dir/incast_burst.cpp.o.d"
+  "incast_burst"
+  "incast_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

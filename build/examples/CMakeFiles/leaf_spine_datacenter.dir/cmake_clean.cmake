@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leaf_spine_datacenter.dir/leaf_spine_datacenter.cpp.o"
+  "CMakeFiles/leaf_spine_datacenter.dir/leaf_spine_datacenter.cpp.o.d"
+  "leaf_spine_datacenter"
+  "leaf_spine_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leaf_spine_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtt_probe.dir/rtt_probe.cpp.o"
+  "CMakeFiles/rtt_probe.dir/rtt_probe.cpp.o.d"
+  "rtt_probe"
+  "rtt_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtt_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

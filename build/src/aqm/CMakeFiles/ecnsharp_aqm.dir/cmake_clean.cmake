@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_aqm.dir/codel.cc.o"
+  "CMakeFiles/ecnsharp_aqm.dir/codel.cc.o.d"
+  "CMakeFiles/ecnsharp_aqm.dir/pie.cc.o"
+  "CMakeFiles/ecnsharp_aqm.dir/pie.cc.o.d"
+  "CMakeFiles/ecnsharp_aqm.dir/red.cc.o"
+  "CMakeFiles/ecnsharp_aqm.dir/red.cc.o.d"
+  "libecnsharp_aqm.a"
+  "libecnsharp_aqm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

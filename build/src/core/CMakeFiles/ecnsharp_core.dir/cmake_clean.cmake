@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_core.dir/ecn_sharp.cc.o"
+  "CMakeFiles/ecnsharp_core.dir/ecn_sharp.cc.o.d"
+  "libecnsharp_core.a"
+  "libecnsharp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

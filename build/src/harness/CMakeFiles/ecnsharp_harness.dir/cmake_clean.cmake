@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_harness.dir/env.cc.o"
+  "CMakeFiles/ecnsharp_harness.dir/env.cc.o.d"
+  "CMakeFiles/ecnsharp_harness.dir/experiment.cc.o"
+  "CMakeFiles/ecnsharp_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/ecnsharp_harness.dir/schemes.cc.o"
+  "CMakeFiles/ecnsharp_harness.dir/schemes.cc.o.d"
+  "CMakeFiles/ecnsharp_harness.dir/table.cc.o"
+  "CMakeFiles/ecnsharp_harness.dir/table.cc.o.d"
+  "libecnsharp_harness.a"
+  "libecnsharp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

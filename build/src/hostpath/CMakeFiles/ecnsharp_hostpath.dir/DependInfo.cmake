@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hostpath/rtt_probe.cc" "src/hostpath/CMakeFiles/ecnsharp_hostpath.dir/rtt_probe.cc.o" "gcc" "src/hostpath/CMakeFiles/ecnsharp_hostpath.dir/rtt_probe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ecnsharp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ecnsharp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ecnsharp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/ecnsharp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnsharp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

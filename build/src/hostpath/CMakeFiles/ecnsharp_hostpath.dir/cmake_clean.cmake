@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_hostpath.dir/rtt_probe.cc.o"
+  "CMakeFiles/ecnsharp_hostpath.dir/rtt_probe.cc.o.d"
+  "libecnsharp_hostpath.a"
+  "libecnsharp_hostpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_hostpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

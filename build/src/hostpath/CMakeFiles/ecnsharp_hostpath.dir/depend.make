@@ -1,0 +1,2 @@
+# Empty dependencies file for ecnsharp_hostpath.
+# This may be replaced when dependencies are built.

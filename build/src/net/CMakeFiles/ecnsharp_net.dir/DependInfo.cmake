@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/egress_port.cc" "src/net/CMakeFiles/ecnsharp_net.dir/egress_port.cc.o" "gcc" "src/net/CMakeFiles/ecnsharp_net.dir/egress_port.cc.o.d"
+  "/root/repo/src/net/host.cc" "src/net/CMakeFiles/ecnsharp_net.dir/host.cc.o" "gcc" "src/net/CMakeFiles/ecnsharp_net.dir/host.cc.o.d"
+  "/root/repo/src/net/packet_tracer.cc" "src/net/CMakeFiles/ecnsharp_net.dir/packet_tracer.cc.o" "gcc" "src/net/CMakeFiles/ecnsharp_net.dir/packet_tracer.cc.o.d"
+  "/root/repo/src/net/switch_node.cc" "src/net/CMakeFiles/ecnsharp_net.dir/switch_node.cc.o" "gcc" "src/net/CMakeFiles/ecnsharp_net.dir/switch_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ecnsharp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

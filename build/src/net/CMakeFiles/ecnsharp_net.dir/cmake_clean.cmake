@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_net.dir/egress_port.cc.o"
+  "CMakeFiles/ecnsharp_net.dir/egress_port.cc.o.d"
+  "CMakeFiles/ecnsharp_net.dir/host.cc.o"
+  "CMakeFiles/ecnsharp_net.dir/host.cc.o.d"
+  "CMakeFiles/ecnsharp_net.dir/packet_tracer.cc.o"
+  "CMakeFiles/ecnsharp_net.dir/packet_tracer.cc.o.d"
+  "CMakeFiles/ecnsharp_net.dir/switch_node.cc.o"
+  "CMakeFiles/ecnsharp_net.dir/switch_node.cc.o.d"
+  "libecnsharp_net.a"
+  "libecnsharp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

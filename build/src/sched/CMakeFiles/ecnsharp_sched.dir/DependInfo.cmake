@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/dwrr_queue_disc.cc" "src/sched/CMakeFiles/ecnsharp_sched.dir/dwrr_queue_disc.cc.o" "gcc" "src/sched/CMakeFiles/ecnsharp_sched.dir/dwrr_queue_disc.cc.o.d"
+  "/root/repo/src/sched/fifo_queue_disc.cc" "src/sched/CMakeFiles/ecnsharp_sched.dir/fifo_queue_disc.cc.o" "gcc" "src/sched/CMakeFiles/ecnsharp_sched.dir/fifo_queue_disc.cc.o.d"
+  "/root/repo/src/sched/sp_queue_disc.cc" "src/sched/CMakeFiles/ecnsharp_sched.dir/sp_queue_disc.cc.o" "gcc" "src/sched/CMakeFiles/ecnsharp_sched.dir/sp_queue_disc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ecnsharp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnsharp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_sched.dir/dwrr_queue_disc.cc.o"
+  "CMakeFiles/ecnsharp_sched.dir/dwrr_queue_disc.cc.o.d"
+  "CMakeFiles/ecnsharp_sched.dir/fifo_queue_disc.cc.o"
+  "CMakeFiles/ecnsharp_sched.dir/fifo_queue_disc.cc.o.d"
+  "CMakeFiles/ecnsharp_sched.dir/sp_queue_disc.cc.o"
+  "CMakeFiles/ecnsharp_sched.dir/sp_queue_disc.cc.o.d"
+  "libecnsharp_sched.a"
+  "libecnsharp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_sim.dir/logging.cc.o"
+  "CMakeFiles/ecnsharp_sim.dir/logging.cc.o.d"
+  "CMakeFiles/ecnsharp_sim.dir/random.cc.o"
+  "CMakeFiles/ecnsharp_sim.dir/random.cc.o.d"
+  "CMakeFiles/ecnsharp_sim.dir/simulator.cc.o"
+  "CMakeFiles/ecnsharp_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/ecnsharp_sim.dir/time.cc.o"
+  "CMakeFiles/ecnsharp_sim.dir/time.cc.o.d"
+  "CMakeFiles/ecnsharp_sim.dir/timer.cc.o"
+  "CMakeFiles/ecnsharp_sim.dir/timer.cc.o.d"
+  "libecnsharp_sim.a"
+  "libecnsharp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

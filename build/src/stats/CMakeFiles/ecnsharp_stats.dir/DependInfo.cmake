@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/csv_export.cc" "src/stats/CMakeFiles/ecnsharp_stats.dir/csv_export.cc.o" "gcc" "src/stats/CMakeFiles/ecnsharp_stats.dir/csv_export.cc.o.d"
+  "/root/repo/src/stats/fct_collector.cc" "src/stats/CMakeFiles/ecnsharp_stats.dir/fct_collector.cc.o" "gcc" "src/stats/CMakeFiles/ecnsharp_stats.dir/fct_collector.cc.o.d"
+  "/root/repo/src/stats/percentile.cc" "src/stats/CMakeFiles/ecnsharp_stats.dir/percentile.cc.o" "gcc" "src/stats/CMakeFiles/ecnsharp_stats.dir/percentile.cc.o.d"
+  "/root/repo/src/stats/queue_monitor.cc" "src/stats/CMakeFiles/ecnsharp_stats.dir/queue_monitor.cc.o" "gcc" "src/stats/CMakeFiles/ecnsharp_stats.dir/queue_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/ecnsharp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecnsharp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnsharp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

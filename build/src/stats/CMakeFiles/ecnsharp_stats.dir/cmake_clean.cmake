@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_stats.dir/csv_export.cc.o"
+  "CMakeFiles/ecnsharp_stats.dir/csv_export.cc.o.d"
+  "CMakeFiles/ecnsharp_stats.dir/fct_collector.cc.o"
+  "CMakeFiles/ecnsharp_stats.dir/fct_collector.cc.o.d"
+  "CMakeFiles/ecnsharp_stats.dir/percentile.cc.o"
+  "CMakeFiles/ecnsharp_stats.dir/percentile.cc.o.d"
+  "CMakeFiles/ecnsharp_stats.dir/queue_monitor.cc.o"
+  "CMakeFiles/ecnsharp_stats.dir/queue_monitor.cc.o.d"
+  "libecnsharp_stats.a"
+  "libecnsharp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_tofino.dir/ecn_sharp_pipeline.cc.o"
+  "CMakeFiles/ecnsharp_tofino.dir/ecn_sharp_pipeline.cc.o.d"
+  "CMakeFiles/ecnsharp_tofino.dir/time_emulator.cc.o"
+  "CMakeFiles/ecnsharp_tofino.dir/time_emulator.cc.o.d"
+  "libecnsharp_tofino.a"
+  "libecnsharp_tofino.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_tofino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/dumbbell.cc" "src/topo/CMakeFiles/ecnsharp_topo.dir/dumbbell.cc.o" "gcc" "src/topo/CMakeFiles/ecnsharp_topo.dir/dumbbell.cc.o.d"
+  "/root/repo/src/topo/leaf_spine.cc" "src/topo/CMakeFiles/ecnsharp_topo.dir/leaf_spine.cc.o" "gcc" "src/topo/CMakeFiles/ecnsharp_topo.dir/leaf_spine.cc.o.d"
+  "/root/repo/src/topo/rtt_variation.cc" "src/topo/CMakeFiles/ecnsharp_topo.dir/rtt_variation.cc.o" "gcc" "src/topo/CMakeFiles/ecnsharp_topo.dir/rtt_variation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/ecnsharp_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ecnsharp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecnsharp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnsharp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_topo.dir/dumbbell.cc.o"
+  "CMakeFiles/ecnsharp_topo.dir/dumbbell.cc.o.d"
+  "CMakeFiles/ecnsharp_topo.dir/leaf_spine.cc.o"
+  "CMakeFiles/ecnsharp_topo.dir/leaf_spine.cc.o.d"
+  "CMakeFiles/ecnsharp_topo.dir/rtt_variation.cc.o"
+  "CMakeFiles/ecnsharp_topo.dir/rtt_variation.cc.o.d"
+  "libecnsharp_topo.a"
+  "libecnsharp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/dcqcn.cc" "src/transport/CMakeFiles/ecnsharp_transport.dir/dcqcn.cc.o" "gcc" "src/transport/CMakeFiles/ecnsharp_transport.dir/dcqcn.cc.o.d"
+  "/root/repo/src/transport/tcp_receiver.cc" "src/transport/CMakeFiles/ecnsharp_transport.dir/tcp_receiver.cc.o" "gcc" "src/transport/CMakeFiles/ecnsharp_transport.dir/tcp_receiver.cc.o.d"
+  "/root/repo/src/transport/tcp_sender.cc" "src/transport/CMakeFiles/ecnsharp_transport.dir/tcp_sender.cc.o" "gcc" "src/transport/CMakeFiles/ecnsharp_transport.dir/tcp_sender.cc.o.d"
+  "/root/repo/src/transport/tcp_stack.cc" "src/transport/CMakeFiles/ecnsharp_transport.dir/tcp_stack.cc.o" "gcc" "src/transport/CMakeFiles/ecnsharp_transport.dir/tcp_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ecnsharp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnsharp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_transport.dir/dcqcn.cc.o"
+  "CMakeFiles/ecnsharp_transport.dir/dcqcn.cc.o.d"
+  "CMakeFiles/ecnsharp_transport.dir/tcp_receiver.cc.o"
+  "CMakeFiles/ecnsharp_transport.dir/tcp_receiver.cc.o.d"
+  "CMakeFiles/ecnsharp_transport.dir/tcp_sender.cc.o"
+  "CMakeFiles/ecnsharp_transport.dir/tcp_sender.cc.o.d"
+  "CMakeFiles/ecnsharp_transport.dir/tcp_stack.cc.o"
+  "CMakeFiles/ecnsharp_transport.dir/tcp_stack.cc.o.d"
+  "libecnsharp_transport.a"
+  "libecnsharp_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

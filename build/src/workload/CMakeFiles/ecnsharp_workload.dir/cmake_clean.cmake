@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_workload.dir/empirical_cdf.cc.o"
+  "CMakeFiles/ecnsharp_workload.dir/empirical_cdf.cc.o.d"
+  "CMakeFiles/ecnsharp_workload.dir/traffic_generator.cc.o"
+  "CMakeFiles/ecnsharp_workload.dir/traffic_generator.cc.o.d"
+  "libecnsharp_workload.a"
+  "libecnsharp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

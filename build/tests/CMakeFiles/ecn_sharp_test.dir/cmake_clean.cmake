@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecn_sharp_test.dir/ecn_sharp_test.cc.o"
+  "CMakeFiles/ecn_sharp_test.dir/ecn_sharp_test.cc.o.d"
+  "ecn_sharp_test"
+  "ecn_sharp_test.pdb"
+  "ecn_sharp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecn_sharp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

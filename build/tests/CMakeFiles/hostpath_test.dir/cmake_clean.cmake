@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostpath_test.dir/hostpath_test.cc.o"
+  "CMakeFiles/hostpath_test.dir/hostpath_test.cc.o.d"
+  "hostpath_test"
+  "hostpath_test.pdb"
+  "hostpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

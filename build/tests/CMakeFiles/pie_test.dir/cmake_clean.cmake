@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pie_test.dir/pie_test.cc.o"
+  "CMakeFiles/pie_test.dir/pie_test.cc.o.d"
+  "pie_test"
+  "pie_test.pdb"
+  "pie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

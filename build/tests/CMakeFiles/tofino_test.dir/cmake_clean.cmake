@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tofino_test.dir/tofino_test.cc.o"
+  "CMakeFiles/tofino_test.dir/tofino_test.cc.o.d"
+  "tofino_test"
+  "tofino_test.pdb"
+  "tofino_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tofino_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

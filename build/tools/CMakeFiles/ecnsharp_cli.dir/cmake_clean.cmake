@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsharp_cli.dir/ecnsharp_cli.cc.o"
+  "CMakeFiles/ecnsharp_cli.dir/ecnsharp_cli.cc.o.d"
+  "ecnsharp_cli"
+  "ecnsharp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsharp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
