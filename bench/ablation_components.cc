@@ -22,22 +22,42 @@ int main() {
   const std::vector<Scheme> schemes = {
       Scheme::kEcnSharpInstOnly, Scheme::kEcnSharpPstOnly, Scheme::kEcnSharp};
 
-  // (a) Standing queue (no burst) and (b) incast drops at fanout 125.
-  TP incast_table({"variant", "standing queue(pkts)", "burst drops(N=125)",
-                   "query p99(us, N=125)"});
+  // One mixed-family sweep: per scheme a standing-queue run, an incast
+  // burst at fanout 125, and a 70%-load web-search dumbbell run.
+  std::vector<runner::JobSpec> specs;
   for (const Scheme scheme : schemes) {
     IncastExperimentConfig standing;
     standing.scheme = scheme;
     standing.query_flows = 0;
     standing.seed = seed;
-    const IncastResult s = RunIncast(standing);
+    specs.push_back({std::string(SchemeName(scheme)) + "/standing",
+                     standing});
 
     IncastExperimentConfig burst;
     burst.scheme = scheme;
     burst.query_flows = 125;
     burst.seed = seed;
-    const IncastResult b = RunIncast(burst);
+    specs.push_back({std::string(SchemeName(scheme)) + "/burst125", burst});
 
+    DumbbellExperimentConfig fct;
+    fct.scheme = scheme;
+    fct.load = 0.7;
+    fct.flows = flows;
+    fct.seed = seed;
+    specs.push_back({std::string(SchemeName(scheme)) + "/websearch70",
+                     fct});
+  }
+  const std::vector<runner::JobResult> sweep =
+      RunSweep("ablation_components", specs);
+
+  // (a) Standing queue (no burst) and (b) incast drops at fanout 125.
+  TP incast_table({"variant", "standing queue(pkts)", "burst drops(N=125)",
+                   "query p99(us, N=125)"});
+  std::size_t job = 0;
+  for (const Scheme scheme : schemes) {
+    const IncastResult& s = runner::IncastResultOf(sweep[job++]);
+    const IncastResult& b = runner::IncastResultOf(sweep[job++]);
+    ++job;  // dumbbell result consumed below
     incast_table.AddRow({SchemeName(scheme),
                          TP::Fmt(s.standing_queue_packets, 1),
                          std::to_string(b.drops),
@@ -50,13 +70,10 @@ int main() {
   std::printf("\n(c) Dumbbell web search @70%% load\n");
   TP fct_table({"variant", "overall avg(us)", "short avg(us)",
                 "short p99(us)", "large avg(us)"});
+  job = 2;
   for (const Scheme scheme : schemes) {
-    DumbbellExperimentConfig config;
-    config.scheme = scheme;
-    config.load = 0.7;
-    config.flows = flows;
-    config.seed = seed;
-    const ExperimentResult r = RunDumbbell(config);
+    const ExperimentResult& r = runner::FctResult(sweep[job]);
+    job += 3;
     fct_table.AddRow({SchemeName(scheme), TP::Fmt(r.overall.avg_us, 0),
                       TP::Fmt(r.short_flows.avg_us, 0),
                       TP::Fmt(r.short_flows.p99_us, 0),

@@ -78,11 +78,24 @@ int main() {
       "single long flow, base RTT ~200us, 10G bottleneck; ideal K: classic "
       "ECN\n(lambda=1) = 250KB, DCTCP (lambda~0.17) = 42.5KB\n");
 
+  const std::vector<std::uint64_t> thresholds = {10, 25, 45, 100, 250};
+  // Grid of (threshold x transport) single-flow runs through the runner.
+  runner::SweepOptions options;
+  options.label = "ablation_lambda";
+  const std::vector<double> goodputs = runner::ParallelMap(
+      thresholds.size() * 2,
+      [&](std::size_t i) {
+        const std::uint64_t kb = thresholds[i / 2];
+        const EcnMode mode = i % 2 == 0 ? EcnMode::kClassic : EcnMode::kDctcp;
+        return GoodputGbps(mode, kb * 1000);
+      },
+      options);
+
   TP table({"K (KB)", "classic ECN goodput (Gbps)", "DCTCP goodput (Gbps)"});
-  for (const std::uint64_t kb : {10, 25, 45, 100, 250}) {
-    table.AddRow({std::to_string(kb),
-                  TP::Fmt(GoodputGbps(EcnMode::kClassic, kb * 1000), 2),
-                  TP::Fmt(GoodputGbps(EcnMode::kDctcp, kb * 1000), 2)});
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    table.AddRow({std::to_string(thresholds[i]),
+                  TP::Fmt(goodputs[2 * i], 2),
+                  TP::Fmt(goodputs[2 * i + 1], 2)});
   }
   table.Print();
   std::printf(

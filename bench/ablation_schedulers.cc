@@ -147,22 +147,35 @@ int main() {
   const std::uint64_t seed = BenchSeed();
   PrintScale(probe_flows, seed);
 
+  // Three DWRR marking variants plus the strict-priority run: four
+  // independent simulations fanned out through the runner.
+  const Marking markings[] = {Marking::kStaticQueueLength, Marking::kMqEcn,
+                              Marking::kEcnSharpSojourn};
+  runner::SweepOptions options;
+  options.label = "ablation_schedulers";
+  const std::vector<RunResult> runs = runner::ParallelMap(
+      4,
+      [&](std::size_t i) {
+        if (i < 3) {
+          return RunScheduled(markings[i], /*strict_priority=*/false,
+                              probe_flows, seed);
+        }
+        return RunScheduled(Marking::kEcnSharpSojourn,
+                            /*strict_priority=*/true, probe_flows, seed);
+      },
+      options);
+
   TP table({"per-class marking", "short avg(us)", "short p99(us)",
             "flow1 share (ideal 0.50)"});
-  for (const Marking marking :
-       {Marking::kStaticQueueLength, Marking::kMqEcn,
-        Marking::kEcnSharpSojourn}) {
-    const RunResult r = RunScheduled(marking, /*strict_priority=*/false,
-                                     probe_flows, seed);
-    table.AddRow({MarkingName(marking), TP::Fmt(r.short_fct.avg_us, 0),
+  for (std::size_t i = 0; i < 3; ++i) {
+    const RunResult& r = runs[i];
+    table.AddRow({MarkingName(markings[i]), TP::Fmt(r.short_fct.avg_us, 0),
                   TP::Fmt(r.short_fct.p99_us, 0),
                   TP::Fmt(r.goodput_share_flow1, 3)});
   }
   table.Print();
 
-  const RunResult sp = RunScheduled(Marking::kEcnSharpSojourn,
-                                    /*strict_priority=*/true, probe_flows,
-                                    seed);
+  const RunResult& sp = runs[3];
   std::printf(
       "\nECN# under strict priority (elephants in the lowest class): short "
       "probe\navg %sus, p99 %sus — the same per-class sojourn config works "

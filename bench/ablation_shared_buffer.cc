@@ -102,12 +102,22 @@ int main() {
   const std::uint64_t seed = BenchSeed();
   std::printf("seed=%llu\n", static_cast<unsigned long long>(seed));
 
+  const std::vector<std::size_t> fanouts = {100, 150, 200, 250};
+  runner::SweepOptions options;
+  options.label = "ablation_shared_buffer";
+  const std::vector<Result> runs = runner::ParallelMap(
+      fanouts.size() * 2,
+      [&](std::size_t i) {
+        return RunOne(/*shared=*/i % 2 == 1, fanouts[i / 2], seed);
+      },
+      options);
+
   TP table({"fanout", "static: drops", "static: q p99(us)", "shared: drops",
             "shared: q p99(us)"});
-  for (const std::size_t fanout : {100ul, 150ul, 200ul, 250ul}) {
-    const Result st = RunOne(/*shared=*/false, fanout, seed);
-    const Result sh = RunOne(/*shared=*/true, fanout, seed);
-    table.AddRow({std::to_string(fanout), std::to_string(st.drops),
+  for (std::size_t i = 0; i < fanouts.size(); ++i) {
+    const Result& st = runs[2 * i];
+    const Result& sh = runs[2 * i + 1];
+    table.AddRow({std::to_string(fanouts[i]), std::to_string(st.drops),
                   TP::Fmt(st.query_p99_us, 0), std::to_string(sh.drops),
                   TP::Fmt(sh.query_p99_us, 0)});
   }

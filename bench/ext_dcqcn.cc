@@ -114,12 +114,23 @@ int main() {
   std::printf("seed=%llu  (N x 10G-paced RDMA flows into one 10G port)\n",
               static_cast<unsigned long long>(seed));
 
+  const std::vector<std::size_t> fanins = {2, 4, 8, 16};
+  runner::SweepOptions options;
+  options.label = "ext_dcqcn";
+  const std::vector<Result> runs = runner::ParallelMap(
+      fanins.size() * 2,
+      [&](std::size_t i) {
+        return RunOne(/*persistent_marking=*/i % 2 == 1, fanins[i / 2],
+                      seed);
+      },
+      options);
+
   TP table({"senders", "ramp only: q(pkts)", "Gbps", "drops",
             "ramp+persistent: q(pkts)", "Gbps", "drops"});
-  for (const std::size_t n : {2ul, 4ul, 8ul, 16ul}) {
-    const Result ramp = RunOne(/*persistent_marking=*/false, n, seed);
-    const Result full = RunOne(/*persistent_marking=*/true, n, seed);
-    table.AddRow({std::to_string(n), TP::Fmt(ramp.avg_queue_pkts, 1),
+  for (std::size_t i = 0; i < fanins.size(); ++i) {
+    const Result& ramp = runs[2 * i];
+    const Result& full = runs[2 * i + 1];
+    table.AddRow({std::to_string(fanins[i]), TP::Fmt(ramp.avg_queue_pkts, 1),
                   TP::Fmt(ramp.goodput_gbps, 2), std::to_string(ramp.drops),
                   TP::Fmt(full.avg_queue_pkts, 1),
                   TP::Fmt(full.goodput_gbps, 2),

@@ -13,7 +13,8 @@
 
 namespace ecnsharp::bench {
 
-inline void RunFctFigure(const char* title, const EmpiricalCdf& workload,
+inline void RunFctFigure(const char* title, const char* sweep_name,
+                         const EmpiricalCdf& workload,
                          std::size_t default_flows) {
   using TP = TablePrinter;
   PrintBanner(title);
@@ -26,7 +27,7 @@ inline void RunFctFigure(const char* title, const EmpiricalCdf& workload,
                                        Scheme::kEcnSharp};
   const std::vector<int> loads = FigureLoads();
 
-  std::map<int, std::map<Scheme, ExperimentResult>> results;
+  std::vector<runner::JobSpec> specs;
   for (const int load : loads) {
     for (const Scheme scheme : schemes) {
       DumbbellExperimentConfig config;
@@ -38,7 +39,18 @@ inline void RunFctFigure(const char* title, const EmpiricalCdf& workload,
       config.flows = flows;
       config.rtt_variation = 3.0;
       config.seed = seed;
-      results[load][scheme] = RunDumbbell(config);
+      specs.push_back({std::string(SchemeName(scheme)) + "@" +
+                           std::to_string(load) + "%",
+                       config});
+    }
+  }
+  const std::vector<runner::JobResult> sweep = RunSweep(sweep_name, specs);
+
+  std::map<int, std::map<Scheme, ExperimentResult>> results;
+  std::size_t job = 0;
+  for (const int load : loads) {
+    for (const Scheme scheme : schemes) {
+      results[load][scheme] = runner::FctResult(sweep[job++]);
       if (results[load][scheme].flows_completed != flows) {
         std::printf("WARNING: %s @%d%%: only %zu/%zu flows completed\n",
                     SchemeName(scheme), load,

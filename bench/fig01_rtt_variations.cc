@@ -31,10 +31,17 @@ int main() {
 
   TP table({"case", "mean(us)", "std", "p90", "p99", "mean/case1",
             "paper:mean", "paper:p90", "paper:p99"});
+  const auto cases = Table1Cases();
+  runner::SweepOptions options;
+  options.label = "fig01_rtt_variations";
+  const std::vector<RttStats> all_stats = runner::ParallelMap(
+      cases.size(),
+      [&](std::size_t i) { return RunRttProbe(cases[i], requests, seed); },
+      options);
   double first_mean = 0.0;
   std::size_t row = 0;
-  for (const RttCaseSpec& spec : Table1Cases()) {
-    const RttStats stats = RunRttProbe(spec, requests, seed);
+  for (const RttCaseSpec& spec : cases) {
+    const RttStats& stats = all_stats[row];
     if (row == 0) first_mean = stats.mean_us;
     table.AddRow({spec.name, TP::Fmt(stats.mean_us, 1),
                   TP::Fmt(stats.std_us, 1), TP::Fmt(stats.p90_us, 1),

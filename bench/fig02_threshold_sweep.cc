@@ -18,12 +18,9 @@ int main() {
   const std::uint64_t seed = BenchSeed();
   PrintScale(flows, seed);
 
-  struct Row {
-    std::uint64_t threshold;
-    ExperimentResult result;
-  };
-  std::vector<Row> rows;
-  for (const std::uint64_t kb : {50, 100, 150, 200, 250}) {
+  const std::vector<std::uint64_t> thresholds = {50, 100, 150, 200, 250};
+  std::vector<runner::JobSpec> specs;
+  for (const std::uint64_t kb : thresholds) {
     DumbbellExperimentConfig config;
     config.scheme = Scheme::kDctcpRedTail;
     config.params.buffer_bytes = 4'000'000;  // deep-buffered testbed switch
@@ -32,7 +29,18 @@ int main() {
     config.flows = flows;
     config.rtt_variation = 3.0;
     config.seed = seed;
-    rows.push_back({kb, RunDumbbell(config)});
+    specs.push_back({"K=" + std::to_string(kb) + "KB", config});
+  }
+  const std::vector<runner::JobResult> sweep =
+      RunSweep("fig02_threshold_sweep", specs);
+
+  struct Row {
+    std::uint64_t threshold;
+    ExperimentResult result;
+  };
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    rows.push_back({thresholds[i], runner::FctResult(sweep[i])});
   }
 
   const ExperimentResult& base = rows.front().result;

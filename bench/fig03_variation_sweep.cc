@@ -24,25 +24,38 @@ int main() {
 
   // Average over 3 seeds, as the paper averages 3 runs (§5.1).
   const int kRuns = static_cast<int>(EnvInt("ECNSHARP_RUNS", 3));
-  TP table({"variation", "K(avg)KB", "K(p90)KB", "large avg: tail/avg",
-            "short p99: tail/avg"});
-  for (const double k : {2.0, 3.0, 4.0, 5.0}) {
-    const SchemeParams params = ParamsForVariation(k, base_rtt, rate);
-    double tail_large = 0.0, avg_large = 0.0;
-    double tail_p99 = 0.0, avg_p99 = 0.0;
+  const std::vector<double> variations = {2.0, 3.0, 4.0, 5.0};
+  std::vector<runner::JobSpec> specs;
+  for (const double k : variations) {
     for (int run = 0; run < kRuns; ++run) {
       DumbbellExperimentConfig config;
-      config.params = params;
+      config.params = ParamsForVariation(k, base_rtt, rate);
       config.load = 0.5;
       config.flows = flows;
       config.rtt_variation = k;
       config.base_rtt = base_rtt;
       config.seed = seed + static_cast<std::uint64_t>(run);
-
+      const std::string suffix = "@" + TP::Fmt(k, 0) + "x/run" +
+                                 std::to_string(run);
       config.scheme = Scheme::kDctcpRedAvg;
-      const ExperimentResult avg = RunDumbbell(config);
+      specs.push_back({"avg" + suffix, config});
       config.scheme = Scheme::kDctcpRedTail;
-      const ExperimentResult tail = RunDumbbell(config);
+      specs.push_back({"tail" + suffix, config});
+    }
+  }
+  const std::vector<runner::JobResult> sweep =
+      RunSweep("fig03_variation_sweep", specs);
+
+  TP table({"variation", "K(avg)KB", "K(p90)KB", "large avg: tail/avg",
+            "short p99: tail/avg"});
+  std::size_t job = 0;
+  for (const double k : variations) {
+    const SchemeParams params = ParamsForVariation(k, base_rtt, rate);
+    double tail_large = 0.0, avg_large = 0.0;
+    double tail_p99 = 0.0, avg_p99 = 0.0;
+    for (int run = 0; run < kRuns; ++run) {
+      const ExperimentResult avg = runner::FctResult(sweep[job++]);
+      const ExperimentResult tail = runner::FctResult(sweep[job++]);
       tail_large += tail.large_flows.avg_us;
       avg_large += avg.large_flows.avg_us;
       tail_p99 += tail.short_flows.p99_us;

@@ -12,7 +12,8 @@
 int main() {
   ecnsharp::bench::RunFctFigure(
       "Fig. 6: FCT with web search workload (dumbbell testbed, 3x RTT var)",
-      ecnsharp::WebSearchWorkload(), /*default_flows=*/1000);
+      "fig06_websearch_fct", ecnsharp::WebSearchWorkload(),
+      /*default_flows=*/1000);
   std::printf(
       "\nExpected shape vs paper: ECN# < 1.0 on (b)/(c) with (d) ~ 1.0; "
       "RED-AVG lowest\non (b)/(c) but worst on (d); CoDel worst on (b)/(c) "

@@ -9,7 +9,8 @@
 int main() {
   ecnsharp::bench::RunFctFigure(
       "Fig. 7: FCT with data mining workload (dumbbell testbed, 3x RTT var)",
-      ecnsharp::DataMiningWorkload(), /*default_flows=*/400);
+      "fig07_datamining_fct", ecnsharp::DataMiningWorkload(),
+      /*default_flows=*/400);
   std::printf(
       "\nExpected shape vs paper: as Fig. 6; the data mining tail is heavier "
       "so the\nlarge-flow penalty of DCTCP-RED-AVG is more visible.\n");

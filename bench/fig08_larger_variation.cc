@@ -24,9 +24,7 @@ int main() {
   const std::vector<int> loads = FigureLoads();
   const std::vector<double> variations = {3.0, 4.0, 5.0};
 
-  // results[k][load] = (ecn# result, red-tail result)
-  std::map<double, std::map<int, std::pair<ExperimentResult,
-                                           ExperimentResult>>> results;
+  std::vector<runner::JobSpec> specs;
   for (const double k : variations) {
     for (const int load : loads) {
       DumbbellExperimentConfig config;
@@ -36,10 +34,25 @@ int main() {
       config.rtt_variation = k;
       config.base_rtt = base_rtt;
       config.seed = seed;
+      const std::string suffix = "@" + TP::Fmt(k, 0) + "x/" +
+                                 std::to_string(load) + "%";
       config.scheme = Scheme::kEcnSharp;
-      const ExperimentResult sharp = RunDumbbell(config);
+      specs.push_back({"ecn-sharp" + suffix, config});
       config.scheme = Scheme::kDctcpRedTail;
-      const ExperimentResult tail = RunDumbbell(config);
+      specs.push_back({"red-tail" + suffix, config});
+    }
+  }
+  const std::vector<runner::JobResult> sweep =
+      RunSweep("fig08_larger_variation", specs);
+
+  // results[k][load] = (ecn# result, red-tail result)
+  std::map<double, std::map<int, std::pair<ExperimentResult,
+                                           ExperimentResult>>> results;
+  std::size_t job = 0;
+  for (const double k : variations) {
+    for (const int load : loads) {
+      const ExperimentResult sharp = runner::FctResult(sweep[job++]);
+      const ExperimentResult tail = runner::FctResult(sweep[job++]);
       results[k][load] = {sharp, tail};
     }
   }

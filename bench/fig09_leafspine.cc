@@ -33,7 +33,7 @@ int main() {
                                        Scheme::kEcnSharp};
   const std::vector<int> loads = FigureLoads(/*from20=*/true);
 
-  std::map<int, std::map<Scheme, ExperimentResult>> results;
+  std::vector<runner::JobSpec> specs;
   for (const int load : loads) {
     for (const Scheme scheme : schemes) {
       LeafSpineExperimentConfig config;
@@ -43,7 +43,19 @@ int main() {
       config.flows = flows;
       config.topo = topo;
       config.seed = seed;
-      results[load][scheme] = RunLeafSpine(config);
+      specs.push_back({std::string(SchemeName(scheme)) + "@" +
+                           std::to_string(load) + "%",
+                       config});
+    }
+  }
+  const std::vector<runner::JobResult> sweep =
+      RunSweep("fig09_leafspine", specs);
+
+  std::map<int, std::map<Scheme, ExperimentResult>> results;
+  std::size_t job = 0;
+  for (const int load : loads) {
+    for (const Scheme scheme : schemes) {
+      results[load][scheme] = runner::FctResult(sweep[job++]);
     }
   }
 

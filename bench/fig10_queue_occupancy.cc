@@ -20,25 +20,37 @@ int main() {
   const std::vector<Scheme> schemes = {Scheme::kDctcpRedTail, Scheme::kCodel,
                                        Scheme::kEcnSharp};
   const int kRuns = static_cast<int>(EnvInt("ECNSHARP_RUNS", 3));
+  std::vector<runner::JobSpec> specs;
+  for (const Scheme scheme : schemes) {
+    for (int run = 0; run < kRuns; ++run) {
+      IncastExperimentConfig config;
+      config.scheme = scheme;
+      config.query_flows = 100;
+      config.seed = seed + static_cast<std::uint64_t>(run);
+      specs.push_back({std::string(SchemeName(scheme)) + "/run" +
+                           std::to_string(run),
+                       config});
+    }
+  }
+  const std::vector<runner::JobResult> sweep =
+      RunSweep("fig10_queue_occupancy", specs);
+
   std::vector<IncastResult> results;  // seed `seed` run, for the trace
   TP summary({"scheme", "standing queue(pkts)", "peak(pkts)", "drops",
               "query timeouts"});
+  std::size_t job = 0;
   for (const Scheme scheme : schemes) {
     double standing = 0.0;
     std::uint32_t peak = 0;
     std::uint64_t drops = 0;
     std::uint64_t timeouts = 0;
     for (int run = 0; run < kRuns; ++run) {
-      IncastExperimentConfig config;
-      config.scheme = scheme;
-      config.query_flows = 100;
-      config.seed = seed + static_cast<std::uint64_t>(run);
-      IncastResult result = RunIncast(config);
+      const IncastResult& result = runner::IncastResultOf(sweep[job++]);
       standing += result.standing_queue_packets / kRuns;
       peak = std::max(peak, result.max_queue_packets);
       drops += result.drops;
       timeouts += result.query_timeouts;
-      if (run == 0) results.push_back(std::move(result));
+      if (run == 0) results.push_back(result);
     }
     summary.AddRow({SchemeName(scheme), TP::Fmt(standing, 1),
                     std::to_string(peak),

@@ -22,15 +22,27 @@ int main() {
                                        Scheme::kEcnSharp};
   std::vector<std::size_t> fanouts = {25, 50, 75, 100, 125, 150, 175, 200};
 
-  std::map<Scheme, std::map<std::size_t, IncastResult>> results;
-  std::map<Scheme, std::size_t> first_loss;
+  std::vector<runner::JobSpec> specs;
   for (const Scheme scheme : schemes) {
     for (const std::size_t n : fanouts) {
       IncastExperimentConfig config;
       config.scheme = scheme;
       config.query_flows = n;
       config.seed = seed;
-      results[scheme][n] = RunIncast(config);
+      specs.push_back({std::string(SchemeName(scheme)) + "/fanout" +
+                           std::to_string(n),
+                       config});
+    }
+  }
+  const std::vector<runner::JobResult> sweep =
+      RunSweep("fig11_incast_query", specs);
+
+  std::map<Scheme, std::map<std::size_t, IncastResult>> results;
+  std::map<Scheme, std::size_t> first_loss;
+  std::size_t job = 0;
+  for (const Scheme scheme : schemes) {
+    for (const std::size_t n : fanouts) {
+      results[scheme][n] = runner::IncastResultOf(sweep[job++]);
       if (results[scheme][n].drops > 0 && first_loss[scheme] == 0) {
         first_loss[scheme] = n;
       }

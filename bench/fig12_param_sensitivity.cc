@@ -11,8 +11,10 @@ namespace {
 using namespace ecnsharp;
 using namespace ecnsharp::bench;
 
-double OverallFct(const EmpiricalCdf& workload, const EcnSharpConfig& aqm,
-                  std::size_t flows, std::uint64_t seed) {
+runner::JobSpec SensitivityJob(const std::string& name,
+                               const EmpiricalCdf& workload,
+                               const EcnSharpConfig& aqm, std::size_t flows,
+                               std::uint64_t seed) {
   DumbbellExperimentConfig config;
   config.scheme = Scheme::kEcnSharp;
   config.params = SimulationSchemeParams();
@@ -23,7 +25,7 @@ double OverallFct(const EmpiricalCdf& workload, const EcnSharpConfig& aqm,
   config.rtt_variation = 3.0;
   config.base_rtt = Time::FromMicroseconds(80);
   config.seed = seed;
-  return RunDumbbell(config).overall.avg_us;
+  return {name, config};
 }
 
 }  // namespace
@@ -47,18 +49,41 @@ int main() {
       {"data mining", &DataMiningWorkload(), flows / 2},
   };
 
+  const std::vector<int> intervals = {100, 150, 200, 250};
+  const std::vector<int> targets = {6, 10, 14, 18};
+
+  std::vector<ecnsharp::runner::JobSpec> specs;
+  for (const int us : intervals) {
+    EcnSharpConfig aqm = defaults;
+    aqm.pst_interval = Time::FromMicroseconds(us);
+    for (std::size_t w = 0; w < 2; ++w) {
+      specs.push_back(SensitivityJob(
+          "interval" + std::to_string(us) + "/" + workloads[w].name,
+          *workloads[w].cdf, aqm, workloads[w].flows, seed));
+    }
+  }
+  for (const int us : targets) {
+    EcnSharpConfig aqm = defaults;
+    aqm.pst_target = Time::FromMicroseconds(us);
+    for (std::size_t w = 0; w < 2; ++w) {
+      specs.push_back(SensitivityJob(
+          "target" + std::to_string(us) + "/" + workloads[w].name,
+          *workloads[w].cdf, aqm, workloads[w].flows, seed));
+    }
+  }
+  const std::vector<ecnsharp::runner::JobResult> sweep =
+      ecnsharp::bench::RunSweep("fig12_param_sensitivity", specs);
+  std::size_t job = 0;
+
   std::printf("\n(a) Sensitivity to pst_interval (pst_target=%.0fus)\n",
               defaults.pst_target.ToMicroseconds());
   TP interval_table({"pst_interval(us)", "web search (norm)",
                      "data mining (norm)"});
   std::vector<std::vector<double>> interval_fct(2);
-  const std::vector<int> intervals = {100, 150, 200, 250};
-  for (const int us : intervals) {
-    EcnSharpConfig aqm = defaults;
-    aqm.pst_interval = Time::FromMicroseconds(us);
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
     for (std::size_t w = 0; w < 2; ++w) {
       interval_fct[w].push_back(
-          OverallFct(*workloads[w].cdf, aqm, workloads[w].flows, seed));
+          ecnsharp::runner::FctResult(sweep[job++]).overall.avg_us);
     }
   }
   // Normalize to the value closest to the default interval (240 -> 250).
@@ -74,13 +99,10 @@ int main() {
   TP target_table({"pst_target(us)", "web search (norm)",
                    "data mining (norm)"});
   std::vector<std::vector<double>> target_fct(2);
-  const std::vector<int> targets = {6, 10, 14, 18};
-  for (const int us : targets) {
-    EcnSharpConfig aqm = defaults;
-    aqm.pst_target = Time::FromMicroseconds(us);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
     for (std::size_t w = 0; w < 2; ++w) {
       target_fct[w].push_back(
-          OverallFct(*workloads[w].cdf, aqm, workloads[w].flows, seed));
+          ecnsharp::runner::FctResult(sweep[job++]).overall.avg_us);
     }
   }
   for (std::size_t i = 0; i < targets.size(); ++i) {

@@ -121,8 +121,19 @@ int main() {
   const std::uint64_t seed = BenchSeed();
   PrintScale(probe_flows, seed);
 
-  const DwrrRunResult sharp =
-      RunDwrrExperiment(SchedScheme::kEcnSharp, probe_flows, seed);
+  // Both scheme runs are independent simulations; fan them out through the
+  // runner (ECNSHARP_JOBS workers) and read back in submission order.
+  const SchedScheme variants[] = {SchedScheme::kEcnSharp, SchedScheme::kTcn};
+  ecnsharp::runner::SweepOptions options;
+  options.label = "fig13_dwrr_scheduler";
+  const std::vector<DwrrRunResult> runs = ecnsharp::runner::ParallelMap(
+      2,
+      [&](std::size_t i) {
+        return RunDwrrExperiment(variants[i], probe_flows, seed);
+      },
+      options);
+  const DwrrRunResult& sharp = runs[0];
+  const DwrrRunResult& tcn = runs[1];
 
   std::printf("\n(a) Long-flow goodput under ECN# (Gbps; flows start at "
               "t=0s,1s,2s)\n");
@@ -136,8 +147,6 @@ int main() {
   }
   goodput.Print();
 
-  const DwrrRunResult tcn =
-      RunDwrrExperiment(SchedScheme::kTcn, probe_flows, seed);
   std::printf("\n(b) Short probe flow FCT across classes\n");
   TP fct({"scheme", "avg FCT(us)", "p99 FCT(us)", "flows"});
   fct.AddRow({"TCN", TP::Fmt(tcn.short_fct.avg_us, 0),

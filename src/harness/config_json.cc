@@ -1,0 +1,169 @@
+#include "harness/config_json.h"
+
+#include "harness/schemes.h"
+#include "workload/empirical_cdf.h"
+
+namespace ecnsharp {
+
+namespace {
+
+Json TimeUs(Time t) { return Json::Num(t.ToMicroseconds()); }
+
+const char* EcnModeName(EcnMode mode) {
+  switch (mode) {
+    case EcnMode::kDctcp:
+      return "dctcp";
+    case EcnMode::kClassic:
+      return "classic";
+    case EcnMode::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* WorkloadName(const EmpiricalCdf* workload) {
+  if (workload == &WebSearchWorkload()) return "websearch";
+  if (workload == &DataMiningWorkload()) return "datamining";
+  return "custom";
+}
+
+Json ToJson(const SchemeParams& params) {
+  return Json::Object()
+      .Set("red_tail_threshold_bytes",
+           Json::UInt(params.red_tail_threshold_bytes))
+      .Set("red_avg_threshold_bytes",
+           Json::UInt(params.red_avg_threshold_bytes))
+      .Set("codel_target_us", TimeUs(params.codel.target))
+      .Set("codel_interval_us", TimeUs(params.codel.interval))
+      .Set("tcn_threshold_us", TimeUs(params.tcn_threshold))
+      .Set("pie_target_us", TimeUs(params.pie.target))
+      .Set("pie_update_interval_us", TimeUs(params.pie.update_interval))
+      .Set("pie_alpha", Json::Num(params.pie.alpha))
+      .Set("pie_beta", Json::Num(params.pie.beta))
+      .Set("pie_min_backlog_bytes", Json::UInt(params.pie.min_backlog_bytes))
+      .Set("ecn_sharp_ins_target_us", TimeUs(params.ecn_sharp.ins_target))
+      .Set("ecn_sharp_pst_target_us", TimeUs(params.ecn_sharp.pst_target))
+      .Set("ecn_sharp_pst_interval_us", TimeUs(params.ecn_sharp.pst_interval))
+      .Set("buffer_bytes", Json::UInt(params.buffer_bytes));
+}
+
+Json ToJson(const TcpConfig& tcp) {
+  return Json::Object()
+      .Set("mss", Json::UInt(tcp.mss))
+      .Set("init_cwnd_segments", Json::UInt(tcp.init_cwnd_segments))
+      .Set("ecn_mode", Json::Str(EcnModeName(tcp.ecn_mode)))
+      .Set("dctcp_g", Json::Num(tcp.dctcp_g))
+      .Set("min_rto_us", TimeUs(tcp.min_rto))
+      .Set("delayed_ack_count", Json::UInt(tcp.delayed_ack_count))
+      .Set("pacing", Json::Bool(tcp.pacing));
+}
+
+Json ToJson(const DumbbellExperimentConfig& config) {
+  return Json::Object()
+      .Set("topology", Json::Str("dumbbell"))
+      .Set("scheme", Json::Str(SchemeName(config.scheme)))
+      .Set("workload", Json::Str(WorkloadName(config.workload)))
+      .Set("load", Json::Num(config.load))
+      .Set("flows", Json::UInt(config.flows))
+      .Set("rtt_variation", Json::Num(config.rtt_variation))
+      .Set("base_rtt_us", TimeUs(config.base_rtt))
+      .Set("senders", Json::UInt(config.senders))
+      .Set("rate_bps", Json::Int(config.rate.bps()))
+      .Set("seed", Json::UInt(config.seed))
+      .Set("queue_sample_period_us", TimeUs(config.queue_sample_period))
+      .Set("max_sim_time_us", TimeUs(config.max_sim_time))
+      .Set("tcp", ToJson(config.tcp))
+      .Set("params", ToJson(config.params));
+}
+
+Json ToJson(const LeafSpineExperimentConfig& config) {
+  return Json::Object()
+      .Set("topology", Json::Str("leafspine"))
+      .Set("scheme", Json::Str(SchemeName(config.scheme)))
+      .Set("workload", Json::Str(WorkloadName(config.workload)))
+      .Set("load", Json::Num(config.load))
+      .Set("flows", Json::UInt(config.flows))
+      .Set("spines", Json::UInt(config.topo.spines))
+      .Set("leaves", Json::UInt(config.topo.leaves))
+      .Set("hosts_per_leaf", Json::UInt(config.topo.hosts_per_leaf))
+      .Set("rate_bps", Json::Int(config.topo.rate.bps()))
+      .Set("max_extra_delay_us", TimeUs(config.max_extra_delay))
+      .Set("seed", Json::UInt(config.seed))
+      .Set("max_sim_time_us", TimeUs(config.max_sim_time))
+      .Set("tcp", ToJson(config.topo.tcp))
+      .Set("params", ToJson(config.params));
+}
+
+Json ToJson(const IncastExperimentConfig& config) {
+  return Json::Object()
+      .Set("topology", Json::Str("incast"))
+      .Set("scheme", Json::Str(SchemeName(config.scheme)))
+      .Set("senders", Json::UInt(config.senders))
+      .Set("long_flows", Json::UInt(config.long_flows))
+      .Set("query_flows", Json::UInt(config.query_flows))
+      .Set("query_min_bytes", Json::UInt(config.query_min_bytes))
+      .Set("query_max_bytes", Json::UInt(config.query_max_bytes))
+      .Set("burst_time_us", TimeUs(config.burst_time))
+      .Set("rtt_variation", Json::Num(config.rtt_variation))
+      .Set("base_rtt_us", TimeUs(config.base_rtt))
+      .Set("rate_bps", Json::Int(config.rate.bps()))
+      .Set("seed", Json::UInt(config.seed))
+      .Set("queue_sample_period_us", TimeUs(config.queue_sample_period))
+      .Set("max_sim_time_us", TimeUs(config.max_sim_time))
+      .Set("tcp", ToJson(config.tcp))
+      .Set("params", ToJson(config.params));
+}
+
+Json ToJson(const FctSummary& summary) {
+  return Json::Object()
+      .Set("count", Json::UInt(summary.count))
+      .Set("avg_us", Json::Num(summary.avg_us))
+      .Set("p50_us", Json::Num(summary.p50_us))
+      .Set("p99_us", Json::Num(summary.p99_us))
+      .Set("max_us", Json::Num(summary.max_us));
+}
+
+Json ToJson(const QueueDiscStats& stats) {
+  return Json::Object()
+      .Set("enqueued", Json::UInt(stats.enqueued))
+      .Set("dequeued", Json::UInt(stats.dequeued))
+      .Set("dropped_overflow", Json::UInt(stats.dropped_overflow))
+      .Set("dropped_aqm", Json::UInt(stats.dropped_aqm))
+      .Set("ce_marked", Json::UInt(stats.ce_marked));
+}
+
+Json ToJson(const ExperimentResult& result) {
+  return Json::Object()
+      .Set("overall", ToJson(result.overall))
+      .Set("short_flows", ToJson(result.short_flows))
+      .Set("large_flows", ToJson(result.large_flows))
+      .Set("flows_started", Json::UInt(result.flows_started))
+      .Set("flows_completed", Json::UInt(result.flows_completed))
+      .Set("timeouts", Json::UInt(result.timeouts))
+      .Set("bottleneck", ToJson(result.bottleneck))
+      .Set("avg_queue_packets", Json::Num(result.avg_queue_packets))
+      .Set("max_queue_packets", Json::UInt(result.max_queue_packets))
+      .Set("sim_seconds", Json::Num(result.sim_seconds));
+}
+
+Json ToJson(const IncastResult& result) {
+  Json trace = Json::Array();
+  for (const QueueMonitor::Sample& sample : result.queue_trace) {
+    trace.Push(Json::Array()
+                   .Push(Json::Num(sample.at.ToMicroseconds()))
+                   .Push(Json::UInt(sample.packets)));
+  }
+  return Json::Object()
+      .Set("query_fct", ToJson(result.query_fct))
+      .Set("query_timeouts", Json::UInt(result.query_timeouts))
+      .Set("drops", Json::UInt(result.drops))
+      .Set("total_drops", Json::UInt(result.total_drops))
+      .Set("standing_queue_packets", Json::Num(result.standing_queue_packets))
+      .Set("max_queue_packets", Json::UInt(result.max_queue_packets))
+      .Set("queries_completed", Json::UInt(result.queries_completed))
+      .Set("queue_trace", std::move(trace));
+}
+
+}  // namespace ecnsharp

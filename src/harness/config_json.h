@@ -1,0 +1,34 @@
+// JSON serialization of experiment configurations and results.
+//
+// Feeds the runner's structured exporter (results/<sweep>.json): every field
+// that determines a run's outcome is captured, so a JSON record plus the
+// binary version is enough to reproduce a data point. Wall-clock quantities
+// are deliberately excluded — dumps must be byte-identical across repeat
+// runs and across --jobs settings.
+#ifndef ECNSHARP_HARNESS_CONFIG_JSON_H_
+#define ECNSHARP_HARNESS_CONFIG_JSON_H_
+
+#include "harness/experiment.h"
+#include "harness/json.h"
+
+namespace ecnsharp {
+
+// Name of a workload CDF pointer: "websearch", "datamining" or "custom".
+const char* WorkloadName(const EmpiricalCdf* workload);
+
+Json ToJson(const SchemeParams& params);
+Json ToJson(const TcpConfig& tcp);
+
+Json ToJson(const DumbbellExperimentConfig& config);
+Json ToJson(const LeafSpineExperimentConfig& config);
+Json ToJson(const IncastExperimentConfig& config);
+
+Json ToJson(const FctSummary& summary);
+Json ToJson(const QueueDiscStats& stats);
+Json ToJson(const ExperimentResult& result);
+// Includes the queue trace (time/packets pairs) when present.
+Json ToJson(const IncastResult& result);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_HARNESS_CONFIG_JSON_H_

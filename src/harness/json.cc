@@ -1,0 +1,191 @@
+#include "harness/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace ecnsharp {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; null is the conventional stand-in.
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // Shortest representation that round-trips: deterministic and compact.
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, result.ptr);
+}
+
+void AppendIndent(std::string& out, int depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+}  // namespace
+
+Json Json::Str(std::string value) {
+  Json j;
+  j.kind_ = Kind::kStr;
+  j.str_ = std::move(value);
+  return j;
+}
+
+Json Json::Num(double value) {
+  Json j;
+  j.kind_ = Kind::kNum;
+  j.num_ = value;
+  return j;
+}
+
+Json Json::Int(std::int64_t value) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = value;
+  return j;
+}
+
+Json Json::UInt(std::uint64_t value) {
+  Json j;
+  j.kind_ = Kind::kUInt;
+  j.uint_ = value;
+  return j;
+}
+
+Json Json::Bool(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [existing, member] : members_) {
+    if (existing == key) {
+      member = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+void Json::DumpTo(std::string& out, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt:
+      out += std::to_string(int_);
+      break;
+    case Kind::kUInt:
+      out += std::to_string(uint_);
+      break;
+    case Kind::kNum:
+      AppendDouble(out, num_);
+      break;
+    case Kind::kStr:
+      AppendEscaped(out, str_);
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        AppendIndent(out, depth + 1);
+        items_[i].DumpTo(out, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += '\n';
+      }
+      AppendIndent(out, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        AppendIndent(out, depth + 1);
+        AppendEscaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.DumpTo(out, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      AppendIndent(out, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out, 0);
+  out += '\n';
+  return out;
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,59 @@
+// Minimal JSON document builder for structured result export.
+//
+// The library only ever *writes* JSON (sweep results, configs), so this is a
+// build-and-dump value type, not a parser. Object keys keep insertion order
+// and numbers render with shortest-round-trip formatting, which makes dumps
+// byte-stable across runs — a property runner_test relies on to check that
+// parallel sweeps are deterministic.
+#ifndef ECNSHARP_HARNESS_JSON_H_
+#define ECNSHARP_HARNESS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ecnsharp {
+
+class Json {
+ public:
+  // Scalars. The default-constructed value is null.
+  Json() = default;
+  static Json Str(std::string value);
+  static Json Num(double value);
+  static Json Int(std::int64_t value);
+  static Json UInt(std::uint64_t value);
+  static Json Bool(bool value);
+
+  // Containers.
+  static Json Object();
+  static Json Array();
+
+  // Adds/overwrites `key` in an object (first use turns a null into an
+  // object). Returns *this for chaining.
+  Json& Set(std::string key, Json value);
+  // Appends to an array (first use turns a null into an array).
+  Json& Push(Json value);
+
+  // Serializes with 2-space indentation and a trailing newline at the top
+  // level, suitable for writing straight to a .json file.
+  std::string Dump() const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kUInt, kNum, kStr, kArray, kObject };
+
+  void DumpTo(std::string& out, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_HARNESS_JSON_H_

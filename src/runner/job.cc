@@ -1,0 +1,40 @@
+#include "runner/job.h"
+
+#include <chrono>
+
+namespace ecnsharp::runner {
+
+JobResult RunJob(const JobSpec& spec, std::size_t index) {
+  JobResult result;
+  result.index = index;
+  result.name = spec.name;
+  const auto start = std::chrono::steady_clock::now();
+  result.result = std::visit(
+      [](const auto& config)
+          -> std::variant<ExperimentResult, IncastResult> {
+        using Config = std::decay_t<decltype(config)>;
+        if constexpr (std::is_same_v<Config, DumbbellExperimentConfig>) {
+          return RunDumbbell(config);
+        } else if constexpr (std::is_same_v<Config,
+                                            LeafSpineExperimentConfig>) {
+          return RunLeafSpine(config);
+        } else {
+          return RunIncast(config);
+        }
+      },
+      spec.config);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+const ExperimentResult& FctResult(const JobResult& result) {
+  return std::get<ExperimentResult>(result.result);
+}
+
+const IncastResult& IncastResultOf(const JobResult& result) {
+  return std::get<IncastResult>(result.result);
+}
+
+}  // namespace ecnsharp::runner

@@ -1,0 +1,48 @@
+// JobSpec/JobResult: one simulation run as a schedulable unit of work.
+//
+// A JobSpec is a named, fully-specified experiment configuration for one of
+// the three experiment families (dumbbell, leaf-spine, incast). Each job
+// carries its own seed inside the config, so a job's result depends only on
+// its spec — never on which worker thread ran it or in what order. That is
+// the property that makes sweeps embarrassingly parallel and lets the
+// collector promise byte-identical output for any --jobs value.
+#ifndef ECNSHARP_RUNNER_JOB_H_
+#define ECNSHARP_RUNNER_JOB_H_
+
+#include <cstddef>
+#include <string>
+#include <variant>
+
+#include "harness/experiment.h"
+
+namespace ecnsharp::runner {
+
+struct JobSpec {
+  // Stable identifier within a sweep; keys the JSON export.
+  std::string name;
+  std::variant<DumbbellExperimentConfig, LeafSpineExperimentConfig,
+               IncastExperimentConfig>
+      config;
+};
+
+struct JobResult {
+  std::size_t index = 0;  // position of the spec in the submitted list
+  std::string name;
+  std::variant<ExperimentResult, IncastResult> result;
+  // Wall-clock seconds the job took (progress/ETA only; never exported).
+  double wall_seconds = 0.0;
+};
+
+// Runs the experiment described by `spec` synchronously on the calling
+// thread and returns its result (with `index` echoed back).
+JobResult RunJob(const JobSpec& spec, std::size_t index);
+
+// Typed accessors: dumbbell and leaf-spine jobs yield an ExperimentResult,
+// incast jobs an IncastResult. Calling the wrong one aborts (programming
+// error — the caller built the spec and knows its family).
+const ExperimentResult& FctResult(const JobResult& result);
+const IncastResult& IncastResultOf(const JobResult& result);
+
+}  // namespace ecnsharp::runner
+
+#endif  // ECNSHARP_RUNNER_JOB_H_

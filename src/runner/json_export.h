@@ -1,0 +1,56 @@
+// Structured JSON export of sweep results.
+//
+// Every sweep run through bench_common's RunSweep (or the CLI's --sweep)
+// lands in results/<sweep>.json next to the human-readable tables, so
+// plotting/regression tooling never has to scrape stdout. Schema (version
+// 1):
+//
+//   {
+//     "schema_version": 1,
+//     "sweep": "<name>",
+//     "jobs": [
+//       { "name": "<job name>",
+//         "config": { topology, scheme, workload, load, seed, ..., params },
+//         "result": { FCT summaries / incast metrics, queue stats } },
+//       ...
+//     ]
+//   }
+//
+// Config and result field sets are defined in harness/config_json.h. Dumps
+// contain no wall-clock data: repeating a sweep with any --jobs value
+// yields a byte-identical file.
+#ifndef ECNSHARP_RUNNER_JSON_EXPORT_H_
+#define ECNSHARP_RUNNER_JSON_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "harness/json.h"
+#include "runner/job.h"
+
+namespace ecnsharp::runner {
+
+// Builds the schema-version-1 document for a completed sweep. `specs` and
+// `results` must be parallel arrays (as produced by RunJobs).
+Json SweepToJson(const std::string& sweep_name,
+                 const std::vector<JobSpec>& specs,
+                 const std::vector<JobResult>& results);
+
+// Writes the document to `path`, creating parent directories. Returns false
+// on I/O error.
+bool WriteSweepJson(const std::string& path, const std::string& sweep_name,
+                    const std::vector<JobSpec>& specs,
+                    const std::vector<JobResult>& results);
+
+// Convenience used by the benches: writes <dir>/<sweep_name>.json where
+// <dir> is ECNSHARP_RESULTS_DIR (default "results"). Setting
+// ECNSHARP_NO_JSON=1 disables the export. Returns the path written, or an
+// empty string when disabled or on error (a warning goes to stderr on
+// error).
+std::string ExportSweep(const std::string& sweep_name,
+                        const std::vector<JobSpec>& specs,
+                        const std::vector<JobResult>& results);
+
+}  // namespace ecnsharp::runner
+
+#endif  // ECNSHARP_RUNNER_JSON_EXPORT_H_

@@ -1,0 +1,31 @@
+#include "runner/progress.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace ecnsharp::runner {
+
+ProgressReporter::ProgressReporter(std::string label, std::size_t total,
+                                   bool enabled)
+    : label_(std::move(label)), total_(total), enabled_(enabled) {}
+
+void ProgressReporter::JobDone(const std::string& name, double wall_seconds) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  // Crude but serviceable ETA: completed jobs predict the remaining ones.
+  // With heterogeneous job sizes it converges as the sweep progresses.
+  const double eta =
+      done_ == 0 ? 0.0
+                 : elapsed / static_cast<double>(done_) *
+                       static_cast<double>(total_ - done_);
+  std::fprintf(stderr, "[%s] %zu/%zu jobs done (%s, %.1fs), ETA ~%.0fs\n",
+               label_.c_str(), done_, total_, name.c_str(), wall_seconds,
+               eta);
+  std::fflush(stderr);
+}
+
+}  // namespace ecnsharp::runner

@@ -1,0 +1,39 @@
+// Thread-safe sweep progress reporting on stderr.
+//
+// Progress goes to stderr on purpose: stdout carries the figure tables,
+// which must stay byte-identical regardless of --jobs, while stderr timing
+// naturally varies run to run.
+#ifndef ECNSHARP_RUNNER_PROGRESS_H_
+#define ECNSHARP_RUNNER_PROGRESS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace ecnsharp::runner {
+
+class ProgressReporter {
+ public:
+  // `label` prefixes every line; `total` is the job count; `enabled` false
+  // silences all output (used when a sweep is trivially small or the caller
+  // wants quiet runs).
+  ProgressReporter(std::string label, std::size_t total, bool enabled);
+
+  // Records one finished job and prints "label: done/total jobs (name, Xs),
+  // ETA ~Ys". Safe to call concurrently from worker threads.
+  void JobDone(const std::string& name, double wall_seconds);
+
+ private:
+  const std::string label_;
+  const std::size_t total_;
+  const bool enabled_;
+  std::mutex mu_;
+  std::size_t done_ = 0;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace ecnsharp::runner
+
+#endif  // ECNSHARP_RUNNER_PROGRESS_H_

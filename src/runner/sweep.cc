@@ -1,0 +1,39 @@
+#include "runner/sweep.h"
+
+#include "harness/env.h"
+
+namespace ecnsharp::runner {
+
+std::size_t DefaultJobs() {
+  const std::int64_t jobs = EnvInt("ECNSHARP_JOBS", 1);
+  return jobs < 1 ? 1 : static_cast<std::size_t>(jobs);
+}
+
+std::vector<JobResult> RunJobs(const std::vector<JobSpec>& specs,
+                               const SweepOptions& options) {
+  std::size_t jobs = options.jobs == 0 ? DefaultJobs() : options.jobs;
+  if (jobs > specs.size()) jobs = specs.empty() ? 1 : specs.size();
+
+  std::vector<std::optional<JobResult>> slots(specs.size());
+  ProgressReporter progress(
+      options.label, specs.size(),
+      options.progress && jobs > 1 && specs.size() > 1);
+  {
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      pool.Submit([&specs, &slots, &progress, i] {
+        JobResult result = RunJob(specs[i], i);
+        progress.JobDone(result.name, result.wall_seconds);
+        slots[i] = std::move(result);
+      });
+    }
+    pool.Wait();
+  }
+
+  std::vector<JobResult> results;
+  results.reserve(specs.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+}  // namespace ecnsharp::runner

@@ -1,0 +1,73 @@
+// Parallel sweep execution with an ordered result collector.
+//
+// RunJobs() fans a list of JobSpecs out over a fixed ThreadPool and returns
+// results ordered by submission index, so downstream table/JSON code is
+// oblivious to scheduling: `--jobs=1` and `--jobs=8` produce byte-identical
+// output. ParallelMap() is the same machinery for experiments that do not
+// fit the JobSpec families (custom simulator setups like the DWRR or DCQCN
+// benches) — any index-addressable function of `i` with a copyable result.
+#ifndef ECNSHARP_RUNNER_SWEEP_H_
+#define ECNSHARP_RUNNER_SWEEP_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/job.h"
+#include "runner/progress.h"
+#include "runner/thread_pool.h"
+
+namespace ecnsharp::runner {
+
+struct SweepOptions {
+  // Worker threads; 0 means "use DefaultJobs()".
+  std::size_t jobs = 0;
+  // Progress lines on stderr (suppressed automatically for 1-job sweeps).
+  bool progress = true;
+  // Label used in progress lines.
+  std::string label = "sweep";
+};
+
+// Worker-count default: ECNSHARP_JOBS when set (clamped to >= 1), else 1.
+// Sequential by default keeps single-run benches free of thread overhead
+// and makes parallelism an explicit opt-in.
+std::size_t DefaultJobs();
+
+// Executes every spec and returns results in spec order.
+std::vector<JobResult> RunJobs(const std::vector<JobSpec>& specs,
+                               const SweepOptions& options = {});
+
+// Runs fn(0..count-1) across `jobs` workers and returns results in index
+// order. `fn` must be safe to call concurrently from multiple threads —
+// true for any self-contained Simulator experiment.
+template <typename Fn>
+auto ParallelMap(std::size_t count, Fn fn, SweepOptions options = {})
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using Result = decltype(fn(std::size_t{0}));
+  std::size_t jobs = options.jobs == 0 ? DefaultJobs() : options.jobs;
+  if (jobs > count) jobs = count == 0 ? 1 : count;
+  std::vector<std::optional<Result>> slots(count);
+  ProgressReporter progress(options.label, count,
+                            options.progress && jobs > 1 && count > 1);
+  {
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.Submit([&slots, &fn, &progress, i] {
+        slots[i].emplace(fn(i));
+        progress.JobDone(std::to_string(i), 0.0);
+      });
+    }
+    pool.Wait();
+  }
+  std::vector<Result> results;
+  results.reserve(count);
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+}  // namespace ecnsharp::runner
+
+#endif  // ECNSHARP_RUNNER_SWEEP_H_

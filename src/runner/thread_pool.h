@@ -1,0 +1,54 @@
+// Fixed-size worker pool for running independent simulation jobs.
+//
+// Deliberately minimal: a mutex/condvar task queue drained by N
+// std::jthread workers, no work stealing, no priorities. Simulation jobs
+// are seconds long, so queue contention is irrelevant — what matters is
+// that submission order is stable and Wait() gives a clean barrier for the
+// ordered result collector built on top (see sweep.h).
+#ifndef ECNSHARP_RUNNER_THREAD_POOL_H_
+#define ECNSHARP_RUNNER_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecnsharp::runner {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  // Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw; exceptions escaping a task
+  // terminate the process (same contract as std::thread).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace ecnsharp::runner
+
+#endif  // ECNSHARP_RUNNER_THREAD_POOL_H_

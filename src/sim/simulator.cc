@@ -15,11 +15,15 @@ EventId Simulator::ScheduleAt(Time when, UniqueFunction<void()> fn) {
   const std::uint64_t seq = next_seq_++;
   heap_.push_back(Event{when, seq, std::move(fn)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(seq);
   return EventId{seq};
 }
 
 void Simulator::Cancel(EventId id) {
-  if (id.valid()) cancelled_.insert(id.seq);
+  // Erasing from the live set both marks a pending event as cancelled and
+  // makes cancelling an already-executed (or already-cancelled) id a no-op
+  // with no memory retained.
+  if (id.valid()) live_.erase(id.seq);
 }
 
 bool Simulator::PopNext(Event& out) {
@@ -27,11 +31,7 @@ bool Simulator::PopNext(Event& out) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     Event ev = std::move(heap_.back());
     heap_.pop_back();
-    const auto it = cancelled_.find(ev.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    if (live_.erase(ev.seq) == 0) continue;  // cancelled
     out = std::move(ev);
     return true;
   }
@@ -58,7 +58,8 @@ void Simulator::RunUntil(Time until) {
     if (!PopNext(ev)) break;
     if (ev.when > until) {
       // Cancelled entries may have hidden a later event behind the front;
-      // push it back and stop.
+      // push it back (restoring its live-set entry) and stop.
+      live_.insert(ev.seq);
       heap_.push_back(std::move(ev));
       std::push_heap(heap_.begin(), heap_.end(), Later{});
       break;

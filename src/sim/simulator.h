@@ -53,6 +53,10 @@ class Simulator {
 
   std::uint64_t events_executed() const { return events_executed_; }
   std::size_t pending_events() const { return heap_.size(); }
+  // Scheduled events that have neither executed nor been cancelled. Unlike
+  // pending_events() this excludes cancelled entries still in the heap, and
+  // it is the invariant the cancellation bookkeeping is bounded by.
+  std::size_t live_events() const { return live_.size(); }
 
  private:
   struct Event {
@@ -73,7 +77,11 @@ class Simulator {
   bool PopNext(Event& out);
 
   std::vector<Event> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  // Sequence numbers of scheduled events that have neither executed nor been
+  // cancelled. Tracking the live set (instead of a cancelled set) bounds
+  // memory by the number of pending events: cancelling an id that already
+  // executed is a no-op rather than a permanently retained entry.
+  std::unordered_set<std::uint64_t> live_;
   Time now_ = Time::Zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_executed_ = 0;

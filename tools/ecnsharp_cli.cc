@@ -1,25 +1,65 @@
 // ecnsharp_cli — run any experiment from the command line.
 //
-//   ecnsharp_cli --topo=dumbbell --scheme=ecn-sharp --workload=websearch \
+//   ecnsharp_cli --topo=dumbbell --scheme=ecn-sharp --workload=websearch
 //                --load=0.6 --flows=1000 --variation=3 --seed=1
 //   ecnsharp_cli --topo=leafspine --scheme=dctcp-red-tail --load=0.4
 //   ecnsharp_cli --topo=incast --scheme=codel --fanout=100
+//   ecnsharp_cli --sweep=load:10..90:10 --jobs=8 --flows=2000
 //
 // Prints the experiment's FCT breakdown (or incast metrics) as a table.
-// Run with --help for all options.
+// With --sweep, runs the whole grid through the parallel runner and also
+// exports results/<name>.json. Run with --help for all options.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "runner/job.h"
+#include "runner/json_export.h"
+#include "runner/sweep.h"
 #include "workload/empirical_cdf.h"
 
 namespace {
 
 using namespace ecnsharp;
+
+[[noreturn]] void FlagError(const std::string& key, const std::string& value,
+                            const char* expected) {
+  std::fprintf(stderr, "invalid value for --%s: '%s' (expected %s)\n",
+               key.c_str(), value.c_str(), expected);
+  std::exit(2);
+}
+
+double ParseDoubleOrDie(const std::string& key, const std::string& value) {
+  const char* begin = value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(begin, &end);
+  if (end == begin || *end != '\0' || errno == ERANGE) {
+    FlagError(key, value, "a number");
+  }
+  return parsed;
+}
+
+std::uint64_t ParseU64OrDie(const std::string& key, const std::string& value) {
+  const char* begin = value.c_str();
+  // strtoull silently accepts "-1" by wrapping; reject any sign explicitly.
+  if (*begin == '-' || *begin == '+') {
+    FlagError(key, value, "a non-negative integer");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t parsed = std::strtoull(begin, &end, 10);
+  if (end == begin || *end != '\0' || errno == ERANGE) {
+    FlagError(key, value, "a non-negative integer");
+  }
+  return parsed;
+}
 
 struct Flags {
   std::map<std::string, std::string> values;
@@ -31,14 +71,11 @@ struct Flags {
   }
   double GetDouble(const std::string& key, double fallback) const {
     const auto it = values.find(key);
-    return it == values.end() ? fallback : std::strtod(it->second.c_str(),
-                                                       nullptr);
+    return it == values.end() ? fallback : ParseDoubleOrDie(key, it->second);
   }
   std::uint64_t GetU64(const std::string& key, std::uint64_t fallback) const {
     const auto it = values.find(key);
-    return it == values.end()
-               ? fallback
-               : std::strtoull(it->second.c_str(), nullptr, 10);
+    return it == values.end() ? fallback : ParseU64OrDie(key, it->second);
   }
 };
 
@@ -79,6 +116,16 @@ int Usage() {
       "  --seed=<n>                         RNG seed (default 1)\n"
       "  --sim-params                       use the paper's simulation\n"
       "                                     parameter preset (§5.3)\n"
+      "  --sweep=<param:lo..hi:step[,...]>  run a grid instead of a single\n"
+      "                                     experiment; params: load (in\n"
+      "                                     percent), flows, variation,\n"
+      "                                     fanout, seed. Example:\n"
+      "                                     --sweep=load:10..90:10\n"
+      "  --jobs=<n>                         worker threads for --sweep\n"
+      "                                     (default $ECNSHARP_JOBS or 1)\n"
+      "  --name=<name>                      sweep name; JSON lands in\n"
+      "                                     results/<name>.json (default\n"
+      "                                     cli_sweep)\n"
       "  --help                             this text\n");
   return 0;
 }
@@ -126,6 +173,201 @@ void PrintFctResult(const ExperimentResult& r) {
       r.sim_seconds);
 }
 
+// One swept parameter: `load:10..90:10` expands to {10, 20, ..., 90}.
+struct SweepAxis {
+  std::string param;
+  std::vector<double> values;
+};
+
+[[noreturn]] void SweepError(const std::string& spec, const char* why) {
+  std::fprintf(stderr,
+               "invalid --sweep term '%s': %s\n"
+               "expected param:start..end:step, e.g. load:10..90:10\n",
+               spec.c_str(), why);
+  std::exit(2);
+}
+
+SweepAxis ParseSweepAxis(const std::string& spec) {
+  const std::size_t colon1 = spec.find(':');
+  if (colon1 == std::string::npos) SweepError(spec, "missing ':'");
+  const std::size_t dots = spec.find("..", colon1 + 1);
+  if (dots == std::string::npos) SweepError(spec, "missing '..' range");
+  const std::size_t colon2 = spec.find(':', dots + 2);
+  if (colon2 == std::string::npos) SweepError(spec, "missing ':step'");
+
+  SweepAxis axis;
+  axis.param = spec.substr(0, colon1);
+  static const char* kParams[] = {"load", "flows", "variation", "fanout",
+                                  "seed"};
+  bool known = false;
+  for (const char* p : kParams) known = known || axis.param == p;
+  if (!known) SweepError(spec, "unknown parameter");
+
+  const double start =
+      ParseDoubleOrDie("sweep", spec.substr(colon1 + 1, dots - colon1 - 1));
+  const double end =
+      ParseDoubleOrDie("sweep", spec.substr(dots + 2, colon2 - dots - 2));
+  const double step = ParseDoubleOrDie("sweep", spec.substr(colon2 + 1));
+  if (step <= 0) SweepError(spec, "step must be > 0");
+  if (end < start) SweepError(spec, "end must be >= start");
+  // Epsilon absorbs accumulated floating-point error on non-integer steps.
+  for (double v = start; v <= end + step * 1e-9; v += step) {
+    axis.values.push_back(v);
+  }
+  return axis;
+}
+
+std::vector<SweepAxis> ParseSweep(const std::string& value) {
+  std::vector<SweepAxis> axes;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    std::size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    axes.push_back(ParseSweepAxis(value.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return axes;
+}
+
+// Human-readable value for job names: integers print without a decimal.
+std::string FmtValue(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return TablePrinter::Fmt(v, 3);
+}
+
+struct GridPoint {
+  std::string name;  // "load=30,variation=5"
+  std::map<std::string, double> overrides;
+};
+
+std::vector<GridPoint> ExpandGrid(const std::vector<SweepAxis>& axes) {
+  std::vector<GridPoint> points = {{"", {}}};
+  for (const SweepAxis& axis : axes) {
+    std::vector<GridPoint> next;
+    for (const GridPoint& base : points) {
+      for (const double v : axis.values) {
+        GridPoint point = base;
+        if (!point.name.empty()) point.name += ",";
+        point.name += axis.param + "=" + FmtValue(v);
+        point.overrides[axis.param] = v;
+        next.push_back(std::move(point));
+      }
+    }
+    points = std::move(next);
+  }
+  return points;
+}
+
+int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
+                 const EmpiricalCdf* workload) {
+  const std::vector<SweepAxis> axes = ParseSweep(flags.Get("sweep", ""));
+  for (const SweepAxis& axis : axes) {
+    const bool incast_param = axis.param == "fanout";
+    if (topo == "incast" && (axis.param == "load" || axis.param == "flows" ||
+                             axis.param == "variation")) {
+      std::fprintf(stderr, "--sweep param '%s' does not apply to --topo=%s\n",
+                   axis.param.c_str(), topo.c_str());
+      return 2;
+    }
+    if (topo != "incast" && incast_param) {
+      std::fprintf(stderr, "--sweep param '%s' does not apply to --topo=%s\n",
+                   axis.param.c_str(), topo.c_str());
+      return 2;
+    }
+    if (topo == "leafspine" && axis.param == "variation") {
+      std::fprintf(stderr,
+                   "--sweep param 'variation' does not apply to "
+                   "--topo=leafspine\n");
+      return 2;
+    }
+  }
+
+  std::vector<runner::JobSpec> specs;
+  for (const GridPoint& point : ExpandGrid(axes)) {
+    const auto value = [&point](const char* param, double fallback) {
+      const auto it = point.overrides.find(param);
+      return it == point.overrides.end() ? fallback : it->second;
+    };
+    runner::JobSpec spec;
+    spec.name = point.name;
+    if (topo == "dumbbell") {
+      DumbbellExperimentConfig config;
+      config.scheme = scheme;
+      if (flags.Has("sim-params")) config.params = SimulationSchemeParams();
+      config.workload = workload;
+      // Sweep loads are in percent (load:10..90:10); single-run --load=0..1.
+      config.load = value("load", flags.GetDouble("load", 0.5) * 100) / 100;
+      config.flows = static_cast<std::size_t>(
+          value("flows", static_cast<double>(flags.GetU64("flows", 1000))));
+      config.rtt_variation =
+          value("variation", flags.GetDouble("variation", 3.0));
+      config.seed = static_cast<std::uint64_t>(
+          value("seed", static_cast<double>(flags.GetU64("seed", 1))));
+      spec.config = config;
+    } else if (topo == "leafspine") {
+      LeafSpineExperimentConfig config;
+      config.scheme = scheme;
+      config.params = SimulationSchemeParams();
+      config.workload = workload;
+      config.load = value("load", flags.GetDouble("load", 0.5) * 100) / 100;
+      config.flows = static_cast<std::size_t>(
+          value("flows", static_cast<double>(flags.GetU64("flows", 1000))));
+      config.seed = static_cast<std::uint64_t>(
+          value("seed", static_cast<double>(flags.GetU64("seed", 1))));
+      spec.config = config;
+    } else {
+      IncastExperimentConfig config;
+      config.scheme = scheme;
+      config.query_flows = static_cast<std::size_t>(
+          value("fanout", static_cast<double>(flags.GetU64("fanout", 100))));
+      config.seed = static_cast<std::uint64_t>(
+          value("seed", static_cast<double>(flags.GetU64("seed", 1))));
+      spec.config = config;
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  const std::string name = flags.Get("name", "cli_sweep");
+  runner::SweepOptions options;
+  options.jobs = static_cast<std::size_t>(flags.GetU64("jobs", 0));
+  options.label = name;
+  PrintBanner("sweep / " + topo + " / " + std::string(SchemeName(scheme)) +
+              " — " + std::to_string(specs.size()) + " jobs");
+  const std::vector<runner::JobResult> results =
+      runner::RunJobs(specs, options);
+  runner::ExportSweep(name, specs, results);
+
+  if (topo == "incast") {
+    TablePrinter table({"point", "standing q(pkts)", "peak q(pkts)", "drops",
+                        "query avg(us)", "query p99(us)", "timeouts"});
+    for (const runner::JobResult& job : results) {
+      const IncastResult& r = runner::IncastResultOf(job);
+      table.AddRow({job.name, TablePrinter::Fmt(r.standing_queue_packets, 1),
+                    std::to_string(r.max_queue_packets),
+                    std::to_string(r.drops),
+                    TablePrinter::Fmt(r.query_fct.avg_us, 1),
+                    TablePrinter::Fmt(r.query_fct.p99_us, 1),
+                    std::to_string(r.query_timeouts)});
+    }
+    table.Print();
+  } else {
+    TablePrinter table({"point", "overall avg(us)", "short avg(us)",
+                        "short p99(us)", "large avg(us)", "timeouts"});
+    for (const runner::JobResult& job : results) {
+      const ExperimentResult& r = runner::FctResult(job);
+      table.AddRow({job.name, TablePrinter::Fmt(r.overall.avg_us, 1),
+                    TablePrinter::Fmt(r.short_flows.avg_us, 1),
+                    TablePrinter::Fmt(r.short_flows.p99_us, 1),
+                    TablePrinter::Fmt(r.large_flows.avg_us, 1),
+                    std::to_string(r.timeouts)});
+    }
+    table.Print();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,6 +385,14 @@ int main(int argc, char** argv) {
                                      ? &DataMiningWorkload()
                                      : &WebSearchWorkload();
   const std::string topo = flags.Get("topo", "dumbbell");
+  if (topo != "dumbbell" && topo != "leafspine" && topo != "incast") {
+    std::fprintf(stderr, "unknown topo '%s' (see --help)\n", topo.c_str());
+    return 2;
+  }
+
+  if (flags.Has("sweep")) {
+    return RunSweepMode(flags, topo, scheme, workload);
+  }
 
   if (topo == "dumbbell") {
     DumbbellExperimentConfig config;
@@ -167,7 +417,7 @@ int main(int argc, char** argv) {
     PrintBanner("leaf-spine / " + std::string(SchemeName(scheme)) + " / " +
                 workload_name);
     PrintFctResult(RunLeafSpine(config));
-  } else if (topo == "incast") {
+  } else {
     IncastExperimentConfig config;
     config.scheme = scheme;
     config.query_flows = flags.GetU64("fanout", 100);
@@ -186,9 +436,6 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(r.query_fct.p99_us, 1)});
     table.AddRow({"query timeouts", std::to_string(r.query_timeouts)});
     table.Print();
-  } else {
-    std::fprintf(stderr, "unknown topo '%s' (see --help)\n", topo.c_str());
-    return 2;
   }
   return 0;
 }
