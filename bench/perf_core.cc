@@ -1,0 +1,213 @@
+// Core performance baseline: events/sec, packets/sec, and an end-to-end
+// websearch figure, exported as BENCH_core.json.
+//
+// Unlike the figure benches (which measure *model* behaviour and are
+// byte-stable across runs), this binary measures *simulator* speed so the
+// repo has a perf trajectory to regress against. Every PR that touches the
+// hot path should re-run it and compare against the committed
+// BENCH_core.json. Methodology in docs/perf.md.
+//
+// Scale knobs (environment):
+//   ECNSHARP_PERF_EVENTS   events per event-engine bench   (default 2000000)
+//   ECNSHARP_PERF_PACKETS  packets through the queue path  (default 2000000)
+//   ECNSHARP_PERF_FLOWS    flows in the end-to-end run     (default 2000)
+//   ECNSHARP_BENCH_OUT     output path                     (default BENCH_core.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aqm/dctcp_red.h"
+#include "harness/env.h"
+#include "harness/experiment.h"
+#include "harness/json.h"
+#include "net/packet.h"
+#include "net/packet_pool.h"
+#include "runner/json_export.h"
+#include "sched/fifo_queue_disc.h"
+#include "sim/simulator.h"
+
+namespace ecnsharp {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Metric {
+  std::uint64_t items = 0;  // events or packets processed
+  double seconds = 0.0;
+  double rate() const { return seconds > 0.0 ? items / seconds : 0.0; }
+};
+
+Json ToJson(const Metric& m, const char* unit) {
+  return Json::Object()
+      .Set("items", Json::UInt(m.items))
+      .Set("seconds", Json::Num(m.seconds))
+      .Set(unit, Json::Num(m.rate()));
+}
+
+// ---------------------------------------------------------------------------
+// Event engine: a ring of self-rescheduling callbacks. Every iteration is one
+// pop + dispatch + push, the exact per-event cost every simulation pays.
+// ---------------------------------------------------------------------------
+
+struct Churner {
+  Simulator& sim;
+  std::uint64_t& remaining;
+  Time gap;
+
+  void Fire() {
+    if (remaining == 0) return;
+    --remaining;
+    sim.Schedule(gap, [this] { Fire(); });
+  }
+};
+
+Metric EventChurn(std::uint64_t events) {
+  Simulator sim;
+  std::uint64_t remaining = events;
+  constexpr int kRing = 64;
+  std::vector<std::unique_ptr<Churner>> ring;
+  ring.reserve(kRing);
+  for (int i = 0; i < kRing; ++i) {
+    ring.push_back(std::make_unique<Churner>(
+        Churner{sim, remaining, Time::Nanoseconds(100 + i)}));
+    sim.Schedule(Time::Nanoseconds(i), [c = ring.back().get()] { c->Fire(); });
+  }
+  const auto start = Clock::now();
+  sim.Run();
+  return Metric{sim.events_executed(), SecondsSince(start)};
+}
+
+// ---------------------------------------------------------------------------
+// Event engine under cancellation churn: the TCP RTO-restart pattern — every
+// dispatched event re-arms a far-future event and cancels the previous one,
+// so the cancellation bookkeeping is on the critical path.
+// ---------------------------------------------------------------------------
+
+struct CancelChurner {
+  Simulator& sim;
+  std::uint64_t& remaining;
+  EventId pending{};
+
+  void Fire() {
+    sim.Cancel(pending);
+    pending = sim.Schedule(Time::Milliseconds(10), [] {});
+    if (remaining == 0) return;
+    --remaining;
+    sim.Schedule(Time::Nanoseconds(120), [this] { Fire(); });
+  }
+};
+
+Metric EventCancelChurn(std::uint64_t events) {
+  Simulator sim;
+  std::uint64_t remaining = events;
+  CancelChurner churner{sim, remaining};
+  sim.Schedule(Time::Zero(), [&churner] { churner.Fire(); });
+  const auto start = Clock::now();
+  sim.Run();
+  return Metric{sim.events_executed(), SecondsSince(start)};
+}
+
+// ---------------------------------------------------------------------------
+// Packet path: construct a full-size segment, enqueue into a DCTCP-RED FIFO,
+// dequeue, destroy — the per-packet work of every switch hop.
+// ---------------------------------------------------------------------------
+
+Metric PacketPath(std::uint64_t packets) {
+  FifoQueueDisc disc(1ull << 30, std::make_unique<DctcpRedAqm>(250'000));
+  Time now = Time::Zero();
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < packets; ++i) {
+    now += Time::Nanoseconds(1200);
+    auto pkt = NewPacket();
+    pkt->size_bytes = kFullPacketBytes;
+    pkt->payload_bytes = kMaxSegmentSize;
+    pkt->ecn = EcnCodepoint::kEct0;
+    pkt->seq = i;
+    disc.Enqueue(std::move(pkt), now);
+    disc.Dequeue(now);
+  }
+  return Metric{packets, SecondsSince(start)};
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the paper's websearch workload on the testbed dumbbell at 70%
+// load — the configuration every FCT figure leans on hardest.
+// ---------------------------------------------------------------------------
+
+Json WebSearchAt70(std::size_t flows) {
+  DumbbellExperimentConfig config;
+  config.scheme = Scheme::kEcnSharp;
+  config.load = 0.7;
+  config.flows = flows;
+  config.seed = 1;
+  const auto start = Clock::now();
+  const ExperimentResult result = RunDumbbell(config);
+  const double wall = SecondsSince(start);
+  return Json::Object()
+      .Set("flows", Json::UInt(flows))
+      .Set("flows_completed", Json::UInt(result.flows_completed))
+      .Set("sim_seconds", Json::Num(result.sim_seconds))
+      .Set("wall_seconds", Json::Num(wall))
+      .Set("sim_to_wall_ratio",
+           Json::Num(wall > 0.0 ? result.sim_seconds / wall : 0.0));
+}
+
+}  // namespace
+}  // namespace ecnsharp
+
+int main() {
+  using namespace ecnsharp;
+
+  const auto events =
+      static_cast<std::uint64_t>(EnvInt("ECNSHARP_PERF_EVENTS", 2'000'000));
+  const auto packets =
+      static_cast<std::uint64_t>(EnvInt("ECNSHARP_PERF_PACKETS", 2'000'000));
+  const auto flows =
+      static_cast<std::size_t>(EnvInt("ECNSHARP_PERF_FLOWS", 2'000));
+
+  const Metric churn = EventChurn(events);
+  std::printf("event_churn:        %10.0f events/s  (%llu events, %.3f s)\n",
+              churn.rate(), static_cast<unsigned long long>(churn.items),
+              churn.seconds);
+
+  const Metric cancel = EventCancelChurn(events / 3);
+  std::printf("event_cancel_churn: %10.0f events/s  (%llu events, %.3f s)\n",
+              cancel.rate(), static_cast<unsigned long long>(cancel.items),
+              cancel.seconds);
+
+  const Metric pkts = PacketPath(packets);
+  std::printf("packet_path:        %10.0f packets/s (%llu packets, %.3f s)\n",
+              pkts.rate(), static_cast<unsigned long long>(pkts.items),
+              pkts.seconds);
+
+  const Json websearch = WebSearchAt70(flows);
+  std::printf("websearch_70:       see JSON (flows=%zu)\n", flows);
+
+  Json doc = Json::Object()
+                 .Set("schema_version", Json::Int(1))
+                 .Set("bench", Json::Str("perf_core"))
+                 .Set("metrics",
+                      Json::Object()
+                          .Set("event_churn", ToJson(churn, "events_per_sec"))
+                          .Set("event_cancel_churn",
+                               ToJson(cancel, "events_per_sec"))
+                          .Set("packet_path", ToJson(pkts, "packets_per_sec"))
+                          .Set("websearch_70", websearch));
+
+  const char* out_env = std::getenv("ECNSHARP_BENCH_OUT");
+  const std::string path =
+      (out_env == nullptr || *out_env == '\0') ? "BENCH_core.json" : out_env;
+  if (!runner::WriteJsonFile(path, doc)) {
+    std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

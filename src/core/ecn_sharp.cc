@@ -22,7 +22,9 @@ void EcnSharpAqm::OnDequeue(Packet& pkt, const QueueSnapshot& /*snapshot*/,
   // evaluate it unconditionally before OR-ing the two conditions.
   const bool persistent =
       marker_.ShouldMark(sojourn >= config_.pst_target, now);
-  const bool instantaneous = sojourn > config_.ins_target;
+  // Marking is inclusive at the target, matching Algorithm 1's persistent
+  // comparison and the Tofino pipeline's ternary range (src/tofino).
+  const bool instantaneous = sojourn >= config_.ins_target;
   if (instantaneous) ++instantaneous_marks_;
   if (persistent && !instantaneous) ++persistent_marks_;
   if (instantaneous || persistent) pkt.MarkCe();

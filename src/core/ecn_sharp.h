@@ -3,8 +3,9 @@
 // ECN# is an AQM that marks a departing packet when EITHER of two conditions
 // holds:
 //
-//  1. Instantaneous congestion: the packet's sojourn time exceeds
-//     `ins_target`, a threshold derived from a HIGH-percentile base RTT via
+//  1. Instantaneous congestion: the packet's sojourn time reaches
+//     `ins_target` (inclusive — both comparisons against a target use >=,
+//     like Algorithm 1), a threshold derived from a HIGH-percentile base RTT via
 //     Equation (2) (T = lambda * RTT). This preserves DCTCP-RED/TCN's
 //     throughput and burst tolerance.
 //
@@ -98,7 +99,7 @@ class EcnSharpQlenAqm : public AqmPolicy {
     const std::uint64_t bytes = snapshot.bytes + pkt.size_bytes;
     const bool persistent =
         marker_.ShouldMark(bytes >= config_.pst_target_bytes, now);
-    const bool instantaneous = bytes > config_.ins_target_bytes;
+    const bool instantaneous = bytes >= config_.ins_target_bytes;
     if (instantaneous || persistent) pkt.MarkCe();
     return true;
   }

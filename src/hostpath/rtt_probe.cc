@@ -1,11 +1,13 @@
 #include "hostpath/rtt_probe.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "net/delay_line.h"
 #include "net/host.h"
 #include "net/switch_node.h"
+#include "net/packet_pool.h"
 #include "sched/fifo_queue_disc.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -36,7 +38,7 @@ class RpcClient : public PacketSink {
   void SendRequest() {
     --remaining_;
     sent_at_ = host_.sim().Now();
-    auto pkt = std::make_unique<Packet>();
+    auto pkt = NewPacket();
     pkt->flow = FlowKey{host_.address(), server_, 1000, 80};
     pkt->size_bytes = kRequestBytes;
     pkt->sent_time = sent_at_;
@@ -56,7 +58,7 @@ class RpcServer : public PacketSink {
   explicit RpcServer(Host& host) : host_(host) {}
 
   void HandlePacket(std::unique_ptr<Packet> request) override {
-    auto response = std::make_unique<Packet>();
+    auto response = NewPacket();
     response->flow = request->flow.Reversed();
     response->size_bytes = kRequestBytes;
     host_.SendPacket(std::move(response));
@@ -158,13 +160,16 @@ RttStats RunRttProbe(const RttCaseSpec& spec, std::size_t requests,
   rpc_client.Start();
   sim.Run();
 
-  const std::vector<double>& rtts = rpc_client.rtts_us();
+  // Sort once and query both percentiles from the sorted sample (see the
+  // contract in stats/percentile.h).
+  std::vector<double> rtts = rpc_client.rtts_us();
+  std::sort(rtts.begin(), rtts.end());
   RttStats stats;
   stats.samples = rtts.size();
   stats.mean_us = Mean(rtts);
   stats.std_us = StdDev(rtts);
-  stats.p90_us = Percentile(rtts, 90.0);
-  stats.p99_us = Percentile(rtts, 99.0);
+  stats.p90_us = PercentileSorted(rtts, 90.0);
+  stats.p99_us = PercentileSorted(rtts, 99.0);
   return stats;
 }
 

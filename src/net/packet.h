@@ -83,6 +83,14 @@ struct Packet {
   void MarkCe() {
     if (IsEcnCapable()) ecn = EcnCodepoint::kCe;
   }
+
+  // Heap Packets recycle their storage through a per-thread free list (see
+  // net/packet_pool.h); definitions live in packet_pool.cc. This keeps the
+  // per-segment hot path free of global-allocator traffic without changing
+  // any ownership signatures.
+  static void* operator new(std::size_t size);
+  static void operator delete(void* ptr) noexcept;
+  static void operator delete(void* ptr, std::size_t size) noexcept;
 };
 
 // Anything that can accept a packet: a node, a protocol stack, a delay stage.

@@ -1,0 +1,60 @@
+#include "net/packet_pool.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace ecnsharp {
+
+PacketPool::PacketPool() {
+  const char* env = std::getenv("ECNSHARP_NO_PACKET_POOL");
+  recycling_enabled_ = (env == nullptr || *env == '\0' || *env == '0');
+}
+
+PacketPool::~PacketPool() {
+  for (void* block : free_) ::operator delete(block);
+}
+
+void* PacketPool::Allocate() {
+  ++allocations_;
+  if (free_.empty()) {
+    ++fresh_;
+    return ::operator new(sizeof(Packet));
+  }
+  void* block = free_.back();
+  free_.pop_back();
+  return block;
+}
+
+void PacketPool::Recycle(void* block) {
+  if (!recycling_enabled_) {
+    ::operator delete(block);
+    return;
+  }
+  free_.push_back(block);
+}
+
+PacketPool& ThreadLocalPacketPool() {
+  thread_local PacketPool pool;
+  return pool;
+}
+
+void* Packet::operator new(std::size_t size) {
+  // A derived type (none exist today) would fall through to the heap.
+  if (size != sizeof(Packet)) return ::operator new(size);
+  return ThreadLocalPacketPool().Allocate();
+}
+
+void Packet::operator delete(void* ptr, std::size_t size) noexcept {
+  if (ptr == nullptr) return;
+  if (size != sizeof(Packet)) {
+    ::operator delete(ptr);
+    return;
+  }
+  ThreadLocalPacketPool().Recycle(ptr);
+}
+
+void Packet::operator delete(void* ptr) noexcept {
+  Packet::operator delete(ptr, sizeof(Packet));
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,71 @@
+// Free-list recycling of Packet storage.
+//
+// Simulations construct and destroy one Packet per segment per hop-stage at
+// line rate, which makes the global allocator the hottest call in the whole
+// library. Packet overrides operator new/delete (definitions in
+// packet_pool.cc) to draw storage from a per-thread PacketPool free list, so
+// after warm-up a steady-state run performs no heap traffic for packets at
+// all — every `std::make_unique<Packet>()` anywhere in the tree is pooled
+// automatically.
+//
+// Threading contract: one simulation runs entirely on one thread (the
+// property RunSweep relies on), so per-thread pooling is race-free. Packets
+// must be freed on the thread that allocated them and must not outlive it.
+//
+// Recycling can be disabled by setting ECNSHARP_NO_PACKET_POOL=1 (checked
+// once per thread), which restores plain new/delete — useful under
+// AddressSanitizer, where the free list would otherwise mask use-after-free
+// of packet memory.
+#ifndef ECNSHARP_NET_PACKET_POOL_H_
+#define ECNSHARP_NET_PACKET_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace ecnsharp {
+
+class PacketPool {
+ public:
+  PacketPool();
+  ~PacketPool();
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  // Returns storage for one Packet: a recycled block when available,
+  // otherwise a fresh heap allocation. The caller constructs the Packet
+  // (Packet::operator new does this via placement by the new-expression).
+  void* Allocate();
+  // Returns a block to the free list (the Packet is already destroyed).
+  void Recycle(void* block);
+
+  std::size_t free_blocks() const { return free_.size(); }
+  std::uint64_t total_allocations() const { return allocations_; }
+  std::uint64_t fresh_allocations() const { return fresh_; }
+  std::uint64_t recycled_allocations() const { return allocations_ - fresh_; }
+
+ private:
+  std::vector<void*> free_;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t fresh_ = 0;
+  bool recycling_enabled_ = true;
+};
+
+// The pool backing Packet::operator new/delete on this thread.
+PacketPool& ThreadLocalPacketPool();
+
+// Packet factory used at transport/hostpath/workload construction sites.
+// Equivalent to std::make_unique<Packet>() — the new-expression routes
+// through Packet::operator new and hence the thread-local pool — but names
+// the pooling contract at the call site. Fields are always freshly
+// default-initialized, whether the storage is recycled or new.
+inline std::unique_ptr<Packet> NewPacket() {
+  return std::make_unique<Packet>();
+}
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_NET_PACKET_POOL_H_

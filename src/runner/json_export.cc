@@ -34,9 +34,7 @@ Json SweepToJson(const std::string& sweep_name,
       .Set("jobs", std::move(jobs));
 }
 
-bool WriteSweepJson(const std::string& path, const std::string& sweep_name,
-                    const std::vector<JobSpec>& specs,
-                    const std::vector<JobResult>& results) {
+bool WriteJsonFile(const std::string& path, const Json& doc) {
   std::error_code ec;
   const std::filesystem::path target(path);
   if (target.has_parent_path()) {
@@ -45,8 +43,14 @@ bool WriteSweepJson(const std::string& path, const std::string& sweep_name,
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;
-  out << SweepToJson(sweep_name, specs, results).Dump();
+  out << doc.Dump();
   return static_cast<bool>(out);
+}
+
+bool WriteSweepJson(const std::string& path, const std::string& sweep_name,
+                    const std::vector<JobSpec>& specs,
+                    const std::vector<JobResult>& results) {
+  return WriteJsonFile(path, SweepToJson(sweep_name, specs, results));
 }
 
 std::string ExportSweep(const std::string& sweep_name,

@@ -30,6 +30,11 @@
 
 namespace ecnsharp::runner {
 
+// Writes any JSON document to `path`, creating parent directories. Returns
+// false on I/O error. Used by perf benches (BENCH_core.json) as well as the
+// sweep exporters below.
+bool WriteJsonFile(const std::string& path, const Json& doc);
+
 // Builds the schema-version-1 document for a completed sweep. `specs` and
 // `results` must be parallel arrays (as produced by RunJobs).
 Json SweepToJson(const std::string& sweep_name,

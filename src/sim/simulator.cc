@@ -5,6 +5,54 @@
 
 namespace ecnsharp {
 
+namespace {
+
+// EventId packing: low 32 bits hold (slot index + 1) so that a
+// default-constructed id (seq == 0) stays invalid; high 32 bits hold the
+// slot's generation at scheduling time.
+constexpr std::uint64_t PackId(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         (static_cast<std::uint64_t>(slot) + 1);
+}
+
+}  // namespace
+
+// Capacity recycled between Simulator instances on the same thread. Sweeps
+// construct one Simulator per experiment on a worker thread; adopting the
+// previous instance's vectors means only the first experiment grows them.
+struct Simulator::Storage {
+  std::vector<HeapEntry> heap;
+  std::vector<Slot> slots;
+  std::vector<std::uint32_t> free_slots;
+};
+
+Simulator::Storage& Simulator::ThreadStorageCache() {
+  thread_local Storage cache;
+  return cache;
+}
+
+Simulator::Simulator() {
+  Storage& cache = ThreadStorageCache();
+  heap_.swap(cache.heap);
+  slots_.swap(cache.slots);
+  free_slots_.swap(cache.free_slots);
+  heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
+}
+
+Simulator::~Simulator() {
+  Storage& cache = ThreadStorageCache();
+  heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
+  if (heap_.capacity() > cache.heap.capacity()) heap_.swap(cache.heap);
+  if (slots_.capacity() > cache.slots.capacity()) slots_.swap(cache.slots);
+  if (free_slots_.capacity() > cache.free_slots.capacity()) {
+    free_slots_.swap(cache.free_slots);
+  }
+}
+
 EventId Simulator::Schedule(Time delay, UniqueFunction<void()> fn) {
   if (delay.IsNegative()) delay = Time::Zero();
   return ScheduleAt(now_ + delay, std::move(fn));
@@ -12,38 +60,80 @@ EventId Simulator::Schedule(Time delay, UniqueFunction<void()> fn) {
 
 EventId Simulator::ScheduleAt(Time when, UniqueFunction<void()> fn) {
   if (when < now_) when = now_;
-  const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Event{when, seq, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push_back(HeapEntry{when, next_order_++, slot, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  live_.insert(seq);
-  return EventId{seq};
+  ++live_count_;
+  return EventId{PackId(slot, s.gen)};
 }
 
 void Simulator::Cancel(EventId id) {
-  // Erasing from the live set both marks a pending event as cancelled and
-  // makes cancelling an already-executed (or already-cancelled) id a no-op
-  // with no memory retained.
-  if (id.valid()) live_.erase(id.seq);
+  if (!id.valid()) return;
+  const auto slot_plus_one =
+      static_cast<std::uint32_t>(id.seq & 0xffffffffu);
+  if (slot_plus_one == 0) return;
+  const std::uint32_t slot = slot_plus_one - 1;
+  const auto gen = static_cast<std::uint32_t>(id.seq >> 32);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  // A generation mismatch means the event already executed or was cancelled
+  // (and the slot possibly recycled): no-op, nothing retained.
+  if (s.gen != gen) return;
+  s.fn = nullptr;
+  ++s.gen;  // invalidates the heap entry and any outstanding copies of id
+  free_slots_.push_back(slot);
+  --live_count_;
 }
 
-bool Simulator::PopNext(Event& out) {
+bool Simulator::PruneFront() {
+  while (!heap_.empty()) {
+    const HeapEntry& front = heap_.front();
+    if (slots_[front.slot].gen == front.gen) return true;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+  return false;
+}
+
+bool Simulator::PopNext(HeapEntry& out) {
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event ev = std::move(heap_.back());
+    const HeapEntry entry = heap_.back();
     heap_.pop_back();
-    if (live_.erase(ev.seq) == 0) continue;  // cancelled
-    out = std::move(ev);
+    if (slots_[entry.slot].gen != entry.gen) continue;  // cancelled
+    out = entry;
     return true;
   }
   return false;
 }
 
+UniqueFunction<void()> Simulator::TakeAndRelease(const HeapEntry& entry) {
+  Slot& s = slots_[entry.slot];
+  UniqueFunction<void()> fn = std::move(s.fn);
+  // Release before dispatch: the callback may immediately schedule into the
+  // recycled slot, and cancelling the just-taken id must already be a no-op.
+  ++s.gen;
+  free_slots_.push_back(entry.slot);
+  --live_count_;
+  return fn;
+}
+
 void Simulator::Run() {
   stopped_ = false;
-  Event ev;
-  while (!stopped_ && PopNext(ev)) {
-    now_ = ev.when;
-    ev.fn();
+  HeapEntry entry;
+  while (!stopped_ && PopNext(entry)) {
+    UniqueFunction<void()> fn = TakeAndRelease(entry);
+    now_ = entry.when;
+    fn();
     ++events_executed_;
   }
 }
@@ -51,21 +141,14 @@ void Simulator::Run() {
 void Simulator::RunUntil(Time until) {
   stopped_ = false;
   while (!stopped_) {
-    if (heap_.empty()) break;
-    // Peek without popping: heap front is the earliest event.
+    // Prune cancelled entries first so the peeked front is a live event.
+    if (!PruneFront()) break;
     if (heap_.front().when > until) break;
-    Event ev;
-    if (!PopNext(ev)) break;
-    if (ev.when > until) {
-      // Cancelled entries may have hidden a later event behind the front;
-      // push it back (restoring its live-set entry) and stop.
-      live_.insert(ev.seq);
-      heap_.push_back(std::move(ev));
-      std::push_heap(heap_.begin(), heap_.end(), Later{});
-      break;
-    }
-    now_ = ev.when;
-    ev.fn();
+    HeapEntry entry;
+    PopNext(entry);
+    UniqueFunction<void()> fn = TakeAndRelease(entry);
+    now_ = entry.when;
+    fn();
     ++events_executed_;
   }
   if (!stopped_ && now_ < until) now_ = until;

@@ -5,11 +5,16 @@
 // on it; nothing in the library uses wall-clock time. Events scheduled for
 // the same instant execute in scheduling order (FIFO), which makes runs
 // fully deterministic for a fixed seed.
+//
+// The hot path is allocation- and hash-free: callbacks are stored in a
+// recycled slot array, the heap orders POD entries only, and cancellation is
+// an O(1) generation-tag comparison (no hash-set bookkeeping). Slot, heap,
+// and free-list storage is recycled across Simulator instances on the same
+// thread, so the Nth experiment of a sweep pays no warm-up allocations.
 #ifndef ECNSHARP_SIM_SIMULATOR_H_
 #define ECNSHARP_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
@@ -17,7 +22,10 @@
 
 namespace ecnsharp {
 
-// Opaque handle to a scheduled event; used only for cancellation.
+// Opaque handle to a scheduled event; used only for cancellation. Internally
+// packs the event's slot index and the slot's generation tag, so a stale id
+// (slot since executed/cancelled and recycled) can never cancel the slot's
+// new occupant.
 struct EventId {
   std::uint64_t seq = 0;
   constexpr bool valid() const { return seq != 0; }
@@ -25,7 +33,8 @@ struct EventId {
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -56,34 +65,52 @@ class Simulator {
   // Scheduled events that have neither executed nor been cancelled. Unlike
   // pending_events() this excludes cancelled entries still in the heap, and
   // it is the invariant the cancellation bookkeeping is bounded by.
-  std::size_t live_events() const { return live_.size(); }
+  std::size_t live_events() const { return live_count_; }
 
  private:
-  struct Event {
+  // Heap entries are POD: the callback lives in its slot and only this
+  // 24-byte record moves during sift-up/down. `order` breaks ties FIFO.
+  struct HeapEntry {
     Time when;
-    std::uint64_t seq = 0;
-    UniqueFunction<void()> fn;
+    std::uint64_t order = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
   };
   // Min-heap order: earliest time first; FIFO among equal times.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+      return a.order > b.order;
     }
   };
+  // A slot holds one pending callback. `gen` increments every time the slot
+  // is released (executed or cancelled); heap entries and EventIds carrying
+  // an older generation are stale. A slot in the free list therefore never
+  // matches any outstanding id. (A tag can alias only after 2^32 reuses of
+  // one slot between issuing an id and cancelling it — timers re-arm their
+  // ids long before that.)
+  struct Slot {
+    UniqueFunction<void()> fn;
+    std::uint32_t gen = 0;
+  };
+  struct Storage;  // thread-local capacity cache, defined in simulator.cc
 
-  // Pops the earliest event, honouring cancellations. Returns false when the
-  // heap is exhausted.
-  bool PopNext(Event& out);
+  static Storage& ThreadStorageCache();
 
-  std::vector<Event> heap_;
-  // Sequence numbers of scheduled events that have neither executed nor been
-  // cancelled. Tracking the live set (instead of a cancelled set) bounds
-  // memory by the number of pending events: cancelling an id that already
-  // executed is a no-op rather than a permanently retained entry.
-  std::unordered_set<std::uint64_t> live_;
+  // Drops stale (cancelled) entries off the heap front; returns false when
+  // the heap is exhausted. Afterwards heap_.front() is a live event.
+  bool PruneFront();
+  // Pops the earliest live event. Returns false when the heap is exhausted.
+  bool PopNext(HeapEntry& out);
+  // Moves the callback out of the entry's slot and recycles the slot.
+  UniqueFunction<void()> TakeAndRelease(const HeapEntry& entry);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
   Time now_ = Time::Zero();
-  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_order_ = 1;
   std::uint64_t events_executed_ = 0;
   bool stopped_ = false;
 };

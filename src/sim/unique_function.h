@@ -2,11 +2,19 @@
 // std::move_only_function). Simulator events capture owning pointers
 // (e.g. unique_ptr<Packet>), which std::function cannot hold because it
 // requires copyable targets.
+//
+// Callables up to kInlineSize bytes (with compatible alignment and a
+// noexcept move) are stored inline — no heap allocation. Every event
+// callback in the library fits: the largest capture on the hot path is a
+// pointer plus an owning packet handle. Larger callables fall back to the
+// heap transparently.
 #ifndef ECNSHARP_SIM_UNIQUE_FUNCTION_H_
 #define ECNSHARP_SIM_UNIQUE_FUNCTION_H_
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <utility>
 
@@ -18,39 +26,107 @@ class UniqueFunction;
 template <typename R, typename... Args>
 class UniqueFunction<R(Args...)> {
  public:
+  // Sized to hold the library's event captures (a few pointers / an owning
+  // packet handle plus a timestamp) without spilling to the heap.
+  static constexpr std::size_t kInlineSize = 48;
+
   UniqueFunction() = default;
 
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
                 std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
-  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor): mirrors std::function
-      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
-
-  UniqueFunction(UniqueFunction&&) noexcept = default;
-  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
-
-  R operator()(Args... args) {
-    return impl_->Invoke(std::forward<Args>(args)...);
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using D = std::decay_t<F>;
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    } else {
+      *HeapSlot() = new D(std::forward<F>(f));
+    }
+    invoke_ = &Invoker<D, FitsInline<D>()>::Invoke;
+    manage_ = &Invoker<D, FitsInline<D>()>::Manage;
   }
 
-  explicit operator bool() const { return impl_ != nullptr; }
+  UniqueFunction(UniqueFunction&& other) noexcept { MoveFrom(other); }
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  UniqueFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+  ~UniqueFunction() { Reset(); }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
 
  private:
-  struct Base {
-    virtual ~Base() = default;
-    virtual R Invoke(Args... args) = 0;
-  };
-  template <typename F>
-  struct Impl final : Base {
-    explicit Impl(F f) : fn(std::move(f)) {}
-    R Invoke(Args... args) override {
-      return std::invoke(fn, std::forward<Args>(args)...);
+  enum class Op { kDestroy, kMove };
+
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineSize &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  // Inline targets live in storage_ directly; heap targets store their
+  // pointer at the front of storage_.
+  template <typename D, bool Inline>
+  struct Invoker {
+    static D* Target(void* storage) {
+      if constexpr (Inline) {
+        return std::launder(reinterpret_cast<D*>(storage));
+      } else {
+        return *static_cast<D**>(storage);
+      }
     }
-    F fn;
+    static R Invoke(void* storage, Args&&... args) {
+      return std::invoke(*Target(storage), std::forward<Args>(args)...);
+    }
+    static void Manage(void* storage, void* dst, Op op) {
+      if constexpr (Inline) {
+        D* self = Target(storage);
+        if (op == Op::kMove) ::new (dst) D(std::move(*self));
+        self->~D();
+      } else {
+        if (op == Op::kMove) {
+          *static_cast<D**>(dst) = *static_cast<D**>(storage);
+        } else {
+          delete *static_cast<D**>(storage);
+        }
+      }
+    }
   };
 
-  std::unique_ptr<Base> impl_;
+  void** HeapSlot() { return reinterpret_cast<void**>(storage_); }
+
+  void MoveFrom(UniqueFunction& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    other.manage_(other.storage_, storage_, Op::kMove);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void Reset() {
+    if (invoke_ == nullptr) return;
+    manage_(storage_, nullptr, Op::kDestroy);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  R (*invoke_)(void*, Args&&...) = nullptr;
+  void (*manage_)(void*, void*, Op) = nullptr;
 };
 
 }  // namespace ecnsharp

@@ -11,9 +11,17 @@ namespace ecnsharp {
 
 // Nearest-rank percentile of an unsorted sample, p in [0, 100].
 // Returns 0 for an empty sample.
+//
+// Cost contract: each call copies and sorts the sample — O(N log N) per
+// percentile. Use it for one-off queries only. When extracting several
+// percentiles from the same sample (p50/p90/p99 of one distribution), sort
+// once with std::sort and call PercentileSorted for each query; that is
+// one sort total instead of one per percentile, and both functions use the
+// same nearest-rank definition, so the results are identical.
 double Percentile(std::vector<double> values, double p);
 
-// Percentile of an already-sorted (ascending) sample.
+// Percentile of an already-sorted (ascending) sample. O(1) per query.
+// Passing an unsorted vector is undefined (returns an arbitrary element).
 double PercentileSorted(const std::vector<double>& sorted, double p);
 
 double Mean(const std::vector<double>& values);

@@ -24,15 +24,26 @@ double QueueMonitor::AvgPackets() const {
 }
 
 double QueueMonitor::AvgPackets(Time from, Time until) const {
-  double sum = 0.0;
-  std::size_t n = 0;
-  for (const Sample& s : samples_) {
-    if (s.at >= from && s.at <= until) {
-      sum += s.packets;
-      ++n;
-    }
+  if (samples_.empty() || until < from) return 0.0;
+  // Samples are appended in nondecreasing simulation time (TakeSample runs
+  // inside the event loop), so binary search bounds the window...
+  const auto at_less = [](const Sample& s, Time t) { return s.at < t; };
+  const auto less_at = [](Time t, const Sample& s) { return t < s.at; };
+  const auto first =
+      std::lower_bound(samples_.begin(), samples_.end(), from, at_less);
+  const auto last = std::upper_bound(first, samples_.end(), until, less_at);
+  const auto n = static_cast<std::size_t>(last - first);
+  if (n == 0) return 0.0;
+  // ...and a prefix-sum array (extended to cover any samples appended since
+  // the previous query) turns the window sum into two lookups.
+  if (prefix_packets_.empty()) prefix_packets_.push_back(0.0);
+  while (prefix_packets_.size() <= samples_.size()) {
+    const std::size_t i = prefix_packets_.size() - 1;
+    prefix_packets_.push_back(prefix_packets_.back() + samples_[i].packets);
   }
-  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  const auto lo = static_cast<std::size_t>(first - samples_.begin());
+  const double sum = prefix_packets_[lo + n] - prefix_packets_[lo];
+  return sum / static_cast<double>(n);
 }
 
 std::uint32_t QueueMonitor::MaxPackets() const {

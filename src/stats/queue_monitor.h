@@ -28,6 +28,10 @@ class QueueMonitor {
 
   const std::vector<Sample>& samples() const { return samples_; }
   double AvgPackets() const;
+  // Mean queue occupancy over samples with `from <= at <= until`.
+  // O(log N) per query: samples arrive in simulation-time order, so the
+  // window is located with binary search and summed from a prefix-sum array
+  // (extended lazily when samples were added since the previous query).
   double AvgPackets(Time from, Time until) const;
   std::uint32_t MaxPackets() const;
 
@@ -38,6 +42,9 @@ class QueueMonitor {
   const QueueDisc& disc_;
   Time period_;
   std::vector<Sample> samples_;
+  // prefix_packets_[i] = sum of samples_[0..i).packets; grown on demand by
+  // AvgPackets(from, until), hence mutable.
+  mutable std::vector<double> prefix_packets_;
 };
 
 }  // namespace ecnsharp

@@ -88,8 +88,9 @@ bool EcnSharpPipeline::ProcessDequeue(std::size_t port,
         return mark;
       });
 
-  // Stage 5: instantaneous marking (pure compare, no state).
-  const bool instantaneous = sojourn > ins_target_ticks_;
+  // Stage 5: instantaneous marking (pure compare, no state). Inclusive at
+  // the target, mirroring EcnSharpAqm::OnDequeue.
+  const bool instantaneous = sojourn >= ins_target_ticks_;
 
   return instantaneous || persistent;
 }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "net/packet_pool.h"
+
 namespace ecnsharp {
 
 namespace {
@@ -45,7 +47,7 @@ void DcqcnSender::SendNext() {
   if (complete_ || sent_bytes_ >= flow_size_) return;
   const std::uint64_t payload = std::min<std::uint64_t>(
       config_.mtu_payload, flow_size_ - sent_bytes_);
-  auto pkt = std::make_unique<Packet>();
+  auto pkt = NewPacket();
   pkt->flow = flow_;
   pkt->type = PacketType::kData;
   pkt->payload_bytes = static_cast<std::uint32_t>(payload);
@@ -157,7 +159,7 @@ void DcqcnReceiver::OnData(const Packet& pkt) {
 }
 
 void DcqcnReceiver::SendCnp() {
-  auto cnp = std::make_unique<Packet>();
+  auto cnp = NewPacket();
   cnp->flow = flow_.Reversed();
   cnp->type = PacketType::kCnp;
   cnp->size_bytes = kCnpBytes;
@@ -165,7 +167,7 @@ void DcqcnReceiver::SendCnp() {
 }
 
 void DcqcnReceiver::SendCompletion() {
-  auto done = std::make_unique<Packet>();
+  auto done = NewPacket();
   done->flow = flow_.Reversed();
   done->type = PacketType::kAck;
   done->size_bytes = kCnpBytes;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "net/packet_pool.h"
+
 namespace ecnsharp {
 
 TcpReceiver::TcpReceiver(Host& host, const TcpConfig& config, FlowKey flow)
@@ -82,7 +84,7 @@ void TcpReceiver::AcceptPayload(const Packet& pkt) {
 void TcpReceiver::SendAckNow() {
   unacked_segments_ = 0;
   delack_timer_.Cancel();
-  auto ack = std::make_unique<Packet>();
+  auto ack = NewPacket();
   ack->flow = flow_.Reversed();
   ack->type = PacketType::kAck;
   ack->size_bytes = kAckPacketBytes;

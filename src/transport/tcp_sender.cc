@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "net/packet_pool.h"
+
 namespace ecnsharp {
 
 TcpSender::TcpSender(Host& host, const TcpConfig& config, FlowKey flow,
@@ -75,7 +77,7 @@ void TcpSender::SendSegment(std::uint64_t seq, bool is_retransmit) {
   const std::uint64_t payload =
       std::min<std::uint64_t>(config_.mss, flow_size_ - seq);
   assert(payload > 0);
-  auto pkt = std::make_unique<Packet>();
+  auto pkt = NewPacket();
   pkt->flow = flow_;
   pkt->type = PacketType::kData;
   pkt->payload_bytes = static_cast<std::uint32_t>(payload);

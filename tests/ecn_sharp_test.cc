@@ -41,12 +41,37 @@ TEST(EcnSharpTest, InstantaneousMarkAboveInsTarget) {
   EXPECT_EQ(aqm.instantaneous_marks(), 1u);
 }
 
-TEST(EcnSharpTest, NoInstantaneousMarkAtOrBelowTarget) {
+// Regression pin for the marking boundary: Algorithm 1 compares the sojourn
+// time against its targets inclusively, so a packet whose sojourn equals
+// ins_target exactly must be marked (previously `>` left it unmarked).
+TEST(EcnSharpTest, InstantaneousMarkAtExactlyInsTarget) {
+  EcnSharpAqm aqm(TestConfig());
+  EXPECT_TRUE(Dequeue(aqm, Time::Microseconds(1),
+                      Time::FromMicroseconds(200)));
+  EXPECT_EQ(aqm.instantaneous_marks(), 1u);
+}
+
+TEST(EcnSharpTest, NoInstantaneousMarkBelowTarget) {
   EcnSharpAqm aqm(TestConfig());
   EXPECT_FALSE(Dequeue(aqm, Time::Microseconds(1),
-                       Time::FromMicroseconds(200)));
+                       Time::FromMicroseconds(199)));
   EXPECT_FALSE(Dequeue(aqm, Time::Microseconds(2),
                        Time::FromMicroseconds(60)));
+}
+
+// The persistent comparison is inclusive too: a sojourn pinned at exactly
+// pst_target sustains an episode and yields Algorithm 1's paced marks.
+TEST(EcnSharpTest, PersistentEpisodeAtExactlyPstTarget) {
+  EcnSharpAqm aqm(TestConfig());  // pst_target 85 us, pst_interval 200 us
+  int marks = 0;
+  for (int t_us = 0; t_us <= 600; t_us += 10) {
+    if (Dequeue(aqm, Time::Microseconds(t_us), Time::FromMicroseconds(85))) {
+      ++marks;
+    }
+  }
+  EXPECT_TRUE(aqm.marking_state());
+  EXPECT_GE(marks, 1);
+  EXPECT_EQ(aqm.instantaneous_marks(), 0u);
 }
 
 // --------------------------- persistent detection --------------------------

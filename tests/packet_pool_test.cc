@@ -1,0 +1,103 @@
+// Tests for the thread-local Packet free-list pool behind
+// Packet::operator new/delete.
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "net/packet_pool.h"
+
+namespace ecnsharp {
+namespace {
+
+// ECNSHARP_NO_PACKET_POOL turns recycling off (the sanitizer escape hatch);
+// reuse-specific expectations don't hold then.
+bool RecyclingDisabled() {
+  const char* env = std::getenv("ECNSHARP_NO_PACKET_POOL");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+TEST(PacketPoolTest, DestroyedPacketStorageIsRecycled) {
+  if (RecyclingDisabled()) GTEST_SKIP() << "ECNSHARP_NO_PACKET_POOL set";
+  PacketPool& pool = ThreadLocalPacketPool();
+  const std::uint64_t base_alloc = pool.total_allocations();
+
+  auto pkt = NewPacket();
+  Packet* raw = pkt.get();
+  EXPECT_EQ(pool.total_allocations(), base_alloc + 1);
+  pkt.reset();
+
+  auto next = NewPacket();
+  // LIFO free list: the very next allocation reuses the block just freed.
+  EXPECT_EQ(next.get(), raw);
+  EXPECT_EQ(pool.total_allocations(), base_alloc + 2);
+}
+
+TEST(PacketPoolTest, RecycledPacketHasFreshFields) {
+  if (RecyclingDisabled()) GTEST_SKIP() << "ECNSHARP_NO_PACKET_POOL set";
+  auto pkt = NewPacket();
+  Packet* raw = pkt.get();
+  // Dirty every field a stale block could leak into the next packet.
+  pkt->flow = FlowKey{7, 9, 1234, 80};
+  pkt->type = PacketType::kAck;
+  pkt->size_bytes = 1500;
+  pkt->payload_bytes = 1460;
+  pkt->seq = 999;
+  pkt->ack = 1000;
+  pkt->ece = true;
+  pkt->cwr = true;
+  pkt->psh = true;
+  pkt->ecn = EcnCodepoint::kCe;
+  pkt->traffic_class = 3;
+  pkt->enqueue_time = Time::FromMicroseconds(55);
+  pkt->sent_time = Time::FromMicroseconds(44);
+  pkt.reset();
+
+  auto fresh = NewPacket();
+  ASSERT_EQ(fresh.get(), raw);  // same storage, reconstructed
+  const Packet defaults;
+  EXPECT_EQ(fresh->flow, defaults.flow);
+  EXPECT_EQ(fresh->type, PacketType::kData);
+  EXPECT_EQ(fresh->size_bytes, 0u);
+  EXPECT_EQ(fresh->payload_bytes, 0u);
+  EXPECT_EQ(fresh->seq, 0u);
+  EXPECT_EQ(fresh->ack, 0u);
+  EXPECT_FALSE(fresh->ece);
+  EXPECT_FALSE(fresh->cwr);
+  EXPECT_FALSE(fresh->psh);
+  EXPECT_EQ(fresh->ecn, EcnCodepoint::kNotEct);
+  EXPECT_EQ(fresh->traffic_class, 0u);
+  EXPECT_EQ(fresh->enqueue_time, Time::Zero());
+  EXPECT_EQ(fresh->sent_time, Time::Zero());
+}
+
+TEST(PacketPoolTest, SteadyStateChurnStopsFreshAllocations) {
+  if (RecyclingDisabled()) GTEST_SKIP() << "ECNSHARP_NO_PACKET_POOL set";
+  PacketPool& pool = ThreadLocalPacketPool();
+  // Warm the pool to a working set of 32 packets.
+  {
+    std::vector<std::unique_ptr<Packet>> batch;
+    for (int i = 0; i < 32; ++i) batch.push_back(NewPacket());
+  }
+  const std::uint64_t fresh_before = pool.fresh_allocations();
+  const std::uint64_t total_before = pool.total_allocations();
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::unique_ptr<Packet>> batch;
+    for (int i = 0; i < 32; ++i) batch.push_back(NewPacket());
+  }
+  EXPECT_EQ(pool.fresh_allocations(), fresh_before);  // all recycled
+  EXPECT_EQ(pool.total_allocations(), total_before + 100 * 32);
+  EXPECT_GE(pool.recycled_allocations(), 100u * 32u);
+}
+
+TEST(PacketPoolTest, MakeUniqueRoutesThroughPool) {
+  PacketPool& pool = ThreadLocalPacketPool();
+  const std::uint64_t before = pool.total_allocations();
+  auto pkt = std::make_unique<Packet>();
+  EXPECT_EQ(pool.total_allocations(), before + 1);
+}
+
+}  // namespace
+}  // namespace ecnsharp

@@ -186,7 +186,7 @@ class TickReference {
       next_ = now + interval_;
       persistent = true;
     }
-    return sojourn > ins_ || persistent;
+    return sojourn >= ins_ || persistent;
   }
 
  private:
