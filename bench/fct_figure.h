@@ -70,6 +70,10 @@ inline void RunFctFigure(const char* title, const char* sweep_name,
        [](const ExperimentResult& r) { return r.short_flows.avg_us; }},
       {"(c) (0,100KB]: 99th percentile FCT",
        [](const ExperimentResult& r) { return r.short_flows.p99_us; }},
+      // Not a paper subfigure: the 90th percentile separates "marking
+      // threshold too low" (p90 rises with p99) from pure tail losses.
+      {"(c+) (0,100KB]: 90th percentile FCT",
+       [](const ExperimentResult& r) { return r.short_flows.p90_us; }},
       {"(d) [10MB,inf): AVG FCT",
        [](const ExperimentResult& r) { return r.large_flows.avg_us; }},
   };

@@ -16,6 +16,11 @@ EcnSharpConfig RuleOfThumbConfig(Time rtt_high_percentile, Time rtt_average,
   return cfg;
 }
 
+void EcnSharpAqm::Reconfigure(const EcnSharpConfig& config) {
+  config_ = config;
+  marker_.set_pst_interval(config.pst_interval);
+}
+
 void EcnSharpAqm::OnDequeue(Packet& pkt, const QueueSnapshot& /*snapshot*/,
                             Time now, Time sojourn) {
   // The persistent-state machine must advance on every departure, so

@@ -61,6 +61,12 @@ class EcnSharpAqm : public AqmPolicy {
   std::string name() const override { return "ecn-sharp"; }
   const EcnSharpConfig& config() const { return config_; }
 
+  // Swaps in freshly derived thresholds mid-run — the re-estimation path for
+  // a live RTT distribution shift (dynamics scripts call this through
+  // ScenarioEngine). The persistent state machine restarts; the cumulative
+  // mark counters are preserved.
+  void Reconfigure(const EcnSharpConfig& config);
+
   // Observable state, exposed for tests and for the Tofino-pipeline
   // equivalence checks.
   bool marking_state() const { return marker_.marking_state(); }

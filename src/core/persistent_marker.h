@@ -48,6 +48,18 @@ class PersistentMarker {
     return false;
   }
 
+  // Changes the marking cadence in place (ECN# re-derivation after an RTT
+  // distribution shift). The detection/marking state machine is reset: a new
+  // interval means any in-progress observation window is no longer
+  // comparable.
+  void set_pst_interval(Time pst_interval) {
+    pst_interval_ = pst_interval;
+    marking_state_ = false;
+    marking_count_ = 0;
+    marking_next_ = Time::Zero();
+    first_above_time_ = Time::Zero();
+  }
+
   bool marking_state() const { return marking_state_; }
   std::uint32_t marking_count() const { return marking_count_; }
   Time marking_next() const { return marking_next_; }

@@ -60,8 +60,137 @@ Json ToJson(const TcpConfig& tcp) {
       .Set("pacing", Json::Bool(tcp.pacing));
 }
 
-Json ToJson(const DumbbellExperimentConfig& config) {
+Json ToJson(const ScenarioAction& action) {
   return Json::Object()
+      .Set("kind", Json::Str(ScenarioActionKindName(action.kind)))
+      .Set("at_us", TimeUs(action.at))
+      .Set("target", Json::Int(action.target))
+      .Set("delay_us", Json::Num(action.delay_us))
+      .Set("delay_hi_us", Json::Num(action.delay_hi_us))
+      .Set("gbps", Json::Num(action.gbps))
+      .Set("drop_prob", Json::Num(action.drop_prob))
+      .Set("corrupt_prob", Json::Num(action.corrupt_prob))
+      .Set("flows", Json::UInt(action.flows))
+      .Set("bytes", Json::UInt(action.bytes))
+      .Set("drop_queued", Json::Bool(action.drop_queued))
+      .Set("repeat", Json::UInt(action.repeat))
+      .Set("period_us", TimeUs(action.period))
+      .Set("jitter_us", TimeUs(action.jitter));
+}
+
+Json ToJson(const ScenarioScript& script) {
+  Json actions = Json::Array();
+  for (const ScenarioAction& action : script.actions) {
+    actions.Push(ToJson(action));
+  }
+  return Json::Object()
+      .Set("seed", Json::UInt(script.seed))
+      .Set("actions", std::move(actions));
+}
+
+namespace {
+
+bool ScenarioError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool ScenarioScriptFromJson(const Json& json, ScenarioScript* out,
+                            std::string* error) {
+  if (!json.IsObject()) {
+    return ScenarioError(error, "scenario: top level must be an object");
+  }
+  ScenarioScript script;
+  if (const Json* seed = json.Find("seed")) {
+    if (!seed->IsNumber()) {
+      return ScenarioError(error, "scenario: 'seed' must be a number");
+    }
+    script.seed = seed->AsUInt(1);
+  }
+  const Json* actions = json.Find("actions");
+  if (actions == nullptr || !actions->IsArray()) {
+    return ScenarioError(error, "scenario: missing 'actions' array");
+  }
+  for (std::size_t i = 0; i < actions->items().size(); ++i) {
+    const Json& entry = actions->items()[i];
+    const std::string where = "scenario action #" + std::to_string(i);
+    if (!entry.IsObject()) {
+      return ScenarioError(error, where + ": must be an object");
+    }
+    const Json* kind = entry.Find("kind");
+    if (kind == nullptr || !kind->IsString()) {
+      return ScenarioError(error, where + ": missing string 'kind'");
+    }
+    ScenarioAction action;
+    if (!ParseScenarioActionKind(kind->AsString(), &action.kind)) {
+      return ScenarioError(error,
+                           where + ": unknown kind '" + kind->AsString() + "'");
+    }
+    if (const Json* v = entry.Find("at_us")) {
+      if (v->AsDouble(-1.0) < 0.0) {
+        return ScenarioError(error, where + ": 'at_us' must be >= 0");
+      }
+      action.at = Time::FromMicroseconds(v->AsDouble());
+    }
+    if (const Json* v = entry.Find("target")) {
+      action.target = static_cast<int>(v->AsInt(-1));
+    }
+    if (const Json* v = entry.Find("delay_us")) {
+      action.delay_us = v->AsDouble();
+    }
+    if (const Json* v = entry.Find("delay_hi_us")) {
+      action.delay_hi_us = v->AsDouble();
+    }
+    if (const Json* v = entry.Find("gbps")) action.gbps = v->AsDouble();
+    if (const Json* v = entry.Find("drop_prob")) {
+      action.drop_prob = v->AsDouble();
+    }
+    if (const Json* v = entry.Find("corrupt_prob")) {
+      action.corrupt_prob = v->AsDouble();
+    }
+    if (action.drop_prob < 0.0 || action.drop_prob > 1.0 ||
+        action.corrupt_prob < 0.0 || action.corrupt_prob > 1.0 ||
+        action.drop_prob + action.corrupt_prob > 1.0) {
+      return ScenarioError(error, where + ": fault probabilities must lie in"
+                                          " [0, 1] and sum to <= 1");
+    }
+    if (const Json* v = entry.Find("flows")) {
+      action.flows = static_cast<std::uint32_t>(v->AsUInt());
+    }
+    if (const Json* v = entry.Find("bytes")) action.bytes = v->AsUInt();
+    if (const Json* v = entry.Find("drop_queued")) {
+      action.drop_queued = v->AsBool();
+    }
+    if (const Json* v = entry.Find("repeat")) {
+      action.repeat = static_cast<std::uint32_t>(v->AsUInt(1));
+    }
+    if (const Json* v = entry.Find("period_us")) {
+      action.period = Time::FromMicroseconds(v->AsDouble());
+    }
+    if (const Json* v = entry.Find("jitter_us")) {
+      action.jitter = Time::FromMicroseconds(v->AsDouble());
+    }
+    if (action.repeat > 1 && !action.period.IsPositive()) {
+      return ScenarioError(
+          error, where + ": 'repeat' > 1 requires a positive 'period_us'");
+    }
+    script.actions.push_back(action);
+  }
+  *out = std::move(script);
+  return true;
+}
+
+bool ParseScenarioScript(const std::string& text, ScenarioScript* out,
+                         std::string* error) {
+  Json doc;
+  if (!Json::Parse(text, &doc, error)) return false;
+  return ScenarioScriptFromJson(doc, out, error);
+}
+
+Json ToJson(const DumbbellExperimentConfig& config) {
+  Json json = Json::Object()
       .Set("topology", Json::Str("dumbbell"))
       .Set("scheme", Json::Str(SchemeName(config.scheme)))
       .Set("workload", Json::Str(WorkloadName(config.workload)))
@@ -76,6 +205,11 @@ Json ToJson(const DumbbellExperimentConfig& config) {
       .Set("max_sim_time_us", TimeUs(config.max_sim_time))
       .Set("tcp", ToJson(config.tcp))
       .Set("params", ToJson(config.params));
+  // Key omitted for static-network configs so their records are unchanged.
+  if (!config.scenario.empty()) {
+    json.Set("scenario", ToJson(config.scenario));
+  }
+  return json;
 }
 
 Json ToJson(const LeafSpineExperimentConfig& config) {
@@ -120,7 +254,9 @@ Json ToJson(const FctSummary& summary) {
   return Json::Object()
       .Set("count", Json::UInt(summary.count))
       .Set("avg_us", Json::Num(summary.avg_us))
+      .Set("stddev_us", Json::Num(summary.stddev_us))
       .Set("p50_us", Json::Num(summary.p50_us))
+      .Set("p90_us", Json::Num(summary.p90_us))
       .Set("p99_us", Json::Num(summary.p99_us))
       .Set("max_us", Json::Num(summary.max_us));
 }
@@ -131,11 +267,12 @@ Json ToJson(const QueueDiscStats& stats) {
       .Set("dequeued", Json::UInt(stats.dequeued))
       .Set("dropped_overflow", Json::UInt(stats.dropped_overflow))
       .Set("dropped_aqm", Json::UInt(stats.dropped_aqm))
+      .Set("purged", Json::UInt(stats.purged))
       .Set("ce_marked", Json::UInt(stats.ce_marked));
 }
 
 Json ToJson(const ExperimentResult& result) {
-  return Json::Object()
+  Json json = Json::Object()
       .Set("overall", ToJson(result.overall))
       .Set("short_flows", ToJson(result.short_flows))
       .Set("large_flows", ToJson(result.large_flows))
@@ -146,6 +283,18 @@ Json ToJson(const ExperimentResult& result) {
       .Set("avg_queue_packets", Json::Num(result.avg_queue_packets))
       .Set("max_queue_packets", Json::UInt(result.max_queue_packets))
       .Set("sim_seconds", Json::Num(result.sim_seconds));
+  if (result.scenario_actions != 0) {
+    json.Set("scenario_actions", Json::UInt(result.scenario_actions))
+        .Set("incast_bursts", Json::UInt(result.incast_bursts))
+        .Set("burst_flows_started", Json::UInt(result.burst_flows_started))
+        .Set("burst_flows_completed",
+             Json::UInt(result.burst_flows_completed))
+        .Set("injected_drops", Json::UInt(result.injected_drops))
+        .Set("injected_corruptions",
+             Json::UInt(result.injected_corruptions))
+        .Set("link_down_drops", Json::UInt(result.link_down_drops));
+  }
+  return json;
 }
 
 Json ToJson(const IncastResult& result) {

@@ -8,6 +8,9 @@
 #ifndef ECNSHARP_HARNESS_CONFIG_JSON_H_
 #define ECNSHARP_HARNESS_CONFIG_JSON_H_
 
+#include <string>
+
+#include "dynamics/scenario.h"
 #include "harness/experiment.h"
 #include "harness/json.h"
 
@@ -18,6 +21,20 @@ const char* WorkloadName(const EmpiricalCdf* workload);
 
 Json ToJson(const SchemeParams& params);
 Json ToJson(const TcpConfig& tcp);
+
+// Scenario scripts round-trip through JSON: ToJson emits the canonical form
+// and the two readers accept it back (plus defaults for omitted fields).
+// Script shape: {"seed": 7, "actions": [{"kind": "link_down", "at_us":
+// 50000, "target": -1, "drop_queued": true, ...}, ...]}.
+Json ToJson(const ScenarioAction& action);
+Json ToJson(const ScenarioScript& script);
+// Returns false (with a message in `*error` when non-null) on an unknown
+// kind, a malformed document shape, or out-of-range numbers.
+bool ScenarioScriptFromJson(const Json& json, ScenarioScript* out,
+                            std::string* error = nullptr);
+// Convenience: Json::Parse + ScenarioScriptFromJson.
+bool ParseScenarioScript(const std::string& text, ScenarioScript* out,
+                         std::string* error = nullptr);
 
 Json ToJson(const DumbbellExperimentConfig& config);
 Json ToJson(const LeafSpineExperimentConfig& config);

@@ -2,7 +2,12 @@
 
 #include <memory>
 #include <utility>
+#include <vector>
 
+#include "core/ecn_sharp.h"
+#include "dynamics/scenario_engine.h"
+#include "hostpath/rtt_probe.h"
+#include "sched/fifo_queue_disc.h"
 #include "sim/simulator.h"
 #include "topo/dumbbell.h"
 #include "topo/rtt_variation.h"
@@ -16,6 +21,29 @@ void FillFctResult(const FctCollector& collector, ExperimentResult& result) {
   result.short_flows = collector.ShortFlows();
   result.large_flows = collector.LargeFlows();
   result.timeouts = collector.total_timeouts();
+}
+
+// Re-derives the bottleneck ECN# thresholds from the senders' *current* base
+// RTT distribution — the operator response to a known RTT shift (§3.4's
+// rule-of-thumb applied to fresh measurements). No-op when the bottleneck is
+// not a FIFO running ECN#.
+void ReestimateBottleneckEcnSharp(Dumbbell& topo, Time base_rtt) {
+  auto* fifo = dynamic_cast<FifoQueueDisc*>(&topo.bottleneck_port().queue_disc());
+  if (fifo == nullptr) return;
+  auto* aqm = dynamic_cast<EcnSharpAqm*>(fifo->aqm());
+  if (aqm == nullptr) return;
+  std::vector<double> rtts_us;
+  rtts_us.reserve(topo.sender_count());
+  for (std::size_t i = 0; i < topo.sender_count(); ++i) {
+    rtts_us.push_back(
+        (base_rtt + topo.sender_host(i).extra_egress_delay())
+            .ToMicroseconds());
+  }
+  const RttStats stats = ComputeRttStats(std::move(rtts_us));
+  if (stats.status != RttProbeStatus::kOk) return;
+  aqm->Reconfigure(RuleOfThumbConfig(Time::FromMicroseconds(stats.p90_us),
+                                     Time::FromMicroseconds(stats.mean_us),
+                                     /*lambda=*/1.0));
 }
 }  // namespace
 
@@ -61,23 +89,87 @@ ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config) {
     monitor.Run(Time::Zero(), config.max_sim_time);
   }
 
+  // Scenario dynamics: burst flows launched here complete into the same
+  // collector as the workload's, and the run loop below waits for them.
+  std::size_t burst_started = 0;
+  std::size_t burst_completed = 0;
+  std::size_t next_burst_sender = 0;
+  std::unique_ptr<ScenarioEngine> engine;
+  if (!config.scenario.empty()) {
+    ScenarioHooks hooks;
+    hooks.port = [&topo](int target) -> EgressPort* {
+      if (target < 0) return &topo.bottleneck_port();
+      if (static_cast<std::size_t>(target) < topo.sender_count()) {
+        return &topo.sender_host(static_cast<std::size_t>(target)).nic();
+      }
+      return nullptr;
+    };
+    hooks.set_host_delay = [&topo](int index, Time delay) {
+      if (index >= 0 &&
+          static_cast<std::size_t>(index) < topo.sender_count()) {
+        topo.sender_host(static_cast<std::size_t>(index))
+            .set_extra_egress_delay(delay);
+      }
+    };
+    hooks.incast = [&topo, &collector, &burst_started, &burst_completed,
+                    &next_burst_sender,
+                    receiver](std::uint32_t flows, std::uint64_t bytes) {
+      for (std::uint32_t f = 0; f < flows; ++f) {
+        const std::size_t sender = next_burst_sender++ % topo.sender_count();
+        ++burst_started;
+        topo.sender_stack(sender).StartFlow(
+            receiver, bytes,
+            [&collector, &burst_completed](const FlowRecord& record) {
+              collector.Record(record);
+              ++burst_completed;
+            });
+      }
+    };
+    hooks.reestimate_ecnsharp = [&topo, base_rtt = config.base_rtt] {
+      ReestimateBottleneckEcnSharp(topo, base_rtt);
+    };
+    engine = std::make_unique<ScenarioEngine>(sim, config.scenario,
+                                              std::move(hooks));
+    engine->Install();
+  }
+
   generator.Start();
   // Queue monitoring keeps the event heap non-empty, so run in slices until
-  // the workload drains (or the safety cap trips).
-  while (!generator.AllDone() && sim.Now() < config.max_sim_time) {
+  // the workload drains, every scheduled scenario occurrence has fired, and
+  // every burst flow has completed (or the safety cap trips).
+  const auto work_pending = [&] {
+    if (!generator.AllDone()) return true;
+    if (burst_completed < burst_started) return true;
+    return engine != nullptr &&
+           engine->actions_fired() < engine->actions_scheduled();
+  };
+  while (work_pending() && sim.Now() < config.max_sim_time) {
     sim.RunFor(Time::Milliseconds(10));
   }
 
   ExperimentResult result;
   FillFctResult(collector, result);
-  result.flows_started = generator.started();
-  result.flows_completed = generator.completed();
+  result.flows_started = generator.started() + burst_started;
+  result.flows_completed = generator.completed() + burst_completed;
   result.bottleneck = topo.bottleneck_port().queue_disc().stats();
   if (!config.queue_sample_period.IsZero()) {
     result.avg_queue_packets = monitor.AvgPackets();
     result.max_queue_packets = monitor.MaxPackets();
   }
   result.sim_seconds = sim.Now().ToSeconds();
+  if (engine != nullptr) {
+    result.scenario_actions = engine->actions_fired();
+    result.incast_bursts = engine->bursts_fired();
+    result.burst_flows_started = burst_started;
+    result.burst_flows_completed = burst_completed;
+    result.injected_drops = engine->injected_drops();
+    result.injected_corruptions = engine->injected_corruptions();
+    result.link_down_drops = topo.bottleneck_port().counters().dropped_link_down;
+    for (std::size_t i = 0; i < topo.sender_count(); ++i) {
+      result.link_down_drops +=
+          topo.sender_host(i).nic().counters().dropped_link_down;
+    }
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dynamics/scenario.h"
 #include "harness/schemes.h"
 #include "net/queue_disc.h"
 #include "sim/data_rate.h"
@@ -40,6 +41,9 @@ struct DumbbellExperimentConfig {
   Time queue_sample_period = Time::Zero();
   // Safety cap on simulated time.
   Time max_sim_time = Time::Seconds(120);
+  // Optional mid-run network dynamics (link churn, loss injection, incast
+  // bursts, RTT shifts — see dynamics/scenario.h). Empty = static network.
+  ScenarioScript scenario;
 };
 
 struct ExperimentResult {
@@ -53,6 +57,14 @@ struct ExperimentResult {
   double avg_queue_packets = 0.0;
   std::uint32_t max_queue_packets = 0;
   double sim_seconds = 0.0;
+  // Dynamics accounting; all zero when the config carries no scenario.
+  std::uint64_t scenario_actions = 0;    // occurrences that fired
+  std::uint64_t incast_bursts = 0;       // kIncastBurst occurrences
+  std::size_t burst_flows_started = 0;   // flows launched by bursts
+  std::size_t burst_flows_completed = 0;
+  std::uint64_t injected_drops = 0;      // LinkFaultInjector losses
+  std::uint64_t injected_corruptions = 0;
+  std::uint64_t link_down_drops = 0;     // arrivals at downed ports
 };
 
 ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config);

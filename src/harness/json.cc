@@ -1,5 +1,6 @@
 #include "harness/json.h"
 
+#include <cctype>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -186,6 +187,345 @@ std::string Json::Dump() const {
   DumpTo(out, 0);
   out += '\n';
   return out;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [existing, member] : members_) {
+    if (existing == key) return &member;
+  }
+  return nullptr;
+}
+
+double Json::AsDouble(double fallback) const {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUInt:
+      return static_cast<double>(uint_);
+    case Kind::kNum:
+      return num_;
+    default:
+      return fallback;
+  }
+}
+
+std::int64_t Json::AsInt(std::int64_t fallback) const {
+  switch (kind_) {
+    case Kind::kInt:
+      return int_;
+    case Kind::kUInt:
+      return static_cast<std::int64_t>(uint_);
+    case Kind::kNum:
+      return static_cast<std::int64_t>(num_);
+    default:
+      return fallback;
+  }
+}
+
+std::uint64_t Json::AsUInt(std::uint64_t fallback) const {
+  switch (kind_) {
+    case Kind::kInt:
+      return int_ < 0 ? fallback : static_cast<std::uint64_t>(int_);
+    case Kind::kUInt:
+      return uint_;
+    case Kind::kNum:
+      return num_ < 0.0 ? fallback : static_cast<std::uint64_t>(num_);
+    default:
+      return fallback;
+  }
+}
+
+bool Json::AsBool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+namespace {
+
+// Strict recursive-descent JSON reader over [pos, text.size()).
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool ParseDocument(Json* out) {
+    SkipWs();
+    if (!ParseValue(out, /*depth=*/0)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const char* message) {
+    if (error_ != nullptr) {
+      *error_ = std::string(message) + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, Json value, Json* out) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Fail("invalid literal");
+      }
+    }
+    *out = std::move(value);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    std::string result;
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        result += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          result += '"';
+          break;
+        case '\\':
+          result += '\\';
+          break;
+        case '/':
+          result += '/';
+          break;
+        case 'b':
+          result += '\b';
+          break;
+        case 'f':
+          result += '\f';
+          break;
+        case 'n':
+          result += '\n';
+          break;
+        case 'r':
+          result += '\r';
+          break;
+        case 't':
+          result += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the code point (surrogate pairs are not combined —
+          // scenario scripts are ASCII in practice).
+          if (code < 0x80) {
+            result += static_cast<char>(code);
+          } else if (code < 0x800) {
+            result += static_cast<char>(0xC0 | (code >> 6));
+            result += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            result += static_cast<char>(0xE0 | (code >> 12));
+            result += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            result += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    *out = std::move(result);
+    return true;
+  }
+
+  bool ParseNumber(Json* out) {
+    const std::size_t start = pos_;
+    bool is_integer = true;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const std::size_t int_start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+    // Strict JSON: the integer part is '0' or starts with 1-9.
+    if (pos_ == int_start) return Fail("invalid number");
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      return Fail("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_integer = false;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (is_integer) {
+      std::int64_t i = 0;
+      auto r = std::from_chars(first, last, i);
+      if (r.ec == std::errc() && r.ptr == last) {
+        *out = Json::Int(i);
+        return true;
+      }
+      std::uint64_t u = 0;
+      r = std::from_chars(first, last, u);
+      if (r.ec == std::errc() && r.ptr == last) {
+        *out = Json::UInt(u);
+        return true;
+      }
+    }
+    double d = 0.0;
+    const auto r = std::from_chars(first, last, d);
+    if (r.ec != std::errc() || r.ptr != last || first == last) {
+      return Fail("invalid number");
+    }
+    *out = Json::Num(d);
+    return true;
+  }
+
+  bool ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case 't':
+        return Literal("true", Json::Bool(true), out);
+      case 'f':
+        return Literal("false", Json::Bool(false), out);
+      case 'n':
+        return Literal("null", Json(), out);
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *out = Json::Str(std::move(s));
+        return true;
+      }
+      case '[': {
+        ++pos_;
+        Json array = Json::Array();
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          *out = std::move(array);
+          return true;
+        }
+        while (true) {
+          Json element;
+          SkipWs();
+          if (!ParseValue(&element, depth + 1)) return false;
+          array.Push(std::move(element));
+          SkipWs();
+          if (pos_ >= text_.size()) return Fail("unterminated array");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            *out = std::move(array);
+            return true;
+          }
+          return Fail("expected ',' or ']'");
+        }
+      }
+      case '{': {
+        ++pos_;
+        Json object = Json::Object();
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          *out = std::move(object);
+          return true;
+        }
+        while (true) {
+          SkipWs();
+          if (pos_ >= text_.size() || text_[pos_] != '"') {
+            return Fail("expected object key");
+          }
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipWs();
+          if (pos_ >= text_.size() || text_[pos_] != ':') {
+            return Fail("expected ':'");
+          }
+          ++pos_;
+          SkipWs();
+          Json member;
+          if (!ParseValue(&member, depth + 1)) return false;
+          object.Set(std::move(key), std::move(member));
+          SkipWs();
+          if (pos_ >= text_.size()) return Fail("unterminated object");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            *out = std::move(object);
+            return true;
+          }
+          return Fail("expected ',' or '}'");
+        }
+      }
+      default:
+        if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
+          return ParseNumber(out);
+        }
+        return Fail("unexpected character");
+    }
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::Parse(const std::string& text, Json* out, std::string* error) {
+  Parser parser(text, error);
+  Json result;
+  if (!parser.ParseDocument(&result)) return false;
+  *out = std::move(result);
+  return true;
 }
 
 }  // namespace ecnsharp

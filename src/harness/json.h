@@ -1,10 +1,11 @@
-// Minimal JSON document builder for structured result export.
+// Minimal JSON document type for structured result export and for reading
+// scenario scripts (--scenario).
 //
-// The library only ever *writes* JSON (sweep results, configs), so this is a
-// build-and-dump value type, not a parser. Object keys keep insertion order
-// and numbers render with shortest-round-trip formatting, which makes dumps
-// byte-stable across runs — a property runner_test relies on to check that
-// parallel sweeps are deterministic.
+// Object keys keep insertion order and numbers render with shortest-
+// round-trip formatting, which makes dumps byte-stable across runs — a
+// property runner_test relies on to check that parallel sweeps are
+// deterministic. Parse() is a strict recursive-descent reader for the same
+// value model (no comments, no trailing commas).
 #ifndef ECNSHARP_HARNESS_JSON_H_
 #define ECNSHARP_HARNESS_JSON_H_
 
@@ -38,6 +39,41 @@ class Json {
   // Serializes with 2-space indentation and a trailing newline at the top
   // level, suitable for writing straight to a .json file.
   std::string Dump() const;
+
+  // Parses `text` into `*out`. On failure returns false and, if `error` is
+  // non-null, stores a one-line message with the byte offset. Integers
+  // without fraction/exponent parse as kInt (kUInt when too large for
+  // int64), everything else numeric as kNum.
+  static bool Parse(const std::string& text, Json* out,
+                    std::string* error = nullptr);
+
+  // --- Inspection (for parsed documents) ---------------------------------
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsBool() const { return kind_ == Kind::kBool; }
+  bool IsNumber() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kUInt || kind_ == Kind::kNum;
+  }
+  bool IsString() const { return kind_ == Kind::kStr; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+  bool IsObject() const { return kind_ == Kind::kObject; }
+
+  // Object member lookup; null when this is not an object or the key is
+  // absent.
+  const Json* Find(const std::string& key) const;
+
+  // Numeric coercions across kInt/kUInt/kNum; `fallback` for other kinds.
+  double AsDouble(double fallback = 0.0) const;
+  std::int64_t AsInt(std::int64_t fallback = 0) const;
+  std::uint64_t AsUInt(std::uint64_t fallback = 0) const;
+  bool AsBool(bool fallback = false) const;
+  // Empty string when this is not a string.
+  const std::string& AsString() const { return str_; }
+
+  // Array elements / object members (empty for other kinds).
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
 
  private:
   enum class Kind { kNull, kBool, kInt, kUInt, kNum, kStr, kArray, kObject };

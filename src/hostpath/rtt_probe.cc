@@ -25,7 +25,12 @@ class RpcClient : public PacketSink {
   RpcClient(Host& host, std::uint32_t server, std::size_t requests)
       : host_(host), server_(server), remaining_(requests) {}
 
-  void Start() { SendRequest(); }
+  // A no-op when zero requests were asked for — SendRequest must never run
+  // with remaining_ == 0 or the counter would wrap and the ping-pong would
+  // never terminate.
+  void Start() {
+    if (remaining_ > 0) SendRequest();
+  }
 
   void HandlePacket(std::unique_ptr<Packet> /*response*/) override {
     rtts_us_.push_back((host_.sim().Now() - sent_at_).ToMicroseconds());
@@ -111,8 +116,44 @@ std::vector<RttCaseSpec> Table1Cases() {
   };
 }
 
+const char* RttProbeStatusName(RttProbeStatus status) {
+  switch (status) {
+    case RttProbeStatus::kOk:
+      return "ok";
+    case RttProbeStatus::kNoSamples:
+      return "no-samples";
+    case RttProbeStatus::kInvalidSpec:
+      return "invalid-spec";
+  }
+  return "?";
+}
+
+RttStats ComputeRttStats(std::vector<double> rtts_us) {
+  const SampleSummary s = SummarizeSamples(std::move(rtts_us));
+  RttStats stats;
+  stats.status = s.count == 0 ? RttProbeStatus::kNoSamples : RttProbeStatus::kOk;
+  stats.samples = s.count;
+  stats.mean_us = s.mean;
+  stats.std_us = s.stddev;
+  stats.p90_us = s.p90;
+  stats.p99_us = s.p99;
+  return stats;
+}
+
 RttStats RunRttProbe(const RttCaseSpec& spec, std::size_t requests,
                      std::uint64_t seed) {
+  // Reject malformed stage parameters up front: a negative mean or standard
+  // deviation would feed NaNs into the log-normal sampler.
+  for (const auto* dir : {&spec.request_stages, &spec.response_stages}) {
+    for (const StageSpec& stage : *dir) {
+      if (stage.mean_us < 0.0 || stage.std_us < 0.0) {
+        RttStats stats;
+        stats.status = RttProbeStatus::kInvalidSpec;
+        return stats;
+      }
+    }
+  }
+
   Simulator sim;
   Rng rng(seed);
 
@@ -160,17 +201,7 @@ RttStats RunRttProbe(const RttCaseSpec& spec, std::size_t requests,
   rpc_client.Start();
   sim.Run();
 
-  // Sort once and query both percentiles from the sorted sample (see the
-  // contract in stats/percentile.h).
-  std::vector<double> rtts = rpc_client.rtts_us();
-  std::sort(rtts.begin(), rtts.end());
-  RttStats stats;
-  stats.samples = rtts.size();
-  stats.mean_us = Mean(rtts);
-  stats.std_us = StdDev(rtts);
-  stats.p90_us = PercentileSorted(rtts, 90.0);
-  stats.p99_us = PercentileSorted(rtts, 99.0);
-  return stats;
+  return ComputeRttStats(rpc_client.rtts_us());
 }
 
 }  // namespace ecnsharp

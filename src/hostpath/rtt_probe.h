@@ -38,13 +38,31 @@ struct RttCaseSpec {
 // stack ~39 us RTT, +SLB ~25 us, +hypervisor ~30 us, +load ~6 us.
 std::vector<RttCaseSpec> Table1Cases();
 
+// Degenerate-input reporting: every RttStats carries a status instead of
+// silently producing garbage (or, with requests == 0, underflowing a
+// counter and looping forever, which is what the unguarded client used to
+// do).
+enum class RttProbeStatus : std::uint8_t {
+  kOk,
+  kNoSamples,    // zero requests, or no responses arrived
+  kInvalidSpec,  // a stage with negative mean/std delay
+};
+
+const char* RttProbeStatusName(RttProbeStatus status);
+
 struct RttStats {
+  RttProbeStatus status = RttProbeStatus::kNoSamples;
   std::size_t samples = 0;
   double mean_us = 0.0;
   double std_us = 0.0;
   double p90_us = 0.0;
   double p99_us = 0.0;
 };
+
+// Summarizes raw RTT samples (microseconds). Empty input yields zeroed
+// stats with status kNoSamples. The ECN# re-estimation path uses this to
+// re-derive thresholds from a fresh sample set mid-run.
+RttStats ComputeRttStats(std::vector<double> rtts_us);
 
 // Runs `requests` sequential 1-byte RPCs through the simulated path and
 // returns the RTT statistics (a new request is issued when the previous

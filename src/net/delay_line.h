@@ -35,6 +35,16 @@ class DelayLine : public PacketSink {
     });
   }
 
+  // Runtime reconfiguration (dynamics scripts shift the delay distribution
+  // mid-run). Applies to packets that arrive after the call; packets already
+  // in flight keep the delay they were scheduled with.
+  void SetDelay(Time delay) {
+    sampler_ = [delay] { return delay; };
+  }
+  void SetSampler(std::function<Time()> sampler) {
+    sampler_ = std::move(sampler);
+  }
+
  private:
   Simulator& sim_;
   PacketSink& next_;

@@ -15,14 +15,55 @@ EgressPort::EgressPort(Simulator& sim, DataRate rate, Time propagation_delay,
 }
 
 void EgressPort::Enqueue(std::unique_ptr<Packet> pkt) {
+  if (!link_up_) {
+    counters_.dropped_link_down++;
+    if (tracer_ != nullptr) {
+      tracer_->OnDrop(*pkt, sim_.Now(), DropReason::kLinkDown);
+    }
+    return;
+  }
   disc_->Enqueue(std::move(pkt), sim_.Now());
   MaybeStartTx();
 }
 
+void EgressPort::LinkDown(bool drop_queued) {
+  if (!link_up_) return;
+  link_up_ = false;
+  if (drop_queued) disc_->PurgeAll(sim_.Now());
+}
+
+void EgressPort::LinkUp() {
+  if (link_up_) return;
+  link_up_ = true;
+  MaybeStartTx();
+}
+
 void EgressPort::MaybeStartTx() {
-  if (busy_) return;
-  in_flight_ = disc_->Dequeue(sim_.Now());
-  if (in_flight_ == nullptr) return;
+  if (busy_ || !link_up_) return;
+  while (true) {
+    in_flight_ = disc_->Dequeue(sim_.Now());
+    if (in_flight_ == nullptr) return;
+    // One fault verdict per packet, drawn as it reaches the transmitter.
+    // Injected loss hits before serialization — the packet never makes it
+    // onto the wire and consumes no link bandwidth, so try the next one.
+    // Corruption is remembered and applied at delivery: the frame occupies
+    // the link for its full serialization time but fails its CRC at the far
+    // end.
+    in_flight_corrupt_ = false;
+    if (fault_ != nullptr) {
+      const auto verdict = fault_->Decide();
+      if (verdict == LinkFaultInjector::Verdict::kDrop) {
+        counters_.dropped_fault++;
+        if (tracer_ != nullptr) {
+          tracer_->OnDrop(*in_flight_, sim_.Now(), DropReason::kFaultLoss);
+        }
+        in_flight_.reset();
+        continue;
+      }
+      in_flight_corrupt_ = verdict == LinkFaultInjector::Verdict::kCorrupt;
+    }
+    break;
+  }
   busy_ = true;
   const Time tx = rate_.TransmissionTime(in_flight_->size_bytes);
   sim_.Schedule(tx, [this] { FinishTx(); });
@@ -32,13 +73,24 @@ void EgressPort::FinishTx() {
   assert(busy_ && in_flight_ != nullptr && peer_ != nullptr);
   counters_.tx_packets++;
   counters_.tx_bytes += in_flight_->size_bytes;
+  if (in_flight_corrupt_) counters_.corrupted++;
   if (tracer_ != nullptr) tracer_->OnTransmit(*in_flight_, sim_.Now());
   // Hand the packet to the wire: it arrives at the peer after the
   // propagation delay. Ownership transfers into the scheduled event.
-  sim_.Schedule(propagation_delay_,
-                [peer = peer_, pkt = std::move(in_flight_)]() mutable {
-                  peer->HandlePacket(std::move(pkt));
-                });
+  if (in_flight_corrupt_) {
+    sim_.Schedule(propagation_delay_,
+                  [this, pkt = std::move(in_flight_)]() mutable {
+                    if (tracer_ != nullptr) {
+                      tracer_->OnDrop(*pkt, sim_.Now(), DropReason::kCorrupt);
+                    }
+                    pkt.reset();
+                  });
+  } else {
+    sim_.Schedule(propagation_delay_,
+                  [peer = peer_, pkt = std::move(in_flight_)]() mutable {
+                    peer->HandlePacket(std::move(pkt));
+                  });
+  }
   busy_ = false;
   MaybeStartTx();
 }

@@ -4,12 +4,19 @@
 // sink after the link's propagation delay. Each direction of a physical link
 // is one EgressPort owned by the sending node; there is no separate Link
 // object. The port owns its QueueDisc, which in turn owns queued packets.
+//
+// Rate, propagation delay, and administrative link state are mutable at
+// event time (src/dynamics/ scripts churn them mid-run): a rate or delay
+// change applies from the next serialization on — the packet currently on
+// the wire keeps the parameters it started with, exactly like reconfiguring
+// a real port.
 #ifndef ECNSHARP_NET_EGRESS_PORT_H_
 #define ECNSHARP_NET_EGRESS_PORT_H_
 
 #include <cstdint>
 #include <memory>
 
+#include "net/link_fault.h"
 #include "net/packet.h"
 #include "net/packet_tracer.h"
 #include "net/queue_disc.h"
@@ -22,6 +29,9 @@ namespace ecnsharp {
 struct PortCounters {
   std::uint64_t tx_packets = 0;
   std::uint64_t tx_bytes = 0;
+  std::uint64_t dropped_link_down = 0;  // arrived while the link was down
+  std::uint64_t dropped_fault = 0;      // injected loss (pre-serialization)
+  std::uint64_t corrupted = 0;          // injected corruption (post-wire)
 };
 
 class EgressPort {
@@ -35,7 +45,8 @@ class EgressPort {
   // Sets the receiving end of the link. Must be called before any Enqueue.
   void ConnectTo(PacketSink& peer) { peer_ = &peer; }
 
-  // Hands a packet to the queue disc and kicks transmission if idle.
+  // Hands a packet to the queue disc and kicks transmission if idle. While
+  // the link is down the packet is dropped instead (no carrier).
   void Enqueue(std::unique_ptr<Packet> pkt);
 
   QueueDisc& queue_disc() { return *disc_; }
@@ -44,8 +55,33 @@ class EgressPort {
   Time propagation_delay() const { return propagation_delay_; }
   const PortCounters& counters() const { return counters_; }
 
-  // Optional per-packet transmit tracing (non-owning; null disables).
-  void SetTracer(PacketTracer* tracer) { tracer_ = tracer; }
+  // --- Runtime reconfiguration (dynamics hooks) ---------------------------
+
+  // Applies from the next packet serialization on.
+  void SetRate(DataRate rate) { rate_ = rate; }
+  // Applies from the next transmit completion on. Shortening the delay can
+  // reorder against packets already in flight — as on a real rerouted link.
+  void SetPropagationDelay(Time delay) { propagation_delay_ = delay; }
+
+  // Takes the link down. With `drop_queued` the disc's backlog is purged
+  // (counted in the disc's stats().purged); otherwise queued packets survive
+  // the outage and drain on LinkUp. The packet currently being serialized
+  // (if any) was already committed to the wire and still arrives.
+  void LinkDown(bool drop_queued);
+  // Restores the link and restarts transmission from the surviving backlog.
+  void LinkUp();
+  bool link_up() const { return link_up_; }
+
+  // Installs seeded random loss/corruption (non-owning; null disables).
+  void SetFaultInjector(LinkFaultInjector* injector) { fault_ = injector; }
+  LinkFaultInjector* fault_injector() { return fault_; }
+
+  // Optional per-packet tracing (non-owning; null disables). Also forwarded
+  // to the queue disc so drop/mark events on this port are captured.
+  void SetTracer(PacketTracer* tracer) {
+    tracer_ = tracer;
+    disc_->SetTracer(tracer);
+  }
 
  private:
   void MaybeStartTx();
@@ -57,8 +93,11 @@ class EgressPort {
   std::unique_ptr<QueueDisc> disc_;
   PacketSink* peer_ = nullptr;
   PacketTracer* tracer_ = nullptr;
+  LinkFaultInjector* fault_ = nullptr;
   std::unique_ptr<Packet> in_flight_;
+  bool in_flight_corrupt_ = false;
   bool busy_ = false;
+  bool link_up_ = true;
   PortCounters counters_;
 };
 

@@ -1,0 +1,62 @@
+// Seeded random loss/corruption injection for one egress port.
+//
+// Models a flaky link or a misbehaving middlebox: each packet about to be
+// serialized is independently lost with `drop_prob` (never reaches the wire,
+// consumes no link bandwidth) or corrupted with `corrupt_prob` (serialized
+// and propagated — it consumes bandwidth — but discarded at the far end
+// instead of delivered, like a frame failing its CRC). Decisions come from a
+// private seeded Rng so fault patterns are reproducible and independent of
+// every other random stream in the experiment.
+#ifndef ECNSHARP_NET_LINK_FAULT_H_
+#define ECNSHARP_NET_LINK_FAULT_H_
+
+#include <cstdint>
+
+#include "sim/random.h"
+
+namespace ecnsharp {
+
+class LinkFaultInjector {
+ public:
+  explicit LinkFaultInjector(std::uint64_t seed, double drop_prob = 0.0,
+                             double corrupt_prob = 0.0)
+      : rng_(seed), drop_prob_(drop_prob), corrupt_prob_(corrupt_prob) {}
+
+  void SetRates(double drop_prob, double corrupt_prob) {
+    drop_prob_ = drop_prob;
+    corrupt_prob_ = corrupt_prob;
+  }
+
+  // One decision per packet handed to the port's transmitter.
+  enum class Verdict : std::uint8_t { kDeliver, kDrop, kCorrupt };
+
+  Verdict Decide() {
+    if (drop_prob_ <= 0.0 && corrupt_prob_ <= 0.0) return Verdict::kDeliver;
+    const double r = rng_.Uniform();
+    if (r < drop_prob_) {
+      ++drops_;
+      return Verdict::kDrop;
+    }
+    if (r < drop_prob_ + corrupt_prob_) {
+      ++corruptions_;
+      return Verdict::kCorrupt;
+    }
+    return Verdict::kDeliver;
+  }
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t corruptions() const { return corruptions_; }
+  double drop_prob() const { return drop_prob_; }
+  double corrupt_prob() const { return corrupt_prob_; }
+
+ private:
+  Rng rng_;
+  double drop_prob_;
+  double corrupt_prob_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t corruptions_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_NET_LINK_FAULT_H_

@@ -2,20 +2,44 @@
 
 namespace ecnsharp {
 
-std::string TextTracer::Format(const Packet& pkt, Time at) {
+const char* DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kOverflow:
+      return "overflow";
+    case DropReason::kAqm:
+      return "aqm";
+    case DropReason::kLinkDown:
+      return "link-down";
+    case DropReason::kPurged:
+      return "purged";
+    case DropReason::kFaultLoss:
+      return "fault-loss";
+    case DropReason::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+std::string TextTracer::FormatEvent(const char* event, const Packet& pkt,
+                                    Time at) {
   const char* type = "DATA";
   if (pkt.type == PacketType::kAck) type = "ACK";
   if (pkt.type == PacketType::kCnp) type = "CNP";
-  char buf[160];
+  char buf[176];
   std::snprintf(
-      buf, sizeof buf, "%.3fus TX %s %u:%u->%u:%u seq=%llu ack=%llu len=%u%s%s%s",
-      at.ToMicroseconds(), type, pkt.flow.src, pkt.flow.src_port,
+      buf, sizeof buf,
+      "%.3fus %s %s %u:%u->%u:%u seq=%llu ack=%llu len=%u%s%s%s",
+      at.ToMicroseconds(), event, type, pkt.flow.src, pkt.flow.src_port,
       pkt.flow.dst, pkt.flow.dst_port,
       static_cast<unsigned long long>(pkt.seq),
       static_cast<unsigned long long>(pkt.ack), pkt.size_bytes,
       pkt.IsCeMarked() ? " CE" : "", pkt.ece ? " ECE" : "",
       pkt.psh ? " PSH" : "");
   return buf;
+}
+
+std::string TextTracer::Format(const Packet& pkt, Time at) {
+  return FormatEvent("TX", pkt, at);
 }
 
 }  // namespace ecnsharp

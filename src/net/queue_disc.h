@@ -20,6 +20,7 @@
 #include <string>
 
 #include "net/packet.h"
+#include "net/packet_tracer.h"
 #include "sim/time.h"
 
 namespace ecnsharp {
@@ -62,6 +63,7 @@ struct QueueDiscStats {
   std::uint64_t dequeued = 0;
   std::uint64_t dropped_overflow = 0;  // buffer exhausted
   std::uint64_t dropped_aqm = 0;       // policy vetoed the enqueue
+  std::uint64_t purged = 0;            // dropped by PurgeAll (link flap)
   std::uint64_t ce_marked = 0;         // packets CE-marked by the policy
 };
 
@@ -75,12 +77,24 @@ class QueueDisc {
   virtual std::unique_ptr<Packet> Dequeue(Time now) = 0;
   // Total occupancy across all internal queues.
   virtual QueueSnapshot Snapshot() const = 0;
+  // Drops every queued packet (a flapped port configured to drop its
+  // backlog). Shared-buffer reservations are released, drops are counted in
+  // stats().purged (NOT dequeued — AQM OnDequeue hooks must not run), and
+  // the tracer sees one OnDrop(kPurged) per packet. Returns the number of
+  // packets dropped. The accounting invariant becomes
+  //   enqueued == dequeued + purged + queued.
+  virtual std::uint32_t PurgeAll(Time now) = 0;
 
   bool IsEmpty() const { return Snapshot().packets == 0; }
   const QueueDiscStats& stats() const { return stats_; }
 
+  // Optional drop/mark tracing (non-owning; null disables). Ports forward
+  // their tracer here so one SetTracer on the port covers the whole path.
+  void SetTracer(PacketTracer* tracer) { tracer_ = tracer; }
+
  protected:
   QueueDiscStats stats_;
+  PacketTracer* tracer_ = nullptr;
 };
 
 }  // namespace ecnsharp

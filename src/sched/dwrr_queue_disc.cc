@@ -43,6 +43,7 @@ std::uint64_t DwrrQueueDisc::MqEcnThresholdBytes(std::size_t cls_index) const {
 bool DwrrQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
   if (total_bytes_ + pkt->size_bytes > capacity_bytes_) {
     ++stats_.dropped_overflow;
+    if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
     return false;
   }
   const std::size_t idx = classifier_(*pkt);
@@ -53,7 +54,10 @@ bool DwrrQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
     if (cls.bytes + pkt->size_bytes > MqEcnThresholdBytes(idx)) {
       pkt->MarkCe();
     }
-    if (!was_ce && pkt->IsCeMarked()) ++stats_.ce_marked;
+    if (!was_ce && pkt->IsCeMarked()) {
+      ++stats_.ce_marked;
+      if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
+    }
   }
   if (cls.aqm != nullptr) {
     const bool was_ce = pkt->IsCeMarked();
@@ -61,9 +65,13 @@ bool DwrrQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
                              cls.bytes};
     if (!cls.aqm->AllowEnqueue(*pkt, snap, now)) {
       ++stats_.dropped_aqm;
+      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kAqm);
       return false;
     }
-    if (!was_ce && pkt->IsCeMarked()) ++stats_.ce_marked;
+    if (!was_ce && pkt->IsCeMarked()) {
+      ++stats_.ce_marked;
+      if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
+    }
   }
   pkt->enqueue_time = now;
   cls.bytes += pkt->size_bytes;
@@ -90,7 +98,10 @@ std::unique_ptr<Packet> DwrrQueueDisc::PopFrom(ClassState& cls, Time now) {
     const QueueSnapshot snap{static_cast<std::uint32_t>(cls.queue.size()),
                              cls.bytes};
     cls.aqm->OnDequeue(*pkt, snap, now, now - pkt->enqueue_time);
-    if (!was_ce && pkt->IsCeMarked()) ++stats_.ce_marked;
+    if (!was_ce && pkt->IsCeMarked()) {
+      ++stats_.ce_marked;
+      if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
+    }
   }
   return pkt;
 }
@@ -131,6 +142,25 @@ std::unique_ptr<Packet> DwrrQueueDisc::Dequeue(Time now) {
     active_.push_back(static_cast<std::size_t>(current_));
     current_ = -1;
   }
+}
+
+std::uint32_t DwrrQueueDisc::PurgeAll(Time now) {
+  const std::uint32_t n = total_packets_;
+  for (ClassState& cls : classes_) {
+    for (auto& pkt : cls.queue) {
+      ++stats_.purged;
+      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kPurged);
+    }
+    cls.queue.clear();
+    cls.bytes = 0;
+    cls.deficit = 0;
+    cls.in_active_list = false;
+  }
+  active_.clear();
+  current_ = -1;
+  total_packets_ = 0;
+  total_bytes_ = 0;
+  return n;
 }
 
 QueueSnapshot DwrrQueueDisc::ClassSnapshot(std::size_t cls) const {

@@ -37,6 +37,7 @@ class DwrrQueueDisc : public QueueDisc {
 
   bool Enqueue(std::unique_ptr<Packet> pkt, Time now) override;
   std::unique_ptr<Packet> Dequeue(Time now) override;
+  std::uint32_t PurgeAll(Time now) override;
   QueueSnapshot Snapshot() const override {
     return QueueSnapshot{total_packets_, total_bytes_};
   }

@@ -8,19 +8,26 @@ bool FifoQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
   if (pool_ != nullptr) {
     if (!pool_->TryReserve(bytes_, pkt->size_bytes)) {
       ++stats_.dropped_overflow;
+      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
       return false;
     }
   } else if (bytes_ + pkt->size_bytes > capacity_bytes_) {
     ++stats_.dropped_overflow;
+    if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
     return false;
   }
   if (aqm_ != nullptr) {
     const bool was_ce = pkt->IsCeMarked();
     if (!aqm_->AllowEnqueue(*pkt, Snapshot(), now)) {
       ++stats_.dropped_aqm;
+      if (pool_ != nullptr) pool_->Release(pkt->size_bytes);
+      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kAqm);
       return false;
     }
-    if (!was_ce && pkt->IsCeMarked()) ++stats_.ce_marked;
+    if (!was_ce && pkt->IsCeMarked()) {
+      ++stats_.ce_marked;
+      if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
+    }
   }
   pkt->enqueue_time = now;
   bytes_ += pkt->size_bytes;
@@ -39,9 +46,24 @@ std::unique_ptr<Packet> FifoQueueDisc::Dequeue(Time now) {
   if (aqm_ != nullptr) {
     const bool was_ce = pkt->IsCeMarked();
     aqm_->OnDequeue(*pkt, Snapshot(), now, now - pkt->enqueue_time);
-    if (!was_ce && pkt->IsCeMarked()) ++stats_.ce_marked;
+    if (!was_ce && pkt->IsCeMarked()) {
+      ++stats_.ce_marked;
+      if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
+    }
   }
   return pkt;
+}
+
+std::uint32_t FifoQueueDisc::PurgeAll(Time now) {
+  const std::uint32_t n = static_cast<std::uint32_t>(queue_.size());
+  for (auto& pkt : queue_) {
+    bytes_ -= pkt->size_bytes;
+    if (pool_ != nullptr) pool_->Release(pkt->size_bytes);
+    ++stats_.purged;
+    if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kPurged);
+  }
+  queue_.clear();
+  return n;
 }
 
 }  // namespace ecnsharp

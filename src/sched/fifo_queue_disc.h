@@ -31,6 +31,7 @@ class FifoQueueDisc : public QueueDisc {
 
   bool Enqueue(std::unique_ptr<Packet> pkt, Time now) override;
   std::unique_ptr<Packet> Dequeue(Time now) override;
+  std::uint32_t PurgeAll(Time now) override;
   QueueSnapshot Snapshot() const override {
     return QueueSnapshot{static_cast<std::uint32_t>(queue_.size()), bytes_};
   }

@@ -27,6 +27,7 @@ SpQueueDisc::SpQueueDisc(std::uint64_t capacity_bytes,
 bool SpQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
   if (total_bytes_ + pkt->size_bytes > capacity_bytes_) {
     ++stats_.dropped_overflow;
+    if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
     return false;
   }
   ClassState& cls = classes_[classifier_(*pkt)];
@@ -36,9 +37,13 @@ bool SpQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
                              cls.bytes};
     if (!cls.aqm->AllowEnqueue(*pkt, snap, now)) {
       ++stats_.dropped_aqm;
+      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kAqm);
       return false;
     }
-    if (!was_ce && pkt->IsCeMarked()) ++stats_.ce_marked;
+    if (!was_ce && pkt->IsCeMarked()) {
+      ++stats_.ce_marked;
+      if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
+    }
   }
   pkt->enqueue_time = now;
   cls.bytes += pkt->size_bytes;
@@ -63,11 +68,29 @@ std::unique_ptr<Packet> SpQueueDisc::Dequeue(Time now) {
       const QueueSnapshot snap{static_cast<std::uint32_t>(cls.queue.size()),
                                cls.bytes};
       cls.aqm->OnDequeue(*pkt, snap, now, now - pkt->enqueue_time);
-      if (!was_ce && pkt->IsCeMarked()) ++stats_.ce_marked;
+      if (!was_ce && pkt->IsCeMarked()) {
+        ++stats_.ce_marked;
+        if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
+      }
     }
     return pkt;
   }
   return nullptr;
+}
+
+std::uint32_t SpQueueDisc::PurgeAll(Time now) {
+  const std::uint32_t n = total_packets_;
+  for (ClassState& cls : classes_) {
+    for (auto& pkt : cls.queue) {
+      ++stats_.purged;
+      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kPurged);
+    }
+    cls.queue.clear();
+    cls.bytes = 0;
+  }
+  total_packets_ = 0;
+  total_bytes_ = 0;
+  return n;
 }
 
 QueueSnapshot SpQueueDisc::ClassSnapshot(std::size_t cls) const {

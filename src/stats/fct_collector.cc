@@ -19,15 +19,15 @@ std::vector<double> FctCollector::Fcts(std::uint64_t min_bytes,
 
 FctSummary FctCollector::Summary(std::uint64_t min_bytes,
                                  std::uint64_t max_bytes) const {
-  std::vector<double> fcts = Fcts(min_bytes, max_bytes);
+  const SampleSummary s = SummarizeSamples(Fcts(min_bytes, max_bytes));
   FctSummary summary;
-  summary.count = fcts.size();
-  if (fcts.empty()) return summary;
-  std::sort(fcts.begin(), fcts.end());
-  summary.avg_us = Mean(fcts);
-  summary.p50_us = PercentileSorted(fcts, 50.0);
-  summary.p99_us = PercentileSorted(fcts, 99.0);
-  summary.max_us = fcts.back();
+  summary.count = s.count;
+  summary.avg_us = s.mean;
+  summary.stddev_us = s.stddev;
+  summary.p50_us = s.p50;
+  summary.p90_us = s.p90;
+  summary.p99_us = s.p99;
+  summary.max_us = s.max;
   return summary;
 }
 

@@ -19,7 +19,9 @@ inline constexpr std::uint64_t kLargeFlowMinBytes = 10 * 1000 * 1000;
 struct FctSummary {
   std::size_t count = 0;
   double avg_us = 0.0;
+  double stddev_us = 0.0;
   double p50_us = 0.0;
+  double p90_us = 0.0;
   double p99_us = 0.0;
   double max_us = 0.0;
 };

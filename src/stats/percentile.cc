@@ -31,4 +31,18 @@ double StdDev(const std::vector<double>& values) {
   return std::sqrt(ss / static_cast<double>(values.size() - 1));
 }
 
+SampleSummary SummarizeSamples(std::vector<double> values) {
+  SampleSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.mean = Mean(values);
+  s.stddev = StdDev(values);
+  s.p50 = PercentileSorted(values, 50.0);
+  s.p90 = PercentileSorted(values, 90.0);
+  s.p99 = PercentileSorted(values, 99.0);
+  s.max = values.back();
+  return s;
+}
+
 }  // namespace ecnsharp

@@ -27,6 +27,24 @@ double PercentileSorted(const std::vector<double>& sorted, double p);
 double Mean(const std::vector<double>& values);
 double StdDev(const std::vector<double>& values);
 
+// One-pass summary of a sample: sorts once and extracts every statistic the
+// repo reports. Use this instead of hand-rolling sort + Mean + repeated
+// PercentileSorted calls (FctCollector, RttProbe, and the benches all share
+// this shape).
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+// Takes the sample by value (it is sorted in place). Empty input yields an
+// all-zero summary.
+SampleSummary SummarizeSamples(std::vector<double> values);
+
 }  // namespace ecnsharp
 
 #endif  // ECNSHARP_STATS_PERCENTILE_H_

@@ -63,5 +63,49 @@ TEST(RttProbeTest, DeterministicForSeed) {
   EXPECT_DOUBLE_EQ(a.p99_us, b.p99_us);
 }
 
+TEST(RttProbeTest, HealthyRunReportsOkStatus) {
+  const RttStats stats = RunRttProbe(Table1Cases()[0], 50, /*seed=*/1);
+  EXPECT_EQ(stats.status, RttProbeStatus::kOk);
+}
+
+// Regression: requests == 0 used to underflow the remaining-request counter
+// and ping-pong forever; now it terminates and reports kNoSamples.
+TEST(RttProbeTest, ZeroRequestsTerminatesWithNoSamples) {
+  const RttStats stats = RunRttProbe(Table1Cases()[0], 0, /*seed=*/1);
+  EXPECT_EQ(stats.status, RttProbeStatus::kNoSamples);
+  EXPECT_EQ(stats.samples, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_us, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99_us, 0.0);
+}
+
+TEST(RttProbeTest, NegativeStageDelayIsRejected) {
+  RttCaseSpec spec;
+  spec.name = "bad";
+  spec.request_stages.push_back({"negative-mean", -5.0, 1.0});
+  EXPECT_EQ(RunRttProbe(spec, 10, /*seed=*/1).status,
+            RttProbeStatus::kInvalidSpec);
+
+  spec.request_stages.clear();
+  spec.response_stages.push_back({"negative-std", 5.0, -1.0});
+  EXPECT_EQ(RunRttProbe(spec, 10, /*seed=*/1).status,
+            RttProbeStatus::kInvalidSpec);
+}
+
+TEST(RttProbeTest, ComputeRttStatsHandlesDegenerateInput) {
+  EXPECT_EQ(ComputeRttStats({}).status, RttProbeStatus::kNoSamples);
+  const RttStats stats = ComputeRttStats({10.0, 20.0, 30.0, 40.0});
+  EXPECT_EQ(stats.status, RttProbeStatus::kOk);
+  EXPECT_EQ(stats.samples, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_us, 25.0);
+  EXPECT_DOUBLE_EQ(stats.p99_us, 40.0);
+}
+
+TEST(RttProbeTest, StatusNamesAreStable) {
+  EXPECT_STREQ(RttProbeStatusName(RttProbeStatus::kOk), "ok");
+  EXPECT_STREQ(RttProbeStatusName(RttProbeStatus::kNoSamples), "no-samples");
+  EXPECT_STREQ(RttProbeStatusName(RttProbeStatus::kInvalidSpec),
+               "invalid-spec");
+}
+
 }  // namespace
 }  // namespace ecnsharp

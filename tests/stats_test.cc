@@ -2,10 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "net/egress_port.h"
 #include "sched/fifo_queue_disc.h"
 #include "sim/simulator.h"
+#include "stats/fct_collector.h"
+#include "stats/percentile.h"
 #include "stats/queue_monitor.h"
 
 namespace ecnsharp {
@@ -72,6 +75,66 @@ TEST(QueueMonitorTest, EmptyMonitorIsSafe) {
   QueueMonitor monitor(sim, disc, Time::Microseconds(10));
   EXPECT_DOUBLE_EQ(monitor.AvgPackets(), 0.0);
   EXPECT_EQ(monitor.MaxPackets(), 0u);
+}
+
+TEST(SummarizeSamplesTest, EmptyInputIsAllZeros) {
+  const SampleSummary s = SummarizeSamples({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p90, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(SummarizeSamplesTest, MatchesHandComputedStatistics) {
+  // Unsorted on purpose: SummarizeSamples sorts its copy.
+  const SampleSummary s = SummarizeSamples({30.0, 10.0, 50.0, 20.0, 40.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 30.0);
+  // Sample stddev (n-1): sqrt(1000/4).
+  EXPECT_NEAR(s.stddev, 15.8113883, 1e-6);
+  EXPECT_DOUBLE_EQ(s.p50, 30.0);
+  EXPECT_DOUBLE_EQ(s.p90, 50.0);
+  EXPECT_DOUBLE_EQ(s.p99, 50.0);
+  EXPECT_DOUBLE_EQ(s.max, 50.0);
+}
+
+TEST(SummarizeSamplesTest, AgreesWithStandalonePercentileHelpers) {
+  std::vector<double> values;
+  for (int i = 100; i >= 1; --i) values.push_back(static_cast<double>(i));
+  const SampleSummary s = SummarizeSamples(values);
+  EXPECT_DOUBLE_EQ(s.mean, Mean(values));
+  EXPECT_DOUBLE_EQ(s.stddev, StdDev(values));
+  EXPECT_DOUBLE_EQ(s.p50, Percentile(values, 50));
+  EXPECT_DOUBLE_EQ(s.p90, Percentile(values, 90));
+  EXPECT_DOUBLE_EQ(s.p99, Percentile(values, 99));
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(SummarizeSamplesTest, SingleSampleIsItsOwnEverything) {
+  const SampleSummary s = SummarizeSamples({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(FctSummaryTest, ReportsP90AndStddev) {
+  FctCollector collector;
+  for (int i = 1; i <= 100; ++i) {
+    FlowRecord record;
+    record.size_bytes = static_cast<std::uint64_t>(i) * 1000;
+    record.completion_time = Time::FromMicroseconds(i);
+    collector.Record(record);
+  }
+  const FctSummary s = collector.Summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.p90_us, 90.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 99.0);
+  EXPECT_NEAR(s.stddev_us, 29.011492, 1e-5);
 }
 
 TEST(PortCountersTest, TrackTransmissions) {

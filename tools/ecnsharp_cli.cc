@@ -13,10 +13,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "harness/config_json.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
 #include "runner/job.h"
@@ -98,6 +101,31 @@ Flags ParseFlags(int argc, char** argv) {
   return flags;
 }
 
+// --scenario accepts either a path to a JSON script or the script inline
+// (a value starting with '{'). Any parse or validation failure is fatal:
+// a silently-ignored scenario would make "static" results look dynamic.
+ScenarioScript LoadScenarioOrDie(const std::string& value) {
+  std::string text = value;
+  if (value.empty() || value[0] != '{') {
+    std::ifstream in(value);
+    if (!in) {
+      std::fprintf(stderr, "cannot read --scenario file '%s'\n",
+                   value.c_str());
+      std::exit(2);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  ScenarioScript script;
+  std::string error;
+  if (!ParseScenarioScript(text, &script, &error)) {
+    std::fprintf(stderr, "invalid --scenario script: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return script;
+}
+
 int Usage() {
   std::printf(
       "ecnsharp_cli — run an ECN# experiment\n\n"
@@ -116,6 +144,13 @@ int Usage() {
       "  --seed=<n>                         RNG seed (default 1)\n"
       "  --sim-params                       use the paper's simulation\n"
       "                                     parameter preset (§5.3)\n"
+      "  --scenario=<file.json|{inline}>    dumbbell only: mid-run network\n"
+      "                                     dynamics script (link churn,\n"
+      "                                     loss injection, RTT shifts,\n"
+      "                                     incast bursts); see\n"
+      "                                     docs/extending.md. Single runs\n"
+      "                                     with a scenario also export\n"
+      "                                     results/<name>.json\n"
       "  --sweep=<param:lo..hi:step[,...]>  run a grid instead of a single\n"
       "                                     experiment; params: load (in\n"
       "                                     percent), flows, variation,\n"
@@ -150,12 +185,13 @@ bool ParseScheme(const std::string& name, Scheme& out) {
 }
 
 void PrintFctResult(const ExperimentResult& r) {
-  TablePrinter table({"metric", "count", "avg(us)", "p50(us)", "p99(us)",
-                      "max(us)"});
+  TablePrinter table({"metric", "count", "avg(us)", "p50(us)", "p90(us)",
+                      "p99(us)", "max(us)"});
   const auto row = [&table](const char* name, const FctSummary& s) {
     table.AddRow({name, std::to_string(s.count),
                   TablePrinter::Fmt(s.avg_us, 1),
                   TablePrinter::Fmt(s.p50_us, 1),
+                  TablePrinter::Fmt(s.p90_us, 1),
                   TablePrinter::Fmt(s.p99_us, 1),
                   TablePrinter::Fmt(s.max_us, 1)});
   };
@@ -171,6 +207,17 @@ void PrintFctResult(const ExperimentResult& r) {
       static_cast<unsigned long long>(r.bottleneck.ce_marked),
       static_cast<unsigned long long>(r.bottleneck.dropped_overflow),
       r.sim_seconds);
+  if (r.scenario_actions > 0) {
+    std::printf(
+        "scenario: %llu actions (%llu incast bursts, %zu/%zu burst flows)  "
+        "injected drops: %llu  corruptions: %llu  link-down drops: %llu\n",
+        static_cast<unsigned long long>(r.scenario_actions),
+        static_cast<unsigned long long>(r.incast_bursts),
+        r.burst_flows_completed, r.burst_flows_started,
+        static_cast<unsigned long long>(r.injected_drops),
+        static_cast<unsigned long long>(r.injected_corruptions),
+        static_cast<unsigned long long>(r.link_down_drops));
+  }
 }
 
 // One swept parameter: `load:10..90:10` expands to {10, 20, ..., 90}.
@@ -261,7 +308,8 @@ std::vector<GridPoint> ExpandGrid(const std::vector<SweepAxis>& axes) {
 }
 
 int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
-                 const EmpiricalCdf* workload) {
+                 const EmpiricalCdf* workload,
+                 const ScenarioScript& scenario) {
   const std::vector<SweepAxis> axes = ParseSweep(flags.Get("sweep", ""));
   for (const SweepAxis& axis : axes) {
     const bool incast_param = axis.param == "fanout";
@@ -305,6 +353,7 @@ int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
           value("variation", flags.GetDouble("variation", 3.0));
       config.seed = static_cast<std::uint64_t>(
           value("seed", static_cast<double>(flags.GetU64("seed", 1))));
+      config.scenario = scenario;
       spec.config = config;
     } else if (topo == "leafspine") {
       LeafSpineExperimentConfig config;
@@ -390,8 +439,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  ScenarioScript scenario;
+  if (flags.Has("scenario")) {
+    if (topo != "dumbbell") {
+      std::fprintf(stderr, "--scenario only applies to --topo=dumbbell\n");
+      return 2;
+    }
+    scenario = LoadScenarioOrDie(flags.Get("scenario", ""));
+  }
+
   if (flags.Has("sweep")) {
-    return RunSweepMode(flags, topo, scheme, workload);
+    return RunSweepMode(flags, topo, scheme, workload, scenario);
   }
 
   if (topo == "dumbbell") {
@@ -403,9 +461,25 @@ int main(int argc, char** argv) {
     config.flows = flags.GetU64("flows", 1000);
     config.rtt_variation = flags.GetDouble("variation", 3.0);
     config.seed = flags.GetU64("seed", 1);
+    config.scenario = scenario;
     PrintBanner("dumbbell / " + std::string(SchemeName(scheme)) + " / " +
                 workload_name);
-    PrintFctResult(RunDumbbell(config));
+    if (scenario.empty()) {
+      PrintFctResult(RunDumbbell(config));
+    } else {
+      // Scenario runs go through the runner so the full record (config +
+      // scenario + dynamics counters) lands in results/<name>.json, byte-
+      // identical to what a sweep over the same point would export.
+      const std::string name = flags.Get("name", "cli_run");
+      std::vector<runner::JobSpec> specs;
+      specs.push_back({std::string(SchemeName(scheme)), config});
+      runner::SweepOptions options;
+      options.label = name;
+      const std::vector<runner::JobResult> results =
+          runner::RunJobs(specs, options);
+      runner::ExportSweep(name, specs, results);
+      PrintFctResult(runner::FctResult(results[0]));
+    }
   } else if (topo == "leafspine") {
     LeafSpineExperimentConfig config;
     config.scheme = scheme;
