@@ -213,7 +213,7 @@ Json ToJson(const DumbbellExperimentConfig& config) {
 }
 
 Json ToJson(const LeafSpineExperimentConfig& config) {
-  return Json::Object()
+  Json json = Json::Object()
       .Set("topology", Json::Str("leafspine"))
       .Set("scheme", Json::Str(SchemeName(config.scheme)))
       .Set("workload", Json::Str(WorkloadName(config.workload)))
@@ -225,9 +225,15 @@ Json ToJson(const LeafSpineExperimentConfig& config) {
       .Set("rate_bps", Json::Int(config.topo.rate.bps()))
       .Set("max_extra_delay_us", TimeUs(config.max_extra_delay))
       .Set("seed", Json::UInt(config.seed))
+      .Set("queue_sample_period_us", TimeUs(config.queue_sample_period))
       .Set("max_sim_time_us", TimeUs(config.max_sim_time))
       .Set("tcp", ToJson(config.topo.tcp))
       .Set("params", ToJson(config.params));
+  // Key omitted for static-network configs so their records are unchanged.
+  if (!config.scenario.empty()) {
+    json.Set("scenario", ToJson(config.scenario));
+  }
+  return json;
 }
 
 Json ToJson(const IncastExperimentConfig& config) {

@@ -1,54 +1,33 @@
+// The three experiment runners, each a thin configuration of an
+// ExperimentSession over a Topology. Everything they share — generator
+// wiring, monitors, scenario hooks, the run loop, result filling — lives in
+// harness/session.cc.
 #include "harness/experiment.h"
 
 #include <memory>
 #include <utility>
-#include <vector>
 
-#include "core/ecn_sharp.h"
-#include "dynamics/scenario_engine.h"
-#include "hostpath/rtt_probe.h"
-#include "sched/fifo_queue_disc.h"
-#include "sim/simulator.h"
+#include "harness/session.h"
 #include "topo/dumbbell.h"
 #include "topo/rtt_variation.h"
-#include "workload/traffic_generator.h"
 
 namespace ecnsharp {
 
-namespace {
-void FillFctResult(const FctCollector& collector, ExperimentResult& result) {
-  result.overall = collector.Overall();
-  result.short_flows = collector.ShortFlows();
-  result.large_flows = collector.LargeFlows();
-  result.timeouts = collector.total_timeouts();
-}
-
-// Re-derives the bottleneck ECN# thresholds from the senders' *current* base
-// RTT distribution — the operator response to a known RTT shift (§3.4's
-// rule-of-thumb applied to fresh measurements). No-op when the bottleneck is
-// not a FIFO running ECN#.
-void ReestimateBottleneckEcnSharp(Dumbbell& topo, Time base_rtt) {
-  auto* fifo = dynamic_cast<FifoQueueDisc*>(&topo.bottleneck_port().queue_disc());
-  if (fifo == nullptr) return;
-  auto* aqm = dynamic_cast<EcnSharpAqm*>(fifo->aqm());
-  if (aqm == nullptr) return;
-  std::vector<double> rtts_us;
-  rtts_us.reserve(topo.sender_count());
-  for (std::size_t i = 0; i < topo.sender_count(); ++i) {
-    rtts_us.push_back(
-        (base_rtt + topo.sender_host(i).extra_egress_delay())
-            .ToMicroseconds());
-  }
-  const RttStats stats = ComputeRttStats(std::move(rtts_us));
-  if (stats.status != RttProbeStatus::kOk) return;
-  aqm->Reconfigure(RuleOfThumbConfig(Time::FromMicroseconds(stats.p90_us),
-                                     Time::FromMicroseconds(stats.mean_us),
-                                     /*lambda=*/1.0));
-}
-}  // namespace
-
 ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config) {
-  Simulator sim;
+  ExperimentSessionConfig session_config;
+  session_config.workload = config.workload;
+  session_config.load = config.load;
+  session_config.flows = config.flows;
+  session_config.seed = config.seed;
+  // Per-sender netem extras spanning the requested RTT variation.
+  session_config.rtt_assignment =
+      ExperimentSessionConfig::RttAssignment::kQuantiles;
+  session_config.max_rtt_extra = config.base_rtt * (config.rtt_variation - 1.0);
+  session_config.rtt_profile = RttProfile::kTestbed;
+  session_config.queue_sample_period = config.queue_sample_period;
+  session_config.max_sim_time = config.max_sim_time;
+  session_config.scenario = config.scenario;
+  ExperimentSession session(std::move(session_config));
 
   DumbbellConfig topo_config;
   topo_config.senders = config.senders;
@@ -56,177 +35,56 @@ ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config) {
   topo_config.base_rtt = config.base_rtt;
   topo_config.buffer_bytes = config.params.buffer_bytes;
   topo_config.tcp = config.tcp;
-
-  Dumbbell topo(sim, topo_config,
+  Dumbbell topo(session.sim(), topo_config,
                 MakeFifoDisc(config.scheme, config.params));
 
-  // Per-sender netem extras spanning the requested RTT variation.
-  const Time max_extra = config.base_rtt * (config.rtt_variation - 1.0);
-  topo.SetSenderExtraDelays(RttExtraQuantiles(config.senders, max_extra));
-
-  FctCollector collector;
-  TrafficConfig traffic;
-  traffic.load = config.load;
-  traffic.reference_capacity = config.rate;
-  traffic.flow_count = config.flows;
-
-  Rng rng(config.seed);
-  const std::uint32_t receiver = topo.receiver_address();
-  TrafficGenerator generator(
-      sim, *config.workload, traffic,
-      [&topo, receiver](Rng& r) {
-        const std::size_t sender = r.UniformInt(topo.sender_count());
-        return std::make_pair(&topo.sender_stack(sender), receiver);
-      },
-      [&collector](const FlowRecord& record) { collector.Record(record); },
-      rng.Fork());
-
-  QueueMonitor monitor(sim, topo.bottleneck_port().queue_disc(),
-                       config.queue_sample_period.IsZero()
-                           ? Time::FromMicroseconds(100)
-                           : config.queue_sample_period);
-  if (!config.queue_sample_period.IsZero()) {
-    monitor.Run(Time::Zero(), config.max_sim_time);
-  }
-
-  // Scenario dynamics: burst flows launched here complete into the same
-  // collector as the workload's, and the run loop below waits for them.
-  std::size_t burst_started = 0;
-  std::size_t burst_completed = 0;
-  std::size_t next_burst_sender = 0;
-  std::unique_ptr<ScenarioEngine> engine;
-  if (!config.scenario.empty()) {
-    ScenarioHooks hooks;
-    hooks.port = [&topo](int target) -> EgressPort* {
-      if (target < 0) return &topo.bottleneck_port();
-      if (static_cast<std::size_t>(target) < topo.sender_count()) {
-        return &topo.sender_host(static_cast<std::size_t>(target)).nic();
-      }
-      return nullptr;
-    };
-    hooks.set_host_delay = [&topo](int index, Time delay) {
-      if (index >= 0 &&
-          static_cast<std::size_t>(index) < topo.sender_count()) {
-        topo.sender_host(static_cast<std::size_t>(index))
-            .set_extra_egress_delay(delay);
-      }
-    };
-    hooks.incast = [&topo, &collector, &burst_started, &burst_completed,
-                    &next_burst_sender,
-                    receiver](std::uint32_t flows, std::uint64_t bytes) {
-      for (std::uint32_t f = 0; f < flows; ++f) {
-        const std::size_t sender = next_burst_sender++ % topo.sender_count();
-        ++burst_started;
-        topo.sender_stack(sender).StartFlow(
-            receiver, bytes,
-            [&collector, &burst_completed](const FlowRecord& record) {
-              collector.Record(record);
-              ++burst_completed;
-            });
-      }
-    };
-    hooks.reestimate_ecnsharp = [&topo, base_rtt = config.base_rtt] {
-      ReestimateBottleneckEcnSharp(topo, base_rtt);
-    };
-    engine = std::make_unique<ScenarioEngine>(sim, config.scenario,
-                                              std::move(hooks));
-    engine->Install();
-  }
-
-  generator.Start();
-  // Queue monitoring keeps the event heap non-empty, so run in slices until
-  // the workload drains, every scheduled scenario occurrence has fired, and
-  // every burst flow has completed (or the safety cap trips).
-  const auto work_pending = [&] {
-    if (!generator.AllDone()) return true;
-    if (burst_completed < burst_started) return true;
-    return engine != nullptr &&
-           engine->actions_fired() < engine->actions_scheduled();
-  };
-  while (work_pending() && sim.Now() < config.max_sim_time) {
-    sim.RunFor(Time::Milliseconds(10));
-  }
-
-  ExperimentResult result;
-  FillFctResult(collector, result);
-  result.flows_started = generator.started() + burst_started;
-  result.flows_completed = generator.completed() + burst_completed;
-  result.bottleneck = topo.bottleneck_port().queue_disc().stats();
-  if (!config.queue_sample_period.IsZero()) {
-    result.avg_queue_packets = monitor.AvgPackets();
-    result.max_queue_packets = monitor.MaxPackets();
-  }
-  result.sim_seconds = sim.Now().ToSeconds();
-  if (engine != nullptr) {
-    result.scenario_actions = engine->actions_fired();
-    result.incast_bursts = engine->bursts_fired();
-    result.burst_flows_started = burst_started;
-    result.burst_flows_completed = burst_completed;
-    result.injected_drops = engine->injected_drops();
-    result.injected_corruptions = engine->injected_corruptions();
-    result.link_down_drops = topo.bottleneck_port().counters().dropped_link_down;
-    for (std::size_t i = 0; i < topo.sender_count(); ++i) {
-      result.link_down_drops +=
-          topo.sender_host(i).nic().counters().dropped_link_down;
-    }
-  }
-  return result;
+  session.Bind(topo);
+  session.Run();
+  return session.Result();
 }
 
 ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config) {
-  Simulator sim;
+  ExperimentSessionConfig session_config;
+  session_config.workload = config.workload;
+  session_config.load = config.load;
+  session_config.flows = config.flows;
+  session_config.seed = config.seed;
+  // §5.3's per-host base-RTT distribution: one sampled extra per host.
+  session_config.rtt_assignment =
+      ExperimentSessionConfig::RttAssignment::kPerHostSample;
+  session_config.max_rtt_extra = config.max_extra_delay;
+  session_config.rtt_profile = RttProfile::kLeafSpine;
+  session_config.queue_sample_period = config.queue_sample_period;
+  session_config.max_sim_time = config.max_sim_time;
+  session_config.scenario = config.scenario;
+  ExperimentSession session(std::move(session_config));
 
   LeafSpineConfig topo_config = config.topo;
   topo_config.buffer_bytes = config.params.buffer_bytes;
-
-  LeafSpine topo(sim, topo_config, [&config] {
+  LeafSpine topo(session.sim(), topo_config, [&config] {
     return MakeFifoDisc(config.scheme, config.params);
   });
 
-  Rng rng(config.seed);
-  for (std::size_t h = 0; h < topo.host_count(); ++h) {
-    topo.host(h).set_extra_egress_delay(
-        SampleRttExtra(rng, config.max_extra_delay));
-  }
-
-  FctCollector collector;
-  TrafficConfig traffic;
-  traffic.load = config.load;
-  // Load is defined per host access link; the aggregate arrival rate scales
-  // with the number of hosts.
-  traffic.reference_capacity = DataRate::BitsPerSecond(
-      config.topo.rate.bps() * static_cast<std::int64_t>(topo.host_count()));
-  traffic.flow_count = config.flows;
-
-  TrafficGenerator generator(
-      sim, *config.workload, traffic,
-      [&topo](Rng& r) {
-        const std::size_t src = r.UniformInt(topo.host_count());
-        std::size_t dst = r.UniformInt(topo.host_count() - 1);
-        if (dst >= src) ++dst;
-        return std::make_pair(&topo.stack(src),
-                              static_cast<std::uint32_t>(dst));
-      },
-      [&collector](const FlowRecord& record) { collector.Record(record); },
-      rng.Fork());
-
-  generator.Start();
-  while (!generator.AllDone() && sim.Now() < config.max_sim_time) {
-    sim.RunFor(Time::Milliseconds(10));
-  }
-
-  ExperimentResult result;
-  FillFctResult(collector, result);
-  result.flows_started = generator.started();
-  result.flows_completed = generator.completed();
-  result.bottleneck.dropped_overflow = topo.TotalOverflowDrops();
-  result.bottleneck.ce_marked = topo.TotalCeMarks();
-  result.sim_seconds = sim.Now().ToSeconds();
-  return result;
+  session.Bind(topo);
+  session.Run();
+  return session.Result();
 }
 
 IncastResult RunIncast(const IncastExperimentConfig& config) {
-  Simulator sim;
+  ExperimentSessionConfig session_config;
+  session_config.seed = config.seed;
+  // §5.4 setup mirrors the large-scale simulations' RTT distribution.
+  session_config.rtt_assignment =
+      ExperimentSessionConfig::RttAssignment::kQuantiles;
+  session_config.max_rtt_extra = config.base_rtt * (config.rtt_variation - 1.0);
+  session_config.rtt_profile = RttProfile::kLeafSpine;
+  // Microscopic queue trace around the burst only (Fig. 10's window).
+  session_config.queue_sample_period = config.queue_sample_period;
+  session_config.monitor_from = config.burst_time - Time::Milliseconds(5);
+  session_config.monitor_until = config.burst_time + Time::Milliseconds(20);
+  session_config.max_sim_time = config.max_sim_time;
+  ExperimentSession session(std::move(session_config));
+  Simulator& sim = session.sim();
 
   DumbbellConfig topo_config;
   topo_config.senders = config.senders;
@@ -234,14 +92,9 @@ IncastResult RunIncast(const IncastExperimentConfig& config) {
   topo_config.base_rtt = config.base_rtt;
   topo_config.buffer_bytes = config.params.buffer_bytes;
   topo_config.tcp = config.tcp;
+  Dumbbell topo(sim, topo_config, MakeFifoDisc(config.scheme, config.params));
 
-  Dumbbell topo(sim, topo_config,
-                MakeFifoDisc(config.scheme, config.params));
-  const Time max_extra = config.base_rtt * (config.rtt_variation - 1.0);
-  // §5.4 setup mirrors the large-scale simulations' RTT distribution.
-  topo.SetSenderExtraDelays(RttExtraQuantiles(config.senders, max_extra,
-                                              RttProfile::kLeafSpine));
-
+  session.Bind(topo);
   const std::uint32_t receiver = topo.receiver_address();
 
   // Long-lived elephants from the smallest-RTT senders: with a tail-RTT
@@ -257,8 +110,8 @@ IncastResult RunIncast(const IncastExperimentConfig& config) {
                    });
   }
 
-  // Query burst at burst_time.
-  FctCollector query_collector;
+  // Query burst at burst_time; completions land in the session collector.
+  FctCollector& query_collector = session.collector();
   std::size_t queries_completed = 0;
   Rng rng(config.seed);
   for (std::size_t q = 0; q < config.query_flows; ++q) {
@@ -278,41 +131,35 @@ IncastResult RunIncast(const IncastExperimentConfig& config) {
     });
   }
 
-  QueueMonitor monitor(sim, topo.bottleneck_port().queue_disc(),
-                       config.queue_sample_period);
-  const Time trace_end = config.burst_time + Time::Milliseconds(20);
-  monitor.Run(config.burst_time - Time::Milliseconds(5), trace_end);
-
   // Snapshot overflow drops just before the burst so the result separates
   // burst-induced losses from background startup transients.
   std::uint64_t drops_before_burst = 0;
   sim.ScheduleAt(config.burst_time - Time::Nanoseconds(1),
                  [&topo, &drops_before_burst] {
-                   drops_before_burst = topo.bottleneck_port()
-                                            .queue_disc()
-                                            .stats()
-                                            .dropped_overflow;
+                   drops_before_burst =
+                       topo.TotalBottleneckStats().dropped_overflow;
                  });
 
   // Run at least through the queue-trace window, then until the queries
   // finish (or the safety cap).
-  while (sim.Now() < trace_end ||
-         (queries_completed < config.query_flows &&
-          sim.Now() < config.max_sim_time)) {
-    sim.RunFor(Time::Milliseconds(10));
-  }
+  const Time trace_end = config.burst_time + Time::Milliseconds(20);
+  session.Run([&] {
+    return sim.Now() < trace_end || queries_completed < config.query_flows;
+  });
 
   IncastResult result;
   result.query_fct = query_collector.Overall();
   result.query_timeouts = query_collector.total_timeouts();
-  result.total_drops =
-      topo.bottleneck_port().queue_disc().stats().dropped_overflow;
+  result.total_drops = topo.TotalBottleneckStats().dropped_overflow;
   result.drops = result.total_drops - drops_before_burst;
-  result.max_queue_packets = monitor.MaxPackets();
-  // Standing queue: the 5 ms window immediately before the burst.
-  result.standing_queue_packets = monitor.AvgPackets(
-      config.burst_time - Time::Milliseconds(5), config.burst_time);
-  result.queue_trace = monitor.samples();
+  QueueMonitorSet& monitors = session.monitors();
+  if (!monitors.empty()) {
+    result.max_queue_packets = monitors.MaxPackets();
+    // Standing queue: the 5 ms window immediately before the burst.
+    result.standing_queue_packets = monitors.AvgPackets(
+        config.burst_time - Time::Milliseconds(5), config.burst_time);
+    result.queue_trace = monitors.monitor(0).samples();
+  }
   result.queries_completed = queries_completed;
   return result;
 }

@@ -83,7 +83,12 @@ struct LeafSpineExperimentConfig {
   // Per-host extra delay upper bound: [80, 240] us base RTTs by default.
   Time max_extra_delay = Time::FromMicroseconds(160);
   std::uint64_t seed = 1;
+  // Queue occupancy sampling across every switch egress port (0 disables).
+  Time queue_sample_period = Time::Zero();
   Time max_sim_time = Time::Seconds(120);
+  // Optional mid-run network dynamics; port target ids follow the
+  // leaf-spine convention in topo/leaf_spine.h. Empty = static network.
+  ScenarioScript scenario;
 };
 
 ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config);

@@ -1,0 +1,156 @@
+#include "harness/session.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/ecn_sharp.h"
+#include "hostpath/rtt_probe.h"
+#include "sched/fifo_queue_disc.h"
+
+namespace ecnsharp {
+
+void ReestimateEcnSharp(Topology& topo) {
+  std::vector<double> rtts_us;
+  rtts_us.reserve(topo.host_count());
+  for (std::size_t i = 0; i < topo.host_count(); ++i) {
+    rtts_us.push_back(topo.HostBaseRtt(i).ToMicroseconds());
+  }
+  const RttStats stats = ComputeRttStats(std::move(rtts_us));
+  if (stats.status != RttProbeStatus::kOk) return;
+  const EcnSharpConfig fresh =
+      RuleOfThumbConfig(Time::FromMicroseconds(stats.p90_us),
+                        Time::FromMicroseconds(stats.mean_us),
+                        /*lambda=*/1.0);
+  for (std::size_t b = 0; b < topo.bottleneck_count(); ++b) {
+    auto* fifo = dynamic_cast<FifoQueueDisc*>(&topo.bottleneck(b).queue_disc());
+    if (fifo == nullptr) continue;
+    auto* aqm = dynamic_cast<EcnSharpAqm*>(fifo->aqm());
+    if (aqm == nullptr) continue;
+    aqm->Reconfigure(fresh);
+  }
+}
+
+ExperimentSession::ExperimentSession(ExperimentSessionConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+void ExperimentSession::Bind(Topology& topo) {
+  topo_ = &topo;
+
+  // RTT extras first: kPerHostSample draws from the session rng in host
+  // order, so the generator's forked stream below stays seed-stable.
+  switch (config_.rtt_assignment) {
+    case ExperimentSessionConfig::RttAssignment::kNone:
+      break;
+    case ExperimentSessionConfig::RttAssignment::kQuantiles: {
+      const std::vector<Time> extras = RttExtraQuantiles(
+          topo.host_count(), config_.max_rtt_extra, config_.rtt_profile);
+      for (std::size_t i = 0; i < extras.size(); ++i) {
+        topo.host(i).set_extra_egress_delay(extras[i]);
+      }
+      break;
+    }
+    case ExperimentSessionConfig::RttAssignment::kPerHostSample:
+      for (std::size_t i = 0; i < topo.host_count(); ++i) {
+        topo.host(i).set_extra_egress_delay(SampleRttExtra(
+            rng_, config_.max_rtt_extra, config_.rtt_profile));
+      }
+      break;
+  }
+
+  if (config_.workload != nullptr) {
+    TrafficConfig traffic;
+    traffic.load = config_.load;
+    traffic.reference_capacity = topo.ReferenceCapacity();
+    traffic.flow_count = config_.flows;
+    generator_ = std::make_unique<TrafficGenerator>(
+        sim_, *config_.workload, traffic,
+        [&topo](Rng& r) { return topo.SampleFlowPair(r); },
+        [this](const FlowRecord& record) { collector_.Record(record); },
+        rng_.Fork());
+  }
+
+  if (!config_.queue_sample_period.IsZero()) {
+    const Time until = config_.monitor_until.IsZero() ? config_.max_sim_time
+                                                      : config_.monitor_until;
+    for (std::size_t b = 0; b < topo.bottleneck_count(); ++b) {
+      monitors_.Add(sim_, topo.bottleneck(b).queue_disc(),
+                    config_.queue_sample_period);
+    }
+    monitors_.RunAll(config_.monitor_from, until);
+  }
+
+  if (!config_.scenario.empty()) {
+    ScenarioHooks hooks;
+    hooks.port = [&topo](int target) { return topo.ResolvePort(target); };
+    hooks.set_host_delay = [&topo](int index, Time delay) {
+      if (index >= 0 && static_cast<std::size_t>(index) < topo.host_count()) {
+        topo.host(static_cast<std::size_t>(index))
+            .set_extra_egress_delay(delay);
+      }
+    };
+    hooks.incast = [this, &topo](std::uint32_t flows, std::uint64_t bytes) {
+      const std::uint32_t target = topo.IncastTarget();
+      for (std::uint32_t f = 0; f < flows; ++f) {
+        TcpStack& sender = topo.IncastSender(next_burst_sender_++);
+        ++burst_started_;
+        sender.StartFlow(target, bytes, [this](const FlowRecord& record) {
+          collector_.Record(record);
+          ++burst_completed_;
+        });
+      }
+    };
+    hooks.reestimate_ecnsharp = [&topo] { ReestimateEcnSharp(topo); };
+    engine_ = std::make_unique<ScenarioEngine>(sim_, config_.scenario,
+                                               std::move(hooks));
+    engine_->Install();
+  }
+}
+
+void ExperimentSession::Run(std::function<bool()> extra_pending) {
+  if (generator_ != nullptr) generator_->Start();
+  // Queue monitoring and pending scenario events keep the event heap
+  // non-empty, so run in slices until everything the experiment waits on
+  // has drained (or the safety cap trips).
+  const auto work_pending = [&] {
+    if (generator_ != nullptr && !generator_->AllDone()) return true;
+    if (burst_completed_ < burst_started_) return true;
+    if (engine_ != nullptr &&
+        engine_->actions_fired() < engine_->actions_scheduled()) {
+      return true;
+    }
+    return extra_pending != nullptr && extra_pending();
+  };
+  while (work_pending() && sim_.Now() < config_.max_sim_time) {
+    sim_.RunFor(Time::Milliseconds(10));
+  }
+}
+
+ExperimentResult ExperimentSession::Result() {
+  ExperimentResult result;
+  result.overall = collector_.Overall();
+  result.short_flows = collector_.ShortFlows();
+  result.large_flows = collector_.LargeFlows();
+  result.timeouts = collector_.total_timeouts();
+  result.flows_started =
+      (generator_ != nullptr ? generator_->started() : 0) + burst_started_;
+  result.flows_completed =
+      (generator_ != nullptr ? generator_->completed() : 0) + burst_completed_;
+  result.bottleneck = topo_->TotalBottleneckStats();
+  if (!monitors_.empty()) {
+    result.avg_queue_packets = monitors_.AvgPackets();
+    result.max_queue_packets = monitors_.MaxPackets();
+  }
+  result.sim_seconds = sim_.Now().ToSeconds();
+  if (engine_ != nullptr) {
+    result.scenario_actions = engine_->actions_fired();
+    result.incast_bursts = engine_->bursts_fired();
+    result.burst_flows_started = burst_started_;
+    result.burst_flows_completed = burst_completed_;
+    result.injected_drops = engine_->injected_drops();
+    result.injected_corruptions = engine_->injected_corruptions();
+    result.link_down_drops = topo_->TotalLinkDownDrops();
+  }
+  return result;
+}
+
+}  // namespace ecnsharp

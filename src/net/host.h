@@ -35,6 +35,10 @@ class Host : public PacketSink {
     assert(nic_ != nullptr);
     return *nic_;
   }
+  const EgressPort& nic() const {
+    assert(nic_ != nullptr);
+    return *nic_;
+  }
 
   // Extra one-way delay applied to every packet this host transmits
   // (emulates netem at the sender; inflates this host's flows' base RTT by

@@ -52,4 +52,24 @@ std::uint32_t QueueMonitor::MaxPackets() const {
   return best;
 }
 
+double QueueMonitorSet::AvgPackets() const {
+  if (monitors_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& m : monitors_) sum += m->AvgPackets();
+  return sum / static_cast<double>(monitors_.size());
+}
+
+double QueueMonitorSet::AvgPackets(Time from, Time until) const {
+  if (monitors_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& m : monitors_) sum += m->AvgPackets(from, until);
+  return sum / static_cast<double>(monitors_.size());
+}
+
+std::uint32_t QueueMonitorSet::MaxPackets() const {
+  std::uint32_t best = 0;
+  for (const auto& m : monitors_) best = std::max(best, m->MaxPackets());
+  return best;
+}
+
 }  // namespace ecnsharp

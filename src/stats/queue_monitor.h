@@ -4,6 +4,7 @@
 #define ECNSHARP_STATS_QUEUE_MONITOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/queue_disc.h"
@@ -45,6 +46,35 @@ class QueueMonitor {
   // prefix_packets_[i] = sum of samples_[0..i).packets; grown on demand by
   // AvgPackets(from, until), hence mutable.
   mutable std::vector<double> prefix_packets_;
+};
+
+// A group of monitors covering a topology's whole bottleneck set (one queue
+// for a dumbbell, every switch egress port for a fabric), with the aggregate
+// queries experiments report: mean occupancy averaged across queues and the
+// peak across all of them.
+class QueueMonitorSet {
+ public:
+  QueueMonitor& Add(Simulator& sim, const QueueDisc& disc, Time period) {
+    monitors_.push_back(std::make_unique<QueueMonitor>(sim, disc, period));
+    return *monitors_.back();
+  }
+
+  void RunAll(Time from, Time until) {
+    for (auto& m : monitors_) m->Run(from, until);
+  }
+
+  bool empty() const { return monitors_.empty(); }
+  std::size_t size() const { return monitors_.size(); }
+  QueueMonitor& monitor(std::size_t i) { return *monitors_.at(i); }
+
+  // Mean of the per-queue average occupancies (0 when no monitors / samples).
+  double AvgPackets() const;
+  double AvgPackets(Time from, Time until) const;
+  // Peak occupancy observed on any monitored queue.
+  std::uint32_t MaxPackets() const;
+
+ private:
+  std::vector<std::unique_ptr<QueueMonitor>> monitors_;
 };
 
 }  // namespace ecnsharp

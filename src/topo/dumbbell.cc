@@ -54,4 +54,31 @@ void Dumbbell::SetSenderExtraDelays(const std::vector<Time>& extras) {
   }
 }
 
+std::pair<TcpStack*, std::uint32_t> Dumbbell::SampleFlowPair(Rng& rng) {
+  const std::size_t sender = rng.UniformInt(config_.senders);
+  return std::make_pair(&sender_stack(sender), receiver_address());
+}
+
+EgressPort* Dumbbell::ResolvePort(int target) {
+  if (target < 0) return bottleneck_port_;
+  if (static_cast<std::size_t>(target) < config_.senders) {
+    return &hosts_[static_cast<std::size_t>(target)]->nic();
+  }
+  return nullptr;
+}
+
+EgressPort& Dumbbell::bottleneck(std::size_t i) {
+  assert(i == 0);
+  (void)i;
+  return *bottleneck_port_;
+}
+
+std::uint64_t Dumbbell::TotalLinkDownDrops() const {
+  std::uint64_t total = bottleneck_port_->counters().dropped_link_down;
+  for (std::size_t i = 0; i < config_.senders; ++i) {
+    total += hosts_[i]->nic().counters().dropped_link_down;
+  }
+  return total;
+}
+
 }  // namespace ecnsharp

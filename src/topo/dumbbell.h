@@ -12,6 +12,7 @@
 #include "net/switch_node.h"
 #include "sim/data_rate.h"
 #include "sim/simulator.h"
+#include "topo/topology.h"
 #include "transport/tcp_stack.h"
 
 namespace ecnsharp {
@@ -30,7 +31,7 @@ struct DumbbellConfig {
   TcpConfig tcp;
 };
 
-class Dumbbell {
+class Dumbbell : public Topology {
  public:
   // `bottleneck_disc` is installed on the switch port toward the receiver
   // (the queue every figure of the paper instruments). The ports toward
@@ -49,6 +50,26 @@ class Dumbbell {
 
   // Installs per-sender netem extras (inflating each sender's base RTT).
   void SetSenderExtraDelays(const std::vector<Time>& extras);
+
+  // --- Topology interface: the senders are the flow-originating hosts. ---
+  std::size_t host_count() const override { return config_.senders; }
+  Host& host(std::size_t i) override { return sender_host(i); }
+  TcpStack& stack(std::size_t i) override { return sender_stack(i); }
+  Time HostBaseRtt(std::size_t i) const override {
+    return config_.base_rtt + hosts_.at(i)->extra_egress_delay();
+  }
+  DataRate ReferenceCapacity() const override { return config_.rate; }
+  std::pair<TcpStack*, std::uint32_t> SampleFlowPair(Rng& rng) override;
+  std::uint32_t IncastTarget() const override { return receiver_address(); }
+  TcpStack& IncastSender(std::size_t k) override {
+    return sender_stack(k % config_.senders);
+  }
+  // Target ids: -1 = bottleneck (receiver-facing switch port),
+  // 0..senders-1 = that sender's NIC.
+  EgressPort* ResolvePort(int target) override;
+  std::size_t bottleneck_count() const override { return 1; }
+  EgressPort& bottleneck(std::size_t i) override;
+  std::uint64_t TotalLinkDownDrops() const override;
 
  private:
   Simulator& sim_;

@@ -74,28 +74,71 @@ LeafSpine::LeafSpine(Simulator& sim, const LeafSpineConfig& config,
   }
 }
 
-std::uint64_t LeafSpine::TotalOverflowDrops() const {
-  std::uint64_t total = 0;
-  const auto add = [&total](const std::vector<std::unique_ptr<SwitchNode>>&
-                                switches) {
-    for (const auto& sw : switches) {
-      for (std::size_t p = 0; p < sw->port_count(); ++p) {
-        total += sw->port(p).queue_disc().stats().dropped_overflow;
-      }
-    }
-  };
-  add(leaves_);
-  add(spines_);
+Time LeafSpine::HostBaseRtt(std::size_t i) const {
+  const Time one_way =
+      config_.host_link_delay * 2 + config_.spine_link_delay * 2;
+  return one_way * 2 + hosts_.at(i)->extra_egress_delay();
+}
+
+DataRate LeafSpine::ReferenceCapacity() const {
+  return DataRate::BitsPerSecond(
+      config_.rate.bps() * static_cast<std::int64_t>(hosts_.size()));
+}
+
+std::pair<TcpStack*, std::uint32_t> LeafSpine::SampleFlowPair(Rng& rng) {
+  const std::size_t n = hosts_.size();
+  const std::size_t src = rng.UniformInt(n);
+  std::size_t dst = rng.UniformInt(n - 1);
+  if (dst >= src) ++dst;
+  return std::make_pair(stacks_[src].get(),
+                        static_cast<std::uint32_t>(dst));
+}
+
+std::uint32_t LeafSpine::IncastTarget() const { return hosts_[0]->address(); }
+
+TcpStack& LeafSpine::IncastSender(std::size_t k) {
+  return *stacks_[1 + k % (hosts_.size() - 1)];
+}
+
+EgressPort* LeafSpine::ResolvePort(int target) {
+  if (target < 0) return &leaves_[0]->port(config_.hosts_per_leaf);
+  std::size_t id = static_cast<std::size_t>(target);
+  if (id < hosts_.size()) return &hosts_[id]->nic();
+  id -= hosts_.size();
+  if (id < bottleneck_count()) return &bottleneck(id);
+  return nullptr;
+}
+
+std::size_t LeafSpine::bottleneck_count() const {
+  std::size_t total = 0;
+  for (const auto& sw : leaves_) total += sw->port_count();
+  for (const auto& sw : spines_) total += sw->port_count();
   return total;
 }
 
-std::uint64_t LeafSpine::TotalCeMarks() const {
+EgressPort& LeafSpine::bottleneck(std::size_t i) {
+  for (const auto& sw : leaves_) {
+    if (i < sw->port_count()) return sw->port(i);
+    i -= sw->port_count();
+  }
+  for (const auto& sw : spines_) {
+    if (i < sw->port_count()) return sw->port(i);
+    i -= sw->port_count();
+  }
+  assert(false && "bottleneck index out of range");
+  return leaves_[0]->port(0);
+}
+
+std::uint64_t LeafSpine::TotalLinkDownDrops() const {
   std::uint64_t total = 0;
+  for (const auto& host : hosts_) {
+    total += host->nic().counters().dropped_link_down;
+  }
   const auto add = [&total](const std::vector<std::unique_ptr<SwitchNode>>&
                                 switches) {
     for (const auto& sw : switches) {
       for (std::size_t p = 0; p < sw->port_count(); ++p) {
-        total += sw->port(p).queue_disc().stats().ce_marked;
+        total += sw->port(p).counters().dropped_link_down;
       }
     }
   };

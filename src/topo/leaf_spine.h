@@ -13,6 +13,7 @@
 #include "net/switch_node.h"
 #include "sim/data_rate.h"
 #include "sim/simulator.h"
+#include "topo/topology.h"
 #include "transport/tcp_stack.h"
 
 namespace ecnsharp {
@@ -31,16 +32,13 @@ struct LeafSpineConfig {
   TcpConfig tcp;
 };
 
-class LeafSpine {
+class LeafSpine : public Topology {
  public:
   // `make_disc` builds the queue disc for every switch egress port (the AQM
   // under test runs fabric-wide, as in the paper's simulations).
   LeafSpine(Simulator& sim, const LeafSpineConfig& config,
             std::function<std::unique_ptr<QueueDisc>()> make_disc);
 
-  std::size_t host_count() const { return hosts_.size(); }
-  Host& host(std::size_t i) { return *hosts_.at(i); }
-  TcpStack& stack(std::size_t i) { return *stacks_.at(i); }
   SwitchNode& leaf(std::size_t i) { return *leaves_.at(i); }
   SwitchNode& spine(std::size_t i) { return *spines_.at(i); }
   std::size_t leaf_count() const { return leaves_.size(); }
@@ -50,9 +48,31 @@ class LeafSpine {
     return host_index / config_.hosts_per_leaf;
   }
 
-  // Aggregate drop/mark counters over all switch ports (for sanity checks).
-  std::uint64_t TotalOverflowDrops() const;
-  std::uint64_t TotalCeMarks() const;
+  // --- Topology interface: every host can originate flows. ---------------
+  std::size_t host_count() const override { return hosts_.size(); }
+  Host& host(std::size_t i) override { return *hosts_.at(i); }
+  TcpStack& stack(std::size_t i) override { return *stacks_.at(i); }
+  // Cross-rack base RTT (two host hops + two fabric hops each way) plus the
+  // host's current extra delay.
+  Time HostBaseRtt(std::size_t i) const override;
+  // Load is defined per host access link; the aggregate arrival rate scales
+  // with the number of hosts.
+  DataRate ReferenceCapacity() const override;
+  // Uniform random src, uniform random dst != src (two draws per call).
+  std::pair<TcpStack*, std::uint32_t> SampleFlowPair(Rng& rng) override;
+  // Bursts converge on host 0 from the remaining hosts, round-robin.
+  std::uint32_t IncastTarget() const override;
+  TcpStack& IncastSender(std::size_t k) override;
+  // Target ids: -1 = leaf 0's first uplink (the canonical fabric
+  // bottleneck), 0..host_count-1 = host NICs, host_count.. = every switch
+  // egress port flattened leaf-by-leaf then spine-by-spine in port order
+  // (each leaf: hosts_per_leaf down ports, then `spines` up ports; each
+  // spine: one down port per leaf, in leaf order).
+  EgressPort* ResolvePort(int target) override;
+  // Every switch egress port is instrumented — the AQM runs fabric-wide.
+  std::size_t bottleneck_count() const override;
+  EgressPort& bottleneck(std::size_t i) override;
+  std::uint64_t TotalLinkDownDrops() const override;
 
  private:
   Simulator& sim_;

@@ -1,0 +1,19 @@
+#include "topo/topology.h"
+
+namespace ecnsharp {
+
+QueueDiscStats Topology::TotalBottleneckStats() {
+  QueueDiscStats total;
+  for (std::size_t i = 0; i < bottleneck_count(); ++i) {
+    const QueueDiscStats& stats = bottleneck(i).queue_disc().stats();
+    total.enqueued += stats.enqueued;
+    total.dequeued += stats.dequeued;
+    total.dropped_overflow += stats.dropped_overflow;
+    total.dropped_aqm += stats.dropped_aqm;
+    total.purged += stats.purged;
+    total.ce_marked += stats.ce_marked;
+  }
+  return total;
+}
+
+}  // namespace ecnsharp

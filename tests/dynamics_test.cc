@@ -459,10 +459,20 @@ TEST(ScenarioEngineTest, MissingHooksAndUnknownTargetsAreIgnored) {
 // End-to-end: RunDumbbell with scenarios
 // ---------------------------------------------------------------------------
 
+ScenarioScript SmallDynamicScript();
+
 DumbbellExperimentConfig SmallDynamicConfig() {
   DumbbellExperimentConfig config;
   config.flows = 40;
   config.seed = 5;
+  config.scenario = SmallDynamicScript();
+  return config;
+}
+
+// Deliberately topology-agnostic: target -1 resolves to the primary
+// bottleneck on either topology, and the incast burst converges on each
+// topology's IncastTarget.
+ScenarioScript SmallDynamicScript() {
   ScenarioScript script;
   script.seed = 21;
   ScenarioAction loss;
@@ -496,7 +506,17 @@ DumbbellExperimentConfig SmallDynamicConfig() {
   reest.kind = ScenarioActionKind::kReestimateEcnSharp;
   reest.at = Time::Milliseconds(4);
   script.actions.push_back(reest);
-  config.scenario = script;
+  return script;
+}
+
+LeafSpineExperimentConfig SmallDynamicLeafSpineConfig() {
+  LeafSpineExperimentConfig config;
+  config.topo.spines = 2;
+  config.topo.leaves = 2;
+  config.topo.hosts_per_leaf = 4;
+  config.flows = 40;
+  config.seed = 5;
+  config.scenario = SmallDynamicScript();
   return config;
 }
 
@@ -568,6 +588,38 @@ TEST(DynamicDumbbellTest, ScenarioSweepIsJobCountInvariant) {
   EXPECT_NE(d1.find("\"scenario\""), std::string::npos);
   EXPECT_NE(d1.find("\"inject_loss\""), std::string::npos);
   EXPECT_NE(d1.find("\"injected_drops\""), std::string::npos);
+}
+
+// The very script the dumbbell tests run, unmodified, on the fabric: the
+// session layer resolves ports, bursts, and re-estimation through the
+// Topology interface, so leaf-spine gets dynamics for free.
+TEST(DynamicLeafSpineTest, CountsScenarioActivityAndStillCompletes) {
+  const ExperimentResult r = RunLeafSpine(SmallDynamicLeafSpineConfig());
+  EXPECT_EQ(r.scenario_actions, 5u);
+  EXPECT_EQ(r.incast_bursts, 1u);
+  EXPECT_EQ(r.burst_flows_started, 8u);
+  EXPECT_EQ(r.burst_flows_completed, 8u);
+  EXPECT_EQ(r.flows_started, 48u);
+  EXPECT_EQ(r.flows_completed, 48u);
+}
+
+TEST(DynamicLeafSpineTest, RepeatRunsAreBitwiseEqual) {
+  const LeafSpineExperimentConfig config = SmallDynamicLeafSpineConfig();
+  const ExperimentResult a = RunLeafSpine(config);
+  const ExperimentResult b = RunLeafSpine(config);
+  EXPECT_EQ(ToJson(a).Dump(), ToJson(b).Dump());
+  EXPECT_EQ(a.injected_drops, b.injected_drops);
+  EXPECT_EQ(a.link_down_drops, b.link_down_drops);
+}
+
+TEST(DynamicLeafSpineTest, ScenarioLandsInExportedRecord) {
+  const LeafSpineExperimentConfig config = SmallDynamicLeafSpineConfig();
+  const std::string dump = runner::SweepToJson(
+      "lsdyn", {{"lsdyn", config}},
+      {runner::RunJob({"lsdyn", config}, 0)}).Dump();
+  EXPECT_NE(dump.find("\"topology\": \"leafspine\""), std::string::npos);
+  EXPECT_NE(dump.find("\"scenario\""), std::string::npos);
+  EXPECT_NE(dump.find("\"scenario_actions\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,372 @@
+// Topology interface + ExperimentSession tests.
+//
+// The golden tests pin the exact results of all three runners, for every
+// scheme family the paper compares, to the values the pre-ExperimentSession
+// monoliths produced (captured at %.17g precision). Any change to the
+// session's rng-draw order, event scheduling order, or run loop shows up
+// here as a bit-level diff — the refactor's "byte-identical results"
+// contract, kept enforced for future sessions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "harness/experiment.h"
+#include "harness/schemes.h"
+#include "harness/session.h"
+#include "sched/fifo_queue_disc.h"
+#include "sim/simulator.h"
+#include "topo/dumbbell.h"
+#include "topo/leaf_spine.h"
+#include "topo/topology.h"
+
+namespace ecnsharp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Topology interface on Dumbbell
+// ---------------------------------------------------------------------------
+
+TEST(DumbbellTopologyTest, EnumeratesSendersAsHosts) {
+  Simulator sim;
+  DumbbellConfig config;
+  Dumbbell topo(sim, config, MakeFifoDisc(Scheme::kEcnSharp, SchemeParams()));
+  Topology& iface = topo;
+
+  EXPECT_EQ(iface.host_count(), config.senders);
+  for (std::size_t i = 0; i < config.senders; ++i) {
+    EXPECT_EQ(&iface.host(i), &topo.sender_host(i));
+    EXPECT_EQ(&iface.stack(i), &topo.sender_stack(i));
+  }
+  EXPECT_EQ(iface.ReferenceCapacity().bps(), config.rate.bps());
+  EXPECT_EQ(iface.IncastTarget(), topo.receiver_address());
+  // Burst senders round-robin over the sender set.
+  EXPECT_EQ(&iface.IncastSender(0), &topo.sender_stack(0));
+  EXPECT_EQ(&iface.IncastSender(config.senders), &topo.sender_stack(0));
+  EXPECT_EQ(&iface.IncastSender(config.senders + 2), &topo.sender_stack(2));
+}
+
+TEST(DumbbellTopologyTest, ResolvesScenarioPortIds) {
+  Simulator sim;
+  DumbbellConfig config;
+  Dumbbell topo(sim, config, MakeFifoDisc(Scheme::kEcnSharp, SchemeParams()));
+  Topology& iface = topo;
+
+  EXPECT_EQ(iface.ResolvePort(-1), &topo.bottleneck_port());
+  for (std::size_t i = 0; i < config.senders; ++i) {
+    EXPECT_EQ(iface.ResolvePort(static_cast<int>(i)),
+              &topo.sender_host(i).nic());
+  }
+  EXPECT_EQ(iface.ResolvePort(static_cast<int>(config.senders)), nullptr);
+
+  ASSERT_EQ(iface.bottleneck_count(), 1u);
+  EXPECT_EQ(&iface.bottleneck(0), &topo.bottleneck_port());
+}
+
+TEST(DumbbellTopologyTest, HostBaseRttIncludesExtras) {
+  Simulator sim;
+  DumbbellConfig config;
+  config.senders = 3;
+  Dumbbell topo(sim, config, MakeFifoDisc(Scheme::kEcnSharp, SchemeParams()));
+  topo.SetSenderExtraDelays({Time::Zero(), Time::FromMicroseconds(30),
+                             Time::FromMicroseconds(140)});
+  Topology& iface = topo;
+  EXPECT_EQ(iface.HostBaseRtt(0), config.base_rtt);
+  EXPECT_EQ(iface.HostBaseRtt(1),
+            config.base_rtt + Time::FromMicroseconds(30));
+  EXPECT_EQ(iface.HostBaseRtt(2),
+            config.base_rtt + Time::FromMicroseconds(140));
+}
+
+// ---------------------------------------------------------------------------
+// Topology interface on LeafSpine
+// ---------------------------------------------------------------------------
+
+LeafSpineConfig SmallFabric() {
+  LeafSpineConfig config;
+  config.spines = 2;
+  config.leaves = 2;
+  config.hosts_per_leaf = 3;
+  return config;
+}
+
+TEST(LeafSpineTopologyTest, EnumeratesEverySwitchPortAsBottleneck) {
+  Simulator sim;
+  const LeafSpineConfig config = SmallFabric();
+  LeafSpine topo(sim, config, [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  Topology& iface = topo;
+
+  EXPECT_EQ(iface.host_count(), 6u);
+  // Each leaf: 3 down ports + 2 uplinks; each spine: 2 downlinks.
+  const std::size_t expected = 2 * (3 + 2) + 2 * 2;
+  ASSERT_EQ(iface.bottleneck_count(), expected);
+  // Flattening is leaves then spines, each in port order.
+  EXPECT_EQ(&iface.bottleneck(0), &topo.leaf(0).port(0));
+  EXPECT_EQ(&iface.bottleneck(4), &topo.leaf(0).port(4));
+  EXPECT_EQ(&iface.bottleneck(5), &topo.leaf(1).port(0));
+  EXPECT_EQ(&iface.bottleneck(10), &topo.spine(0).port(0));
+  EXPECT_EQ(&iface.bottleneck(13), &topo.spine(1).port(1));
+}
+
+TEST(LeafSpineTopologyTest, ResolvesScenarioPortIds) {
+  Simulator sim;
+  const LeafSpineConfig config = SmallFabric();
+  LeafSpine topo(sim, config, [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  Topology& iface = topo;
+
+  // -1 = the canonical fabric bottleneck: leaf 0's first uplink.
+  EXPECT_EQ(iface.ResolvePort(-1),
+            &topo.leaf(0).port(config.hosts_per_leaf));
+  // 0..host_count-1 = host NICs.
+  for (std::size_t h = 0; h < iface.host_count(); ++h) {
+    EXPECT_EQ(iface.ResolvePort(static_cast<int>(h)),
+              &iface.host(h).nic());
+  }
+  // host_count.. = the flattened bottleneck set, then null past the end.
+  const int base = static_cast<int>(iface.host_count());
+  for (std::size_t b = 0; b < iface.bottleneck_count(); ++b) {
+    EXPECT_EQ(iface.ResolvePort(base + static_cast<int>(b)),
+              &iface.bottleneck(b));
+  }
+  EXPECT_EQ(
+      iface.ResolvePort(base + static_cast<int>(iface.bottleneck_count())),
+      nullptr);
+}
+
+TEST(LeafSpineTopologyTest, BaseRttAndCapacityFollowTheFabric) {
+  Simulator sim;
+  const LeafSpineConfig config = SmallFabric();
+  LeafSpine topo(sim, config, [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  Topology& iface = topo;
+
+  // Cross-rack: 2 host hops + 2 fabric hops each way at 10 us per hop.
+  EXPECT_EQ(iface.HostBaseRtt(0), Time::FromMicroseconds(80));
+  topo.host(1).set_extra_egress_delay(Time::FromMicroseconds(55));
+  EXPECT_EQ(iface.HostBaseRtt(1), Time::FromMicroseconds(135));
+  // Load is defined against the aggregate access-link rate.
+  EXPECT_EQ(iface.ReferenceCapacity().bps(),
+            config.rate.bps() * static_cast<std::int64_t>(6));
+}
+
+TEST(LeafSpineTopologyTest, TotalBottleneckStatsSumsAllSwitchQueues) {
+  Simulator sim;
+  LeafSpine topo(sim, SmallFabric(), [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  const QueueDiscStats stats = topo.TotalBottleneckStats();
+  EXPECT_EQ(stats.enqueued, 0u);
+  EXPECT_EQ(stats.dropped_overflow, 0u);
+  EXPECT_EQ(stats.ce_marked, 0u);
+  EXPECT_EQ(topo.TotalLinkDownDrops(), 0u);
+}
+
+// ReestimateEcnSharp must silently skip queues that are not running ECN#.
+TEST(ReestimateTest, IgnoresNonEcnSharpQueues) {
+  Simulator sim;
+  LeafSpine topo(sim, SmallFabric(), [] {
+    return MakeFifoDisc(Scheme::kDctcpRedTail, SchemeParams());
+  });
+  ReestimateEcnSharp(topo);  // must not crash or reconfigure anything
+  EXPECT_EQ(topo.TotalBottleneckStats().enqueued, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden parity: the ExperimentSession reproduces the pre-refactor runners
+// bit-for-bit. Values captured from the monolithic implementations.
+// ---------------------------------------------------------------------------
+
+struct FctGolden {
+  Scheme scheme;
+  double overall_avg;
+  double overall_p99;
+  double short_avg;
+  std::size_t completed;
+  std::uint64_t timeouts;
+  std::uint64_t ce_marked;
+  std::uint64_t drops;
+};
+
+void ExpectFctGolden(const ExperimentResult& r, const FctGolden& g) {
+  SCOPED_TRACE(SchemeName(g.scheme));
+  EXPECT_DOUBLE_EQ(r.overall.avg_us, g.overall_avg);
+  EXPECT_DOUBLE_EQ(r.overall.p99_us, g.overall_p99);
+  EXPECT_DOUBLE_EQ(r.short_flows.avg_us, g.short_avg);
+  EXPECT_EQ(r.flows_completed, g.completed);
+  EXPECT_EQ(r.timeouts, g.timeouts);
+  EXPECT_EQ(r.bottleneck.ce_marked, g.ce_marked);
+  EXPECT_EQ(r.bottleneck.dropped_overflow, g.drops);
+}
+
+TEST(GoldenParityTest, DumbbellMatchesPreSessionResults) {
+  const FctGolden kGolden[] = {
+      {Scheme::kEcnSharp, 416.2444666666666, 3276.7350000000001,
+       184.21591089108904, 150, 0, 1624, 33},
+      {Scheme::kDctcpRedTail, 411.25921999999991, 3276.7350000000001,
+       185.22023762376233, 150, 0, 1579, 33},
+      {Scheme::kCodel, 412.52281333333326, 3276.7350000000001,
+       184.5260792079207, 150, 0, 82, 33},
+  };
+  for (const FctGolden& g : kGolden) {
+    DumbbellExperimentConfig config;
+    config.scheme = g.scheme;
+    config.flows = 150;
+    config.load = 0.8;
+    config.seed = 99;
+    ExpectFctGolden(RunDumbbell(config), g);
+  }
+}
+
+TEST(GoldenParityTest, LeafSpineMatchesPreSessionResults) {
+  const FctGolden kGolden[] = {
+      {Scheme::kEcnSharp, 535.53205000000003, 3989.049, 256.72503333333333,
+       80, 0, 49, 0},
+      {Scheme::kDctcpRedTail, 527.14171250000004, 3262.7710000000002,
+       261.23276666666663, 80, 0, 0, 0},
+      {Scheme::kCodel, 539.50648750000005, 5696.8770000000004,
+       235.72258333333332, 80, 0, 41, 0},
+  };
+  for (const FctGolden& g : kGolden) {
+    LeafSpineExperimentConfig config;
+    config.scheme = g.scheme;
+    config.params = SimulationSchemeParams();
+    config.topo.spines = 2;
+    config.topo.leaves = 2;
+    config.topo.hosts_per_leaf = 4;
+    config.flows = 80;
+    config.load = 0.4;
+    config.seed = 7;
+    ExpectFctGolden(RunLeafSpine(config), g);
+  }
+}
+
+struct IncastGolden {
+  Scheme scheme;
+  double query_avg;
+  double query_p99;
+  double standing;
+  std::uint32_t max_queue;
+  std::uint64_t drops;
+  std::uint64_t total_drops;
+  std::size_t completed;
+  std::uint64_t timeouts;
+  std::size_t trace_samples;
+};
+
+TEST(GoldenParityTest, IncastMatchesPreSessionResults) {
+  const IncastGolden kGolden[] = {
+      {Scheme::kEcnSharp, 1051.6368, 1776.8779999999999, 24.323353293413174,
+       207, 0, 0, 30, 0, 2501},
+      {Scheme::kDctcpRedTail, 2551.3436999999999, 4081.9100000000003,
+       176.19161676646706, 265, 0, 91, 30, 0, 2501},
+      {Scheme::kCodel, 1109.9734666666666, 1713.5889999999999,
+       28.926147704590818, 225, 0, 0, 30, 0, 2501},
+  };
+  for (const IncastGolden& g : kGolden) {
+    SCOPED_TRACE(SchemeName(g.scheme));
+    IncastExperimentConfig config;
+    config.scheme = g.scheme;
+    config.senders = 8;
+    config.long_flows = 2;
+    config.query_flows = 30;
+    config.seed = 3;
+    const IncastResult r = RunIncast(config);
+    EXPECT_DOUBLE_EQ(r.query_fct.avg_us, g.query_avg);
+    EXPECT_DOUBLE_EQ(r.query_fct.p99_us, g.query_p99);
+    EXPECT_DOUBLE_EQ(r.standing_queue_packets, g.standing);
+    EXPECT_EQ(r.max_queue_packets, g.max_queue);
+    EXPECT_EQ(r.drops, g.drops);
+    EXPECT_EQ(r.total_drops, g.total_drops);
+    EXPECT_EQ(r.queries_completed, g.completed);
+    EXPECT_EQ(r.query_timeouts, g.timeouts);
+    EXPECT_EQ(r.queue_trace.size(), g.trace_samples);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session-level behavior the old runners got wrong or lacked
+// ---------------------------------------------------------------------------
+
+// Satellite fix: RunLeafSpine used to drop timeouts and the queue-occupancy
+// metrics on the floor. With sampling enabled the monitors now cover every
+// switch egress port.
+TEST(LeafSpineSessionTest, ReportsQueueMetricsWhenSamplingEnabled) {
+  LeafSpineExperimentConfig config;
+  config.topo.spines = 2;
+  config.topo.leaves = 2;
+  config.topo.hosts_per_leaf = 4;
+  config.flows = 60;
+  config.load = 0.6;
+  config.seed = 11;
+  config.queue_sample_period = Time::FromMicroseconds(100);
+  const ExperimentResult r = RunLeafSpine(config);
+  EXPECT_EQ(r.flows_completed, 60u);
+  // Something must have queued somewhere at 60% load.
+  EXPECT_GT(r.max_queue_packets, 0u);
+  EXPECT_GT(r.avg_queue_packets, 0.0);
+  // The full drop/mark accounting now covers the whole fabric.
+  EXPECT_GT(r.bottleneck.enqueued, 0u);
+  EXPECT_EQ(r.bottleneck.enqueued, r.bottleneck.dequeued);
+}
+
+// Satellite fix: sampling disabled means no monitor exists at all, and the
+// queue fields stay zero.
+TEST(LeafSpineSessionTest, NoSamplingMeansNoQueueMetrics) {
+  LeafSpineExperimentConfig config;
+  config.topo.spines = 2;
+  config.topo.leaves = 2;
+  config.topo.hosts_per_leaf = 4;
+  config.flows = 40;
+  config.seed = 11;
+  const ExperimentResult r = RunLeafSpine(config);
+  EXPECT_EQ(r.avg_queue_packets, 0.0);
+  EXPECT_EQ(r.max_queue_packets, 0u);
+}
+
+// The same scenario script must run unmodified on either topology — the
+// acceptance bar for the session refactor.
+TEST(SessionScenarioTest, OneScriptRunsOnBothTopologies) {
+  ScenarioScript script;
+  script.seed = 9;
+  ScenarioAction down;
+  down.kind = ScenarioActionKind::kLinkDown;
+  down.at = Time::Milliseconds(2);
+  down.target = -1;
+  down.drop_queued = true;
+  script.actions.push_back(down);
+  ScenarioAction up = down;
+  up.kind = ScenarioActionKind::kLinkUp;
+  up.at = Time::Milliseconds(2) + Time::FromMicroseconds(300);
+  script.actions.push_back(up);
+  ScenarioAction reest;
+  reest.kind = ScenarioActionKind::kReestimateEcnSharp;
+  reest.at = Time::Milliseconds(3);
+  script.actions.push_back(reest);
+
+  DumbbellExperimentConfig dumbbell;
+  dumbbell.flows = 40;
+  dumbbell.seed = 5;
+  dumbbell.scenario = script;
+  const ExperimentResult a = RunDumbbell(dumbbell);
+  EXPECT_EQ(a.scenario_actions, 3u);
+  EXPECT_EQ(a.flows_completed, 40u);
+
+  LeafSpineExperimentConfig leafspine;
+  leafspine.topo.spines = 2;
+  leafspine.topo.leaves = 2;
+  leafspine.topo.hosts_per_leaf = 4;
+  leafspine.flows = 40;
+  leafspine.seed = 5;
+  leafspine.scenario = script;
+  const ExperimentResult b = RunLeafSpine(leafspine);
+  EXPECT_EQ(b.scenario_actions, 3u);
+  EXPECT_EQ(b.flows_completed, 40u);
+}
+
+}  // namespace
+}  // namespace ecnsharp

@@ -130,6 +130,10 @@ int Usage() {
   std::printf(
       "ecnsharp_cli — run an ECN# experiment\n\n"
       "  --topo=dumbbell|leafspine|incast   topology (default dumbbell)\n"
+      "  --topology=dumbbell|leafspine      alias of --topo for the two\n"
+      "                                     scenario-capable topologies;\n"
+      "                                     overrides --topo when both are\n"
+      "                                     given\n"
       "  --scheme=<name>                    dctcp-red-tail, dctcp-red-avg,\n"
       "                                     codel, tcn, ecn-sharp,\n"
       "                                     ecn-sharp-tofino, droptail, pie,\n"
@@ -144,10 +148,10 @@ int Usage() {
       "  --seed=<n>                         RNG seed (default 1)\n"
       "  --sim-params                       use the paper's simulation\n"
       "                                     parameter preset (§5.3)\n"
-      "  --scenario=<file.json|{inline}>    dumbbell only: mid-run network\n"
-      "                                     dynamics script (link churn,\n"
-      "                                     loss injection, RTT shifts,\n"
-      "                                     incast bursts); see\n"
+      "  --scenario=<file.json|{inline}>    mid-run network dynamics script\n"
+      "                                     (link churn, loss injection,\n"
+      "                                     RTT shifts, incast bursts) for\n"
+      "                                     dumbbell or leafspine; see\n"
       "                                     docs/extending.md. Single runs\n"
       "                                     with a scenario also export\n"
       "                                     results/<name>.json\n"
@@ -218,6 +222,22 @@ void PrintFctResult(const ExperimentResult& r) {
         static_cast<unsigned long long>(r.injected_corruptions),
         static_cast<unsigned long long>(r.link_down_drops));
   }
+}
+
+// Scenario runs go through the runner so the full record (config + scenario
+// + dynamics counters) lands in results/<name>.json, byte-identical to what
+// a sweep over the same point would export.
+template <typename Config>
+void RunSingleViaRunner(const Flags& flags, Scheme scheme,
+                        const Config& config) {
+  const std::string name = flags.Get("name", "cli_run");
+  std::vector<runner::JobSpec> specs;
+  specs.push_back({std::string(SchemeName(scheme)), config});
+  runner::SweepOptions options;
+  options.label = name;
+  const std::vector<runner::JobResult> results = runner::RunJobs(specs, options);
+  runner::ExportSweep(name, specs, results);
+  PrintFctResult(runner::FctResult(results[0]));
 }
 
 // One swept parameter: `load:10..90:10` expands to {10, 20, ..., 90}.
@@ -365,6 +385,7 @@ int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
           value("flows", static_cast<double>(flags.GetU64("flows", 1000))));
       config.seed = static_cast<std::uint64_t>(
           value("seed", static_cast<double>(flags.GetU64("seed", 1))));
+      config.scenario = scenario;
       spec.config = config;
     } else {
       IncastExperimentConfig config;
@@ -433,16 +454,30 @@ int main(int argc, char** argv) {
   const EmpiricalCdf* workload = workload_name == "datamining"
                                      ? &DataMiningWorkload()
                                      : &WebSearchWorkload();
-  const std::string topo = flags.Get("topo", "dumbbell");
+  std::string topo = flags.Get("topo", "dumbbell");
   if (topo != "dumbbell" && topo != "leafspine" && topo != "incast") {
     std::fprintf(stderr, "unknown topo '%s' (see --help)\n", topo.c_str());
     return 2;
   }
+  // --topology selects among the scenario-capable topologies and overrides
+  // --topo, so scripts composing `--scenario` never land on incast.
+  if (flags.Has("topology")) {
+    const std::string value = flags.Get("topology", "");
+    if (value != "dumbbell" && value != "leafspine") {
+      std::fprintf(stderr,
+                   "invalid --topology '%s' (expected dumbbell or "
+                   "leafspine)\n",
+                   value.c_str());
+      return 2;
+    }
+    topo = value;
+  }
 
   ScenarioScript scenario;
   if (flags.Has("scenario")) {
-    if (topo != "dumbbell") {
-      std::fprintf(stderr, "--scenario only applies to --topo=dumbbell\n");
+    if (topo == "incast") {
+      std::fprintf(stderr,
+                   "--scenario applies to --topo=dumbbell or leafspine\n");
       return 2;
     }
     scenario = LoadScenarioOrDie(flags.Get("scenario", ""));
@@ -467,18 +502,7 @@ int main(int argc, char** argv) {
     if (scenario.empty()) {
       PrintFctResult(RunDumbbell(config));
     } else {
-      // Scenario runs go through the runner so the full record (config +
-      // scenario + dynamics counters) lands in results/<name>.json, byte-
-      // identical to what a sweep over the same point would export.
-      const std::string name = flags.Get("name", "cli_run");
-      std::vector<runner::JobSpec> specs;
-      specs.push_back({std::string(SchemeName(scheme)), config});
-      runner::SweepOptions options;
-      options.label = name;
-      const std::vector<runner::JobResult> results =
-          runner::RunJobs(specs, options);
-      runner::ExportSweep(name, specs, results);
-      PrintFctResult(runner::FctResult(results[0]));
+      RunSingleViaRunner(flags, scheme, config);
     }
   } else if (topo == "leafspine") {
     LeafSpineExperimentConfig config;
@@ -488,9 +512,14 @@ int main(int argc, char** argv) {
     config.load = flags.GetDouble("load", 0.5);
     config.flows = flags.GetU64("flows", 1000);
     config.seed = flags.GetU64("seed", 1);
+    config.scenario = scenario;
     PrintBanner("leaf-spine / " + std::string(SchemeName(scheme)) + " / " +
                 workload_name);
-    PrintFctResult(RunLeafSpine(config));
+    if (scenario.empty()) {
+      PrintFctResult(RunLeafSpine(config));
+    } else {
+      RunSingleViaRunner(flags, scheme, config);
+    }
   } else {
     IncastExperimentConfig config;
     config.scheme = scheme;
