@@ -19,9 +19,13 @@
 // to every job, so FCT deltas are attributable to the scheme alone. Queue
 // sampling is enabled to exercise the fabric-wide monitor aggregation.
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 
 #include "bench_common.h"
 #include "dynamics/scenario.h"
+#include "harness/trace_export.h"
+#include "trace/trace_recorder.h"
 
 namespace {
 
@@ -119,10 +123,33 @@ int main() {
     config.seed = seed;
     config.queue_sample_period = Time::FromMicroseconds(100);
     config.scenario = ChurnScript(hosts, variant.reestimate);
+    // Flight-recorder tracing on the headline variant: the exported time
+    // series shows the flaps and the post-shift threshold recovery that the
+    // FCT table only aggregates.
+    config.trace.enabled = variant.reestimate;
     specs.push_back({variant.name, config});
   }
   const std::vector<runner::JobResult> sweep =
       RunSweep("dyn_leafspine_churn", specs);
+
+  // Export the traced variant's flight recorder next to the sweep JSON
+  // (results/dyn_leafspine_churn_trace.json unless redirected/disabled the
+  // same way as the sweep export).
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::shared_ptr<const TraceRecorder> trace =
+        runner::FctResult(sweep[i]).trace;
+    if (trace == nullptr) continue;
+    if (EnvFlag("ECNSHARP_NO_JSON")) break;
+    const char* dir = std::getenv("ECNSHARP_RESULTS_DIR");
+    const std::string path = std::string(dir != nullptr ? dir : "results") +
+                             "/dyn_leafspine_churn_trace.json";
+    if (runner::WriteJsonFile(path, TraceToJson(*trace))) {
+      std::printf("trace (%s): %llu events -> %s\n", specs[i].name.c_str(),
+                  static_cast<unsigned long long>(trace->total_events()),
+                  path.c_str());
+    }
+    break;
+  }
 
   TP table({"variant", "overall avg(us)", "short avg(us)", "short p99(us)",
             "large avg(us)", "timeouts", "flap drops", "avg q(pkts)",

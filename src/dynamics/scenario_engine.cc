@@ -40,6 +40,7 @@ void ScenarioEngine::Install() {
 void ScenarioEngine::Fire(const ScenarioAction& action, Time drawn_delay,
                           std::uint64_t injector_seed) {
   ++actions_fired_;
+  if (hooks_.on_action) hooks_.on_action(action, sim_.Now());
   switch (action.kind) {
     case ScenarioActionKind::kSetHostDelay:
       if (hooks_.set_host_delay) {

@@ -37,6 +37,9 @@ struct ScenarioHooks {
   std::function<void(std::uint32_t flows, std::uint64_t bytes)> incast;
   // Re-derives ECN# thresholds from the current RTT distribution.
   std::function<void()> reestimate_ecnsharp;
+  // Observer invoked as each occurrence fires, before its effect is applied
+  // (cause-before-effect ordering for tracing); `at` is the fire time.
+  std::function<void(const ScenarioAction& action, Time at)> on_action;
 };
 
 class ScenarioEngine {

@@ -27,6 +27,7 @@ ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config) {
   session_config.queue_sample_period = config.queue_sample_period;
   session_config.max_sim_time = config.max_sim_time;
   session_config.scenario = config.scenario;
+  session_config.trace = config.trace;
   ExperimentSession session(std::move(session_config));
 
   DumbbellConfig topo_config;
@@ -57,6 +58,7 @@ ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config) {
   session_config.queue_sample_period = config.queue_sample_period;
   session_config.max_sim_time = config.max_sim_time;
   session_config.scenario = config.scenario;
+  session_config.trace = config.trace;
   ExperimentSession session(std::move(session_config));
 
   LeafSpineConfig topo_config = config.topo;
@@ -83,6 +85,7 @@ IncastResult RunIncast(const IncastExperimentConfig& config) {
   session_config.monitor_from = config.burst_time - Time::Milliseconds(5);
   session_config.monitor_until = config.burst_time + Time::Milliseconds(20);
   session_config.max_sim_time = config.max_sim_time;
+  session_config.trace = config.trace;
   ExperimentSession session(std::move(session_config));
   Simulator& sim = session.sim();
 
@@ -161,6 +164,7 @@ IncastResult RunIncast(const IncastExperimentConfig& config) {
     result.queue_trace = monitors.monitor(0).samples();
   }
   result.queries_completed = queries_completed;
+  result.trace = session.trace();
   return result;
 }
 

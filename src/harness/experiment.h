@@ -4,6 +4,7 @@
 #define ECNSHARP_HARNESS_EXPERIMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dynamics/scenario.h"
@@ -13,10 +14,13 @@
 #include "stats/fct_collector.h"
 #include "stats/queue_monitor.h"
 #include "topo/leaf_spine.h"
+#include "trace/trace_config.h"
 #include "transport/tcp_config.h"
 #include "workload/empirical_cdf.h"
 
 namespace ecnsharp {
+
+class TraceRecorder;
 
 // ---------------------------------------------------------------------------
 // Dumbbell (testbed-shaped) experiments: Figs. 2, 3, 6, 7, 8, 12.
@@ -44,6 +48,9 @@ struct DumbbellExperimentConfig {
   // Optional mid-run network dynamics (link churn, loss injection, incast
   // bursts, RTT shifts — see dynamics/scenario.h). Empty = static network.
   ScenarioScript scenario;
+  // Optional flight-recorder tracing (disabled by default; zero-cost when
+  // off — see trace/trace_config.h).
+  TraceConfig trace;
 };
 
 struct ExperimentResult {
@@ -65,6 +72,9 @@ struct ExperimentResult {
   std::uint64_t injected_drops = 0;      // LinkFaultInjector losses
   std::uint64_t injected_corruptions = 0;
   std::uint64_t link_down_drops = 0;     // arrivals at downed ports
+  // Flight-recorder trace; null unless config.trace.enabled. Shared so
+  // copying results (sweep collection) stays cheap.
+  std::shared_ptr<const TraceRecorder> trace;
 };
 
 ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config);
@@ -89,6 +99,8 @@ struct LeafSpineExperimentConfig {
   // Optional mid-run network dynamics; port target ids follow the
   // leaf-spine convention in topo/leaf_spine.h. Empty = static network.
   ScenarioScript scenario;
+  // Optional flight-recorder tracing across every bottleneck port.
+  TraceConfig trace;
 };
 
 ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config);
@@ -120,6 +132,8 @@ struct IncastExperimentConfig {
   TcpConfig tcp = SmallInitialWindowTcp();
   Time queue_sample_period = Time::FromMicroseconds(10);
   Time max_sim_time = Time::Seconds(30);
+  // Optional flight-recorder tracing of the bottleneck + query senders.
+  TraceConfig trace;
 
   static TcpConfig SmallInitialWindowTcp() {
     TcpConfig tcp;
@@ -140,6 +154,8 @@ struct IncastResult {
   std::uint32_t max_queue_packets = 0;
   std::vector<QueueMonitor::Sample> queue_trace;
   std::size_t queries_completed = 0;
+  // Flight-recorder trace; null unless config.trace.enabled.
+  std::shared_ptr<const TraceRecorder> trace;
 };
 
 IncastResult RunIncast(const IncastExperimentConfig& config);

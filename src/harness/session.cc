@@ -6,6 +6,7 @@
 #include "core/ecn_sharp.h"
 #include "hostpath/rtt_probe.h"
 #include "sched/fifo_queue_disc.h"
+#include "trace/trace_recorder.h"
 
 namespace ecnsharp {
 
@@ -35,6 +36,20 @@ ExperimentSession::ExperimentSession(ExperimentSessionConfig config)
 
 void ExperimentSession::Bind(Topology& topo) {
   topo_ = &topo;
+
+  if (config_.trace.enabled) {
+    recorder_ = std::make_shared<TraceRecorder>(config_.trace);
+    // One site per bottleneck port, in bottleneck order (labels and site
+    // ids are therefore deterministic for a given topology).
+    for (std::size_t b = 0; b < topo.bottleneck_count(); ++b) {
+      const std::uint16_t site =
+          recorder_->RegisterSite("bottleneck" + std::to_string(b));
+      topo.bottleneck(b).SetTracer(recorder_->PortTap(site));
+    }
+    for (std::size_t i = 0; i < topo.host_count(); ++i) {
+      topo.stack(i).SetTransportTracer(recorder_.get());
+    }
+  }
 
   // RTT extras first: kPerHostSample draws from the session rng in host
   // order, so the generator's forked stream below stays seed-stable.
@@ -100,6 +115,12 @@ void ExperimentSession::Bind(Topology& topo) {
       }
     };
     hooks.reestimate_ecnsharp = [&topo] { ReestimateEcnSharp(topo); };
+    if (recorder_ != nullptr) {
+      hooks.on_action = [this](const ScenarioAction& action, Time at) {
+        recorder_->OnScenarioAction(at, static_cast<std::uint8_t>(action.kind),
+                                    action.target);
+      };
+    }
     engine_ = std::make_unique<ScenarioEngine>(sim_, config_.scenario,
                                                std::move(hooks));
     engine_->Install();
@@ -150,6 +171,7 @@ ExperimentResult ExperimentSession::Result() {
     result.injected_corruptions = engine_->injected_corruptions();
     result.link_down_drops = topo_->TotalLinkDownDrops();
   }
+  result.trace = recorder_;
   return result;
 }
 

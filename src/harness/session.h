@@ -32,10 +32,13 @@
 #include "stats/queue_monitor.h"
 #include "topo/rtt_variation.h"
 #include "topo/topology.h"
+#include "trace/trace_config.h"
 #include "workload/empirical_cdf.h"
 #include "workload/traffic_generator.h"
 
 namespace ecnsharp {
+
+class TraceRecorder;
 
 struct ExperimentSessionConfig {
   // Open-loop background workload; null runs no generator (the incast
@@ -65,6 +68,11 @@ struct ExperimentSessionConfig {
 
   // Optional mid-run network dynamics (empty = static network).
   ScenarioScript scenario;
+
+  // Optional flight-recorder tracing: when enabled, Bind() creates a
+  // TraceRecorder, taps every bottleneck port, attaches transport tracing
+  // to every host stack, and records scenario actions.
+  TraceConfig trace;
 };
 
 class ExperimentSession {
@@ -75,6 +83,8 @@ class ExperimentSession {
   FctCollector& collector() { return collector_; }
   QueueMonitorSet& monitors() { return monitors_; }
   ScenarioEngine* engine() { return engine_.get(); }
+  // Null unless config.trace.enabled and Bind() has run.
+  std::shared_ptr<const TraceRecorder> trace() const { return recorder_; }
 
   // Wires the session to a topology: RTT extras, generator, monitors,
   // scenario hooks. Call exactly once, before Run().
@@ -98,6 +108,10 @@ class ExperimentSession {
   QueueMonitorSet monitors_;
   std::unique_ptr<TrafficGenerator> generator_;
   std::unique_ptr<ScenarioEngine> engine_;
+  // Owned here, shared into results; taps installed on topology ports must
+  // not outlive the recorder, so the session must outlive the topology
+  // (declaration order in the runners guarantees this).
+  std::shared_ptr<TraceRecorder> recorder_;
   Topology* topo_ = nullptr;
   // Scenario incast-burst bookkeeping: burst flows complete into the same
   // collector as the workload's, and Run() waits for them.

@@ -27,7 +27,10 @@ void EgressPort::Enqueue(std::unique_ptr<Packet> pkt) {
 }
 
 void EgressPort::LinkDown(bool drop_queued) {
-  if (!link_up_) return;
+  // No early-out when the link is already down: a second LinkDown with
+  // drop_queued=true must still purge whatever backlog accumulated, so the
+  // tracer sees the purge events (a drain-preserving LinkDown followed by a
+  // purging one used to be a silent no-op).
   link_up_ = false;
   if (drop_queued) disc_->PurgeAll(sim_.Now());
 }

@@ -30,6 +30,8 @@ enum class DropReason : std::uint8_t {
 
 const char* DropReasonName(DropReason reason);
 
+struct QueueSnapshot;
+
 class PacketTracer {
  public:
   virtual ~PacketTracer() = default;
@@ -44,6 +46,32 @@ class PacketTracer {
   virtual void OnMark(const Packet& pkt, Time at) {
     (void)pkt;
     (void)at;
+  }
+  // A packet was accepted into the queue; `after` is the occupancy
+  // including it.
+  virtual void OnEnqueue(const Packet& pkt, Time at,
+                         const QueueSnapshot& after) {
+    (void)pkt;
+    (void)at;
+    (void)after;
+  }
+  // A packet left the queue for transmission; `after` excludes it and
+  // `sojourn` is the time it spent queued.
+  virtual void OnDequeue(const Packet& pkt, Time at, const QueueSnapshot& after,
+                         Time sojourn) {
+    (void)pkt;
+    (void)at;
+    (void)after;
+    (void)sojourn;
+  }
+  // A queued packet was discarded by PurgeAll; `after` excludes it. The
+  // disc updates its accounting before each callback, so `after` is
+  // consistent mid-purge. Default forwards to OnDrop(kPurged) so
+  // drop-oriented tracers (e.g. TextTracer) see purges without overriding
+  // this hook.
+  virtual void OnPurge(const Packet& pkt, Time at, const QueueSnapshot& after) {
+    (void)after;
+    OnDrop(pkt, at, DropReason::kPurged);
   }
 };
 

@@ -80,8 +80,10 @@ class QueueDisc {
   // Drops every queued packet (a flapped port configured to drop its
   // backlog). Shared-buffer reservations are released, drops are counted in
   // stats().purged (NOT dequeued — AQM OnDequeue hooks must not run), and
-  // the tracer sees one OnDrop(kPurged) per packet. Returns the number of
-  // packets dropped. The accounting invariant becomes
+  // the tracer sees one OnPurge per packet (default forwards to
+  // OnDrop(kPurged)), with accounting updated before each callback so
+  // Snapshot() is consistent mid-purge. Returns the number of packets
+  // dropped. The accounting invariant becomes
   //   enqueued == dequeued + purged + queued.
   virtual std::uint32_t PurgeAll(Time now) = 0;
 

@@ -79,6 +79,9 @@ bool DwrrQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
   ++total_packets_;
   cls.queue.push_back(std::move(pkt));
   ++stats_.enqueued;
+  if (tracer_ != nullptr) {
+    tracer_->OnEnqueue(*cls.queue.back(), now, Snapshot());
+  }
   if (!cls.in_active_list && current_ != static_cast<std::ptrdiff_t>(idx)) {
     cls.in_active_list = true;
     active_.push_back(idx);
@@ -93,6 +96,9 @@ std::unique_ptr<Packet> DwrrQueueDisc::PopFrom(ClassState& cls, Time now) {
   total_bytes_ -= pkt->size_bytes;
   --total_packets_;
   ++stats_.dequeued;
+  if (tracer_ != nullptr) {
+    tracer_->OnDequeue(*pkt, now, Snapshot(), now - pkt->enqueue_time);
+  }
   if (cls.aqm != nullptr) {
     const bool was_ce = pkt->IsCeMarked();
     const QueueSnapshot snap{static_cast<std::uint32_t>(cls.queue.size()),
@@ -145,21 +151,24 @@ std::unique_ptr<Packet> DwrrQueueDisc::Dequeue(Time now) {
 }
 
 std::uint32_t DwrrQueueDisc::PurgeAll(Time now) {
+  // Pop-then-notify: per-class and aggregate accounting are updated before
+  // each tracer callback so Snapshot() stays consistent mid-purge.
   const std::uint32_t n = total_packets_;
   for (ClassState& cls : classes_) {
-    for (auto& pkt : cls.queue) {
+    while (!cls.queue.empty()) {
+      std::unique_ptr<Packet> pkt = std::move(cls.queue.front());
+      cls.queue.pop_front();
+      cls.bytes -= pkt->size_bytes;
+      total_bytes_ -= pkt->size_bytes;
+      --total_packets_;
       ++stats_.purged;
-      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kPurged);
+      if (tracer_ != nullptr) tracer_->OnPurge(*pkt, now, Snapshot());
     }
-    cls.queue.clear();
-    cls.bytes = 0;
     cls.deficit = 0;
     cls.in_active_list = false;
   }
   active_.clear();
   current_ = -1;
-  total_packets_ = 0;
-  total_bytes_ = 0;
   return n;
 }
 

@@ -33,6 +33,7 @@ bool FifoQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
   bytes_ += pkt->size_bytes;
   queue_.push_back(std::move(pkt));
   ++stats_.enqueued;
+  if (tracer_ != nullptr) tracer_->OnEnqueue(*queue_.back(), now, Snapshot());
   return true;
 }
 
@@ -43,9 +44,11 @@ std::unique_ptr<Packet> FifoQueueDisc::Dequeue(Time now) {
   bytes_ -= pkt->size_bytes;
   if (pool_ != nullptr) pool_->Release(pkt->size_bytes);
   ++stats_.dequeued;
+  const Time sojourn = now - pkt->enqueue_time;
+  if (tracer_ != nullptr) tracer_->OnDequeue(*pkt, now, Snapshot(), sojourn);
   if (aqm_ != nullptr) {
     const bool was_ce = pkt->IsCeMarked();
-    aqm_->OnDequeue(*pkt, Snapshot(), now, now - pkt->enqueue_time);
+    aqm_->OnDequeue(*pkt, Snapshot(), now, sojourn);
     if (!was_ce && pkt->IsCeMarked()) {
       ++stats_.ce_marked;
       if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
@@ -55,14 +58,20 @@ std::unique_ptr<Packet> FifoQueueDisc::Dequeue(Time now) {
 }
 
 std::uint32_t FifoQueueDisc::PurgeAll(Time now) {
-  const std::uint32_t n = static_cast<std::uint32_t>(queue_.size());
-  for (auto& pkt : queue_) {
+  // Pop-then-notify: accounting is fully updated before each tracer
+  // callback, so a tracer observing Snapshot() mid-purge sees consistent
+  // state (packets, bytes, and pool reservation all exclude the purged
+  // packet).
+  std::uint32_t n = 0;
+  while (!queue_.empty()) {
+    std::unique_ptr<Packet> pkt = std::move(queue_.front());
+    queue_.pop_front();
     bytes_ -= pkt->size_bytes;
     if (pool_ != nullptr) pool_->Release(pkt->size_bytes);
     ++stats_.purged;
-    if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kPurged);
+    ++n;
+    if (tracer_ != nullptr) tracer_->OnPurge(*pkt, now, Snapshot());
   }
-  queue_.clear();
   return n;
 }
 

@@ -51,6 +51,9 @@ bool SpQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
   ++total_packets_;
   cls.queue.push_back(std::move(pkt));
   ++stats_.enqueued;
+  if (tracer_ != nullptr) {
+    tracer_->OnEnqueue(*cls.queue.back(), now, Snapshot());
+  }
   return true;
 }
 
@@ -63,6 +66,9 @@ std::unique_ptr<Packet> SpQueueDisc::Dequeue(Time now) {
     total_bytes_ -= pkt->size_bytes;
     --total_packets_;
     ++stats_.dequeued;
+    if (tracer_ != nullptr) {
+      tracer_->OnDequeue(*pkt, now, Snapshot(), now - pkt->enqueue_time);
+    }
     if (cls.aqm != nullptr) {
       const bool was_ce = pkt->IsCeMarked();
       const QueueSnapshot snap{static_cast<std::uint32_t>(cls.queue.size()),
@@ -79,17 +85,20 @@ std::unique_ptr<Packet> SpQueueDisc::Dequeue(Time now) {
 }
 
 std::uint32_t SpQueueDisc::PurgeAll(Time now) {
+  // Pop-then-notify: accounting is updated before each tracer callback so
+  // Snapshot() stays consistent mid-purge.
   const std::uint32_t n = total_packets_;
   for (ClassState& cls : classes_) {
-    for (auto& pkt : cls.queue) {
+    while (!cls.queue.empty()) {
+      std::unique_ptr<Packet> pkt = std::move(cls.queue.front());
+      cls.queue.pop_front();
+      cls.bytes -= pkt->size_bytes;
+      total_bytes_ -= pkt->size_bytes;
+      --total_packets_;
       ++stats_.purged;
-      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kPurged);
+      if (tracer_ != nullptr) tracer_->OnPurge(*pkt, now, Snapshot());
     }
-    cls.queue.clear();
-    cls.bytes = 0;
   }
-  total_packets_ = 0;
-  total_bytes_ = 0;
   return n;
 }
 

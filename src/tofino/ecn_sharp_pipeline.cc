@@ -18,12 +18,17 @@ EcnSharpPipeline::EcnSharpPipeline(const TofinoPipelineConfig& config)
       pst_interval_ticks_(ToTicks(config.aqm.pst_interval)),
       first_above_("first_above_time", config.num_ports),
       count_next_("marking_count_next", config.num_ports) {
-  // Control-plane-installed lookup table for interval / sqrt(count).
+  // Control-plane-installed lookup table for interval / sqrt(count). The
+  // expression mirrors PersistentMarker's `interval * (1.0 / sqrt(count))`
+  // with Time's truncating Time*double semantics term for term, so the
+  // pipeline's marking cadence is bit-identical to the reference — rounding
+  // (or dividing instead of multiplying by the reciprocal) drifts by one
+  // tick per step and compounds over a marking episode.
   sqrt_lut_.reserve(config.sqrt_lut_entries);
   for (std::size_t count = 1; count <= config.sqrt_lut_entries; ++count) {
     sqrt_lut_.push_back(static_cast<std::uint32_t>(
-        std::lround(static_cast<double>(pst_interval_ticks_) /
-                    std::sqrt(static_cast<double>(count)))));
+        static_cast<double>(pst_interval_ticks_) *
+        (1.0 / std::sqrt(static_cast<double>(count)))));
   }
 }
 
@@ -63,7 +68,11 @@ bool EcnSharpPipeline::ProcessDequeue(std::size_t port,
           cell = now;
           return false;
         }
-        return now > cell + interval;
+        // Elapsed-time compare, not absolute: `now > cell + interval` breaks
+        // when the 32-bit clock (or cell + interval) wraps. The unsigned
+        // difference is the true elapsed tick count as long as less than
+        // 2^32 ticks (~73 min) pass between observations.
+        return now - cell > interval;
       });
 
   // Stage 4: marking-state table — the whole ShouldPersistentMark transition
@@ -79,7 +88,11 @@ bool EcnSharpPipeline::ProcessDequeue(std::size_t port,
           count = 1;  // enter marking state, mark immediately
           next = now + interval;
           mark = true;
-        } else if (now > next) {
+        } else if (static_cast<std::int32_t>(now - next) > 0) {
+          // Serial-number compare: `next` may legitimately sit ahead of
+          // `now` (the deadline is in the future) or behind it across the
+          // 32-bit wrap, so interpret the difference as signed. Valid while
+          // |now - next| < 2^31 ticks, far beyond any marking cadence.
           ++count;
           next += StepTicks(count);
           mark = true;

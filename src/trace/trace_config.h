@@ -1,0 +1,46 @@
+// Configuration for the flight-recorder tracing subsystem.
+#ifndef ECNSHARP_TRACE_TRACE_CONFIG_H_
+#define ECNSHARP_TRACE_TRACE_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+
+namespace ecnsharp {
+
+struct TraceConfig {
+  // Master switch. When false no recorder is created and the per-port /
+  // per-flow hooks stay null pointers, so the fast path pays only an
+  // inlined null check.
+  bool enabled = false;
+  // Flight-recorder ring capacity in events. When full the oldest events
+  // are overwritten; aggregate counters are never lost.
+  std::size_t ring_capacity = 65536;
+  // Record per-port queue-depth time series (one sample per enqueue /
+  // dequeue / purge).
+  bool queue_series = true;
+  // Record per-flow transport series (cwnd/ssthresh, RTT samples).
+  bool flow_series = true;
+  // Cap per individual series; further points are counted as suppressed
+  // rather than stored.
+  std::size_t max_series_points = 65536;
+};
+
+// Parses a CLI trace spec into `*out` (leaving it untouched on failure).
+//
+// Accepted forms:
+//   "on" | "default" | "1"   enable with defaults
+//   "full"                   enable with 1Mi-event ring and 1Mi-point series
+//   comma-separated terms    enable with overrides:
+//     events:<n>   ring capacity, 1 .. 16777216
+//     points:<n>   per-series cap, 1 .. 16777216
+//     queue:on|off per-port depth series
+//     flows:on|off per-flow transport series
+//
+// Returns false and fills `*error` on malformed input (unknown key, bad
+// value, empty term).
+bool ParseTraceSpec(const std::string& spec, TraceConfig* out,
+                    std::string* error);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_TRACE_TRACE_CONFIG_H_

@@ -1,0 +1,66 @@
+// Typed flight-recorder events.
+//
+// One compact POD per observable occurrence: queue transitions (enqueue /
+// dequeue / transmit / mark / drop with DropReason), transport state changes
+// (cwnd/ssthresh, RTT samples, retransmits, RTOs), and scenario actions. The
+// TraceRecorder keeps these in a fixed-capacity ring buffer, so an event
+// must stay small and self-contained — kind-specific payloads share the two
+// generic `a`/`b` slots (the mapping is documented per kind below and
+// rendered with named fields by harness/trace_export).
+#ifndef ECNSHARP_TRACE_TRACE_EVENT_H_
+#define ECNSHARP_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "net/packet_tracer.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+enum class TraceEventKind : std::uint8_t {
+  kEnqueue,     // a = seq, b = queue packets after the enqueue
+  kDequeue,     // a = seq, b = sojourn ns
+  kTransmit,    // a = seq, b = wire bytes
+  kMark,        // a = seq, b = wire bytes
+  kDrop,        // a = seq, b = wire bytes; `reason` says why
+  kCwnd,        // a = cwnd bytes (truncated), b = ssthresh bytes (truncated)
+  kRttSample,   // a = sample ns
+  kRetransmit,  // a = seq
+  kRto,         // a = consecutive-timeout count after this expiry
+  kScenario,    // a = ScenarioActionKind value, b = target id (as int64)
+};
+
+inline constexpr std::size_t kTraceEventKinds = 10;
+inline constexpr std::size_t kDropReasons = 6;
+
+// Stable wire names ("enqueue", "rtt_sample", ...) for JSON/CSV export.
+const char* TraceEventKindName(TraceEventKind kind);
+
+// Site id of events not tied to a port (transport and scenario events).
+inline constexpr std::uint16_t kNoTraceSite = 0xffff;
+
+struct TraceEvent {
+  Time at;
+  TraceEventKind kind = TraceEventKind::kEnqueue;
+  DropReason reason = DropReason::kOverflow;  // meaningful for kDrop only
+  std::uint16_t site = kNoTraceSite;
+  FlowKey flow;  // all-zero for kScenario
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+// Deterministic ordering for per-flow series maps (export order must not
+// depend on hash-table iteration).
+struct FlowKeyLess {
+  bool operator()(const FlowKey& x, const FlowKey& y) const {
+    if (x.src != y.src) return x.src < y.src;
+    if (x.dst != y.dst) return x.dst < y.dst;
+    if (x.src_port != y.src_port) return x.src_port < y.src_port;
+    return x.dst_port < y.dst_port;
+  }
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_TRACE_TRACE_EVENT_H_

@@ -29,6 +29,7 @@ TcpSender::TcpSender(Host& host, const TcpConfig& config, FlowKey flow,
 
 void TcpSender::Start() {
   record_.start_time = host_.sim().Now();
+  EmitCwnd();
   SendAvailable();
   RestartRtoTimer();
 }
@@ -93,6 +94,9 @@ void TcpSender::SendSegment(std::uint64_t seq, bool is_retransmit) {
   pkt->sent_time = host_.sim().Now();
 
   if (is_retransmit) {
+    if (tracer_ != nullptr) {
+      tracer_->OnRetransmit(flow_, host_.sim().Now(), seq);
+    }
     // Karn: never sample RTT across a retransmission.
     probe_armed_ = false;
   } else if (!probe_armed_) {
@@ -159,6 +163,7 @@ void TcpSender::OnNewDataAcked(std::uint64_t ack_no, bool ece) {
     cwnd_ = std::min(cwnd_, static_cast<double>(config_.max_cwnd_bytes));
   }
 
+  EmitCwnd();
   if (snd_una_ >= flow_size_) {
     Complete();
     return;
@@ -172,6 +177,7 @@ void TcpSender::OnDupAck() {
   if (in_fast_recovery_) {
     // Window inflation keeps the pipe full while the hole is repaired.
     cwnd_ += config_.mss;
+    EmitCwnd();
     SendAvailable();
     return;
   }
@@ -181,6 +187,7 @@ void TcpSender::OnDupAck() {
     in_fast_recovery_ = true;
     recover_point_ = snd_nxt_;
     cwnd_ = ssthresh_ + 3.0 * config_.mss;
+    EmitCwnd();
     SendSegment(snd_una_, /*is_retransmit=*/true);
     RestartRtoTimer();
   }
@@ -190,10 +197,14 @@ void TcpSender::OnRtoExpired() {
   if (complete_) return;
   ++record_.timeouts;
   ++rto_backoff_;
+  if (tracer_ != nullptr) {
+    tracer_->OnRto(flow_, host_.sim().Now(), rto_backoff_);
+  }
   ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * config_.mss);
   cwnd_ = config_.mss;
   dupacks_ = 0;
   in_fast_recovery_ = false;
+  EmitCwnd();
   // Go-back-N: everything past snd_una_ is considered lost.
   snd_nxt_ = snd_una_;
   SendSegment(snd_una_, /*is_retransmit=*/true);
@@ -217,6 +228,9 @@ Time TcpSender::CurrentRto() const {
 }
 
 void TcpSender::UpdateRttEstimate(Time sample) {
+  if (tracer_ != nullptr) {
+    tracer_->OnRttSample(flow_, host_.sim().Now(), sample);
+  }
   if (!rtt_valid_) {
     rtt_valid_ = true;
     srtt_ = sample;
@@ -260,6 +274,17 @@ void TcpSender::ReduceWindowOnEcn(double factor) {
                    static_cast<double>(config_.mss));
   ssthresh_ = cwnd_;
   cwr_pending_ = true;
+  EmitCwnd();
+}
+
+void TcpSender::EmitCwnd() {
+  if (tracer_ == nullptr) return;
+  if (cwnd_ == last_cwnd_emitted_ && ssthresh_ == last_ssthresh_emitted_) {
+    return;
+  }
+  last_cwnd_emitted_ = cwnd_;
+  last_ssthresh_emitted_ = ssthresh_;
+  tracer_->OnCwnd(flow_, host_.sim().Now(), cwnd_, ssthresh_);
 }
 
 void TcpSender::Complete() {

@@ -15,6 +15,7 @@
 #include "net/host.h"
 #include "net/packet.h"
 #include "sim/timer.h"
+#include "trace/transport_tracer.h"
 #include "transport/tcp_config.h"
 
 namespace ecnsharp {
@@ -38,6 +39,10 @@ class TcpSender {
   TcpSender(Host& host, const TcpConfig& config, FlowKey flow,
             std::uint64_t flow_size, std::uint8_t traffic_class,
             CompletionCallback on_complete);
+
+  // Optional transport tracing (non-owning; null disables). Must be set
+  // before Start() so the initial window is recorded.
+  void set_tracer(TransportTracer* tracer) { tracer_ = tracer; }
 
   // Begins transmission (sends the initial window).
   void Start();
@@ -66,6 +71,8 @@ class TcpSender {
   void DctcpWindowUpdate(std::uint64_t newly_acked, bool ece);
   void ReduceWindowOnEcn(double factor);
   void Complete();
+  // Reports cwnd_/ssthresh_ to the tracer if they changed since last emit.
+  void EmitCwnd();
 
   Host& host_;
   TcpConfig config_;
@@ -107,6 +114,11 @@ class TcpSender {
   Time probe_sent_at_ = Time::Zero();
 
   bool complete_ = false;
+
+  // Transport tracing.
+  TransportTracer* tracer_ = nullptr;
+  double last_cwnd_emitted_ = -1.0;
+  double last_ssthresh_emitted_ = -1.0;
 };
 
 }  // namespace ecnsharp

@@ -26,6 +26,7 @@ TcpSender& TcpStack::StartFlow(std::uint32_t dst, std::uint64_t size_bytes,
   auto sender = std::make_unique<TcpSender>(
       host_, config_, key, size_bytes, traffic_class, std::move(on_complete));
   TcpSender& ref = *sender;
+  ref.set_tracer(transport_tracer_);
   senders_.emplace(key, std::move(sender));
   ref.Start();
   return ref;

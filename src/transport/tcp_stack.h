@@ -35,9 +35,16 @@ class TcpStack : public PacketSink {
   const TcpConfig& config() const { return config_; }
   std::size_t active_senders() const;
 
+  // Optional transport tracing (non-owning; null disables). Applies to
+  // flows started after the call.
+  void SetTransportTracer(TransportTracer* tracer) {
+    transport_tracer_ = tracer;
+  }
+
  private:
   Host& host_;
   TcpConfig config_;
+  TransportTracer* transport_tracer_ = nullptr;
   std::uint16_t next_port_ = 1;
   std::unordered_map<FlowKey, std::unique_ptr<TcpSender>, FlowKeyHash>
       senders_;

@@ -335,6 +335,94 @@ TEST(EgressPortFlapTest, DrainModeHoldsBacklogThroughOutage) {
   EXPECT_EQ(port.queue_disc().stats().purged, 0u);
 }
 
+// Regression: LinkDown(drop_queued=true) on an already-down port used to
+// early-return before the purge, leaving the parked backlog (and its
+// shared-buffer reservations) in place. A drain-preserving outage escalated
+// to a purging one must still drop the backlog.
+TEST(EgressPortFlapTest, EscalatingDrainOutageToPurgeDropsBacklog) {
+  Simulator sim;
+  SharedBufferPool pool(1ull << 20, 8.0);
+  auto disc = std::make_unique<FifoQueueDisc>(pool, nullptr);
+  FifoQueueDisc* fifo = disc.get();
+  EgressPort port(sim, DataRate::GigabitsPerSecond(10),
+                  Time::FromMicroseconds(1), std::move(disc));
+  CountingSink sink;
+  port.ConnectTo(sink);
+
+  for (int i = 0; i < 6; ++i) port.Enqueue(MakePacket(1500));
+  port.LinkDown(/*drop_queued=*/false);  // park 5, 1 in flight
+  EXPECT_EQ(fifo->Snapshot().packets, 5u);
+
+  port.LinkDown(/*drop_queued=*/true);  // escalate: backlog must go
+  EXPECT_EQ(fifo->Snapshot().packets, 0u);
+  EXPECT_EQ(fifo->stats().purged, 5u);
+  EXPECT_EQ(pool.used_bytes(), 0u);
+
+  port.LinkUp();
+  sim.Run();
+  EXPECT_EQ(sink.received, 1u);  // only the in-flight packet survived
+  EXPECT_EQ(fifo->stats().enqueued,
+            fifo->stats().dequeued + fifo->stats().purged);
+}
+
+// Regression: PurgeAll used to notify the tracer before updating the
+// disc's accounting, so a TextTracer (whose default OnPurge forwards to
+// OnDrop) observed stale snapshots and, in the drain-vs-purge interleave,
+// missed events entirely. Pin both: every purged packet produces exactly
+// one line, and the `after` snapshot handed to OnPurge matches the disc's
+// live Snapshot() at callback time.
+TEST(EgressPortFlapTest, TracerSeesEveryPurgeWithConsistentSnapshots) {
+  struct PurgeAuditor : PacketTracer {
+    const QueueDisc* disc = nullptr;
+    std::size_t purges = 0;
+    std::uint32_t last_packets = 0;
+    bool consistent = true;
+    void OnTransmit(const Packet&, Time) override {}
+    void OnPurge(const Packet&, Time, const QueueSnapshot& after) override {
+      // Accounting is updated before each callback: the snapshot the hook
+      // receives is the disc's current truth, and it shrinks by one packet
+      // per purge.
+      consistent = consistent && after.packets == disc->Snapshot().packets &&
+                   after.bytes == disc->Snapshot().bytes &&
+                   (purges == 0 || after.packets == last_packets - 1);
+      last_packets = after.packets;
+      ++purges;
+    }
+  };
+
+  Simulator sim;
+  auto disc = std::make_unique<FifoQueueDisc>(1ull << 20, nullptr);
+  FifoQueueDisc* fifo = disc.get();
+  EgressPort port(sim, DataRate::GigabitsPerSecond(10),
+                  Time::FromMicroseconds(1), std::move(disc));
+  CountingSink sink;
+  port.ConnectTo(sink);
+
+  PurgeAuditor auditor;
+  auditor.disc = fifo;
+  port.SetTracer(&auditor);
+  for (int i = 0; i < 8; ++i) port.Enqueue(MakePacket(1500));
+  port.LinkDown(/*drop_queued=*/true);
+  EXPECT_EQ(auditor.purges, 7u);  // 1 of 8 was already in flight
+  EXPECT_TRUE(auditor.consistent);
+  EXPECT_EQ(fifo->stats().purged, 7u);
+
+  // The default OnPurge forwards to OnDrop(kPurged), so text tracers see
+  // purges as drop lines without overriding the hook.
+  TextTracer text;
+  port.SetTracer(&text);
+  port.LinkUp();
+  sim.Run();  // deliver the surviving in-flight packet
+  for (int i = 0; i < 4; ++i) port.Enqueue(MakePacket(1500));
+  port.LinkDown(/*drop_queued=*/true);
+  EXPECT_EQ(text.drops(), 3u);  // 1 of 4 in flight again
+  std::size_t purge_lines = 0;
+  for (const std::string& line : text.lines()) {
+    if (line.find("reason=purged") != std::string::npos) ++purge_lines;
+  }
+  EXPECT_EQ(purge_lines, 3u);
+}
+
 TEST(EgressPortFlapTest, RedundantTransitionsAreNoOps) {
   Simulator sim;
   EgressPort port(sim, DataRate::GigabitsPerSecond(10), Time::Zero(),

@@ -8,17 +8,24 @@
 // contract, kept enforced for future sessions.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/schemes.h"
 #include "harness/session.h"
+#include "harness/trace_export.h"
+#include "runner/job.h"
+#include "runner/sweep.h"
 #include "sched/fifo_queue_disc.h"
 #include "sim/simulator.h"
 #include "topo/dumbbell.h"
 #include "topo/leaf_spine.h"
 #include "topo/topology.h"
+#include "trace/trace_recorder.h"
 
 namespace ecnsharp {
 namespace {
@@ -366,6 +373,66 @@ TEST(SessionScenarioTest, OneScriptRunsOnBothTopologies) {
   const ExperimentResult b = RunLeafSpine(leafspine);
   EXPECT_EQ(b.scenario_actions, 3u);
   EXPECT_EQ(b.flows_completed, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Golden trace determinism
+// ---------------------------------------------------------------------------
+
+DumbbellExperimentConfig SmallTracedDumbbell(std::uint64_t seed) {
+  DumbbellExperimentConfig config;
+  config.flows = 30;
+  config.seed = seed;
+  config.trace.enabled = true;
+  return config;
+}
+
+// Re-running the identical config must reproduce the flight recorder down
+// to the last byte of both renderings — the tracing seams may not perturb
+// (or be perturbed by) rng-draw or event order.
+TEST(GoldenTraceTest, DumbbellReRunsProduceByteIdenticalTraces) {
+  const DumbbellExperimentConfig config = SmallTracedDumbbell(2);
+  const ExperimentResult a = RunDumbbell(config);
+  const ExperimentResult b = RunDumbbell(config);
+  ASSERT_NE(a.trace, nullptr);
+  ASSERT_NE(b.trace, nullptr);
+  EXPECT_NE(a.trace, b.trace);  // distinct recorders, identical content
+  const std::string json_a = TraceToJson(*a.trace).Dump();
+  EXPECT_GT(json_a.size(), 1000u);
+  EXPECT_EQ(json_a, TraceToJson(*b.trace).Dump());
+  EXPECT_EQ(TraceToCsv(*a.trace), TraceToCsv(*b.trace));
+}
+
+// Each job carries its own recorder, so the exported trace of any given
+// job must not depend on how many workers the sweep ran with.
+TEST(GoldenTraceTest, TraceJsonIsJobCountInvariant) {
+  std::vector<runner::JobSpec> specs;
+  for (std::uint64_t seed : {2ull, 3ull, 4ull}) {
+    specs.push_back({"traced/" + std::to_string(seed),
+                     SmallTracedDumbbell(seed)});
+  }
+  runner::SweepOptions options;
+  options.progress = false;
+  std::vector<std::string> golden;  // from --jobs 1
+  for (const std::size_t jobs : {1u, 4u, 8u}) {
+    options.jobs = jobs;
+    const std::vector<runner::JobResult> results =
+        runner::RunJobs(specs, options);
+    ASSERT_EQ(results.size(), specs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto trace = runner::FctResult(results[i]).trace;
+      ASSERT_NE(trace, nullptr) << specs[i].name;
+      const std::string dump = TraceToJson(*trace).Dump();
+      if (jobs == 1) {
+        golden.push_back(dump);
+      } else {
+        EXPECT_EQ(dump, golden[i]) << specs[i].name << " jobs=" << jobs;
+      }
+    }
+  }
+  // Different seeds really produce different traces (the invariance above
+  // is not vacuous).
+  EXPECT_NE(golden[0], golden[1]);
 }
 
 }  // namespace

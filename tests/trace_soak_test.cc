@@ -1,0 +1,306 @@
+// Randomized invariant soak: seeded churn (enqueue bursts, link flaps with
+// purge or drain, recoveries) against all three queue discs, with the
+// flight-recorder trace as an independent oracle. After every scripted
+// action the accounting invariant
+//
+//   enqueued == dequeued + purged + queued
+//
+// must hold, shared-buffer reservations must equal the queue's byte
+// occupancy, and the trace tap's tallies must agree with the disc's own
+// stats — the tap observes each packet at a different code path than the
+// stats counters, so agreement pins the drain-vs-purge interleave.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dynamics/scenario.h"
+#include "dynamics/scenario_engine.h"
+#include "harness/experiment.h"
+#include "net/egress_port.h"
+#include "net/packet_tracer.h"
+#include "net/queue_disc.h"
+#include "net/shared_buffer.h"
+#include "sched/dwrr_queue_disc.h"
+#include "sched/fifo_queue_disc.h"
+#include "sched/sp_queue_disc.h"
+#include "sim/data_rate.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "trace/trace_config.h"
+#include "trace/trace_recorder.h"
+
+namespace ecnsharp {
+namespace {
+
+struct NullSink : PacketSink {
+  void HandlePacket(std::unique_ptr<Packet>) override {}
+};
+
+std::unique_ptr<Packet> MakePacket(Rng& rng) {
+  auto pkt = std::make_unique<Packet>();
+  pkt->size_bytes = 64 + static_cast<std::uint32_t>(rng.UniformInt(1437));
+  pkt->ecn = EcnCodepoint::kEct0;
+  pkt->traffic_class = static_cast<std::uint8_t>(rng.UniformInt(3));
+  pkt->seq = rng.UniformInt(1u << 20);
+  return pkt;
+}
+
+// Asserts the accounting invariant and that the trace tap agrees with the
+// disc's stats counter for counter. `pool` is optional (FIFO only).
+void CheckInvariants(const QueueDisc& disc, const TraceRecorder& trace,
+                     const SharedBufferPool* pool, const char* when) {
+  const QueueDiscStats& stats = disc.stats();
+  const QueueSnapshot snapshot = disc.Snapshot();
+  ASSERT_EQ(stats.enqueued, stats.dequeued + stats.purged + snapshot.packets)
+      << when;
+  if (pool != nullptr) {
+    ASSERT_EQ(pool->used_bytes(), snapshot.bytes) << when;
+  }
+  const TraceSiteCounters& c = trace.site_counters(0);
+  ASSERT_EQ(c.enqueued, stats.enqueued) << when;
+  ASSERT_EQ(c.dequeued, stats.dequeued) << when;
+  ASSERT_EQ(c.purged, stats.purged) << when;
+  ASSERT_EQ(c.marks, stats.ce_marked) << when;
+  ASSERT_EQ(c.drops[static_cast<std::size_t>(DropReason::kOverflow)],
+            stats.dropped_overflow)
+      << when;
+  ASSERT_EQ(c.drops[static_cast<std::size_t>(DropReason::kAqm)],
+            stats.dropped_aqm)
+      << when;
+}
+
+// Runs one seeded churn timeline against `port`: random arrival bursts
+// interleaved with purge-flaps, drain-flaps, and recoveries, checking the
+// invariants after every scripted step and once more after the drain.
+void SoakPort(Simulator& sim, EgressPort& port, SharedBufferPool* pool,
+              std::uint64_t seed) {
+  TraceConfig config;
+  config.enabled = true;
+  TraceRecorder trace(config);
+  trace.RegisterSite("soak");
+  port.SetTracer(trace.PortTap(0));
+
+  Rng rng(seed);
+  Time at = Time::Zero();
+  std::uint64_t steps = 0;
+  for (int step = 0; step < 400; ++step) {
+    at = at + Time::FromMicroseconds(1 + rng.UniformInt(20));
+    const std::uint64_t dice = rng.UniformInt(10);
+    if (dice < 6) {
+      // Arrival burst: 1..8 packets, sizes and classes randomized.
+      const std::uint64_t count = 1 + rng.UniformInt(8);
+      sim.ScheduleAt(at, [&, count] {
+        for (std::uint64_t i = 0; i < count; ++i) {
+          port.Enqueue(MakePacket(rng));
+        }
+        ++steps;
+        CheckInvariants(port.queue_disc(), trace, pool, "after burst");
+      });
+    } else if (dice < 8) {
+      const bool drop_queued = rng.UniformInt(2) == 0;
+      sim.ScheduleAt(at, [&, drop_queued] {
+        port.LinkDown(drop_queued);
+        ++steps;
+        CheckInvariants(port.queue_disc(), trace, pool, "after link down");
+      });
+    } else {
+      sim.ScheduleAt(at, [&] {
+        port.LinkUp();
+        ++steps;
+        CheckInvariants(port.queue_disc(), trace, pool, "after link up");
+      });
+    }
+  }
+  sim.Run();
+  ASSERT_EQ(steps, 400u);
+  // Ensure the run is drained (the port may have ended in a down state
+  // holding a backlog — bring it up and let it finish).
+  port.LinkUp();
+  sim.Run();
+  CheckInvariants(port.queue_disc(), trace, pool, "after drain");
+  const QueueDiscStats& stats = port.queue_disc().stats();
+  EXPECT_EQ(port.queue_disc().Snapshot().packets, 0u);
+  EXPECT_EQ(stats.enqueued, stats.dequeued + stats.purged);
+  // The churn must actually have exercised both halves of the invariant.
+  EXPECT_GT(stats.dequeued, 0u) << "seed " << seed;
+  EXPECT_GT(stats.purged + stats.dropped_overflow, 0u) << "seed " << seed;
+}
+
+constexpr std::uint64_t kSoakSeeds[] = {1, 7, 0xdecaf};
+
+TEST(TraceSoakTest, FifoSharedBufferInvariantHoldsUnderChurn) {
+  for (const std::uint64_t seed : kSoakSeeds) {
+    Simulator sim;
+    SharedBufferPool pool(24'000, 8.0);  // small: forces overflow refusals
+    EgressPort port(sim, DataRate::GigabitsPerSecond(1),
+                    Time::FromMicroseconds(1),
+                    std::make_unique<FifoQueueDisc>(pool, nullptr));
+    NullSink sink;
+    port.ConnectTo(sink);
+    SoakPort(sim, port, &pool, seed);
+  }
+}
+
+TEST(TraceSoakTest, DwrrInvariantHoldsUnderChurn) {
+  for (const std::uint64_t seed : kSoakSeeds) {
+    Simulator sim;
+    std::vector<DwrrQueueDisc::ClassConfig> classes(3);
+    classes[0].weight = 2;
+    classes[1].weight = 1;
+    classes[2].weight = 1;
+    EgressPort port(sim, DataRate::GigabitsPerSecond(1),
+                    Time::FromMicroseconds(1),
+                    std::make_unique<DwrrQueueDisc>(24'000,
+                                                    std::move(classes)));
+    NullSink sink;
+    port.ConnectTo(sink);
+    SoakPort(sim, port, nullptr, seed);
+  }
+}
+
+TEST(TraceSoakTest, SpInvariantHoldsUnderChurn) {
+  for (const std::uint64_t seed : kSoakSeeds) {
+    Simulator sim;
+    std::vector<SpQueueDisc::ClassConfig> classes(3);
+    EgressPort port(sim, DataRate::GigabitsPerSecond(1),
+                    Time::FromMicroseconds(1),
+                    std::make_unique<SpQueueDisc>(24'000, std::move(classes)));
+    NullSink sink;
+    port.ConnectTo(sink);
+    SoakPort(sim, port, nullptr, seed);
+  }
+}
+
+// The same checks driven by the real ScenarioEngine: a seeded script of
+// flaps and purges, with the post-action check scheduled from the engine's
+// on_action observer. on_action fires before the effect is applied, and
+// same-time events run FIFO, so an event scheduled at `now` from the
+// observer runs right after the action's effect — the earliest instant the
+// post-state is observable.
+TEST(TraceSoakTest, ScenarioEngineActionsPreserveInvariants) {
+  Simulator sim;
+  SharedBufferPool pool(1u << 20, 8.0);
+  EgressPort port(sim, DataRate::GigabitsPerSecond(1),
+                  Time::FromMicroseconds(1),
+                  std::make_unique<FifoQueueDisc>(pool, nullptr));
+  NullSink sink;
+  port.ConnectTo(sink);
+
+  TraceConfig config;
+  config.enabled = true;
+  TraceRecorder trace(config);
+  trace.RegisterSite("soak");
+  port.SetTracer(trace.PortTap(0));
+
+  // Keep a standing queue so every flap has a backlog to purge or park.
+  Rng rng(99);
+  for (int i = 0; i < 400; ++i) {
+    const Time at = Time::FromMicroseconds(5 * i);
+    sim.ScheduleAt(at, [&] {
+      for (int j = 0; j < 4; ++j) port.Enqueue(MakePacket(rng));
+    });
+  }
+
+  ScenarioScript script;
+  script.seed = 13;
+  ScenarioAction down;
+  down.kind = ScenarioActionKind::kLinkDown;
+  down.at = Time::FromMicroseconds(100);
+  down.target = -1;
+  down.drop_queued = true;
+  down.repeat = 6;
+  down.period = Time::FromMicroseconds(300);
+  script.actions.push_back(down);
+  ScenarioAction up = down;
+  up.kind = ScenarioActionKind::kLinkUp;
+  up.at = down.at + Time::FromMicroseconds(120);
+  script.actions.push_back(up);
+
+  std::uint64_t checks = 0;
+  ScenarioHooks hooks;
+  hooks.port = [&](int) { return &port; };
+  hooks.on_action = [&](const ScenarioAction& action, Time at) {
+    trace.OnScenarioAction(at, static_cast<std::uint8_t>(action.kind),
+                           action.target);
+    sim.ScheduleAt(at, [&] {
+      ++checks;
+      CheckInvariants(port.queue_disc(), trace, &pool, "post-action");
+    });
+  };
+  ScenarioEngine engine(sim, script, hooks);
+  engine.Install();
+  sim.Run();
+  port.LinkUp();
+  sim.Run();
+
+  EXPECT_EQ(engine.actions_fired(), 12u);
+  EXPECT_EQ(checks, 12u);
+  EXPECT_EQ(trace.kind_count(TraceEventKind::kScenario), 12u);
+  EXPECT_GT(port.queue_disc().stats().purged, 0u);
+  CheckInvariants(port.queue_disc(), trace, &pool, "final");
+}
+
+// Full-stack soak: the dumbbell dynamics scenario (loss injection, incast
+// burst, purge-flap, re-estimation) with tracing enabled. The trace must
+// agree with every independently-maintained counter the harness reports.
+TEST(TraceSoakTest, DynamicDumbbellTraceAgreesWithHarnessCounters) {
+  DumbbellExperimentConfig config;
+  config.flows = 40;
+  config.seed = 5;
+  config.trace.enabled = true;
+  ScenarioScript script;
+  script.seed = 21;
+  ScenarioAction loss;
+  loss.kind = ScenarioActionKind::kInjectLoss;
+  loss.at = Time::Milliseconds(1);
+  loss.target = -1;
+  loss.drop_prob = 0.05;
+  script.actions.push_back(loss);
+  ScenarioAction burst;
+  burst.kind = ScenarioActionKind::kIncastBurst;
+  burst.at = Time::Milliseconds(2);
+  burst.flows = 8;
+  burst.bytes = 20000;
+  script.actions.push_back(burst);
+  ScenarioAction down;
+  down.kind = ScenarioActionKind::kLinkDown;
+  down.at = Time::Milliseconds(3);
+  down.target = -1;
+  down.drop_queued = true;
+  script.actions.push_back(down);
+  ScenarioAction up = down;
+  up.kind = ScenarioActionKind::kLinkUp;
+  up.at = Time::Milliseconds(3) + Time::FromMicroseconds(200);
+  script.actions.push_back(up);
+  config.scenario = script;
+
+  const ExperimentResult r = RunDumbbell(config);
+  ASSERT_NE(r.trace, nullptr);
+  const TraceRecorder& trace = *r.trace;
+  const TraceSiteCounters& c = trace.site_counters(0);
+
+  EXPECT_EQ(c.enqueued, r.bottleneck.enqueued);
+  EXPECT_EQ(c.dequeued, r.bottleneck.dequeued);
+  EXPECT_EQ(c.purged, r.bottleneck.purged);
+  EXPECT_EQ(c.marks, r.bottleneck.ce_marked);
+  EXPECT_EQ(c.enqueued, c.dequeued + c.purged);  // drained
+  EXPECT_EQ(c.drops[static_cast<std::size_t>(DropReason::kFaultLoss)],
+            r.injected_drops);
+  EXPECT_EQ(c.drops[static_cast<std::size_t>(DropReason::kLinkDown)],
+            r.link_down_drops);
+  // Every dequeued packet either hit the injected loss or made it onto the
+  // wire (corrupted packets transmit and are discarded at the far end).
+  EXPECT_EQ(c.dequeued,
+            c.transmitted +
+                c.drops[static_cast<std::size_t>(DropReason::kFaultLoss)]);
+  EXPECT_EQ(trace.kind_count(TraceEventKind::kScenario), r.scenario_actions);
+  EXPECT_GT(r.injected_drops, 0u);
+  EXPECT_GT(r.bottleneck.purged, 0u);
+}
+
+}  // namespace
+}  // namespace ecnsharp

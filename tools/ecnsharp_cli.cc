@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -22,9 +23,12 @@
 #include "harness/config_json.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
+#include "harness/trace_export.h"
 #include "runner/job.h"
 #include "runner/json_export.h"
 #include "runner/sweep.h"
+#include "trace/trace_config.h"
+#include "trace/trace_recorder.h"
 #include "workload/empirical_cdf.h"
 
 namespace {
@@ -165,6 +169,16 @@ int Usage() {
       "  --name=<name>                      sweep name; JSON lands in\n"
       "                                     results/<name>.json (default\n"
       "                                     cli_sweep)\n"
+      "  --trace=<spec>                     flight-recorder tracing for a\n"
+      "                                     single run (not --sweep). Spec is\n"
+      "                                     'on' or comma-separated terms:\n"
+      "                                     events:<n>, points:<n>,\n"
+      "                                     queue:on|off, flows:on|off; see\n"
+      "                                     docs/observability.md\n"
+      "  --trace-out=<path>                 trace destination (default\n"
+      "                                     results/<name>_trace.json; a\n"
+      "                                     .csv suffix exports the flat\n"
+      "                                     event table instead)\n"
       "  --help                             this text\n");
   return 0;
 }
@@ -226,18 +240,60 @@ void PrintFctResult(const ExperimentResult& r) {
 
 // Scenario runs go through the runner so the full record (config + scenario
 // + dynamics counters) lands in results/<name>.json, byte-identical to what
-// a sweep over the same point would export.
+// a sweep over the same point would export. Returns the job result so the
+// caller can reach per-run extras (the flight-recorder trace).
 template <typename Config>
-void RunSingleViaRunner(const Flags& flags, Scheme scheme,
-                        const Config& config) {
+runner::JobResult RunSingleViaRunner(const Flags& flags, Scheme scheme,
+                                     const Config& config) {
   const std::string name = flags.Get("name", "cli_run");
   std::vector<runner::JobSpec> specs;
   specs.push_back({std::string(SchemeName(scheme)), config});
   runner::SweepOptions options;
   options.label = name;
-  const std::vector<runner::JobResult> results = runner::RunJobs(specs, options);
+  std::vector<runner::JobResult> results = runner::RunJobs(specs, options);
   runner::ExportSweep(name, specs, results);
   PrintFctResult(runner::FctResult(results[0]));
+  return std::move(results[0]);
+}
+
+// Writes the trace collected by a single run to --trace-out (default
+// results/<name>_trace.json; a .csv suffix selects the flat event table).
+// A null trace means the run never created a recorder — fatal, since the
+// user explicitly asked for one.
+void ExportTraceOrDie(const Flags& flags,
+                      const std::shared_ptr<const TraceRecorder>& trace) {
+  if (trace == nullptr) {
+    std::fprintf(stderr, "--trace produced no trace (internal error)\n");
+    std::exit(1);
+  }
+  const std::string name = flags.Get("name", "cli_run");
+  const std::string path =
+      flags.Get("trace-out", "results/" + name + "_trace.json");
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  bool ok = false;
+  if (csv) {
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    std::error_code ec;
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out << TraceToCsv(*trace);
+      ok = out.good();
+    }
+  } else {
+    ok = runner::WriteJsonFile(path, TraceToJson(*trace));
+  }
+  if (!ok) {
+    std::fprintf(stderr, "cannot write --trace-out file '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("trace: %llu events (%llu retained) -> %s\n",
+              static_cast<unsigned long long>(trace->total_events()),
+              static_cast<unsigned long long>(trace->total_events() -
+                                              trace->overwritten()),
+              path.c_str());
 }
 
 // One swept parameter: `load:10..90:10` expands to {10, 20, ..., 90}.
@@ -483,6 +539,24 @@ int main(int argc, char** argv) {
     scenario = LoadScenarioOrDie(flags.Get("scenario", ""));
   }
 
+  TraceConfig trace;
+  if (flags.Has("trace")) {
+    if (flags.Has("sweep")) {
+      std::fprintf(stderr,
+                   "--trace applies to single runs, not --sweep (traces are "
+                   "per-run; rerun the point of interest without --sweep)\n");
+      return 2;
+    }
+    std::string error;
+    if (!ParseTraceSpec(flags.Get("trace", "on"), &trace, &error)) {
+      std::fprintf(stderr, "invalid --trace spec: %s\n", error.c_str());
+      return 2;
+    }
+  } else if (flags.Has("trace-out")) {
+    std::fprintf(stderr, "--trace-out requires --trace\n");
+    return 2;
+  }
+
   if (flags.Has("sweep")) {
     return RunSweepMode(flags, topo, scheme, workload, scenario);
   }
@@ -497,13 +571,19 @@ int main(int argc, char** argv) {
     config.rtt_variation = flags.GetDouble("variation", 3.0);
     config.seed = flags.GetU64("seed", 1);
     config.scenario = scenario;
+    config.trace = trace;
     PrintBanner("dumbbell / " + std::string(SchemeName(scheme)) + " / " +
                 workload_name);
+    std::shared_ptr<const TraceRecorder> recorded;
     if (scenario.empty()) {
-      PrintFctResult(RunDumbbell(config));
+      const ExperimentResult r = RunDumbbell(config);
+      PrintFctResult(r);
+      recorded = r.trace;
     } else {
-      RunSingleViaRunner(flags, scheme, config);
+      const runner::JobResult job = RunSingleViaRunner(flags, scheme, config);
+      recorded = runner::FctResult(job).trace;
     }
+    if (trace.enabled) ExportTraceOrDie(flags, recorded);
   } else if (topo == "leafspine") {
     LeafSpineExperimentConfig config;
     config.scheme = scheme;
@@ -513,18 +593,25 @@ int main(int argc, char** argv) {
     config.flows = flags.GetU64("flows", 1000);
     config.seed = flags.GetU64("seed", 1);
     config.scenario = scenario;
+    config.trace = trace;
     PrintBanner("leaf-spine / " + std::string(SchemeName(scheme)) + " / " +
                 workload_name);
+    std::shared_ptr<const TraceRecorder> recorded;
     if (scenario.empty()) {
-      PrintFctResult(RunLeafSpine(config));
+      const ExperimentResult r = RunLeafSpine(config);
+      PrintFctResult(r);
+      recorded = r.trace;
     } else {
-      RunSingleViaRunner(flags, scheme, config);
+      const runner::JobResult job = RunSingleViaRunner(flags, scheme, config);
+      recorded = runner::FctResult(job).trace;
     }
+    if (trace.enabled) ExportTraceOrDie(flags, recorded);
   } else {
     IncastExperimentConfig config;
     config.scheme = scheme;
     config.query_flows = flags.GetU64("fanout", 100);
     config.seed = flags.GetU64("seed", 1);
+    config.trace = trace;
     PrintBanner("incast / " + std::string(SchemeName(scheme)) + " / fanout " +
                 std::to_string(config.query_flows));
     const IncastResult r = RunIncast(config);
@@ -539,6 +626,7 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(r.query_fct.p99_us, 1)});
     table.AddRow({"query timeouts", std::to_string(r.query_timeouts)});
     table.Print();
+    if (trace.enabled) ExportTraceOrDie(flags, r.trace);
   }
   return 0;
 }

@@ -1,0 +1,104 @@
+// perf_gate: CI guard comparing a perf_core run against a committed
+// baseline.
+//
+//   perf_gate <baseline.json> <current.json> <max_regression_pct>
+//
+// Compares the three deterministic throughput metrics perf_core emits
+// (event_churn.events_per_sec, event_cancel_churn.events_per_sec,
+// packet_path.packets_per_sec). Exits 0 when every metric is within
+// `max_regression_pct` percent of the baseline (improvements always pass),
+// 1 when any metric regressed past the threshold, 2 on bad arguments or
+// unreadable/malformed input. The paper's "tracing must cost <2% when
+// disabled" acceptance bar runs through this gate.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/json.h"
+
+namespace {
+
+using ecnsharp::Json;
+
+struct Metric {
+  const char* section;
+  const char* field;
+};
+
+constexpr Metric kMetrics[] = {
+    {"event_churn", "events_per_sec"},
+    {"event_cancel_churn", "events_per_sec"},
+    {"packet_path", "packets_per_sec"},
+};
+
+bool LoadJson(const char* path, Json* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "perf_gate: cannot read %s\n", path);
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string error;
+  if (!Json::Parse(text.str(), out, &error)) {
+    std::fprintf(stderr, "perf_gate: %s: %s\n", path, error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Returns the metric or a negative value when missing.
+double Lookup(const Json& doc, const Metric& metric) {
+  const Json* metrics = doc.Find("metrics");
+  if (metrics == nullptr) return -1.0;
+  const Json* section = metrics->Find(metric.section);
+  if (section == nullptr) return -1.0;
+  const Json* field = section->Find(metric.field);
+  if (field == nullptr) return -1.0;
+  return field->AsDouble(-1.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr,
+                 "usage: perf_gate <baseline.json> <current.json> "
+                 "<max_regression_pct>\n");
+    return 2;
+  }
+  char* end = nullptr;
+  const double threshold_pct = std::strtod(argv[3], &end);
+  if (end == argv[3] || *end != '\0' || threshold_pct < 0.0) {
+    std::fprintf(stderr, "perf_gate: bad threshold '%s'\n", argv[3]);
+    return 2;
+  }
+
+  Json baseline;
+  Json current;
+  if (!LoadJson(argv[1], &baseline) || !LoadJson(argv[2], &current)) return 2;
+
+  bool failed = false;
+  for (const Metric& metric : kMetrics) {
+    const double base = Lookup(baseline, metric);
+    const double now = Lookup(current, metric);
+    if (base <= 0.0 || now <= 0.0) {
+      std::fprintf(stderr, "perf_gate: metric %s.%s missing or non-positive\n",
+                   metric.section, metric.field);
+      return 2;
+    }
+    const double delta_pct = (now - base) / base * 100.0;
+    const bool ok = delta_pct >= -threshold_pct;
+    std::printf("%-22s %14.0f -> %14.0f  %+7.2f%%  %s\n", metric.section, base,
+                now, delta_pct, ok ? "ok" : "REGRESSED");
+    failed = failed || !ok;
+  }
+  if (failed) {
+    std::fprintf(stderr, "perf_gate: regression beyond %.2f%% threshold\n",
+                 threshold_pct);
+    return 1;
+  }
+  return 0;
+}
