@@ -28,6 +28,8 @@
 #include "runner/json_export.h"
 #include "sched/fifo_queue_disc.h"
 #include "sim/simulator.h"
+#include "sketch/sketch_config.h"
+#include "sketch/telemetry.h"
 
 namespace ecnsharp {
 namespace {
@@ -136,6 +138,37 @@ Metric PacketPath(std::uint64_t packets) {
   return Metric{packets, SecondsSince(start)};
 }
 
+// Same loop with a sketch-telemetry tap on the disc: the delta against
+// packet_path is the per-packet cost of feeding the sketches (budgeted at
+// <5% in docs/observability.md, gated through tools/perf_gate).
+Metric PacketPathSketch(std::uint64_t packets) {
+  SketchConfig sketch_config;
+  sketch_config.enabled = true;
+  SketchTelemetry telemetry(sketch_config);
+  const std::uint16_t site = telemetry.RegisterSite("bench");
+
+  FifoQueueDisc disc(1ull << 30, std::make_unique<DctcpRedAqm>(250'000));
+  disc.SetTracer(telemetry.PortTap(site));
+  Time now = Time::Zero();
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < packets; ++i) {
+    now += Time::Nanoseconds(1200);
+    auto pkt = NewPacket();
+    pkt->size_bytes = kFullPacketBytes;
+    pkt->payload_bytes = kMaxSegmentSize;
+    pkt->ecn = EcnCodepoint::kEct0;
+    pkt->seq = i;
+    // Spread traffic over a flow population so the sketches see realistic
+    // key churn rather than one all-colliding flow.
+    pkt->flow = FlowKey{static_cast<std::uint32_t>(i % 256),
+                        static_cast<std::uint32_t>(256 + i % 64),
+                        static_cast<std::uint16_t>(40000 + i % 512), 80};
+    disc.Enqueue(std::move(pkt), now);
+    disc.Dequeue(now);
+  }
+  return Metric{packets, SecondsSince(start)};
+}
+
 // ---------------------------------------------------------------------------
 // End to end: the paper's websearch workload on the testbed dumbbell at 70%
 // load — the configuration every FCT figure leans on hardest.
@@ -187,6 +220,12 @@ int main() {
               pkts.rate(), static_cast<unsigned long long>(pkts.items),
               pkts.seconds);
 
+  const Metric pkts_sketch = PacketPathSketch(packets);
+  std::printf("packet_path_sketch: %10.0f packets/s (%llu packets, %.3f s)\n",
+              pkts_sketch.rate(),
+              static_cast<unsigned long long>(pkts_sketch.items),
+              pkts_sketch.seconds);
+
   const Json websearch = WebSearchAt70(flows);
   std::printf("websearch_70:       see JSON (flows=%zu)\n", flows);
 
@@ -199,6 +238,8 @@ int main() {
                           .Set("event_cancel_churn",
                                ToJson(cancel, "events_per_sec"))
                           .Set("packet_path", ToJson(pkts, "packets_per_sec"))
+                          .Set("packet_path_sketch",
+                               ToJson(pkts_sketch, "packets_per_sec"))
                           .Set("websearch_70", websearch));
 
   const char* out_env = std::getenv("ECNSHARP_BENCH_OUT");

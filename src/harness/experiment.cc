@@ -28,6 +28,8 @@ ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config) {
   session_config.max_sim_time = config.max_sim_time;
   session_config.scenario = config.scenario;
   session_config.trace = config.trace;
+  session_config.sketch = config.sketch;
+  session_config.estimator = config.estimator;
   ExperimentSession session(std::move(session_config));
 
   DumbbellConfig topo_config;
@@ -59,6 +61,8 @@ ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config) {
   session_config.max_sim_time = config.max_sim_time;
   session_config.scenario = config.scenario;
   session_config.trace = config.trace;
+  session_config.sketch = config.sketch;
+  session_config.estimator = config.estimator;
   ExperimentSession session(std::move(session_config));
 
   LeafSpineConfig topo_config = config.topo;
@@ -86,6 +90,7 @@ IncastResult RunIncast(const IncastExperimentConfig& config) {
   session_config.monitor_until = config.burst_time + Time::Milliseconds(20);
   session_config.max_sim_time = config.max_sim_time;
   session_config.trace = config.trace;
+  session_config.sketch = config.sketch;
   ExperimentSession session(std::move(session_config));
   Simulator& sim = session.sim();
 
@@ -165,6 +170,7 @@ IncastResult RunIncast(const IncastExperimentConfig& config) {
   }
   result.queries_completed = queries_completed;
   result.trace = session.trace();
+  result.sketch = session.sketch();
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "harness/schemes.h"
 #include "net/queue_disc.h"
 #include "sim/data_rate.h"
+#include "sketch/sketch_config.h"
 #include "stats/fct_collector.h"
 #include "stats/queue_monitor.h"
 #include "topo/leaf_spine.h"
@@ -21,6 +22,7 @@
 namespace ecnsharp {
 
 class TraceRecorder;
+class SketchTelemetry;
 
 // ---------------------------------------------------------------------------
 // Dumbbell (testbed-shaped) experiments: Figs. 2, 3, 6, 7, 8, 12.
@@ -51,6 +53,12 @@ struct DumbbellExperimentConfig {
   // Optional flight-recorder tracing (disabled by default; zero-cost when
   // off — see trace/trace_config.h).
   TraceConfig trace;
+  // Optional sketch telemetry (bounded-memory switch state; off by
+  // default, only the tracer null check when off).
+  SketchConfig sketch;
+  // Which measurement source feeds scenario ECN# re-estimation actions;
+  // kSketch needs sketch.enabled.
+  EcnEstimator estimator = EcnEstimator::kOracle;
 };
 
 struct ExperimentResult {
@@ -75,6 +83,8 @@ struct ExperimentResult {
   // Flight-recorder trace; null unless config.trace.enabled. Shared so
   // copying results (sweep collection) stays cheap.
   std::shared_ptr<const TraceRecorder> trace;
+  // Sketch telemetry; null unless config.sketch.enabled.
+  std::shared_ptr<const SketchTelemetry> sketch;
 };
 
 ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config);
@@ -101,6 +111,10 @@ struct LeafSpineExperimentConfig {
   ScenarioScript scenario;
   // Optional flight-recorder tracing across every bottleneck port.
   TraceConfig trace;
+  // Optional sketch telemetry across the same ports.
+  SketchConfig sketch;
+  // Measurement source for scenario ECN# re-estimation actions.
+  EcnEstimator estimator = EcnEstimator::kOracle;
 };
 
 ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config);
@@ -134,6 +148,8 @@ struct IncastExperimentConfig {
   Time max_sim_time = Time::Seconds(30);
   // Optional flight-recorder tracing of the bottleneck + query senders.
   TraceConfig trace;
+  // Optional sketch telemetry on the bottleneck.
+  SketchConfig sketch;
 
   static TcpConfig SmallInitialWindowTcp() {
     TcpConfig tcp;
@@ -156,6 +172,8 @@ struct IncastResult {
   std::size_t queries_completed = 0;
   // Flight-recorder trace; null unless config.trace.enabled.
   std::shared_ptr<const TraceRecorder> trace;
+  // Sketch telemetry; null unless config.sketch.enabled.
+  std::shared_ptr<const SketchTelemetry> sketch;
 };
 
 IncastResult RunIncast(const IncastExperimentConfig& config);

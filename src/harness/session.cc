@@ -6,9 +6,27 @@
 #include "core/ecn_sharp.h"
 #include "hostpath/rtt_probe.h"
 #include "sched/fifo_queue_disc.h"
+#include "sketch/estimator.h"
+#include "sketch/telemetry.h"
 #include "trace/trace_recorder.h"
 
 namespace ecnsharp {
+
+namespace {
+
+// Pushes freshly derived thresholds onto every ECN# bottleneck of `topo`;
+// queues not running ECN# are left untouched.
+void ApplyEcnSharpConfig(Topology& topo, const EcnSharpConfig& fresh) {
+  for (std::size_t b = 0; b < topo.bottleneck_count(); ++b) {
+    auto* fifo = dynamic_cast<FifoQueueDisc*>(&topo.bottleneck(b).queue_disc());
+    if (fifo == nullptr) continue;
+    auto* aqm = dynamic_cast<EcnSharpAqm*>(fifo->aqm());
+    if (aqm == nullptr) continue;
+    aqm->Reconfigure(fresh);
+  }
+}
+
+}  // namespace
 
 void ReestimateEcnSharp(Topology& topo) {
   std::vector<double> rtts_us;
@@ -18,17 +36,17 @@ void ReestimateEcnSharp(Topology& topo) {
   }
   const RttStats stats = ComputeRttStats(std::move(rtts_us));
   if (stats.status != RttProbeStatus::kOk) return;
-  const EcnSharpConfig fresh =
-      RuleOfThumbConfig(Time::FromMicroseconds(stats.p90_us),
-                        Time::FromMicroseconds(stats.mean_us),
-                        /*lambda=*/1.0);
-  for (std::size_t b = 0; b < topo.bottleneck_count(); ++b) {
-    auto* fifo = dynamic_cast<FifoQueueDisc*>(&topo.bottleneck(b).queue_disc());
-    if (fifo == nullptr) continue;
-    auto* aqm = dynamic_cast<EcnSharpAqm*>(fifo->aqm());
-    if (aqm == nullptr) continue;
-    aqm->Reconfigure(fresh);
-  }
+  ApplyEcnSharpConfig(topo,
+                      RuleOfThumbConfig(Time::FromMicroseconds(stats.p90_us),
+                                        Time::FromMicroseconds(stats.mean_us),
+                                        /*lambda=*/1.0));
+}
+
+void ReestimateEcnSharpFromSketch(Topology& topo,
+                                  const SketchTelemetry& telemetry, Time now) {
+  const SketchRttEstimate estimate = EstimateFromSketch(telemetry, now);
+  if (!estimate.valid) return;
+  ApplyEcnSharpConfig(topo, SketchRuleOfThumb(estimate, /*lambda=*/1.0));
 }
 
 ExperimentSession::ExperimentSession(ExperimentSessionConfig config)
@@ -39,15 +57,43 @@ void ExperimentSession::Bind(Topology& topo) {
 
   if (config_.trace.enabled) {
     recorder_ = std::make_shared<TraceRecorder>(config_.trace);
+  }
+  if (config_.sketch.enabled) {
+    telemetry_ = std::make_shared<SketchTelemetry>(config_.sketch);
+  }
+  if (recorder_ != nullptr || telemetry_ != nullptr) {
     // One site per bottleneck port, in bottleneck order (labels and site
-    // ids are therefore deterministic for a given topology).
+    // ids are therefore deterministic for a given topology). When both
+    // observers are on, a TeeTracer shares the port's single tracer slot.
     for (std::size_t b = 0; b < topo.bottleneck_count(); ++b) {
-      const std::uint16_t site =
-          recorder_->RegisterSite("bottleneck" + std::to_string(b));
-      topo.bottleneck(b).SetTracer(recorder_->PortTap(site));
+      const std::string label = "bottleneck" + std::to_string(b);
+      PacketTracer* trace_tap = nullptr;
+      PacketTracer* sketch_tap = nullptr;
+      if (recorder_ != nullptr) {
+        trace_tap = recorder_->PortTap(recorder_->RegisterSite(label));
+      }
+      if (telemetry_ != nullptr) {
+        sketch_tap = telemetry_->PortTap(telemetry_->RegisterSite(label));
+      }
+      if (trace_tap != nullptr && sketch_tap != nullptr) {
+        tee_taps_.emplace_back(trace_tap, sketch_tap);
+        topo.bottleneck(b).SetTracer(&tee_taps_.back());
+      } else {
+        topo.bottleneck(b).SetTracer(trace_tap != nullptr ? trace_tap
+                                                          : sketch_tap);
+      }
+    }
+    TransportTracer* transport = nullptr;
+    if (recorder_ != nullptr && telemetry_ != nullptr) {
+      tee_transport_.emplace(recorder_.get(), telemetry_.get());
+      transport = &*tee_transport_;
+    } else if (recorder_ != nullptr) {
+      transport = recorder_.get();
+    } else {
+      transport = telemetry_.get();
     }
     for (std::size_t i = 0; i < topo.host_count(); ++i) {
-      topo.stack(i).SetTransportTracer(recorder_.get());
+      topo.stack(i).SetTransportTracer(transport);
     }
   }
 
@@ -114,7 +160,13 @@ void ExperimentSession::Bind(Topology& topo) {
         });
       }
     };
-    hooks.reestimate_ecnsharp = [&topo] { ReestimateEcnSharp(topo); };
+    hooks.reestimate_ecnsharp = [this, &topo] {
+      if (config_.estimator == EcnEstimator::kSketch && telemetry_ != nullptr) {
+        ReestimateEcnSharpFromSketch(topo, *telemetry_, sim_.Now());
+      } else {
+        ReestimateEcnSharp(topo);
+      }
+    };
     if (recorder_ != nullptr) {
       hooks.on_action = [this](const ScenarioAction& action, Time at) {
         recorder_->OnScenarioAction(at, static_cast<std::uint8_t>(action.kind),
@@ -172,6 +224,7 @@ ExperimentResult ExperimentSession::Result() {
     result.link_down_drops = topo_->TotalLinkDownDrops();
   }
   result.trace = recorder_;
+  result.sketch = telemetry_;
   return result;
 }
 

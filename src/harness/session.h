@@ -20,25 +20,31 @@
 #define ECNSHARP_HARNESS_SESSION_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "dynamics/scenario.h"
 #include "dynamics/scenario_engine.h"
 #include "harness/experiment.h"
+#include "net/packet_tracer.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "sketch/sketch_config.h"
 #include "stats/fct_collector.h"
 #include "stats/queue_monitor.h"
 #include "topo/rtt_variation.h"
 #include "topo/topology.h"
 #include "trace/trace_config.h"
+#include "trace/transport_tracer.h"
 #include "workload/empirical_cdf.h"
 #include "workload/traffic_generator.h"
 
 namespace ecnsharp {
 
 class TraceRecorder;
+class SketchTelemetry;
 
 struct ExperimentSessionConfig {
   // Open-loop background workload; null runs no generator (the incast
@@ -73,6 +79,15 @@ struct ExperimentSessionConfig {
   // TraceRecorder, taps every bottleneck port, attaches transport tracing
   // to every host stack, and records scenario actions.
   TraceConfig trace;
+
+  // Optional sketch telemetry: when enabled, Bind() creates one
+  // SketchTelemetry and taps the same bottleneck ports and host stacks
+  // (tee'd with the flight recorder when both are on).
+  SketchConfig sketch;
+
+  // Which measurement source ECN# re-estimation actions read. kSketch
+  // requires sketch.enabled; otherwise the action falls back to the oracle.
+  EcnEstimator estimator = EcnEstimator::kOracle;
 };
 
 class ExperimentSession {
@@ -85,6 +100,8 @@ class ExperimentSession {
   ScenarioEngine* engine() { return engine_.get(); }
   // Null unless config.trace.enabled and Bind() has run.
   std::shared_ptr<const TraceRecorder> trace() const { return recorder_; }
+  // Null unless config.sketch.enabled and Bind() has run.
+  std::shared_ptr<const SketchTelemetry> sketch() const { return telemetry_; }
 
   // Wires the session to a topology: RTT extras, generator, monitors,
   // scenario hooks. Call exactly once, before Run().
@@ -112,6 +129,11 @@ class ExperimentSession {
   // not outlive the recorder, so the session must outlive the topology
   // (declaration order in the runners guarantees this).
   std::shared_ptr<TraceRecorder> recorder_;
+  std::shared_ptr<SketchTelemetry> telemetry_;
+  // Tee glue when recorder and telemetry share a tracer slot; deque/optional
+  // for stable addresses, same lifetime rules as the recorder taps.
+  std::deque<TeeTracer> tee_taps_;
+  std::optional<TeeTransportTracer> tee_transport_;
   Topology* topo_ = nullptr;
   // Scenario incast-burst bookkeeping: burst flows complete into the same
   // collector as the workload's, and Run() waits for them.
@@ -125,6 +147,13 @@ class ExperimentSession {
 // shift (§3.4's rule-of-thumb applied to fresh measurements). Queues not
 // running ECN# are left untouched.
 void ReestimateEcnSharp(Topology& topo);
+
+// Same re-derivation, but from sketch state only (what a real switch could
+// measure): the windowed base-RTT sketch's p90/mean as of `now`. A no-op if
+// the sketch window holds no admitted samples — the previous configuration
+// is the best available estimate then.
+void ReestimateEcnSharpFromSketch(Topology& topo,
+                                  const SketchTelemetry& telemetry, Time now);
 
 }  // namespace ecnsharp
 

@@ -137,6 +137,8 @@ RttStats ComputeRttStats(std::vector<double> rtts_us) {
   stats.std_us = s.stddev;
   stats.p90_us = s.p90;
   stats.p99_us = s.p99;
+  stats.p90_rank = NearestRank(s.count, 90.0);
+  stats.p99_rank = NearestRank(s.count, 99.0);
   return stats;
 }
 

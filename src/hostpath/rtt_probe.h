@@ -57,6 +57,13 @@ struct RttStats {
   double std_us = 0.0;
   double p90_us = 0.0;
   double p99_us = 0.0;
+  // The 1-based order statistics p90_us/p99_us refer to (nearest-rank:
+  // clamp(ceil(p/100 * samples), 1, samples); 0 with no samples). Lets a
+  // consumer compare percentiles like-for-like against an estimator whose
+  // quantiles come from a different sample count — e.g. the sketch-based
+  // estimator, which reports its own window sample count.
+  std::size_t p90_rank = 0;
+  std::size_t p99_rank = 0;
 };
 
 // Summarizes raw RTT samples (microseconds). Empty input yields zeroed

@@ -75,6 +75,46 @@ class PacketTracer {
   }
 };
 
+// Fans every event out to two tracers, so two observers (e.g. the flight
+// recorder and the sketch telemetry) can share a port's single tracer slot.
+// Either side may be null; both pointers are borrowed.
+class TeeTracer : public PacketTracer {
+ public:
+  TeeTracer(PacketTracer* first, PacketTracer* second)
+      : first_(first), second_(second) {}
+
+  void OnTransmit(const Packet& pkt, Time at) override {
+    if (first_ != nullptr) first_->OnTransmit(pkt, at);
+    if (second_ != nullptr) second_->OnTransmit(pkt, at);
+  }
+  void OnDrop(const Packet& pkt, Time at, DropReason reason) override {
+    if (first_ != nullptr) first_->OnDrop(pkt, at, reason);
+    if (second_ != nullptr) second_->OnDrop(pkt, at, reason);
+  }
+  void OnMark(const Packet& pkt, Time at) override {
+    if (first_ != nullptr) first_->OnMark(pkt, at);
+    if (second_ != nullptr) second_->OnMark(pkt, at);
+  }
+  void OnEnqueue(const Packet& pkt, Time at,
+                 const QueueSnapshot& after) override {
+    if (first_ != nullptr) first_->OnEnqueue(pkt, at, after);
+    if (second_ != nullptr) second_->OnEnqueue(pkt, at, after);
+  }
+  void OnDequeue(const Packet& pkt, Time at, const QueueSnapshot& after,
+                 Time sojourn) override {
+    if (first_ != nullptr) first_->OnDequeue(pkt, at, after, sojourn);
+    if (second_ != nullptr) second_->OnDequeue(pkt, at, after, sojourn);
+  }
+  void OnPurge(const Packet& pkt, Time at, const QueueSnapshot& after) override {
+    if (first_ != nullptr) first_->OnPurge(pkt, at, after);
+    if (second_ != nullptr) second_->OnPurge(pkt, at, after);
+  }
+
+ private:
+  PacketTracer* first_;
+  PacketTracer* second_;
+};
+
 // Collects formatted lines in memory (bounded).
 class TextTracer : public PacketTracer {
  public:

@@ -1,0 +1,75 @@
+#include "sim/key_value_spec.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ecnsharp {
+
+bool ScanKeyValueSpec(
+    const std::string& spec,
+    const std::function<bool(const std::string& key, const std::string& value,
+                             std::string* error)>& term,
+    std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  if (spec.empty()) return fail("empty spec");
+
+  std::vector<std::string> seen;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+
+    const std::size_t colon = item.find(':');
+    if (item.empty() || colon == std::string::npos || colon == 0 ||
+        colon + 1 >= item.size()) {
+      return fail("malformed term '" + item + "' (want key:value)");
+    }
+    const std::string key = item.substr(0, colon);
+    const std::string value = item.substr(colon + 1);
+    for (const std::string& previous : seen) {
+      if (previous == key) return fail("duplicate key '" + key + "'");
+    }
+    seen.push_back(key);
+
+    std::string term_error;
+    if (!term(key, value, &term_error)) {
+      if (term_error.empty()) {
+        term_error = "invalid term '" + item + "'";
+      }
+      return fail(std::move(term_error));
+    }
+  }
+  return true;
+}
+
+bool ParseSpecCount(const std::string& value, std::size_t max,
+                    std::size_t* out) {
+  if (value.empty() || value.size() > 8) return false;
+  std::uint64_t n = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (n == 0 || n > max) return false;
+  *out = static_cast<std::size_t>(n);
+  return true;
+}
+
+bool ParseSpecOnOff(const std::string& value, bool* out) {
+  if (value == "on") {
+    *out = true;
+    return true;
+  }
+  if (value == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ecnsharp

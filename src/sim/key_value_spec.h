@@ -1,0 +1,45 @@
+// Shared grammar for comma-separated "key:value" CLI specs.
+//
+// Both --trace=<spec> and --sketch=<spec> accept the same term grammar:
+//
+//   spec  := term (',' term)*
+//   term  := key ':' value
+//
+// ScanKeyValueSpec owns the scanning and the structural validation (empty
+// terms, missing colon, missing key or value, duplicate keys); the caller
+// supplies one callback that interprets each (key, value) pair and reports
+// domain errors through the same error string. Keeping the grammar in one
+// place means every spec-taking flag rejects the same malformed shapes with
+// the same kind of message — and, in particular, that `events:10,events:20`
+// is a hard error everywhere instead of a silent last-one-wins.
+#ifndef ECNSHARP_SIM_KEY_VALUE_SPEC_H_
+#define ECNSHARP_SIM_KEY_VALUE_SPEC_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace ecnsharp {
+
+// Scans `spec` term by term, invoking `term` for each key:value pair in
+// order. Returns false and fills `*error` (when non-null) on a structural
+// violation — empty spec, empty term, missing ':' or key or value, a key
+// seen twice — or when `term` returns false (the callback fills `*error`
+// itself; a generic message is substituted if it leaves the string empty).
+bool ScanKeyValueSpec(
+    const std::string& spec,
+    const std::function<bool(const std::string& key, const std::string& value,
+                             std::string* error)>& term,
+    std::string* error);
+
+// Parses a decimal count in [1, max] (at most 8 digits). Returns false on
+// non-digits, zero, or overflow of the cap.
+bool ParseSpecCount(const std::string& value, std::size_t max,
+                    std::size_t* out);
+
+// Parses "on" / "off".
+bool ParseSpecOnOff(const std::string& value, bool* out);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SIM_KEY_VALUE_SPEC_H_

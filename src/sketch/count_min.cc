@@ -1,0 +1,56 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+
+namespace ecnsharp {
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(std::max<std::size_t>(width, 1)),
+      depth_(std::clamp<std::size_t>(depth, 1, 16)) {
+  row_seeds_.reserve(depth_);
+  for (std::size_t row = 0; row < depth_; ++row) {
+    row_seeds_.push_back(SketchMix64(seed + row * 0x9e3779b97f4a7c15ull));
+  }
+  counters_.assign(width_ * depth_, 0);
+}
+
+std::uint64_t CountMinSketch::Update(std::uint64_t key, std::uint64_t count) {
+  total_count_ += count;
+  std::uint64_t estimate = UINT64_MAX;
+  std::size_t slots[16];  // depth_ is clamped to [1, 16]
+  const std::size_t rows = depth_;
+  for (std::size_t row = 0; row < rows; ++row) {
+    slots[row] = row * width_ + Slot(row, key);
+    estimate = std::min(estimate, counters_[slots[row]]);
+  }
+  // Conservative update: no row needs to exceed (previous estimate + count)
+  // to preserve estimate >= true count, so rows already above it (inflated
+  // by other keys' collisions) are left untouched.
+  const std::uint64_t target = estimate + count;
+  for (std::size_t row = 0; row < rows; ++row) {
+    counters_[slots[row]] = std::max(counters_[slots[row]], target);
+  }
+  return target;
+}
+
+std::uint64_t CountMinSketch::Estimate(std::uint64_t key) const {
+  std::uint64_t estimate = UINT64_MAX;
+  for (std::size_t row = 0; row < depth_; ++row) {
+    estimate = std::min(estimate, counters_[row * width_ + Slot(row, key)]);
+  }
+  return estimate;
+}
+
+void CountMinSketch::Clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  total_count_ = 0;
+}
+
+std::size_t CountMinSketch::WidthForBudget(std::size_t bytes,
+                                           std::size_t depth) {
+  depth = std::max<std::size_t>(depth, 1);
+  return std::max<std::size_t>(bytes / (depth * sizeof(std::uint64_t)), 1);
+}
+
+}  // namespace ecnsharp

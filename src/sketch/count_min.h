@@ -1,0 +1,74 @@
+// Count-min sketch with conservative update.
+//
+// A d x w matrix of 64-bit counters. Each update hashes the key into one
+// counter per row; the estimate is the minimum over the d counters, which is
+// always >= the true count (collisions only ever add). Conservative update
+// raises each row only as far as the new estimate requires — counters strictly
+// off the key's minimum path are left alone — which keeps the one-sided
+// guarantee while substantially reducing the overestimate in practice (the
+// property bound tested in tests/sketch_property_test.cc is the classic
+// E[error] <= N / w per query, N = total inserted count).
+//
+// Counters are 64-bit so byte counts cannot saturate (a production P4
+// register would be 32-bit with an overflow epoch; we trade 2x memory for
+// not having to model that here — the memory accounting is still exact).
+#ifndef ECNSHARP_SKETCH_COUNT_MIN_H_
+#define ECNSHARP_SKETCH_COUNT_MIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ecnsharp {
+
+// 64-bit finalizer (splitmix64): decorrelates the per-row hashes derived
+// from one key hash. Exposed for the other sketches sharing the scheme.
+inline std::uint64_t SketchMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+class CountMinSketch {
+ public:
+  // `width` counters per row, `depth` rows (clamped to [1, 16], matching
+  // the spec grammar). A zero width is clamped to one so a degenerate
+  // budget still yields a working (if useless) sketch instead of UB.
+  CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed);
+
+  // Adds `count` to `key` (conservative update) and returns the new
+  // estimate for the key.
+  std::uint64_t Update(std::uint64_t key, std::uint64_t count);
+
+  // Point query: min over rows; >= the true count, never under.
+  std::uint64_t Estimate(std::uint64_t key) const;
+
+  void Clear();
+
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+  std::uint64_t total_count() const { return total_count_; }
+  std::size_t MemoryBytes() const {
+    return counters_.size() * sizeof(counters_[0]);
+  }
+
+  // Widest row count that fits `bytes` at the given depth (>= 1).
+  static std::size_t WidthForBudget(std::size_t bytes, std::size_t depth);
+
+ private:
+  std::size_t Slot(std::size_t row, std::uint64_t key) const {
+    return static_cast<std::size_t>(SketchMix64(key ^ row_seeds_[row]) %
+                                    width_);
+  }
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::vector<std::uint64_t> row_seeds_;
+  std::vector<std::uint64_t> counters_;  // row-major, depth_ x width_
+  std::uint64_t total_count_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,31 @@
+#include "sketch/estimator.h"
+
+#include "sketch/telemetry.h"
+
+namespace ecnsharp {
+
+SketchRttEstimate EstimateFromSketch(const SketchTelemetry& telemetry,
+                                     Time now) {
+  SketchRttEstimate estimate;
+  const WindowedRttSketch& rtt = telemetry.rtt_sketch();
+  estimate.samples = rtt.SampleCount(now);
+  estimate.offered = telemetry.rtt_samples_offered();
+  if (estimate.samples == 0) return estimate;
+  estimate.valid = true;
+  estimate.mean_us = rtt.MeanUs(now);
+  estimate.p50_us = rtt.QuantileUs(50.0, now);
+  estimate.p90_us = rtt.QuantileUs(90.0, now);
+  estimate.p99_us = rtt.QuantileUs(99.0, now);
+  for (const SketchTelemetry::HeavyHitter& hh : telemetry.HeavyHitters()) {
+    estimate.heavy_rate_bps += telemetry.EstimateRateBps(hh.flow, now);
+  }
+  return estimate;
+}
+
+EcnSharpConfig SketchRuleOfThumb(const SketchRttEstimate& estimate,
+                                 double lambda) {
+  return RuleOfThumbConfig(Time::FromMicroseconds(estimate.p90_us),
+                           Time::FromMicroseconds(estimate.mean_us), lambda);
+}
+
+}  // namespace ecnsharp

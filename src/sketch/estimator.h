@@ -1,0 +1,55 @@
+// SketchRttEstimator: ECN# parameter inputs derived from sketch state.
+//
+// The oracle re-estimation path (harness/session.cc) reads every host's
+// true base RTT — information a real deployment does not have. This
+// estimator derives the same inputs (a high-percentile RTT and the mean)
+// from what a switch can actually measure: the windowed base-RTT sketch fed
+// by transport RTT samples, plus the rate ring for context on who is
+// driving the load. The scenario engine's re-estimation hook can then be
+// pointed at either source (--estimator {oracle,sketch}).
+#ifndef ECNSHARP_SKETCH_ESTIMATOR_H_
+#define ECNSHARP_SKETCH_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "core/ecn_sharp.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+class SketchTelemetry;
+
+struct SketchRttEstimate {
+  // False when the window holds no admitted RTT samples; the caller should
+  // keep the previous AQM configuration in that case.
+  bool valid = false;
+
+  // Admitted samples inside the window backing the quantiles, plus the raw
+  // offered count for admission-ratio context (mirrors RttStats::samples /
+  // the probe's percentile-rank metadata for like-for-like comparison).
+  std::uint64_t samples = 0;
+  std::uint64_t offered = 0;
+
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+
+  // Aggregate estimated send rate of the heavy-hitter set at query time
+  // (diagnostic context for the export; not an AQM input).
+  double heavy_rate_bps = 0.0;
+};
+
+// Summarizes the telemetry's RTT window as of `now`.
+SketchRttEstimate EstimateFromSketch(const SketchTelemetry& telemetry,
+                                     Time now);
+
+// §3.4 rule of thumb applied to a sketch estimate: ins_target from the
+// sketch p90, pst_target from the sketch mean — the same derivation the
+// oracle path feeds with true base RTTs.
+EcnSharpConfig SketchRuleOfThumb(const SketchRttEstimate& estimate,
+                                 double lambda);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SKETCH_ESTIMATOR_H_

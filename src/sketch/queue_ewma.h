@@ -1,0 +1,56 @@
+// Per-port queue-occupancy EWMA.
+//
+// Tiny fixed-cost estimator: each enqueue/dequeue observation folds the
+// instantaneous backlog into exponentially weighted moving averages of
+// packets and bytes (alpha from SketchConfig::queue_alpha, DCTCP-style
+// g = 1/8 by default). Tracks the peak backlog as well, since transient
+// bursts are exactly what an average hides. Header-only: two doubles and
+// three integers per port, no allocation on the packet path.
+#ifndef ECNSHARP_SKETCH_QUEUE_EWMA_H_
+#define ECNSHARP_SKETCH_QUEUE_EWMA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace ecnsharp {
+
+class QueueOccupancyEwma {
+ public:
+  explicit QueueOccupancyEwma(double alpha = 0.125)
+      : alpha_(std::clamp(alpha, 0.001, 1.0)) {}
+
+  void Observe(std::size_t packets, std::size_t bytes) {
+    const double p = static_cast<double>(packets);
+    const double b = static_cast<double>(bytes);
+    if (samples_ == 0) {
+      ewma_packets_ = p;
+      ewma_bytes_ = b;
+    } else {
+      ewma_packets_ += alpha_ * (p - ewma_packets_);
+      ewma_bytes_ += alpha_ * (b - ewma_bytes_);
+    }
+    peak_packets_ = std::max(peak_packets_, packets);
+    peak_bytes_ = std::max(peak_bytes_, bytes);
+    ++samples_;
+  }
+
+  double ewma_packets() const { return ewma_packets_; }
+  double ewma_bytes() const { return ewma_bytes_; }
+  std::size_t peak_packets() const { return peak_packets_; }
+  std::size_t peak_bytes() const { return peak_bytes_; }
+  std::uint64_t samples() const { return samples_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double ewma_packets_ = 0.0;
+  double ewma_bytes_ = 0.0;
+  std::size_t peak_packets_ = 0;
+  std::size_t peak_bytes_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SKETCH_QUEUE_EWMA_H_

@@ -1,0 +1,106 @@
+#include "sketch/rate_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecnsharp {
+
+WindowedRateSketch::WindowedRateSketch(std::size_t width, std::size_t depth,
+                                       std::size_t epochs, Time epoch_length,
+                                       double decay, std::uint64_t seed)
+    : epoch_length_(epoch_length.IsPositive() ? epoch_length
+                                              : Time::Milliseconds(5)),
+      decay_(std::clamp(decay, 0.01, 1.0)) {
+  epochs = std::max<std::size_t>(epochs, 2);
+  ring_.reserve(epochs);
+  for (std::size_t i = 0; i < epochs; ++i) {
+    ring_.emplace_back(width, depth, SketchMix64(seed + i));
+  }
+  // Slot i starts as epoch i so every slot's stored index is distinct; all
+  // sub-sketches are empty, so pre-claiming indices is harmless.
+  slot_epoch_.resize(epochs);
+  for (std::size_t i = 0; i < epochs; ++i) slot_epoch_[i] = i;
+  current_epoch_ = 0;
+}
+
+std::uint64_t WindowedRateSketch::EpochIndexFor(Time now) const {
+  if (!now.IsPositive()) return 0;
+  // Integer division on the raw ns so epoch binning is exact.
+  return static_cast<std::uint64_t>(now.ns() / epoch_length_.ns());
+}
+
+double WindowedRateSketch::AgeWeight(std::uint64_t age) const {
+  if (age >= ring_.size()) return 0.0;
+  return std::pow(decay_, static_cast<double>(age));
+}
+
+void WindowedRateSketch::RotateTo(std::uint64_t epoch_index) {
+  if (epoch_index <= current_epoch_) return;
+  // If the jump spans more than one full ring, only the last `ring size`
+  // epochs can hold data; clear exactly the slots being re-claimed.
+  const std::uint64_t first = std::max(
+      current_epoch_ + 1,
+      epoch_index >= ring_.size() ? epoch_index - ring_.size() + 1 : 0);
+  for (std::uint64_t e = first; e <= epoch_index; ++e) {
+    const std::size_t slot = static_cast<std::size_t>(e % ring_.size());
+    ring_[slot].Clear();
+    slot_epoch_[slot] = e;
+  }
+  current_epoch_ = epoch_index;
+}
+
+void WindowedRateSketch::Update(std::uint64_t key, std::uint64_t bytes,
+                                Time now) {
+  RotateTo(EpochIndexFor(now));
+  const std::size_t slot =
+      static_cast<std::size_t>(current_epoch_ % ring_.size());
+  ring_[slot].Update(key, bytes);
+}
+
+double WindowedRateSketch::WindowWeightedSeconds(Time now) const {
+  // Decayed duration of every epoch that has existed inside the window:
+  // a pure function of (now, window, decay), deliberately independent of
+  // sketch contents so an exact evaluation mirror reproduces it verbatim.
+  // Epochs with zero traffic still elapsed, so they dilute the rate; the
+  // newest epoch contributes only its elapsed fraction so a query early in
+  // an epoch is not diluted by time that has not passed yet.
+  const std::uint64_t now_epoch = EpochIndexFor(now);
+  const double epoch_seconds = epoch_length_.ToSeconds();
+  const std::uint64_t max_age =
+      std::min<std::uint64_t>(ring_.size() - 1, now_epoch);
+  double weighted_seconds = 0.0;
+  for (std::uint64_t age = 0; age <= max_age; ++age) {
+    double seconds = epoch_seconds;
+    if (age == 0) {
+      const double elapsed =
+          now.ToSeconds() - static_cast<double>(now_epoch) * epoch_seconds;
+      seconds = std::clamp(elapsed, epoch_seconds * 0.1, epoch_seconds);
+    }
+    weighted_seconds += AgeWeight(age) * seconds;
+  }
+  return weighted_seconds;
+}
+
+double WindowedRateSketch::EstimateRateBps(std::uint64_t key, Time now) const {
+  const std::uint64_t now_epoch =
+      std::max(EpochIndexFor(now), current_epoch_);
+  double weighted_bytes = 0.0;
+  for (std::size_t slot = 0; slot < ring_.size(); ++slot) {
+    const std::uint64_t epoch = slot_epoch_[slot];
+    if (epoch > current_epoch_) continue;  // pre-claimed, never reached
+    const double weight = AgeWeight(now_epoch - epoch);
+    if (weight <= 0.0) continue;
+    weighted_bytes += weight * static_cast<double>(ring_[slot].Estimate(key));
+  }
+  const double weighted_seconds = WindowWeightedSeconds(now);
+  if (weighted_seconds <= 0.0) return 0.0;
+  return 8.0 * weighted_bytes / weighted_seconds;
+}
+
+std::size_t WindowedRateSketch::MemoryBytes() const {
+  std::size_t bytes = slot_epoch_.size() * sizeof(slot_epoch_[0]);
+  for (const CountMinSketch& s : ring_) bytes += s.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace ecnsharp

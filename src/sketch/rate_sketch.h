@@ -1,0 +1,78 @@
+// Windowed per-flow rate estimation over a ring of epoch sub-sketches.
+//
+// WaveSketch-style design: time is cut into fixed epochs; each epoch owns a
+// small count-min sub-sketch of the bytes observed during it. The ring keeps
+// the most recent `epochs` of them, overwriting (and clearing) the oldest on
+// rotation, so memory is bounded regardless of run length or flow count.
+//
+// A rate query merges the per-epoch estimates with exponential recency
+// decay: epoch of age a contributes weight decay^a of both its bytes and
+// its duration, so
+//
+//   rate = sum_a decay^a * bytes_a / sum_a decay^a * duration_a
+//
+// which answers "what is this flow sending *now*" rather than a lifetime
+// average — bursts show up within one epoch and fade out of the estimate as
+// their epochs age past the window.
+#ifndef ECNSHARP_SKETCH_RATE_SKETCH_H_
+#define ECNSHARP_SKETCH_RATE_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "sketch/count_min.h"
+
+namespace ecnsharp {
+
+class WindowedRateSketch {
+ public:
+  // `width` x `depth` counters per epoch sub-sketch, `epochs` ring slots.
+  WindowedRateSketch(std::size_t width, std::size_t depth, std::size_t epochs,
+                     Time epoch_length, double decay, std::uint64_t seed);
+
+  // Folds `bytes` for `key` into the current epoch, rotating the ring first
+  // if `now` has moved past the epoch boundary. `now` must be monotonically
+  // non-decreasing across calls (simulation time).
+  void Update(std::uint64_t key, std::uint64_t bytes, Time now);
+
+  // Decay-merged estimate in bytes per second as of `now`. Epochs that
+  // ended before `now - window` have been (or are treated as) cleared.
+  double EstimateRateBps(std::uint64_t key, Time now) const;
+
+  // The rate denominator: decay-weighted seconds of window epochs that have
+  // existed by `now` (partial credit for the in-progress epoch). Shared
+  // with the exact mirror so sketch and ground truth divide by the same
+  // time base.
+  double WindowWeightedSeconds(Time now) const;
+
+  // Index of the epoch containing `now` (monotonic counter since t=0).
+  // Exposed so an exact evaluation mirror can bin its ground truth into
+  // identical epochs.
+  std::uint64_t EpochIndexFor(Time now) const;
+
+  Time epoch_length() const { return epoch_length_; }
+  std::size_t window_epochs() const { return ring_.size(); }
+  double decay() const { return decay_; }
+  std::size_t MemoryBytes() const;
+
+  // The decay weight an epoch of age `age` carries in the merge; shared
+  // with the exact mirror so both sides weight ground truth identically.
+  double AgeWeight(std::uint64_t age) const;
+
+ private:
+  void RotateTo(std::uint64_t epoch_index);
+
+  Time epoch_length_;
+  double decay_;
+  std::vector<CountMinSketch> ring_;
+  // Epoch index stored in each ring slot (slot = index % ring size); slots
+  // whose stored index is stale are logically empty.
+  std::vector<std::uint64_t> slot_epoch_;
+  std::uint64_t current_epoch_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SKETCH_RATE_SKETCH_H_

@@ -1,0 +1,184 @@
+#include "sketch/rtt_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sketch/count_min.h"
+
+namespace ecnsharp {
+
+namespace {
+// ln(kGamma), precomputed for bucket math.
+const double kLogGamma = std::log(WindowedRttSketch::kGamma);
+}  // namespace
+
+WindowedRttSketch::WindowedRttSketch(std::size_t width, std::size_t depth,
+                                     std::size_t epochs, Time epoch_length,
+                                     std::uint64_t seed)
+    : epoch_length_(epoch_length.IsPositive() ? epoch_length
+                                              : Time::Milliseconds(5)),
+      width_(std::max<std::size_t>(width, 1)),
+      depth_(std::clamp<std::size_t>(depth, 1, 16)) {
+  row_seeds_.reserve(depth_);
+  for (std::size_t row = 0; row < depth_; ++row) {
+    // Offset the seed stream from the count-min's so the matrices don't
+    // share collision patterns.
+    row_seeds_.push_back(SketchMix64(seed + 0x51ed270b * (row + 1)));
+  }
+  epochs = std::max<std::size_t>(epochs, 2);
+  epochs_.resize(epochs);
+  for (Epoch& e : epochs_) {
+    e.min_matrix.assign(width_ * depth_, kEmpty);
+    e.hist.assign(kBuckets, 0);
+  }
+  slot_epoch_.resize(epochs);
+  for (std::size_t i = 0; i < epochs; ++i) slot_epoch_[i] = i;
+}
+
+std::size_t WindowedRttSketch::Slot(std::size_t row, std::uint64_t key) const {
+  return static_cast<std::size_t>(SketchMix64(key ^ row_seeds_[row]) % width_);
+}
+
+std::uint64_t WindowedRttSketch::EpochIndexFor(Time now) const {
+  if (!now.IsPositive()) return 0;
+  return static_cast<std::uint64_t>(now.ns() / epoch_length_.ns());
+}
+
+void WindowedRttSketch::RotateTo(std::uint64_t epoch_index) {
+  if (epoch_index <= current_epoch_) return;
+  const std::uint64_t first = std::max(
+      current_epoch_ + 1,
+      epoch_index >= epochs_.size() ? epoch_index - epochs_.size() + 1 : 0);
+  for (std::uint64_t e = first; e <= epoch_index; ++e) {
+    const std::size_t slot = static_cast<std::size_t>(e % epochs_.size());
+    Epoch& ep = epochs_[slot];
+    std::fill(ep.min_matrix.begin(), ep.min_matrix.end(), kEmpty);
+    std::fill(ep.hist.begin(), ep.hist.end(), 0);
+    ep.samples = 0;
+    slot_epoch_[slot] = e;
+  }
+  current_epoch_ = epoch_index;
+}
+
+bool WindowedRttSketch::AddSample(std::uint64_t key, Time rtt, Time now) {
+  if (!rtt.IsPositive()) return false;
+  RotateTo(EpochIndexFor(now));
+  Epoch& ep =
+      epochs_[static_cast<std::size_t>(current_epoch_ % epochs_.size())];
+  const double us_exact = rtt.ToMicroseconds();
+  const std::uint32_t us = static_cast<std::uint32_t>(
+      std::clamp(us_exact, 1.0, static_cast<double>(kEmpty - 1)));
+
+  // Every cell holds the min over all keys that hashed to it, so each cell
+  // is <= this flow's true epoch-minimum; the max over rows is the tightest
+  // available estimate of that minimum.
+  std::size_t slots[16];  // depth_ is clamped to [1, 16]
+  std::uint32_t estimate = 0;
+  for (std::size_t row = 0; row < depth_; ++row) {
+    slots[row] = row * width_ + Slot(row, key);
+    estimate = std::max(estimate, ep.min_matrix[slots[row]]);
+  }
+  // Admit only samples that improve on the flow's epoch minimum. A fresh
+  // epoch has estimate == kEmpty, so the first sample per flow per epoch is
+  // always admitted (unless every row already collided with a lower-RTT
+  // flow, which needs d simultaneous collisions).
+  if (us >= estimate) return false;
+  for (std::size_t row = 0; row < depth_; ++row) {
+    ep.min_matrix[slots[row]] = std::min(ep.min_matrix[slots[row]], us);
+  }
+  ++ep.hist[BucketFor(static_cast<double>(us))];
+  ++ep.samples;
+  return true;
+}
+
+std::size_t WindowedRttSketch::BucketFor(double us) {
+  if (us <= 1.0) return 0;
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::log(us) / kLogGamma);
+  return std::min(bucket, kBuckets - 1);
+}
+
+double WindowedRttSketch::BucketMidUs(std::size_t bucket) {
+  // Geometric midpoint of [gamma^b, gamma^(b+1)).
+  return std::pow(kGamma, static_cast<double>(bucket) + 0.5);
+}
+
+template <typename Fn>
+void WindowedRttSketch::ForEachWindowEpoch(Time now, Fn fn) const {
+  const std::uint64_t now_epoch =
+      std::max(EpochIndexFor(now), current_epoch_);
+  for (std::size_t slot = 0; slot < epochs_.size(); ++slot) {
+    const std::uint64_t epoch = slot_epoch_[slot];
+    if (epoch > current_epoch_) continue;  // pre-claimed, never reached
+    if (now_epoch - epoch >= epochs_.size()) continue;  // aged out
+    fn(epochs_[slot]);
+  }
+}
+
+std::uint64_t WindowedRttSketch::SampleCount(Time now) const {
+  std::uint64_t total = 0;
+  ForEachWindowEpoch(now, [&total](const Epoch& ep) { total += ep.samples; });
+  return total;
+}
+
+double WindowedRttSketch::QuantileUs(double percentile, Time now) const {
+  std::uint64_t merged[kBuckets] = {};
+  std::uint64_t total = 0;
+  ForEachWindowEpoch(now, [&merged, &total](const Epoch& ep) {
+    for (std::size_t b = 0; b < kBuckets; ++b) merged[b] += ep.hist[b];
+    total += ep.samples;
+  });
+  if (total == 0) return 0.0;
+  percentile = std::clamp(percentile, 0.0, 100.0);
+  // Nearest-rank: smallest bucket whose cumulative count reaches
+  // ceil(p/100 * total), matching RttProbe's percentile definition.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(percentile / 100.0 * static_cast<double>(total))),
+      1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += merged[b];
+    if (cumulative >= rank) return BucketMidUs(b);
+  }
+  return BucketMidUs(kBuckets - 1);
+}
+
+double WindowedRttSketch::MeanUs(Time now) const {
+  double weighted = 0.0;
+  std::uint64_t total = 0;
+  ForEachWindowEpoch(now, [&weighted, &total](const Epoch& ep) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (ep.hist[b] != 0) {
+        weighted += static_cast<double>(ep.hist[b]) * BucketMidUs(b);
+      }
+    }
+    total += ep.samples;
+  });
+  if (total == 0) return 0.0;
+  return weighted / static_cast<double>(total);
+}
+
+std::size_t WindowedRttSketch::MemoryBytes() const {
+  std::size_t bytes = slot_epoch_.size() * sizeof(slot_epoch_[0]);
+  for (const Epoch& ep : epochs_) {
+    bytes += ep.min_matrix.size() * sizeof(ep.min_matrix[0]);
+    bytes += ep.hist.size() * sizeof(ep.hist[0]);
+    bytes += sizeof(ep.samples);
+  }
+  return bytes;
+}
+
+std::size_t WindowedRttSketch::WidthForBudget(std::size_t bytes,
+                                              std::size_t depth,
+                                              std::size_t epochs) {
+  depth = std::clamp<std::size_t>(depth, 1, 16);
+  epochs = std::max<std::size_t>(epochs, 2);
+  const std::size_t per_epoch = bytes / epochs;
+  const std::size_t hist_bytes = kBuckets * sizeof(std::uint32_t);
+  if (per_epoch <= hist_bytes) return 1;
+  return std::max<std::size_t>(
+      (per_epoch - hist_bytes) / (depth * sizeof(std::uint32_t)), 1);
+}
+
+}  // namespace ecnsharp

@@ -1,0 +1,98 @@
+// Windowed base-RTT distribution sketch.
+//
+// ECN# needs a high percentile of the *base* (propagation) RTT across flows
+// to size its instantaneous marking target. Transport RTT samples are easy
+// to tap but most of them are inflated by queueing; the trick is to keep,
+// per epoch, a d x w matrix of per-flow running minima (a "min sketch") and
+// only admit a sample into the epoch's RTT histogram when it lowers the
+// flow's current minimum estimate. Each active flow thus contributes a
+// short decreasing run per epoch — its first sample plus every improvement
+// — which concentrates the histogram mass near each flow's base RTT while
+// discarding the queue-inflated bulk.
+//
+// The epoch ring bounds memory and, critically, makes the estimator track
+// RTT *increases*: minima are per-epoch, so after a path change the old
+// (lower) floor ages out of the window within `epochs` epochs instead of
+// pinning the estimate low forever.
+//
+// Histograms are log-scaled (geometric buckets, ~8% resolution) so one
+// fixed array spans microseconds to minutes; quantiles are answered by a
+// nearest-rank walk over the merged window histogram.
+#ifndef ECNSHARP_SKETCH_RTT_SKETCH_H_
+#define ECNSHARP_SKETCH_RTT_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+class WindowedRttSketch {
+ public:
+  // Geometric bucket layout: bucket i covers [kGamma^i, kGamma^(i+1)) us.
+  static constexpr std::size_t kBuckets = 256;
+  static constexpr double kGamma = 1.08;
+
+  // `width` x `depth` min-matrix cells per epoch, `epochs` ring slots.
+  WindowedRttSketch(std::size_t width, std::size_t depth, std::size_t epochs,
+                    Time epoch_length, std::uint64_t seed);
+
+  // Offers one transport RTT measurement. `now` must be monotonically
+  // non-decreasing (simulation time). Returns true if the sample was
+  // admitted into the histogram (i.e. it lowered the flow's minimum).
+  bool AddSample(std::uint64_t key, Time rtt, Time now);
+
+  // Nearest-rank percentile (0 < percentile <= 100) in microseconds over
+  // the merged window histogram; 0 if the window holds no samples.
+  double QuantileUs(double percentile, Time now) const;
+
+  // Mean of admitted samples (bucket midpoints) over the window.
+  double MeanUs(Time now) const;
+
+  // Admitted samples currently inside the window.
+  std::uint64_t SampleCount(Time now) const;
+
+  std::size_t MemoryBytes() const;
+  Time epoch_length() const { return epoch_length_; }
+  std::size_t window_epochs() const { return epochs_.size(); }
+
+  // Largest min-matrix width such that `epochs` ring slots (matrix +
+  // histogram) fit in `bytes`.
+  static std::size_t WidthForBudget(std::size_t bytes, std::size_t depth,
+                                    std::size_t epochs);
+
+  static std::size_t BucketFor(double us);
+  static double BucketMidUs(std::size_t bucket);
+
+ private:
+  struct Epoch {
+    // Per-cell running minimum in us; kEmpty marks a never-written cell.
+    std::vector<std::uint32_t> min_matrix;
+    std::vector<std::uint32_t> hist;
+    std::uint64_t samples = 0;
+  };
+  static constexpr std::uint32_t kEmpty = UINT32_MAX;
+
+  std::uint64_t EpochIndexFor(Time now) const;
+  void RotateTo(std::uint64_t epoch_index);
+  std::size_t Slot(std::size_t row, std::uint64_t key) const;
+
+  // Applies `fn(hist)` to every epoch histogram still inside the window at
+  // `now`.
+  template <typename Fn>
+  void ForEachWindowEpoch(Time now, Fn fn) const;
+
+  Time epoch_length_;
+  std::size_t width_;
+  std::size_t depth_;
+  std::vector<std::uint64_t> row_seeds_;
+  std::vector<Epoch> epochs_;
+  std::vector<std::uint64_t> slot_epoch_;
+  std::uint64_t current_epoch_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_SKETCH_RTT_SKETCH_H_

@@ -11,6 +11,16 @@ double PercentileSorted(const std::vector<double>& sorted, double p) {
   return sorted[idx];
 }
 
+std::size_t NearestRank(std::size_t count, double p) {
+  if (count == 0) return 0;
+  // Same math as PercentileSorted, reported 1-based.
+  const double rank = p / 100.0 * static_cast<double>(count);
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  idx = std::min(idx, count - 1);
+  return idx + 1;
+}
+
 double Percentile(std::vector<double> values, double p) {
   std::sort(values.begin(), values.end());
   return PercentileSorted(values, p);

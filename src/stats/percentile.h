@@ -24,6 +24,13 @@ double Percentile(std::vector<double> values, double p);
 // Passing an unsorted vector is undefined (returns an arbitrary element).
 double PercentileSorted(const std::vector<double>& sorted, double p);
 
+// The 1-based index PercentileSorted selects from a sample of `count`
+// elements: clamp(ceil(p/100 * count), 1, count), 0 when count is 0.
+// Exposed so estimators can report *which* order statistic a percentile
+// refers to (e.g. comparing an oracle percentile against a sketch quantile
+// of a different sample size).
+std::size_t NearestRank(std::size_t count, double p);
+
 double Mean(const std::vector<double>& values);
 double StdDev(const std::vector<double>& values);
 

@@ -1,36 +1,12 @@
 #include "trace/trace_config.h"
 
-#include <cstdint>
+#include "sim/key_value_spec.h"
 
 namespace ecnsharp {
 
 namespace {
 
 constexpr std::size_t kMaxRingCapacity = 16u * 1024u * 1024u;
-
-bool ParseCount(const std::string& value, std::size_t* out) {
-  if (value.empty() || value.size() > 8) return false;
-  std::uint64_t n = 0;
-  for (char c : value) {
-    if (c < '0' || c > '9') return false;
-    n = n * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  if (n == 0 || n > kMaxRingCapacity) return false;
-  *out = static_cast<std::size_t>(n);
-  return true;
-}
-
-bool ParseOnOff(const std::string& value, bool* out) {
-  if (value == "on") {
-    *out = true;
-    return true;
-  }
-  if (value == "off") {
-    *out = false;
-    return true;
-  }
-  return false;
-}
 
 }  // namespace
 
@@ -52,47 +28,40 @@ bool ParseTraceSpec(const std::string& spec, TraceConfig* out,
     if (error != nullptr) *error = "empty trace spec";
     return false;
   }
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    std::size_t comma = spec.find(',', pos);
-    if (comma == std::string::npos) comma = spec.size();
-    const std::string term = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    const std::size_t colon = term.find(':');
-    if (term.empty() || colon == std::string::npos || colon == 0 ||
-        colon + 1 >= term.size()) {
-      if (error != nullptr) {
-        *error = "malformed trace term '" + term + "' (want key:value)";
-      }
-      return false;
-    }
-    const std::string key = term.substr(0, colon);
-    const std::string value = term.substr(colon + 1);
-    if (key == "events") {
-      if (!ParseCount(value, &config.ring_capacity)) {
-        if (error != nullptr) *error = "bad events count '" + value + "'";
-        return false;
-      }
-    } else if (key == "points") {
-      if (!ParseCount(value, &config.max_series_points)) {
-        if (error != nullptr) *error = "bad points count '" + value + "'";
-        return false;
-      }
-    } else if (key == "queue") {
-      if (!ParseOnOff(value, &config.queue_series)) {
-        if (error != nullptr) *error = "bad queue value '" + value + "'";
-        return false;
-      }
-    } else if (key == "flows") {
-      if (!ParseOnOff(value, &config.flow_series)) {
-        if (error != nullptr) *error = "bad flows value '" + value + "'";
-        return false;
-      }
-    } else {
-      if (error != nullptr) *error = "unknown trace key '" + key + "'";
-      return false;
-    }
-  }
+  const bool ok = ScanKeyValueSpec(
+      spec,
+      [&config](const std::string& key, const std::string& value,
+                std::string* term_error) {
+        if (key == "events") {
+          if (!ParseSpecCount(value, kMaxRingCapacity,
+                              &config.ring_capacity)) {
+            *term_error = "bad events count '" + value + "'";
+            return false;
+          }
+        } else if (key == "points") {
+          if (!ParseSpecCount(value, kMaxRingCapacity,
+                              &config.max_series_points)) {
+            *term_error = "bad points count '" + value + "'";
+            return false;
+          }
+        } else if (key == "queue") {
+          if (!ParseSpecOnOff(value, &config.queue_series)) {
+            *term_error = "bad queue value '" + value + "'";
+            return false;
+          }
+        } else if (key == "flows") {
+          if (!ParseSpecOnOff(value, &config.flow_series)) {
+            *term_error = "bad flows value '" + value + "'";
+            return false;
+          }
+        } else {
+          *term_error = "unknown trace key '" + key + "'";
+          return false;
+        }
+        return true;
+      },
+      error);
+  if (!ok) return false;
   *out = config;
   return true;
 }

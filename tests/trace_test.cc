@@ -58,10 +58,23 @@ TEST(TraceSpecTest, ParsesKeyValueTerms) {
   EXPECT_FALSE(config.queue_series);
   EXPECT_FALSE(config.flow_series);
 
-  // Later terms override earlier ones; unmentioned fields keep defaults.
-  ASSERT_TRUE(ParseTraceSpec("events:10,events:20", &config, &error));
-  EXPECT_EQ(config.ring_capacity, 20u);
+  // Unmentioned fields keep defaults.
+  ASSERT_TRUE(ParseTraceSpec("events:10", &config, &error));
+  EXPECT_EQ(config.ring_capacity, 10u);
   EXPECT_TRUE(config.queue_series);
+}
+
+TEST(TraceSpecTest, RejectsDuplicateKeys) {
+  // A repeated key is ambiguous (which value did the user mean?) — the
+  // shared spec grammar rejects it rather than silently taking the last.
+  TraceConfig config;
+  std::string error;
+  ASSERT_FALSE(ParseTraceSpec("events:10,events:20", &config, &error));
+  EXPECT_EQ(error, "duplicate key 'events'");
+  ASSERT_FALSE(ParseTraceSpec("queue:on,points:4,queue:off", &config, &error));
+  EXPECT_EQ(error, "duplicate key 'queue'");
+  // A failed parse leaves the output untouched.
+  EXPECT_FALSE(config.enabled);
 }
 
 TEST(TraceSpecTest, RejectsMalformedSpecsWithAMessage) {

@@ -22,6 +22,7 @@
 
 #include "harness/config_json.h"
 #include "harness/experiment.h"
+#include "harness/sketch_export.h"
 #include "harness/table.h"
 #include "harness/trace_export.h"
 #include "runner/job.h"
@@ -179,6 +180,20 @@ int Usage() {
       "                                     results/<name>_trace.json; a\n"
       "                                     .csv suffix exports the flat\n"
       "                                     event table instead)\n"
+      "  --sketch=<spec>                    bounded-memory sketch telemetry\n"
+      "                                     for a single run (not --sweep).\n"
+      "                                     Spec is 'on' or comma-separated\n"
+      "                                     terms: mem:<kb>, depth:<d>,\n"
+      "                                     epoch:<us>, window:<n>,\n"
+      "                                     decay:<pct>, hh:<k>,\n"
+      "                                     exact:on|off; see\n"
+      "                                     docs/observability.md\n"
+      "  --sketch-out=<path>                telemetry destination (default\n"
+      "                                     results/<name>_sketch.json)\n"
+      "  --estimator=oracle|sketch          measurement source for scenario\n"
+      "                                     ECN# re-estimation actions\n"
+      "                                     (default oracle; sketch needs\n"
+      "                                     --sketch)\n"
       "  --help                             this text\n");
   return 0;
 }
@@ -294,6 +309,29 @@ void ExportTraceOrDie(const Flags& flags,
               static_cast<unsigned long long>(trace->total_events() -
                                               trace->overwritten()),
               path.c_str());
+}
+
+// Writes the sketch telemetry of a single run to --sketch-out (default
+// results/<name>_sketch.json). Windowed views are queried at the
+// telemetry's last observation time.
+void ExportSketchOrDie(const Flags& flags,
+                       const std::shared_ptr<const SketchTelemetry>& sketch) {
+  if (sketch == nullptr) {
+    std::fprintf(stderr, "--sketch produced no telemetry (internal error)\n");
+    std::exit(1);
+  }
+  const std::string name = flags.Get("name", "cli_run");
+  const std::string path =
+      flags.Get("sketch-out", "results/" + name + "_sketch.json");
+  if (!runner::WriteJsonFile(path,
+                             SketchToJson(*sketch, sketch->last_update()))) {
+    std::fprintf(stderr, "cannot write --sketch-out file '%s'\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  std::printf("sketch: %llu packets, %zu KiB flow state -> %s\n",
+              static_cast<unsigned long long>(sketch->packets_observed()),
+              sketch->FlowSketchMemoryBytes() / 1024, path.c_str());
 }
 
 // One swept parameter: `load:10..90:10` expands to {10, 20, ..., 90}.
@@ -557,6 +595,44 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  SketchConfig sketch;
+  if (flags.Has("sketch")) {
+    if (flags.Has("sweep")) {
+      std::fprintf(stderr,
+                   "--sketch applies to single runs, not --sweep (telemetry "
+                   "is per-run; rerun the point of interest without "
+                   "--sweep)\n");
+      return 2;
+    }
+    std::string error;
+    if (!ParseSketchSpec(flags.Get("sketch", "on"), &sketch, &error)) {
+      std::fprintf(stderr, "invalid --sketch spec: %s\n", error.c_str());
+      return 2;
+    }
+  } else if (flags.Has("sketch-out")) {
+    std::fprintf(stderr, "--sketch-out requires --sketch\n");
+    return 2;
+  }
+
+  EcnEstimator estimator = EcnEstimator::kOracle;
+  if (flags.Has("estimator")) {
+    const std::string value = flags.Get("estimator", "oracle");
+    if (value == "oracle") {
+      estimator = EcnEstimator::kOracle;
+    } else if (value == "sketch") {
+      estimator = EcnEstimator::kSketch;
+    } else {
+      std::fprintf(stderr,
+                   "invalid --estimator '%s' (expected oracle or sketch)\n",
+                   value.c_str());
+      return 2;
+    }
+    if (estimator == EcnEstimator::kSketch && !sketch.enabled) {
+      std::fprintf(stderr, "--estimator=sketch requires --sketch\n");
+      return 2;
+    }
+  }
+
   if (flags.Has("sweep")) {
     return RunSweepMode(flags, topo, scheme, workload, scenario);
   }
@@ -572,18 +648,24 @@ int main(int argc, char** argv) {
     config.seed = flags.GetU64("seed", 1);
     config.scenario = scenario;
     config.trace = trace;
+    config.sketch = sketch;
+    config.estimator = estimator;
     PrintBanner("dumbbell / " + std::string(SchemeName(scheme)) + " / " +
                 workload_name);
     std::shared_ptr<const TraceRecorder> recorded;
+    std::shared_ptr<const SketchTelemetry> telemetry;
     if (scenario.empty()) {
       const ExperimentResult r = RunDumbbell(config);
       PrintFctResult(r);
       recorded = r.trace;
+      telemetry = r.sketch;
     } else {
       const runner::JobResult job = RunSingleViaRunner(flags, scheme, config);
       recorded = runner::FctResult(job).trace;
+      telemetry = runner::FctResult(job).sketch;
     }
     if (trace.enabled) ExportTraceOrDie(flags, recorded);
+    if (sketch.enabled) ExportSketchOrDie(flags, telemetry);
   } else if (topo == "leafspine") {
     LeafSpineExperimentConfig config;
     config.scheme = scheme;
@@ -594,24 +676,31 @@ int main(int argc, char** argv) {
     config.seed = flags.GetU64("seed", 1);
     config.scenario = scenario;
     config.trace = trace;
+    config.sketch = sketch;
+    config.estimator = estimator;
     PrintBanner("leaf-spine / " + std::string(SchemeName(scheme)) + " / " +
                 workload_name);
     std::shared_ptr<const TraceRecorder> recorded;
+    std::shared_ptr<const SketchTelemetry> telemetry;
     if (scenario.empty()) {
       const ExperimentResult r = RunLeafSpine(config);
       PrintFctResult(r);
       recorded = r.trace;
+      telemetry = r.sketch;
     } else {
       const runner::JobResult job = RunSingleViaRunner(flags, scheme, config);
       recorded = runner::FctResult(job).trace;
+      telemetry = runner::FctResult(job).sketch;
     }
     if (trace.enabled) ExportTraceOrDie(flags, recorded);
+    if (sketch.enabled) ExportSketchOrDie(flags, telemetry);
   } else {
     IncastExperimentConfig config;
     config.scheme = scheme;
     config.query_flows = flags.GetU64("fanout", 100);
     config.seed = flags.GetU64("seed", 1);
     config.trace = trace;
+    config.sketch = sketch;
     PrintBanner("incast / " + std::string(SchemeName(scheme)) + " / fanout " +
                 std::to_string(config.query_flows));
     const IncastResult r = RunIncast(config);
@@ -627,6 +716,7 @@ int main(int argc, char** argv) {
     table.AddRow({"query timeouts", std::to_string(r.query_timeouts)});
     table.Print();
     if (trace.enabled) ExportTraceOrDie(flags, r.trace);
+    if (sketch.enabled) ExportSketchOrDie(flags, r.sketch);
   }
   return 0;
 }

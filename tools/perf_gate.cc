@@ -3,18 +3,25 @@
 //
 //   perf_gate <baseline.json> <current.json> <max_regression_pct>
 //
-// Compares the three deterministic throughput metrics perf_core emits
-// (event_churn.events_per_sec, event_cancel_churn.events_per_sec,
-// packet_path.packets_per_sec). Exits 0 when every metric is within
-// `max_regression_pct` percent of the baseline (improvements always pass),
-// 1 when any metric regressed past the threshold, 2 on bad arguments or
-// unreadable/malformed input. The paper's "tracing must cost <2% when
-// disabled" acceptance bar runs through this gate.
+// Discovers the deterministic throughput metrics from the documents
+// themselves: every `metrics.<section>.<field>` where the field name ends
+// in `_per_sec` is gated (event_churn.events_per_sec,
+// packet_path.packets_per_sec, ...), so a new bench section added to
+// perf_core is picked up without touching this tool. Exits 0 when every
+// shared metric is within `max_regression_pct` percent of the baseline
+// (improvements always pass), 1 when any metric regressed past the
+// threshold, 2 on bad arguments, unreadable/malformed input, or a baseline
+// metric that vanished from the current run. A metric present only in the
+// current run (new bench, baseline not yet regenerated) passes with a
+// note — a freshly added benchmark must not fail CI for lacking history.
+// The paper's "tracing must cost <2% when disabled" acceptance bar runs
+// through this gate.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "harness/json.h"
 
@@ -23,14 +30,9 @@ namespace {
 using ecnsharp::Json;
 
 struct Metric {
-  const char* section;
-  const char* field;
-};
-
-constexpr Metric kMetrics[] = {
-    {"event_churn", "events_per_sec"},
-    {"event_cancel_churn", "events_per_sec"},
-    {"packet_path", "packets_per_sec"},
+  std::string section;
+  std::string field;
+  std::string name() const { return section + "." + field; }
 };
 
 bool LoadJson(const char* path, Json* out) {
@@ -47,6 +49,27 @@ bool LoadJson(const char* path, Json* out) {
     return false;
   }
   return true;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// All throughput-style metrics in `doc`, in document order.
+std::vector<Metric> DiscoverMetrics(const Json& doc) {
+  std::vector<Metric> out;
+  const Json* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->IsObject()) return out;
+  for (const auto& [section, body] : metrics->members()) {
+    if (!body.IsObject()) continue;
+    for (const auto& [field, value] : body.members()) {
+      if (EndsWith(field, "_per_sec") && value.IsNumber()) {
+        out.push_back(Metric{section, field});
+      }
+    }
+  }
+  return out;
 }
 
 // Returns the metric or a negative value when missing.
@@ -80,21 +103,47 @@ int main(int argc, char** argv) {
   Json current;
   if (!LoadJson(argv[1], &baseline) || !LoadJson(argv[2], &current)) return 2;
 
+  // The baseline defines what must not regress; the current run may add
+  // metrics on top of it but must not lose any.
+  const std::vector<Metric> gated = DiscoverMetrics(baseline);
+  if (gated.empty()) {
+    std::fprintf(stderr, "perf_gate: no *_per_sec metrics in %s\n", argv[1]);
+    return 2;
+  }
+
   bool failed = false;
-  for (const Metric& metric : kMetrics) {
+  for (const Metric& metric : gated) {
     const double base = Lookup(baseline, metric);
     const double now = Lookup(current, metric);
-    if (base <= 0.0 || now <= 0.0) {
-      std::fprintf(stderr, "perf_gate: metric %s.%s missing or non-positive\n",
-                   metric.section, metric.field);
+    if (base <= 0.0) {
+      std::fprintf(stderr, "perf_gate: baseline metric %s non-positive\n",
+                   metric.name().c_str());
+      return 2;
+    }
+    if (now <= 0.0) {
+      std::fprintf(stderr,
+                   "perf_gate: metric %s missing or non-positive in current "
+                   "run\n",
+                   metric.name().c_str());
       return 2;
     }
     const double delta_pct = (now - base) / base * 100.0;
     const bool ok = delta_pct >= -threshold_pct;
-    std::printf("%-22s %14.0f -> %14.0f  %+7.2f%%  %s\n", metric.section, base,
-                now, delta_pct, ok ? "ok" : "REGRESSED");
+    std::printf("%-28s %14.0f -> %14.0f  %+7.2f%%  %s\n",
+                metric.name().c_str(), base, now, delta_pct,
+                ok ? "ok" : "REGRESSED");
     failed = failed || !ok;
   }
+
+  // Metrics only the current run knows about: report, never gate.
+  for (const Metric& metric : DiscoverMetrics(current)) {
+    const double base = Lookup(baseline, metric);
+    if (base > 0.0) continue;  // shared with the baseline, handled above
+    const double now = Lookup(current, metric);
+    std::printf("%-28s %14s -> %14.0f  %7s  NEW (no baseline)\n",
+                metric.name().c_str(), "-", now, "-");
+  }
+
   if (failed) {
     std::fprintf(stderr, "perf_gate: regression beyond %.2f%% threshold\n",
                  threshold_pct);
