@@ -236,6 +236,30 @@ Json ToJson(const LeafSpineExperimentConfig& config) {
   return json;
 }
 
+Json ToJson(const FatTreeExperimentConfig& config) {
+  Json json = Json::Object()
+      .Set("topology", Json::Str("fattree"))
+      .Set("scheme", Json::Str(SchemeName(config.scheme)))
+      .Set("workload", Json::Str(WorkloadName(config.workload)))
+      .Set("load", Json::Num(config.load))
+      .Set("flows", Json::UInt(config.flows))
+      .Set("k", Json::UInt(config.topo.k))
+      .Set("rate_bps", Json::Int(config.topo.rate.bps()))
+      .Set("host_link_delay_us", TimeUs(config.topo.host_link_delay))
+      .Set("fabric_link_delay_us", TimeUs(config.topo.fabric_link_delay))
+      .Set("max_extra_delay_us", TimeUs(config.max_extra_delay))
+      .Set("seed", Json::UInt(config.seed))
+      .Set("queue_sample_period_us", TimeUs(config.queue_sample_period))
+      .Set("max_sim_time_us", TimeUs(config.max_sim_time))
+      .Set("tcp", ToJson(config.topo.tcp))
+      .Set("params", ToJson(config.params));
+  // Key omitted for static-network configs so their records are unchanged.
+  if (!config.scenario.empty()) {
+    json.Set("scenario", ToJson(config.scenario));
+  }
+  return json;
+}
+
 Json ToJson(const IncastExperimentConfig& config) {
   return Json::Object()
       .Set("topology", Json::Str("incast"))

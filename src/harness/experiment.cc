@@ -76,6 +76,37 @@ ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config) {
   return session.Result();
 }
 
+ExperimentResult RunFatTree(const FatTreeExperimentConfig& config) {
+  ExperimentSessionConfig session_config;
+  session_config.workload = config.workload;
+  session_config.load = config.load;
+  session_config.flows = config.flows;
+  session_config.seed = config.seed;
+  // Per-host base-RTT distribution as in the large-scale simulations: one
+  // sampled extra per host, drawn before the generator forks its stream.
+  session_config.rtt_assignment =
+      ExperimentSessionConfig::RttAssignment::kPerHostSample;
+  session_config.max_rtt_extra = config.max_extra_delay;
+  session_config.rtt_profile = RttProfile::kLeafSpine;
+  session_config.queue_sample_period = config.queue_sample_period;
+  session_config.max_sim_time = config.max_sim_time;
+  session_config.scenario = config.scenario;
+  session_config.trace = config.trace;
+  session_config.sketch = config.sketch;
+  session_config.estimator = config.estimator;
+  ExperimentSession session(std::move(session_config));
+
+  FatTreeConfig topo_config = config.topo;
+  topo_config.buffer_bytes = config.params.buffer_bytes;
+  FatTree topo(session.sim(), topo_config, [&config] {
+    return MakeFifoDisc(config.scheme, config.params);
+  });
+
+  session.Bind(topo);
+  session.Run();
+  return session.Result();
+}
+
 IncastResult RunIncast(const IncastExperimentConfig& config) {
   ExperimentSessionConfig session_config;
   session_config.seed = config.seed;

@@ -14,6 +14,7 @@
 #include "sketch/sketch_config.h"
 #include "stats/fct_collector.h"
 #include "stats/queue_monitor.h"
+#include "topo/fat_tree.h"
 #include "topo/leaf_spine.h"
 #include "trace/trace_config.h"
 #include "transport/tcp_config.h"
@@ -118,6 +119,38 @@ struct LeafSpineExperimentConfig {
 };
 
 ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config);
+
+// ---------------------------------------------------------------------------
+// Fat-tree (multi-tier, production-scale) experiments: k^3/4 hosts under
+// three tiers of salted ECMP (topo/fat_tree.h).
+// ---------------------------------------------------------------------------
+
+struct FatTreeExperimentConfig {
+  Scheme scheme = Scheme::kEcnSharp;
+  SchemeParams params = SimulationSchemeParams();
+  const EmpiricalCdf* workload = &WebSearchWorkload();
+  double load = 0.5;
+  std::size_t flows = 2000;
+  FatTreeConfig topo;
+  // Per-host extra delay upper bound: [120, 280] us base RTTs by default
+  // (inter-pod minimum 120 us + up to 160 us of per-host extras).
+  Time max_extra_delay = Time::FromMicroseconds(160);
+  std::uint64_t seed = 1;
+  // Queue occupancy sampling across every switch egress port (0 disables).
+  Time queue_sample_period = Time::Zero();
+  Time max_sim_time = Time::Seconds(120);
+  // Optional mid-run network dynamics; port target ids follow the fat-tree
+  // convention in topo/fat_tree.h. Empty = static network.
+  ScenarioScript scenario;
+  // Optional flight-recorder tracing across every bottleneck port.
+  TraceConfig trace;
+  // Optional sketch telemetry across the same ports.
+  SketchConfig sketch;
+  // Measurement source for scenario ECN# re-estimation actions.
+  EcnEstimator estimator = EcnEstimator::kOracle;
+};
+
+ExperimentResult RunFatTree(const FatTreeExperimentConfig& config);
 
 // ---------------------------------------------------------------------------
 // Incast / microscopic-queue experiments: Figs. 10, 11.

@@ -1,11 +1,13 @@
 #include "harness/session.h"
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/ecn_sharp.h"
 #include "hostpath/rtt_probe.h"
 #include "sched/fifo_queue_disc.h"
+#include "sim/logging.h"
 #include "sketch/estimator.h"
 #include "sketch/telemetry.h"
 #include "trace/trace_recorder.h"
@@ -13,6 +15,46 @@
 namespace ecnsharp {
 
 namespace {
+
+// Every scenario target must resolve against the bound topology before the
+// engine installs a single event. A stale target id in a scenario JSON
+// (written for a different topology, or outlived by a config change) would
+// otherwise be silently skipped at fire time — the run would look "static"
+// while claiming to have executed the script. Fail fast, naming the action
+// and the topology's valid target space.
+void ValidateScenarioTargets(Topology& topo, const ScenarioScript& script) {
+  for (std::size_t i = 0; i < script.actions.size(); ++i) {
+    const ScenarioAction& action = script.actions[i];
+    const std::string where = "scenario action #" + std::to_string(i) + " (" +
+                              ScenarioActionKindName(action.kind) + ")";
+    switch (action.kind) {
+      case ScenarioActionKind::kSetHostDelay:
+        if (action.target < 0 ||
+            static_cast<std::size_t>(action.target) >= topo.host_count()) {
+          FatalConfigError(where + ": host index " +
+                           std::to_string(action.target) +
+                           " out of range [0, " +
+                           std::to_string(topo.host_count() - 1) + "]");
+        }
+        break;
+      case ScenarioActionKind::kSetLinkRate:
+      case ScenarioActionKind::kSetLinkDelay:
+      case ScenarioActionKind::kLinkDown:
+      case ScenarioActionKind::kLinkUp:
+      case ScenarioActionKind::kInjectLoss:
+        if (topo.ResolvePort(action.target) == nullptr) {
+          FatalConfigError(where + ": port target " +
+                           std::to_string(action.target) +
+                           " does not resolve; valid targets: " +
+                           topo.DescribePortTargets());
+        }
+        break;
+      case ScenarioActionKind::kIncastBurst:
+      case ScenarioActionKind::kReestimateEcnSharp:
+        break;  // no port/host target
+    }
+  }
+}
 
 // Pushes freshly derived thresholds onto every ECN# bottleneck of `topo`;
 // queues not running ECN# are left untouched.
@@ -141,6 +183,7 @@ void ExperimentSession::Bind(Topology& topo) {
   }
 
   if (!config_.scenario.empty()) {
+    ValidateScenarioTargets(topo, config_.scenario);
     ScenarioHooks hooks;
     hooks.port = [&topo](int target) { return topo.ResolvePort(target); };
     hooks.set_host_delay = [&topo](int index, Time delay) {

@@ -1,30 +1,62 @@
 #include "net/switch_node.h"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace ecnsharp {
 
+void SwitchNode::AddRouteRange(std::uint32_t lo, std::uint32_t hi,
+                               EgressPort& port) {
+  assert(lo <= hi);
+  const auto it = std::lower_bound(
+      range_routes_.begin(), range_routes_.end(), lo,
+      [](const RangeRoute& r, std::uint32_t value) { return r.lo < value; });
+  if (it != range_routes_.end() && it->lo == lo && it->hi == hi) {
+    it->ports.push_back(&port);  // same block: widen the ECMP set
+    return;
+  }
+  assert((it == range_routes_.end() || hi < it->lo) &&
+         (it == range_routes_.begin() || std::prev(it)->hi < lo) &&
+         "range routes must be disjoint");
+  range_routes_.insert(it, RangeRoute{lo, hi, {&port}});
+}
+
+const std::vector<EgressPort*>* SwitchNode::LookupRange(
+    std::uint32_t dst) const {
+  // First range whose lo > dst; the candidate (if any) is the one before it.
+  const auto it = std::upper_bound(
+      range_routes_.begin(), range_routes_.end(), dst,
+      [](std::uint32_t value, const RangeRoute& r) { return value < r.lo; });
+  if (it == range_routes_.begin()) return nullptr;
+  const RangeRoute& r = *std::prev(it);
+  return dst <= r.hi ? &r.ports : nullptr;
+}
+
 void SwitchNode::HandlePacket(std::unique_ptr<Packet> pkt) {
   ++rx_packets_;
   const auto it = routes_.find(pkt->flow.dst);
-  if (it == routes_.end() || it->second.empty()) {
-    ++no_route_drops_;
-    return;  // packet destroyed: no route
+  if (it != routes_.end() && !it->second.empty()) {
+    SelectEcmp(it->second, pkt->flow).Enqueue(std::move(pkt));
+    return;
   }
-  SelectEcmp(it->second, pkt->flow).Enqueue(std::move(pkt));
+  if (const std::vector<EgressPort*>* ports = LookupRange(pkt->flow.dst)) {
+    SelectEcmp(*ports, pkt->flow).Enqueue(std::move(pkt));
+    return;
+  }
+  if (!default_route_.empty()) {
+    SelectEcmp(default_route_, pkt->flow).Enqueue(std::move(pkt));
+    return;
+  }
+  ++no_route_drops_;
+  // packet destroyed: no route
 }
 
 EgressPort& SwitchNode::SelectEcmp(const std::vector<EgressPort*>& candidates,
                                    const FlowKey& flow) const {
   if (candidates.size() == 1) return *candidates.front();
-  std::uint64_t h = FlowKeyHash{}(flow);
-  // Mix in the per-switch salt so consecutive hops hash independently
-  // (avoids the classic ECMP polarization problem).
-  h ^= ecmp_salt_ + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdull;
-  h ^= h >> 33;
-  return *candidates[h % candidates.size()];
+  return *candidates[EcmpBucket(FlowKeyHash{}(flow), ecmp_salt_,
+                                candidates.size())];
 }
 
 }  // namespace ecnsharp

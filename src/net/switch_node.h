@@ -5,6 +5,16 @@
 // uplinks), one is selected by hashing the flow key with a per-switch salt,
 // so every packet of a flow takes the same path (per-flow ECMP, as in the
 // paper's leaf-spine simulations). Queueing happens only at egress ports.
+//
+// Three route granularities, consulted most-specific-first:
+//   * exact:   AddRoute(dst, port) — one destination address,
+//   * range:   AddRouteRange(lo, hi, port) — a contiguous address block
+//              (a fat-tree pod or edge subnet),
+//   * default: AddDefaultRoute(port) — everything else (the "up" route of
+//              an edge/aggregation switch).
+// Range and default routes keep table memory independent of host count: a
+// k=32 fat-tree edge switch carries 16 exact routes plus one 16-way default
+// set instead of 8192 per-host entries per uplink.
 #ifndef ECNSHARP_NET_SWITCH_NODE_H_
 #define ECNSHARP_NET_SWITCH_NODE_H_
 
@@ -41,20 +51,54 @@ class SwitchNode : public PacketSink {
     routes_[dst].push_back(&port);
   }
 
+  // Adds `port` to the ECMP set for every destination in [lo, hi]
+  // (inclusive) that has no exact route. Ranges must either coincide with an
+  // existing range (extending its ECMP set) or be disjoint from all others.
+  void AddRouteRange(std::uint32_t lo, std::uint32_t hi, EgressPort& port);
+
+  // Adds `port` to the ECMP set used when neither an exact nor a range
+  // route matches.
+  void AddDefaultRoute(EgressPort& port) { default_route_.push_back(&port); }
+
   void HandlePacket(std::unique_ptr<Packet> pkt) override;
+
+  // The ECMP bucket for a flow-key hash under a per-switch salt: a
+  // splitmix64-style finalizer over (key_hash, salt). Every input bit
+  // avalanches into the bucket choice, so structured key populations
+  // (sequential addresses/ports) spread uniformly and consecutive salted
+  // hops choose independently — no polarization. `buckets` must be > 0.
+  static std::size_t EcmpBucket(std::uint64_t key_hash, std::uint64_t salt,
+                                std::size_t buckets) {
+    std::uint64_t h = key_hash + salt * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h % buckets);
+  }
 
   std::uint64_t rx_packets() const { return rx_packets_; }
   std::uint64_t no_route_drops() const { return no_route_drops_; }
 
  private:
+  struct RangeRoute {
+    std::uint32_t lo;
+    std::uint32_t hi;  // inclusive
+    std::vector<EgressPort*> ports;
+  };
+
   EgressPort& SelectEcmp(const std::vector<EgressPort*>& candidates,
                          const FlowKey& flow) const;
+  const std::vector<EgressPort*>* LookupRange(std::uint32_t dst) const;
 
   Simulator& sim_;
   std::string name_;
   std::uint64_t ecmp_salt_;
   std::vector<std::unique_ptr<EgressPort>> ports_;
   std::unordered_map<std::uint32_t, std::vector<EgressPort*>> routes_;
+  std::vector<RangeRoute> range_routes_;  // sorted by lo, pairwise disjoint
+  std::vector<EgressPort*> default_route_;
   std::uint64_t rx_packets_ = 0;
   std::uint64_t no_route_drops_ = 0;
 };

@@ -18,6 +18,8 @@ JobResult RunJob(const JobSpec& spec, std::size_t index) {
         } else if constexpr (std::is_same_v<Config,
                                             LeafSpineExperimentConfig>) {
           return RunLeafSpine(config);
+        } else if constexpr (std::is_same_v<Config, FatTreeExperimentConfig>) {
+          return RunFatTree(config);
         } else {
           return RunIncast(config);
         }

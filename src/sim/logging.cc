@@ -1,6 +1,7 @@
 #include "sim/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace ecnsharp {
 namespace {
@@ -31,6 +32,12 @@ void Log(LogLevel level, std::string_view message) {
   if (!LogEnabled(level)) return;
   std::fprintf(stderr, "[%s] %.*s\n", LevelName(level),
                static_cast<int>(message.size()), message.data());
+}
+
+void FatalConfigError(std::string_view message) {
+  std::fprintf(stderr, "config error: %.*s\n",
+               static_cast<int>(message.size()), message.data());
+  std::exit(2);
 }
 
 }  // namespace ecnsharp

@@ -16,6 +16,13 @@ bool LogEnabled(LogLevel level);
 // Writes "[level] message\n" to stderr if `level` is enabled.
 void Log(LogLevel level, std::string_view message);
 
+// Reports an unusable configuration (degenerate topology dimensions, a
+// scenario target that resolves to nothing) and exits with status 2 — the
+// same status the CLI uses for bad flags. Configuration mistakes must fail
+// fast and loudly; silently clamping or ignoring them would let a "static"
+// run masquerade as the experiment the user asked for.
+[[noreturn]] void FatalConfigError(std::string_view message);
+
 }  // namespace ecnsharp
 
 #endif  // ECNSHARP_SIM_LOGGING_H_

@@ -1,16 +1,24 @@
 #include "topo/dumbbell.h"
 
 #include <cassert>
+#include <string>
 #include <utility>
 
 #include "sched/fifo_queue_disc.h"
+#include "sim/logging.h"
 
 namespace ecnsharp {
 
 Dumbbell::Dumbbell(Simulator& sim, const DumbbellConfig& config,
                    std::unique_ptr<QueueDisc> bottleneck_disc)
     : sim_(sim), config_(config) {
-  assert(config_.senders >= 1);
+  // Not an assert: a 0-sender dumbbell would make SampleFlowPair's
+  // UniformInt(0) draw and IncastSender's k % 0 undefined in release
+  // builds, where asserts compile out.
+  if (config_.senders < 1) {
+    FatalConfigError("dumbbell needs >= 1 sender, got senders=" +
+                     std::to_string(config_.senders));
+  }
   switch_ = std::make_unique<SwitchNode>(sim_, "tor", /*ecmp_salt=*/1);
   const Time link_delay = config_.base_rtt / 4;
   const std::size_t total_hosts = config_.senders + 1;

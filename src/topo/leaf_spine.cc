@@ -1,9 +1,11 @@
 #include "topo/leaf_spine.h"
 
 #include <cassert>
+#include <string>
 #include <utility>
 
 #include "sched/fifo_queue_disc.h"
+#include "sim/logging.h"
 
 namespace ecnsharp {
 
@@ -11,6 +13,13 @@ LeafSpine::LeafSpine(Simulator& sim, const LeafSpineConfig& config,
                      std::function<std::unique_ptr<QueueDisc>()> make_disc)
     : sim_(sim), config_(config) {
   assert(make_disc != nullptr);
+  if (config_.spines < 1 || config_.leaves < 1 ||
+      config_.hosts_per_leaf < 1) {
+    FatalConfigError("leaf-spine dimensions must all be >= 1, got spines=" +
+                     std::to_string(config_.spines) + " leaves=" +
+                     std::to_string(config_.leaves) + " hosts_per_leaf=" +
+                     std::to_string(config_.hosts_per_leaf));
+  }
   const std::size_t host_count = config_.leaves * config_.hosts_per_leaf;
 
   for (std::size_t l = 0; l < config_.leaves; ++l) {
@@ -87,6 +96,13 @@ DataRate LeafSpine::ReferenceCapacity() const {
 
 std::pair<TcpStack*, std::uint32_t> LeafSpine::SampleFlowPair(Rng& rng) {
   const std::size_t n = hosts_.size();
+  // A 1-host fabric is constructible (loopback-ish probes) but cannot form
+  // a (src, dst != src) pair — the UniformInt(n - 1) draw below would be
+  // degenerate. Fail fast instead of sampling garbage.
+  if (n < 2) {
+    FatalConfigError("leaf-spine SampleFlowPair needs >= 2 hosts, have " +
+                     std::to_string(n));
+  }
   const std::size_t src = rng.UniformInt(n);
   std::size_t dst = rng.UniformInt(n - 1);
   if (dst >= src) ++dst;
@@ -97,6 +113,12 @@ std::pair<TcpStack*, std::uint32_t> LeafSpine::SampleFlowPair(Rng& rng) {
 std::uint32_t LeafSpine::IncastTarget() const { return hosts_[0]->address(); }
 
 TcpStack& LeafSpine::IncastSender(std::size_t k) {
+  // With a single host the modulus below would be zero (UB); the burst has
+  // no sender distinct from its target anyway.
+  if (hosts_.size() < 2) {
+    FatalConfigError("leaf-spine incast needs >= 2 hosts, have " +
+                     std::to_string(hosts_.size()));
+  }
   return *stacks_[1 + k % (hosts_.size() - 1)];
 }
 
@@ -107,6 +129,14 @@ EgressPort* LeafSpine::ResolvePort(int target) {
   id -= hosts_.size();
   if (id < bottleneck_count()) return &bottleneck(id);
   return nullptr;
+}
+
+std::string LeafSpine::DescribePortTargets() const {
+  const std::size_t hosts = hosts_.size();
+  return "-1 = leaf0 first uplink (primary bottleneck), 0.." +
+         std::to_string(hosts - 1) + " = host NICs, " + std::to_string(hosts) +
+         ".." + std::to_string(hosts + bottleneck_count() - 1) +
+         " = switch egress ports (leaves then spines, in port order)";
 }
 
 std::size_t LeafSpine::bottleneck_count() const {

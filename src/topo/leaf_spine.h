@@ -69,6 +69,7 @@ class LeafSpine : public Topology {
   // (each leaf: hosts_per_leaf down ports, then `spines` up ports; each
   // spine: one down port per leaf, in leaf order).
   EgressPort* ResolvePort(int target) override;
+  std::string DescribePortTargets() const override;
   // Every switch egress port is instrumented — the AQM runs fabric-wide.
   std::size_t bottleneck_count() const override;
   EgressPort& bottleneck(std::size_t i) override;

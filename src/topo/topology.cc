@@ -2,6 +2,11 @@
 
 namespace ecnsharp {
 
+std::string Topology::DescribePortTargets() const {
+  return "-1 = primary bottleneck, 0.." + std::to_string(host_count() - 1) +
+         " = host NICs";
+}
+
 QueueDiscStats Topology::TotalBottleneckStats() {
   QueueDiscStats total;
   for (std::size_t i = 0; i < bottleneck_count(); ++i) {

@@ -14,6 +14,7 @@
 #define ECNSHARP_TOPO_TOPOLOGY_H_
 
 #include <cstdint>
+#include <string>
 #include <utility>
 
 #include "net/egress_port.h"
@@ -62,6 +63,10 @@ class Topology {
   // host_count upward are topology-defined (the leaf-spine exposes every
   // switch egress port — see leaf_spine.h).
   virtual EgressPort* ResolvePort(int target) = 0;
+  // One-line description of the valid target-id space, used in the
+  // fail-fast diagnostic when a scenario names a target ResolvePort cannot
+  // resolve. Override to document topology-specific port ids.
+  virtual std::string DescribePortTargets() const;
 
   // --- Instrumented (AQM-under-test) queues -----------------------------
   // The queues experiments monitor and whose drop/mark totals the result

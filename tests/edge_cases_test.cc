@@ -241,5 +241,128 @@ TEST(DcqcnEdgeTest, ManyFlowsPerStackCompleteIndependently) {
   EXPECT_EQ(done, 10);
 }
 
+// ------------------- Degenerate configs fail fast (exit 2) ------------------
+//
+// These used to be UB or silent nonsense: LeafSpine::IncastSender divided by
+// hosts_.size()-1 and SampleFlowPair called UniformInt(n-1), both degenerate
+// on 1-host fabrics; Dumbbell's senders>=1 check was an assert() compiled
+// out of release builds; a stale scenario target id was silently skipped at
+// fire time. All now exit 2 (the CLI's config-error code) with a diagnostic.
+
+TEST(ConfigValidationDeathTest, OneHostLeafSpineSampleFlowPairExits) {
+  EXPECT_EXIT(
+      {
+        Simulator sim;
+        LeafSpineConfig config;
+        config.spines = 1;
+        config.leaves = 1;
+        config.hosts_per_leaf = 1;
+        LeafSpine topo(sim, config, [] {
+          return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+        });
+        Rng rng(1);
+        topo.SampleFlowPair(rng);
+      },
+      testing::ExitedWithCode(2), "needs >= 2 hosts");
+}
+
+TEST(ConfigValidationDeathTest, OneHostLeafSpineIncastSenderExits) {
+  EXPECT_EXIT(
+      {
+        Simulator sim;
+        LeafSpineConfig config;
+        config.spines = 1;
+        config.leaves = 1;
+        config.hosts_per_leaf = 1;
+        LeafSpine topo(sim, config, [] {
+          return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+        });
+        topo.IncastSender(0);
+      },
+      testing::ExitedWithCode(2), "incast needs >= 2 hosts");
+}
+
+TEST(ConfigValidationDeathTest, ZeroDimensionLeafSpineExits) {
+  EXPECT_EXIT(
+      {
+        Simulator sim;
+        LeafSpineConfig config;
+        config.leaves = 0;
+        LeafSpine topo(sim, config, [] {
+          return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+        });
+      },
+      testing::ExitedWithCode(2), "dimensions must all be >= 1");
+}
+
+TEST(ConfigValidationDeathTest, ZeroSenderDumbbellExits) {
+  EXPECT_EXIT(
+      {
+        DumbbellExperimentConfig config;
+        config.senders = 0;
+        RunDumbbell(config);
+      },
+      testing::ExitedWithCode(2), "needs >= 1 sender");
+}
+
+TEST(ConfigValidationDeathTest, OddFatTreeArityExits) {
+  EXPECT_EXIT(
+      {
+        FatTreeExperimentConfig config;
+        config.topo.k = 5;
+        RunFatTree(config);
+      },
+      testing::ExitedWithCode(2), "must be even and >= 4");
+}
+
+TEST(ConfigValidationDeathTest, TooSmallFatTreeArityExits) {
+  EXPECT_EXIT(
+      {
+        FatTreeExperimentConfig config;
+        config.topo.k = 2;
+        RunFatTree(config);
+      },
+      testing::ExitedWithCode(2), "must be even and >= 4");
+}
+
+// Satellite regression: a scenario written against a larger fabric (its
+// target id is one past this fabric's last switch port) must fail at Bind
+// time with a diagnostic naming the target and the valid range — not be
+// silently skipped when it fires.
+TEST(ConfigValidationDeathTest, StaleScenarioPortTargetExitsWithRange) {
+  EXPECT_EXIT(
+      {
+        FatTreeExperimentConfig config;
+        config.topo.k = 4;  // 16 hosts + 80 switch ports: max target 95
+        config.flows = 5;
+        ScenarioAction down;
+        down.kind = ScenarioActionKind::kLinkDown;
+        down.at = Time::Milliseconds(1);
+        down.target = 96;  // stale: valid on k=6, one past the end on k=4
+        config.scenario.actions.push_back(down);
+        RunFatTree(config);
+      },
+      testing::ExitedWithCode(2), "target 96 does not resolve.*16\\.\\.95");
+}
+
+TEST(ConfigValidationDeathTest, OutOfRangeHostDelayTargetExits) {
+  EXPECT_EXIT(
+      {
+        LeafSpineExperimentConfig config;
+        config.topo.spines = 2;
+        config.topo.leaves = 2;
+        config.topo.hosts_per_leaf = 2;
+        config.flows = 5;
+        ScenarioAction shift;
+        shift.kind = ScenarioActionKind::kSetHostDelay;
+        shift.at = Time::Milliseconds(1);
+        shift.target = 4;  // hosts are 0..3
+        shift.delay_us = 100.0;
+        config.scenario.actions.push_back(shift);
+        RunLeafSpine(config);
+      },
+      testing::ExitedWithCode(2), "host index 4 out of range");
+}
+
 }  // namespace
 }  // namespace ecnsharp

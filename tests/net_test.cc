@@ -2,6 +2,8 @@
 // draining, overflow drops, ECMP routing.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -229,6 +231,170 @@ TEST(SwitchTest, EcmpSpreadsFlows) {
   // Both uplinks must carry a substantial share of the 200 flows.
   EXPECT_GT(sink_a.count(), 50u);
   EXPECT_GT(sink_b.count(), 50u);
+}
+
+// Range routes match their inclusive [lo, hi] block; exact routes win over
+// an overlapping range (a fat-tree edge routes its own hosts exactly while
+// an agg above it routes the whole edge block as one range).
+TEST(SwitchTest, RangeRoutesMatchInclusiveBlocks) {
+  Simulator sim;
+  SwitchNode sw(sim, "sw");
+  CollectorSink sink_exact(sim);
+  CollectorSink sink_lo(sim);
+  CollectorSink sink_hi(sim);
+  auto mk = [&](CollectorSink& sink) -> EgressPort& {
+    auto port = std::make_unique<EgressPort>(
+        sim, DataRate::GigabitsPerSecond(10), Time::Zero(), BigFifo());
+    port->ConnectTo(sink);
+    return sw.AddPort(std::move(port));
+  };
+  EgressPort& exact = mk(sink_exact);
+  EgressPort& lo = mk(sink_lo);
+  EgressPort& hi = mk(sink_hi);
+  sw.AddRouteRange(10, 19, lo);
+  sw.AddRouteRange(20, 29, hi);
+  sw.AddRoute(15, exact);
+
+  sw.HandlePacket(MakePacket(1, 10, 100));  // lo edge of first block
+  sw.HandlePacket(MakePacket(1, 19, 100));  // hi edge of first block
+  sw.HandlePacket(MakePacket(1, 15, 100));  // exact beats range
+  sw.HandlePacket(MakePacket(1, 20, 100));  // second block
+  sw.HandlePacket(MakePacket(1, 29, 100));
+  sw.HandlePacket(MakePacket(1, 30, 100));  // past the last block: dropped
+  sw.HandlePacket(MakePacket(1, 9, 100));   // before the first: dropped
+  sim.Run();
+  EXPECT_EQ(sink_lo.count(), 2u);
+  EXPECT_EQ(sink_exact.count(), 1u);
+  EXPECT_EQ(sink_hi.count(), 2u);
+  EXPECT_EQ(sw.no_route_drops(), 2u);
+}
+
+// The default route catches everything no exact or range entry claims, and
+// spreads over its ECMP set (a fat-tree edge's uplinks are exactly this).
+TEST(SwitchTest, DefaultRouteCatchesUnmatchedAndSpreads) {
+  Simulator sim;
+  SwitchNode sw(sim, "sw", /*ecmp_salt=*/3);
+  CollectorSink sink_local(sim);
+  CollectorSink sink_up_a(sim);
+  CollectorSink sink_up_b(sim);
+  auto mk = [&](CollectorSink& sink) -> EgressPort& {
+    auto port = std::make_unique<EgressPort>(
+        sim, DataRate::GigabitsPerSecond(10), Time::Zero(), BigFifo());
+    port->ConnectTo(sink);
+    return sw.AddPort(std::move(port));
+  };
+  sw.AddRoute(5, mk(sink_local));
+  sw.AddDefaultRoute(mk(sink_up_a));
+  sw.AddDefaultRoute(mk(sink_up_b));
+
+  sw.HandlePacket(MakePacket(1, 5, 100));  // exact route still wins
+  for (std::uint16_t sport = 0; sport < 200; ++sport) {
+    sw.HandlePacket(MakePacket(1, 77, 100, sport));  // all default-routed
+  }
+  sim.Run();
+  EXPECT_EQ(sink_local.count(), 1u);
+  EXPECT_EQ(sink_up_a.count() + sink_up_b.count(), 200u);
+  EXPECT_GT(sink_up_a.count(), 50u);
+  EXPECT_GT(sink_up_b.count(), 50u);
+  EXPECT_EQ(sw.no_route_drops(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ECMP hash quality: no polarization across salted hops
+// ---------------------------------------------------------------------------
+//
+// The old SelectEcmp mixed (key_hash ^ salt) with one multiply; structured
+// key populations (sequential ports or addresses, which is what every
+// topology builder produces) left correlated low bits, so the subpopulation
+// a first-hop switch sent to uplink 0 could collapse onto a single
+// second-hop uplink — the classic ECMP polarization failure. The splitmix64
+// finalizer must spread every hop's conditional subpopulation uniformly.
+
+// Helper: bucket histogram of `hashes` under `salt`, plus the subpopulation
+// that landed in bucket 0 (the keys the next hop actually sees).
+struct SpreadResult {
+  std::vector<std::size_t> counts;
+  std::vector<std::uint64_t> survivors;  // hashes that picked bucket 0
+};
+
+SpreadResult SpreadOverBuckets(const std::vector<std::uint64_t>& hashes,
+                               std::uint64_t salt, std::size_t buckets) {
+  SpreadResult r;
+  r.counts.assign(buckets, 0);
+  for (const std::uint64_t h : hashes) {
+    const std::size_t b = SwitchNode::EcmpBucket(h, salt, buckets);
+    ++r.counts[b];
+    if (b == 0) r.survivors.push_back(h);
+  }
+  return r;
+}
+
+// Asserts every bucket is within 5% of the uniform share and the chi-square
+// statistic is sane. Deterministic: fixed keys, fixed hash.
+void ExpectUniformSpread(const SpreadResult& r, const char* hop) {
+  SCOPED_TRACE(hop);
+  std::size_t total = 0;
+  for (const std::size_t c : r.counts) total += c;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(r.counts.size());
+  double chi2 = 0.0;
+  for (const std::size_t c : r.counts) {
+    const double dev = static_cast<double>(c) - expected;
+    chi2 += dev * dev / expected;
+    EXPECT_LE(std::abs(dev), 0.05 * expected)
+        << "bucket " << (&c - r.counts.data()) << " count " << c
+        << " vs expected " << expected;
+  }
+  // df = buckets-1 = 7; the 99.99th percentile is ~29.9. A polarized hash
+  // blows through this by orders of magnitude.
+  EXPECT_LT(chi2, 30.0);
+}
+
+TEST(EcmpHashTest, NoPolarizationAcrossThreeSaltedHops) {
+  // Structured population: a full grid of sequential addresses and
+  // sequential source ports — 128 x 128 x 128 = 2,097,152 flow keys, the
+  // worst case for multiply-only mixing.
+  FlowKeyHash hasher;
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(128u * 128u * 128u);
+  for (std::uint32_t src = 0; src < 128; ++src) {
+    for (std::uint32_t dst = 128; dst < 256; ++dst) {
+      for (std::uint16_t sport = 0; sport < 128; ++sport) {
+        hashes.push_back(hasher(FlowKey{src, dst, sport, 80}));
+      }
+    }
+  }
+
+  // Three hops with the fat-tree salt scheme (edge 0, agg 0, core 0), 8-way
+  // ECMP each (a k=16 fabric). Each hop only sees the keys the previous hop
+  // sent out its first uplink — the conditional subpopulation where
+  // polarization shows up.
+  const SpreadResult hop1 = SpreadOverBuckets(hashes, 0x10000, 8);
+  ExpectUniformSpread(hop1, "hop1 (edge, 2M keys)");
+  ASSERT_GT(hop1.survivors.size(), 10000u);
+
+  const SpreadResult hop2 = SpreadOverBuckets(hop1.survivors, 0x20000, 8);
+  ExpectUniformSpread(hop2, "hop2 (agg, conditional)");
+  ASSERT_GT(hop2.survivors.size(), 10000u);
+
+  const SpreadResult hop3 = SpreadOverBuckets(hop2.survivors, 0x30000, 8);
+  ExpectUniformSpread(hop3, "hop3 (core, doubly conditional)");
+}
+
+// Different salts really give different selections (the per-switch salting
+// is what de-correlates consecutive hops in the first place).
+TEST(EcmpHashTest, SaltsDecorrelateSelections) {
+  FlowKeyHash hasher;
+  std::size_t differ = 0;
+  for (std::uint16_t sport = 0; sport < 1000; ++sport) {
+    const std::uint64_t h = hasher(FlowKey{1, 2, sport, 80});
+    if (SwitchNode::EcmpBucket(h, 0x10000, 8) !=
+        SwitchNode::EcmpBucket(h, 0x20000, 8)) {
+      ++differ;
+    }
+  }
+  // Independent uniform picks differ 7/8 of the time; correlated ones don't.
+  EXPECT_GT(differ, 700u);
 }
 
 TEST(PacketTest, MarkCeRequiresEcnCapability) {

@@ -19,10 +19,13 @@
 #include "harness/session.h"
 #include "harness/trace_export.h"
 #include "runner/job.h"
+#include "runner/json_export.h"
 #include "runner/sweep.h"
 #include "sched/fifo_queue_disc.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 #include "topo/dumbbell.h"
+#include "topo/fat_tree.h"
 #include "topo/leaf_spine.h"
 #include "topo/topology.h"
 #include "trace/trace_recorder.h"
@@ -173,6 +176,132 @@ TEST(LeafSpineTopologyTest, TotalBottleneckStatsSumsAllSwitchQueues) {
   EXPECT_EQ(topo.TotalLinkDownDrops(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Topology interface on FatTree
+// ---------------------------------------------------------------------------
+
+FatTreeConfig SmallFatTree() {
+  FatTreeConfig config;
+  config.k = 4;
+  return config;
+}
+
+TEST(FatTreeTopologyTest, BuildsKaryStructure) {
+  Simulator sim;
+  FatTree topo(sim, SmallFatTree(), [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  Topology& iface = topo;
+
+  // k=4: 4 pods x (2 edges + 2 aggs), 4 cores, 16 hosts.
+  EXPECT_EQ(iface.host_count(), 16u);
+  EXPECT_EQ(topo.pod_count(), 4u);
+  EXPECT_EQ(topo.edge_count(), 8u);
+  EXPECT_EQ(topo.agg_count(), 8u);
+  EXPECT_EQ(topo.core_count(), 4u);
+  EXPECT_EQ(topo.hosts_per_edge(), 2u);
+  EXPECT_EQ(topo.hosts_per_pod(), 4u);
+  EXPECT_EQ(topo.PodOfHost(0), 0u);
+  EXPECT_EQ(topo.PodOfHost(5), 1u);
+  EXPECT_EQ(topo.PodOfHost(15), 3u);
+  EXPECT_EQ(topo.EdgeOfHost(3), 1u);
+
+  // Every switch egress port is a bottleneck: 5k^3/4 = 80 at k=4,
+  // flattened edges -> aggs -> cores, each in port order.
+  ASSERT_EQ(iface.bottleneck_count(), 80u);
+  EXPECT_EQ(&iface.bottleneck(0), &topo.edge(0).port(0));
+  EXPECT_EQ(&iface.bottleneck(4), &topo.edge(1).port(0));
+  EXPECT_EQ(&iface.bottleneck(32), &topo.agg(0).port(0));
+  EXPECT_EQ(&iface.bottleneck(64), &topo.core(0).port(0));
+  EXPECT_EQ(&iface.bottleneck(79), &topo.core(3).port(3));
+
+  const QueueDiscStats stats = topo.TotalBottleneckStats();
+  EXPECT_EQ(stats.enqueued, 0u);
+  EXPECT_EQ(topo.TotalLinkDownDrops(), 0u);
+}
+
+TEST(FatTreeTopologyTest, ResolvesScenarioPortIds) {
+  Simulator sim;
+  FatTree topo(sim, SmallFatTree(), [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  Topology& iface = topo;
+
+  // -1 = the canonical fabric bottleneck: edge 0's first uplink (ports
+  // 0..k/2-1 are host down ports, k/2.. are uplinks).
+  EXPECT_EQ(iface.ResolvePort(-1), &topo.edge(0).port(topo.hosts_per_edge()));
+  for (std::size_t h = 0; h < iface.host_count(); ++h) {
+    EXPECT_EQ(iface.ResolvePort(static_cast<int>(h)), &iface.host(h).nic());
+  }
+  const int base = static_cast<int>(iface.host_count());
+  for (std::size_t b = 0; b < iface.bottleneck_count(); ++b) {
+    EXPECT_EQ(iface.ResolvePort(base + static_cast<int>(b)),
+              &iface.bottleneck(b));
+  }
+  EXPECT_EQ(
+      iface.ResolvePort(base + static_cast<int>(iface.bottleneck_count())),
+      nullptr);
+  // The diagnostic names the whole valid range for scenario authors.
+  EXPECT_NE(iface.DescribePortTargets().find("0..15"), std::string::npos);
+  EXPECT_NE(iface.DescribePortTargets().find("16..95"), std::string::npos);
+}
+
+TEST(FatTreeTopologyTest, BaseRttAndCapacityFollowTheFabric) {
+  Simulator sim;
+  FatTree topo(sim, SmallFatTree(), [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  Topology& iface = topo;
+
+  // Inter-pod: 2 host hops + 4 fabric hops each way at 10 us per hop.
+  EXPECT_EQ(iface.HostBaseRtt(0), Time::FromMicroseconds(120));
+  topo.host(2).set_extra_egress_delay(Time::FromMicroseconds(75));
+  EXPECT_EQ(iface.HostBaseRtt(2), Time::FromMicroseconds(195));
+  EXPECT_EQ(iface.ReferenceCapacity().bps(),
+            SmallFatTree().rate.bps() * static_cast<std::int64_t>(16));
+}
+
+TEST(FatTreeTopologyTest, SampleFlowPairMixesPodsAndNeverSelfPairs) {
+  Simulator sim;
+  FatTree topo(sim, SmallFatTree(), [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  Topology& iface = topo;
+
+  Rng rng(12345);
+  std::size_t inter_pod = 0;
+  std::size_t intra_pod = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto [src, dst] = iface.SampleFlowPair(rng);
+    ASSERT_NE(src, nullptr);
+    const std::uint32_t src_addr = src->host().address();
+    ASSERT_NE(src_addr, dst);  // never a self-pair
+    ASSERT_LT(dst, iface.host_count());
+    if (topo.PodOfHost(src_addr) == topo.PodOfHost(dst)) {
+      ++intra_pod;
+    } else {
+      ++inter_pod;
+    }
+  }
+  // Uniform pairs: ~3/16 of ordered pairs stay inside one pod at k=4.
+  EXPECT_GT(intra_pod, 200u);
+  EXPECT_GT(inter_pod, 1200u);
+}
+
+TEST(FatTreeTopologyTest, IncastConvergesOnHostZero) {
+  Simulator sim;
+  FatTree topo(sim, SmallFatTree(), [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  Topology& iface = topo;
+
+  EXPECT_EQ(iface.IncastTarget(), iface.host(0).address());
+  // Senders round-robin over hosts 1..N-1 (never the target itself).
+  EXPECT_EQ(&iface.IncastSender(0), &iface.stack(1));
+  EXPECT_EQ(&iface.IncastSender(14), &iface.stack(15));
+  EXPECT_EQ(&iface.IncastSender(15), &iface.stack(1));
+}
+
 // ReestimateEcnSharp must silently skip queues that are not running ECN#.
 TEST(ReestimateTest, IgnoresNonEcnSharpQueues) {
   Simulator sim;
@@ -230,13 +359,17 @@ TEST(GoldenParityTest, DumbbellMatchesPreSessionResults) {
 }
 
 TEST(GoldenParityTest, LeafSpineMatchesPreSessionResults) {
+  // Re-goldened when SelectEcmp switched to the splitmix64 finalizer: the
+  // multi-path leaf-spine picks different (still valid) uplinks per flow, so
+  // every pinned double shifted once. Dumbbell/incast goldens were unchanged
+  // (single-candidate ECMP never reaches the hash).
   const FctGolden kGolden[] = {
-      {Scheme::kEcnSharp, 535.53205000000003, 3989.049, 256.72503333333333,
-       80, 0, 49, 0},
-      {Scheme::kDctcpRedTail, 527.14171250000004, 3262.7710000000002,
-       261.23276666666663, 80, 0, 0, 0},
-      {Scheme::kCodel, 539.50648750000005, 5696.8770000000004,
-       235.72258333333332, 80, 0, 41, 0},
+      {Scheme::kEcnSharp, 542.41020000000003, 3312.739, 255.53313333333335,
+       80, 0, 704, 0},
+      {Scheme::kDctcpRedTail, 534.14081250000004, 3346.3389999999999,
+       260.62860000000001, 80, 0, 721, 0},
+      {Scheme::kCodel, 522.57607499999995, 3311.5390000000002,
+       238.6144333333333, 80, 0, 29, 0},
   };
   for (const FctGolden& g : kGolden) {
     LeafSpineExperimentConfig config;
@@ -433,6 +566,79 @@ TEST(GoldenTraceTest, TraceJsonIsJobCountInvariant) {
   // Different seeds really produce different traces (the invariance above
   // is not vacuous).
   EXPECT_NE(golden[0], golden[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Fat-tree golden byte-identity
+// ---------------------------------------------------------------------------
+
+// The full exported sweep document (configs + results) for a fat-tree sweep
+// must be byte-identical across --jobs 1/4/8 and across re-runs — multi-path
+// ECMP and the range-routing tables may not introduce any order or thread
+// dependence.
+TEST(GoldenSweepTest, FatTreeSweepJsonIsJobCountInvariantAndRepeatable) {
+  std::vector<runner::JobSpec> specs;
+  for (std::uint64_t seed : {2ull, 3ull, 4ull}) {
+    FatTreeExperimentConfig config;
+    config.topo.k = 4;
+    config.flows = 40;
+    config.load = 0.4;
+    config.seed = seed;
+    specs.push_back({"ft/" + std::to_string(seed), config});
+  }
+  runner::SweepOptions options;
+  options.progress = false;
+  std::string golden;  // from the first --jobs 1 run
+  for (const std::size_t jobs : {1u, 1u, 4u, 8u}) {  // 1 twice: re-run parity
+    options.jobs = jobs;
+    const std::vector<runner::JobResult> results =
+        runner::RunJobs(specs, options);
+    ASSERT_EQ(results.size(), specs.size());
+    const std::string dump =
+        runner::SweepToJson("fattree_golden", specs, results).Dump();
+    EXPECT_GT(dump.size(), 500u);
+    if (golden.empty()) {
+      golden = dump;
+    } else {
+      EXPECT_EQ(dump, golden) << "jobs=" << jobs;
+    }
+  }
+  // The seeds really differ (the invariance above is not vacuous).
+  const std::vector<runner::JobResult> once =
+      runner::RunJobs(specs, options);
+  EXPECT_NE(runner::FctResult(once[0]).overall.avg_us,
+            runner::FctResult(once[1]).overall.avg_us);
+}
+
+// The cross-topology scenario contract extends to the fat-tree: the same
+// script (flap the canonical bottleneck, then re-estimate ECN# fabric-wide)
+// runs unchanged.
+TEST(SessionScenarioTest, ScenarioScriptRunsOnFatTree) {
+  ScenarioScript script;
+  script.seed = 9;
+  ScenarioAction down;
+  down.kind = ScenarioActionKind::kLinkDown;
+  down.at = Time::Milliseconds(2);
+  down.target = -1;
+  down.drop_queued = true;
+  script.actions.push_back(down);
+  ScenarioAction up = down;
+  up.kind = ScenarioActionKind::kLinkUp;
+  up.at = Time::Milliseconds(2) + Time::FromMicroseconds(300);
+  script.actions.push_back(up);
+  ScenarioAction reest;
+  reest.kind = ScenarioActionKind::kReestimateEcnSharp;
+  reest.at = Time::Milliseconds(3);
+  script.actions.push_back(reest);
+
+  FatTreeExperimentConfig config;
+  config.topo.k = 4;
+  config.flows = 40;
+  config.seed = 5;
+  config.scenario = script;
+  const ExperimentResult r = RunFatTree(config);
+  EXPECT_EQ(r.scenario_actions, 3u);
+  EXPECT_EQ(r.flows_completed, 40u);
 }
 
 }  // namespace

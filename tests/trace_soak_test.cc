@@ -30,6 +30,8 @@
 #include "sim/data_rate.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "sketch/telemetry.h"
+#include "topo/fat_tree.h"
 #include "trace/trace_config.h"
 #include "trace/trace_recorder.h"
 
@@ -300,6 +302,100 @@ TEST(TraceSoakTest, DynamicDumbbellTraceAgreesWithHarnessCounters) {
   EXPECT_EQ(trace.kind_count(TraceEventKind::kScenario), r.scenario_actions);
   EXPECT_GT(r.injected_drops, 0u);
   EXPECT_GT(r.bottleneck.purged, 0u);
+}
+
+// The same churn timeline run against a real fat-tree fabric port: edge 0's
+// first uplink (the canonical bottleneck), with the rest of the k=4 fabric
+// live behind it. The accounting invariant must hold after every action
+// even when purged traffic would otherwise have crossed two more tiers.
+TEST(TraceSoakTest, FatTreeBottleneckInvariantHoldsUnderChurn) {
+  for (const std::uint64_t seed : kSoakSeeds) {
+    Simulator sim;
+    FatTreeConfig config;
+    config.k = 4;
+    FatTree topo(sim, config, [] {
+      return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+    });
+    EgressPort* uplink = topo.ResolvePort(-1);
+    ASSERT_NE(uplink, nullptr);
+    SoakPort(sim, *uplink, nullptr, seed);
+  }
+}
+
+// Full-stack fat-tree soak: k=4 under repeated purge-flaps with both the
+// flight recorder and the sketch telemetry enabled. The per-site tallies
+// summed over all 5k^3/4 = 80 fabric ports must agree with the fabric-wide
+// aggregate the harness reports, and the fabric must drain to
+// enqueued == dequeued + purged (the queued term is zero at exit).
+TEST(TraceSoakTest, DynamicFatTreeTraceAndSketchAgreeWithHarnessCounters) {
+  FatTreeExperimentConfig config;
+  config.topo.k = 4;
+  config.flows = 60;
+  config.seed = 5;
+  config.trace.enabled = true;
+  config.sketch.enabled = true;
+
+  // An incast burst converging on host 0 builds a standing queue on edge
+  // 0's down port to it (bottleneck 0 = port target 16 at k=4); the
+  // purge-flaps then have a guaranteed backlog to purge.
+  ScenarioScript script;
+  script.seed = 21;
+  ScenarioAction burst;
+  burst.kind = ScenarioActionKind::kIncastBurst;
+  burst.at = Time::Milliseconds(1) + Time::FromMicroseconds(500);
+  burst.flows = 16;
+  burst.bytes = 80000;
+  script.actions.push_back(burst);
+  ScenarioAction down;
+  down.kind = ScenarioActionKind::kLinkDown;
+  down.at = Time::Milliseconds(2);
+  down.target = 16;
+  down.drop_queued = true;
+  down.repeat = 4;
+  down.period = Time::FromMicroseconds(500);
+  script.actions.push_back(down);
+  ScenarioAction up = down;
+  up.kind = ScenarioActionKind::kLinkUp;
+  up.at = down.at + Time::FromMicroseconds(250);
+  script.actions.push_back(up);
+  ScenarioAction reest;
+  reest.kind = ScenarioActionKind::kReestimateEcnSharp;
+  reest.at = Time::Milliseconds(5);
+  script.actions.push_back(reest);
+  config.scenario = script;
+
+  const ExperimentResult r = RunFatTree(config);
+  ASSERT_NE(r.trace, nullptr);
+  ASSERT_NE(r.sketch, nullptr);
+  ASSERT_EQ(r.trace->site_count(), 80u);
+  ASSERT_EQ(r.sketch->site_count(), 80u);
+
+  TraceSiteCounters total;
+  SketchSiteCounters sketch_total;
+  for (std::uint16_t s = 0; s < 80; ++s) {
+    const TraceSiteCounters& c = r.trace->site_counters(s);
+    total.enqueued += c.enqueued;
+    total.dequeued += c.dequeued;
+    total.purged += c.purged;
+    total.marks += c.marks;
+    const SketchSiteCounters& sc = r.sketch->site_counters(s);
+    sketch_total.enqueued += sc.enqueued;
+    sketch_total.dequeued += sc.dequeued;
+    sketch_total.marks += sc.marks;
+  }
+  EXPECT_EQ(total.enqueued, r.bottleneck.enqueued);
+  EXPECT_EQ(total.dequeued, r.bottleneck.dequeued);
+  EXPECT_EQ(total.purged, r.bottleneck.purged);
+  EXPECT_EQ(total.marks, r.bottleneck.ce_marked);
+  EXPECT_EQ(sketch_total.enqueued, r.bottleneck.enqueued);
+  EXPECT_EQ(sketch_total.dequeued, r.bottleneck.dequeued);
+  EXPECT_EQ(sketch_total.marks, r.bottleneck.ce_marked);
+  // Drained fabric: the `queued` term of the invariant is zero.
+  EXPECT_EQ(r.bottleneck.enqueued, r.bottleneck.dequeued + r.bottleneck.purged);
+  EXPECT_GT(r.bottleneck.purged, 0u);  // the flaps really purged a backlog
+  EXPECT_EQ(r.scenario_actions, 10u);  // burst + 4 downs + 4 ups + re-estimate
+  EXPECT_EQ(r.incast_bursts, 1u);
+  EXPECT_EQ(r.flows_completed, 76u);  // 60 workload + 16 burst flows
 }
 
 }  // namespace

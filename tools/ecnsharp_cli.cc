@@ -134,11 +134,20 @@ ScenarioScript LoadScenarioOrDie(const std::string& value) {
 int Usage() {
   std::printf(
       "ecnsharp_cli — run an ECN# experiment\n\n"
-      "  --topo=dumbbell|leafspine|incast   topology (default dumbbell)\n"
-      "  --topology=dumbbell|leafspine      alias of --topo for the two\n"
+      "  --topo=dumbbell|leafspine|fattree|incast\n"
+      "                                     topology (default dumbbell)\n"
+      "  --topology=dumbbell|leafspine|fattree\n"
+      "                                     alias of --topo for the\n"
       "                                     scenario-capable topologies;\n"
       "                                     overrides --topo when both are\n"
       "                                     given\n"
+      "  --k=<even n>=4>                    fat-tree arity: k^3/4 hosts\n"
+      "                                     (default 8 -> 128 hosts)\n"
+      "  --rate-gbps=<g>                    fat-tree link rate (default 10)\n"
+      "  --host-delay-us=<us>               fat-tree host<->edge hop delay\n"
+      "                                     (default 10)\n"
+      "  --fabric-delay-us=<us>             fat-tree switch<->switch hop\n"
+      "                                     delay (default 10)\n"
       "  --scheme=<name>                    dctcp-red-tail, dctcp-red-avg,\n"
       "                                     codel, tcn, ecn-sharp,\n"
       "                                     ecn-sharp-tofino, droptail, pie,\n"
@@ -334,6 +343,23 @@ void ExportSketchOrDie(const Flags& flags,
               sketch->FlowSketchMemoryBytes() / 1024, path.c_str());
 }
 
+// Fat-tree shape/link knobs shared by single-run and sweep mode. The arity
+// is validated here so a bad --k fails at flag-parse time with the CLI's
+// usual exit 2 (the FatTree constructor would also reject it).
+FatTreeConfig FatTreeConfigFromFlags(const Flags& flags) {
+  FatTreeConfig topo;
+  topo.k = flags.GetU64("k", 8);
+  if (topo.k < 4 || topo.k % 2 != 0) {
+    FlagError("k", flags.Get("k", ""), "an even integer >= 4");
+  }
+  topo.rate = DataRate::GigabitsPerSecond(flags.GetDouble("rate-gbps", 10.0));
+  topo.host_link_delay =
+      Time::FromMicroseconds(flags.GetDouble("host-delay-us", 10.0));
+  topo.fabric_link_delay =
+      Time::FromMicroseconds(flags.GetDouble("fabric-delay-us", 10.0));
+  return topo;
+}
+
 // One swept parameter: `load:10..90:10` expands to {10, 20, ..., 90}.
 struct SweepAxis {
   std::string param;
@@ -438,10 +464,11 @@ int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
                    axis.param.c_str(), topo.c_str());
       return 2;
     }
-    if (topo == "leafspine" && axis.param == "variation") {
+    if ((topo == "leafspine" || topo == "fattree") &&
+        axis.param == "variation") {
       std::fprintf(stderr,
-                   "--sweep param 'variation' does not apply to "
-                   "--topo=leafspine\n");
+                   "--sweep param 'variation' does not apply to --topo=%s\n",
+                   topo.c_str());
       return 2;
     }
   }
@@ -474,6 +501,18 @@ int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
       config.scheme = scheme;
       config.params = SimulationSchemeParams();
       config.workload = workload;
+      config.load = value("load", flags.GetDouble("load", 0.5) * 100) / 100;
+      config.flows = static_cast<std::size_t>(
+          value("flows", static_cast<double>(flags.GetU64("flows", 1000))));
+      config.seed = static_cast<std::uint64_t>(
+          value("seed", static_cast<double>(flags.GetU64("seed", 1))));
+      config.scenario = scenario;
+      spec.config = config;
+    } else if (topo == "fattree") {
+      FatTreeExperimentConfig config;
+      config.scheme = scheme;
+      config.workload = workload;
+      config.topo = FatTreeConfigFromFlags(flags);
       config.load = value("load", flags.GetDouble("load", 0.5) * 100) / 100;
       config.flows = static_cast<std::size_t>(
           value("flows", static_cast<double>(flags.GetU64("flows", 1000))));
@@ -549,7 +588,8 @@ int main(int argc, char** argv) {
                                      ? &DataMiningWorkload()
                                      : &WebSearchWorkload();
   std::string topo = flags.Get("topo", "dumbbell");
-  if (topo != "dumbbell" && topo != "leafspine" && topo != "incast") {
+  if (topo != "dumbbell" && topo != "leafspine" && topo != "fattree" &&
+      topo != "incast") {
     std::fprintf(stderr, "unknown topo '%s' (see --help)\n", topo.c_str());
     return 2;
   }
@@ -557,10 +597,10 @@ int main(int argc, char** argv) {
   // --topo, so scripts composing `--scenario` never land on incast.
   if (flags.Has("topology")) {
     const std::string value = flags.Get("topology", "");
-    if (value != "dumbbell" && value != "leafspine") {
+    if (value != "dumbbell" && value != "leafspine" && value != "fattree") {
       std::fprintf(stderr,
-                   "invalid --topology '%s' (expected dumbbell or "
-                   "leafspine)\n",
+                   "invalid --topology '%s' (expected dumbbell, leafspine "
+                   "or fattree)\n",
                    value.c_str());
       return 2;
     }
@@ -571,7 +611,8 @@ int main(int argc, char** argv) {
   if (flags.Has("scenario")) {
     if (topo == "incast") {
       std::fprintf(stderr,
-                   "--scenario applies to --topo=dumbbell or leafspine\n");
+                   "--scenario applies to --topo=dumbbell, leafspine or "
+                   "fattree\n");
       return 2;
     }
     scenario = LoadScenarioOrDie(flags.Get("scenario", ""));
@@ -684,6 +725,34 @@ int main(int argc, char** argv) {
     std::shared_ptr<const SketchTelemetry> telemetry;
     if (scenario.empty()) {
       const ExperimentResult r = RunLeafSpine(config);
+      PrintFctResult(r);
+      recorded = r.trace;
+      telemetry = r.sketch;
+    } else {
+      const runner::JobResult job = RunSingleViaRunner(flags, scheme, config);
+      recorded = runner::FctResult(job).trace;
+      telemetry = runner::FctResult(job).sketch;
+    }
+    if (trace.enabled) ExportTraceOrDie(flags, recorded);
+    if (sketch.enabled) ExportSketchOrDie(flags, telemetry);
+  } else if (topo == "fattree") {
+    FatTreeExperimentConfig config;
+    config.scheme = scheme;
+    config.workload = workload;
+    config.topo = FatTreeConfigFromFlags(flags);
+    config.load = flags.GetDouble("load", 0.5);
+    config.flows = flags.GetU64("flows", 1000);
+    config.seed = flags.GetU64("seed", 1);
+    config.scenario = scenario;
+    config.trace = trace;
+    config.sketch = sketch;
+    config.estimator = estimator;
+    PrintBanner("fat-tree k=" + std::to_string(config.topo.k) + " / " +
+                std::string(SchemeName(scheme)) + " / " + workload_name);
+    std::shared_ptr<const TraceRecorder> recorded;
+    std::shared_ptr<const SketchTelemetry> telemetry;
+    if (scenario.empty()) {
+      const ExperimentResult r = RunFatTree(config);
       PrintFctResult(r);
       recorded = r.trace;
       telemetry = r.sketch;
