@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "aqm/dctcp_red.h"
+#include "buffer/policies.h"
 #include "harness/env.h"
 #include "harness/experiment.h"
 #include "harness/json.h"
@@ -170,6 +171,32 @@ Metric PacketPathSketch(std::uint64_t packets) {
 }
 
 // ---------------------------------------------------------------------------
+// Shared-buffer admission: one TryReserve + Release pair per iteration
+// through the Dynamic-Threshold policy — the per-packet overhead a pooled
+// enqueue/dequeue pays on top of the static-buffer path. A standing backlog
+// of one packet per queue keeps the occupancy (and thus the DT limit
+// arithmetic) non-trivial.
+// ---------------------------------------------------------------------------
+
+Metric BufferAdmission(std::uint64_t packets) {
+  constexpr std::size_t kQueues = 32;
+  DynamicThresholdPolicy policy(/*total_bytes=*/64ull << 20, /*alpha=*/1.0);
+  std::vector<std::size_t> queues;
+  queues.reserve(kQueues);
+  for (std::size_t q = 0; q < kQueues; ++q) {
+    queues.push_back(policy.RegisterQueue(static_cast<std::uint8_t>(q % 8)));
+    policy.TryReserve(queues.back(), kFullPacketBytes);
+  }
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < packets; ++i) {
+    const std::size_t q = queues[i % kQueues];
+    policy.TryReserve(q, kFullPacketBytes);
+    policy.Release(q, kFullPacketBytes);
+  }
+  return Metric{packets, SecondsSince(start)};
+}
+
+// ---------------------------------------------------------------------------
 // End to end: the paper's websearch workload on the testbed dumbbell at 70%
 // load — the configuration every FCT figure leans on hardest.
 // ---------------------------------------------------------------------------
@@ -226,6 +253,12 @@ int main() {
               static_cast<unsigned long long>(pkts_sketch.items),
               pkts_sketch.seconds);
 
+  const Metric admission = BufferAdmission(packets);
+  std::printf(
+      "buffer_admission:   %10.0f admissions/s (%llu admissions, %.3f s)\n",
+      admission.rate(), static_cast<unsigned long long>(admission.items),
+      admission.seconds);
+
   const Json websearch = WebSearchAt70(flows);
   std::printf("websearch_70:       see JSON (flows=%zu)\n", flows);
 
@@ -240,6 +273,8 @@ int main() {
                           .Set("packet_path", ToJson(pkts, "packets_per_sec"))
                           .Set("packet_path_sketch",
                                ToJson(pkts_sketch, "packets_per_sec"))
+                          .Set("buffer_admission",
+                               ToJson(admission, "admissions_per_sec"))
                           .Set("websearch_70", websearch));
 
   const char* out_env = std::getenv("ECNSHARP_BENCH_OUT");

@@ -1,0 +1,138 @@
+// The three concrete shared-buffer admission policies.
+//
+// - StaticSplitPolicy: each queue owns a fixed slice; no sharing. The
+//   classic per-port split every topology used before this subsystem.
+// - DynamicThresholdPolicy: Choudhury & Hahne DT — a queue may grow while
+//   queue_bytes < alpha * (total - used), with an optional per-priority
+//   alpha vector so e.g. a latency class can be held to a shallower share.
+// - HeadroomDtPolicy: DT over the shared region plus a reserved per-queue
+//   headroom, so a cold queue can always accept a burst even when a hot
+//   loss-based flow has pushed pool occupancy to the DT equilibrium.
+#ifndef ECNSHARP_BUFFER_POLICIES_H_
+#define ECNSHARP_BUFFER_POLICIES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "buffer/buffer_policy.h"
+
+namespace ecnsharp {
+
+class StaticSplitPolicy : public BufferPolicy {
+ public:
+  // Every registered queue owns `per_queue_bytes`; the pool total stays a
+  // hard cap on top (relevant when more queues register than total/share).
+  StaticSplitPolicy(std::uint64_t total_bytes, std::uint64_t per_queue_bytes)
+      : BufferPolicy(total_bytes), per_queue_bytes_(per_queue_bytes) {}
+
+  std::uint64_t LimitBytes(std::size_t /*queue*/) const override {
+    return per_queue_bytes_;
+  }
+  const char* name() const override { return "static"; }
+  std::uint64_t per_queue_bytes() const { return per_queue_bytes_; }
+
+ protected:
+  bool Admit(const QueueState& queue,
+             std::uint32_t packet_bytes) const override {
+    return queue.bytes + packet_bytes <= per_queue_bytes_;
+  }
+
+ private:
+  std::uint64_t per_queue_bytes_;
+};
+
+class DynamicThresholdPolicy : public BufferPolicy {
+ public:
+  // `priority_alpha[p]` overrides `alpha` for queues registered with
+  // priority p; priorities past the end of the vector fall back to the last
+  // entry, and an empty vector means every queue uses `alpha`.
+  DynamicThresholdPolicy(std::uint64_t total_bytes, double alpha,
+                         std::vector<double> priority_alpha = {})
+      : BufferPolicy(total_bytes),
+        default_alpha_(alpha),
+        priority_alpha_(std::move(priority_alpha)) {}
+
+  std::uint64_t LimitBytes(std::size_t queue) const override {
+    return DtLimit(queues().at(queue).priority);
+  }
+  const char* name() const override { return "dt"; }
+  double default_alpha() const { return default_alpha_; }
+
+  double AlphaFor(std::uint8_t priority) const {
+    if (priority_alpha_.empty()) return default_alpha_;
+    const std::size_t index =
+        std::min<std::size_t>(priority, priority_alpha_.size() - 1);
+    return priority_alpha_[index];
+  }
+
+ protected:
+  bool Admit(const QueueState& queue,
+             std::uint32_t packet_bytes) const override {
+    return queue.bytes + packet_bytes <= DtLimit(queue.priority);
+  }
+
+  std::uint64_t DtLimit(std::uint8_t priority) const {
+    return static_cast<std::uint64_t>(AlphaFor(priority) *
+                                      static_cast<double>(free_bytes()));
+  }
+
+ private:
+  double default_alpha_;
+  std::vector<double> priority_alpha_;
+};
+
+class HeadroomDtPolicy : public DynamicThresholdPolicy {
+ public:
+  HeadroomDtPolicy(std::uint64_t total_bytes, double alpha,
+                   std::uint64_t headroom_bytes,
+                   std::vector<double> priority_alpha = {})
+      : DynamicThresholdPolicy(total_bytes, alpha, std::move(priority_alpha)),
+        headroom_bytes_(headroom_bytes) {}
+
+  // Reports the guaranteed slice plus the current DT share of the region
+  // above the summed headrooms.
+  std::uint64_t LimitBytes(std::size_t queue) const override {
+    const QueueState& state = queues().at(queue);
+    return headroom_bytes_ + SharedLimit(state.priority);
+  }
+  const char* name() const override { return "dt-headroom"; }
+  std::uint64_t headroom_bytes() const { return headroom_bytes_; }
+
+ protected:
+  bool Admit(const QueueState& queue,
+             std::uint32_t packet_bytes) const override {
+    // Within the guaranteed slice: always admitted (the base class still
+    // enforces the hard pool total).
+    if (queue.bytes + packet_bytes <= headroom_bytes_) return true;
+    // Above it: DT over the shared region. Bytes that straddle the headroom
+    // boundary count fully against the shared share — conservative, and it
+    // keeps the limit monotone in occupancy.
+    const std::uint64_t queue_shared =
+        queue.bytes > headroom_bytes_ ? queue.bytes - headroom_bytes_ : 0;
+    return queue_shared + packet_bytes <= SharedLimit(queue.priority);
+  }
+
+ private:
+  std::uint64_t SharedLimit(std::uint8_t priority) const {
+    const std::uint64_t reserved = headroom_bytes_ * queue_count();
+    if (reserved >= total_bytes()) return 0;
+    const std::uint64_t shared_total = total_bytes() - reserved;
+    std::uint64_t shared_used = 0;
+    for (const QueueState& state : queues()) {
+      shared_used +=
+          state.bytes > headroom_bytes_ ? state.bytes - headroom_bytes_ : 0;
+    }
+    const std::uint64_t shared_free =
+        shared_total - std::min(shared_used, shared_total);
+    return static_cast<std::uint64_t>(AlphaFor(priority) *
+                                      static_cast<double>(shared_free));
+  }
+
+  std::uint64_t headroom_bytes_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_BUFFER_POLICIES_H_

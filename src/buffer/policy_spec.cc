@@ -1,0 +1,81 @@
+#include "buffer/policy_spec.h"
+
+#include <string>
+
+#include "buffer/policies.h"
+#include "sim/logging.h"
+
+namespace ecnsharp {
+
+namespace {
+// One full-sized packet (buffer/ sits below net/, so no net/packet.h here).
+constexpr std::uint64_t kDefaultHeadroomBytes = 1500;
+}  // namespace
+
+const char* BufferPolicyKindName(BufferPolicyKind kind) {
+  switch (kind) {
+    case BufferPolicyKind::kNone:
+      return "none";
+    case BufferPolicyKind::kStatic:
+      return "static";
+    case BufferPolicyKind::kDynamicThreshold:
+      return "dt";
+    case BufferPolicyKind::kDtHeadroom:
+      return "dt-headroom";
+  }
+  return "?";
+}
+
+std::optional<BufferPolicyKind> ParseBufferPolicyKind(std::string_view name) {
+  if (name == "none") return BufferPolicyKind::kNone;
+  if (name == "static") return BufferPolicyKind::kStatic;
+  if (name == "dt") return BufferPolicyKind::kDynamicThreshold;
+  if (name == "dt-headroom") return BufferPolicyKind::kDtHeadroom;
+  return std::nullopt;
+}
+
+std::unique_ptr<BufferPolicy> MakeBufferPolicy(const BufferPolicyConfig& config,
+                                               std::size_t queue_count,
+                                               std::uint64_t per_queue_fallback) {
+  if (config.kind == BufferPolicyKind::kNone) return nullptr;
+  const std::uint64_t total =
+      config.total_bytes != 0
+          ? config.total_bytes
+          : per_queue_fallback * static_cast<std::uint64_t>(queue_count);
+  if (total == 0) {
+    FatalConfigError("buffer policy needs a non-zero pool (total_bytes or "
+                     "per-port fallback)");
+  }
+  if (config.alpha <= 0.0) {
+    FatalConfigError("buffer policy alpha must be > 0, got " +
+                     std::to_string(config.alpha));
+  }
+  for (double alpha : config.priority_alpha) {
+    if (alpha <= 0.0) {
+      FatalConfigError("buffer policy per-priority alpha must be > 0, got " +
+                       std::to_string(alpha));
+    }
+  }
+  switch (config.kind) {
+    case BufferPolicyKind::kStatic: {
+      const std::uint64_t share =
+          queue_count != 0 ? total / queue_count : total;
+      return std::make_unique<StaticSplitPolicy>(total, share);
+    }
+    case BufferPolicyKind::kDynamicThreshold:
+      return std::make_unique<DynamicThresholdPolicy>(total, config.alpha,
+                                                      config.priority_alpha);
+    case BufferPolicyKind::kDtHeadroom: {
+      const std::uint64_t headroom = config.headroom_bytes != 0
+                                         ? config.headroom_bytes
+                                         : kDefaultHeadroomBytes;
+      return std::make_unique<HeadroomDtPolicy>(total, config.alpha, headroom,
+                                                config.priority_alpha);
+    }
+    case BufferPolicyKind::kNone:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace ecnsharp

@@ -60,6 +60,34 @@ Json ToJson(const TcpConfig& tcp) {
       .Set("pacing", Json::Bool(tcp.pacing));
 }
 
+Json ToJson(const BufferPolicyConfig& policy) {
+  Json json = Json::Object()
+      .Set("kind", Json::Str(BufferPolicyKindName(policy.kind)))
+      .Set("total_bytes", Json::UInt(policy.total_bytes))
+      .Set("alpha", Json::Num(policy.alpha))
+      .Set("headroom_bytes", Json::UInt(policy.headroom_bytes));
+  if (!policy.priority_alpha.empty()) {
+    Json alphas = Json::Array();
+    for (double a : policy.priority_alpha) alphas.Push(Json::Num(a));
+    json.Set("priority_alpha", std::move(alphas));
+  }
+  return json;
+}
+
+namespace {
+
+// Mixed-CC / shared-buffer keys are omitted at their defaults so records of
+// pure-DCTCP, statically buffered runs are unchanged.
+void SetCcAndBufferKeys(Json& json, double cc_mix,
+                        const BufferPolicyConfig& policy) {
+  if (cc_mix > 0.0) json.Set("cc_mix", Json::Num(cc_mix));
+  if (policy.kind != BufferPolicyKind::kNone) {
+    json.Set("buffer_policy", ToJson(policy));
+  }
+}
+
+}  // namespace
+
 Json ToJson(const ScenarioAction& action) {
   return Json::Object()
       .Set("kind", Json::Str(ScenarioActionKindName(action.kind)))
@@ -209,6 +237,7 @@ Json ToJson(const DumbbellExperimentConfig& config) {
   if (!config.scenario.empty()) {
     json.Set("scenario", ToJson(config.scenario));
   }
+  SetCcAndBufferKeys(json, config.cc_mix, config.buffer_policy);
   return json;
 }
 
@@ -233,6 +262,7 @@ Json ToJson(const LeafSpineExperimentConfig& config) {
   if (!config.scenario.empty()) {
     json.Set("scenario", ToJson(config.scenario));
   }
+  SetCcAndBufferKeys(json, config.cc_mix, config.buffer_policy);
   return json;
 }
 
@@ -257,6 +287,7 @@ Json ToJson(const FatTreeExperimentConfig& config) {
   if (!config.scenario.empty()) {
     json.Set("scenario", ToJson(config.scenario));
   }
+  SetCcAndBufferKeys(json, config.cc_mix, config.buffer_policy);
   return json;
 }
 
@@ -323,6 +354,13 @@ Json ToJson(const ExperimentResult& result) {
         .Set("injected_corruptions",
              Json::UInt(result.injected_corruptions))
         .Set("link_down_drops", Json::UInt(result.link_down_drops));
+  }
+  // Per-controller splits exist only for mixed-CC runs.
+  if (result.cubic_fct.count != 0 || result.newreno_fct.count != 0) {
+    json.Set("cubic_fct", ToJson(result.cubic_fct))
+        .Set("newreno_fct", ToJson(result.newreno_fct))
+        .Set("cubic_bytes", Json::UInt(result.cubic_bytes))
+        .Set("newreno_bytes", Json::UInt(result.newreno_bytes));
   }
   return json;
 }

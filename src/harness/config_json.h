@@ -21,6 +21,7 @@ const char* WorkloadName(const EmpiricalCdf* workload);
 
 Json ToJson(const SchemeParams& params);
 Json ToJson(const TcpConfig& tcp);
+Json ToJson(const BufferPolicyConfig& policy);
 
 // Scenario scripts round-trip through JSON: ToJson emits the canonical form
 // and the two readers accept it back (plus defaults for omitted fields).

@@ -30,6 +30,7 @@ ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config) {
   session_config.trace = config.trace;
   session_config.sketch = config.sketch;
   session_config.estimator = config.estimator;
+  session_config.cc_mix = config.cc_mix;
   ExperimentSession session(std::move(session_config));
 
   DumbbellConfig topo_config;
@@ -38,8 +39,10 @@ ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config) {
   topo_config.base_rtt = config.base_rtt;
   topo_config.buffer_bytes = config.params.buffer_bytes;
   topo_config.tcp = config.tcp;
-  Dumbbell topo(session.sim(), topo_config,
-                MakeFifoDisc(config.scheme, config.params));
+  topo_config.buffer_policy = config.buffer_policy;
+  Dumbbell topo(session.sim(), topo_config, [&config](BufferPolicy* pool) {
+    return MakeFifoDisc(config.scheme, config.params, pool);
+  });
 
   session.Bind(topo);
   session.Run();
@@ -63,12 +66,14 @@ ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config) {
   session_config.trace = config.trace;
   session_config.sketch = config.sketch;
   session_config.estimator = config.estimator;
+  session_config.cc_mix = config.cc_mix;
   ExperimentSession session(std::move(session_config));
 
   LeafSpineConfig topo_config = config.topo;
   topo_config.buffer_bytes = config.params.buffer_bytes;
-  LeafSpine topo(session.sim(), topo_config, [&config] {
-    return MakeFifoDisc(config.scheme, config.params);
+  topo_config.buffer_policy = config.buffer_policy;
+  LeafSpine topo(session.sim(), topo_config, [&config](BufferPolicy* pool) {
+    return MakeFifoDisc(config.scheme, config.params, pool);
   });
 
   session.Bind(topo);
@@ -94,12 +99,14 @@ ExperimentResult RunFatTree(const FatTreeExperimentConfig& config) {
   session_config.trace = config.trace;
   session_config.sketch = config.sketch;
   session_config.estimator = config.estimator;
+  session_config.cc_mix = config.cc_mix;
   ExperimentSession session(std::move(session_config));
 
   FatTreeConfig topo_config = config.topo;
   topo_config.buffer_bytes = config.params.buffer_bytes;
-  FatTree topo(session.sim(), topo_config, [&config] {
-    return MakeFifoDisc(config.scheme, config.params);
+  topo_config.buffer_policy = config.buffer_policy;
+  FatTree topo(session.sim(), topo_config, [&config](BufferPolicy* pool) {
+    return MakeFifoDisc(config.scheme, config.params, pool);
   });
 
   session.Bind(topo);

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "buffer/policy_spec.h"
 #include "dynamics/scenario.h"
 #include "harness/schemes.h"
 #include "net/queue_disc.h"
@@ -60,6 +61,13 @@ struct DumbbellExperimentConfig {
   // Which measurement source feeds scenario ECN# re-estimation actions;
   // kSketch needs sketch.enabled.
   EcnEstimator estimator = EcnEstimator::kOracle;
+  // Fraction of workload flows driven by CUBIC instead of the default
+  // controller (seeded Bernoulli per flow; 0 keeps the pure-DCTCP runs and
+  // their rng sequence byte-identical).
+  double cc_mix = 0.0;
+  // Optional shared-buffer policy replacing the static per-port buffers
+  // (kNone keeps them).
+  BufferPolicyConfig buffer_policy;
 };
 
 struct ExperimentResult {
@@ -86,6 +94,11 @@ struct ExperimentResult {
   std::shared_ptr<const TraceRecorder> trace;
   // Sketch telemetry; null unless config.sketch.enabled.
   std::shared_ptr<const SketchTelemetry> sketch;
+  // Per-controller splits, filled only for mixed-CC runs (cc_mix > 0).
+  FctSummary cubic_fct;
+  FctSummary newreno_fct;
+  std::uint64_t cubic_bytes = 0;
+  std::uint64_t newreno_bytes = 0;
 };
 
 ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config);
@@ -116,6 +129,11 @@ struct LeafSpineExperimentConfig {
   SketchConfig sketch;
   // Measurement source for scenario ECN# re-estimation actions.
   EcnEstimator estimator = EcnEstimator::kOracle;
+  // Fraction of workload flows driven by CUBIC (0 = pure default CC).
+  double cc_mix = 0.0;
+  // Optional shared-buffer policy, one pool per switch chip (kNone keeps
+  // static per-port buffers). Copied into topo.buffer_policy by the runner.
+  BufferPolicyConfig buffer_policy;
 };
 
 ExperimentResult RunLeafSpine(const LeafSpineExperimentConfig& config);
@@ -148,6 +166,11 @@ struct FatTreeExperimentConfig {
   SketchConfig sketch;
   // Measurement source for scenario ECN# re-estimation actions.
   EcnEstimator estimator = EcnEstimator::kOracle;
+  // Fraction of workload flows driven by CUBIC (0 = pure default CC).
+  double cc_mix = 0.0;
+  // Optional shared-buffer policy, one pool per switch chip (kNone keeps
+  // static per-port buffers). Copied into topo.buffer_policy by the runner.
+  BufferPolicyConfig buffer_policy;
 };
 
 ExperimentResult RunFatTree(const FatTreeExperimentConfig& config);

@@ -10,6 +10,7 @@
 
 #include "aqm/codel.h"
 #include "aqm/pie.h"
+#include "buffer/buffer_policy.h"
 #include "core/ecn_sharp.h"
 #include "net/queue_disc.h"
 #include "sim/time.h"
@@ -71,9 +72,12 @@ SchemeParams SimulationSchemeParams();
 // Returns nullptr for kDropTail.
 std::unique_ptr<AqmPolicy> MakeAqm(Scheme scheme, const SchemeParams& params);
 
-// Builds a single-FIFO queue disc running the scheme.
+// Builds a single-FIFO queue disc running the scheme. With a non-null
+// `pool`, the disc registers one queue with the shared-buffer policy and
+// draws admission from it instead of the static per-port buffer.
 std::unique_ptr<QueueDisc> MakeFifoDisc(Scheme scheme,
-                                        const SchemeParams& params);
+                                        const SchemeParams& params,
+                                        BufferPolicy* pool = nullptr);
 
 }  // namespace ecnsharp
 

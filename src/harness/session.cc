@@ -165,6 +165,7 @@ void ExperimentSession::Bind(Topology& topo) {
     traffic.load = config_.load;
     traffic.reference_capacity = topo.ReferenceCapacity();
     traffic.flow_count = config_.flows;
+    traffic.cubic_fraction = config_.cc_mix;
     generator_ = std::make_unique<TrafficGenerator>(
         sim_, *config_.workload, traffic,
         [&topo](Rng& r) { return topo.SampleFlowPair(r); },
@@ -268,6 +269,12 @@ ExperimentResult ExperimentSession::Result() {
   }
   result.trace = recorder_;
   result.sketch = telemetry_;
+  if (config_.cc_mix > 0.0) {
+    result.cubic_fct = collector_.SummaryByCc(CcKind::kCubic);
+    result.newreno_fct = collector_.SummaryByCc(CcKind::kNewReno);
+    result.cubic_bytes = collector_.BytesByCc(CcKind::kCubic);
+    result.newreno_bytes = collector_.BytesByCc(CcKind::kNewReno);
+  }
   return result;
 }
 

@@ -88,6 +88,11 @@ struct ExperimentSessionConfig {
   // Which measurement source ECN# re-estimation actions read. kSketch
   // requires sketch.enabled; otherwise the action falls back to the oracle.
   EcnEstimator estimator = EcnEstimator::kOracle;
+
+  // Fraction of generator flows assigned to CUBIC (seeded Bernoulli per
+  // flow). Zero keeps the default-CC rng sequence untouched, and Result()
+  // only fills the per-controller splits when it is positive.
+  double cc_mix = 0.0;
 };
 
 class ExperimentSession {

@@ -4,47 +4,48 @@
 // packet buffer across all egress queues: a queue may keep growing while
 //   queue_bytes < alpha * (total - used)
 // so a single hot port can take a large share of the buffer while idle
-// ports reserve almost nothing. A FifoQueueDisc optionally draws from a
-// pool; the incast ablation bench compares static per-port splits against
-// dynamic sharing.
+// ports reserve almost nothing.
+//
+// SharedBufferPool is the Dynamic Threshold policy from buffer/policies.h
+// plus a legacy anonymous-queue interface for callers that track their own
+// per-queue byte counts (the incast ablation bench, older tests). New code
+// should use the id-based BufferPolicy interface — queue discs register a
+// queue and reserve/release against it, which keeps per-queue occupancy
+// inside the pool where invariant checks can see it.
 #ifndef ECNSHARP_NET_SHARED_BUFFER_H_
 #define ECNSHARP_NET_SHARED_BUFFER_H_
 
-#include <cassert>
 #include <cstdint>
+
+#include "buffer/policies.h"
 
 namespace ecnsharp {
 
-class SharedBufferPool {
+class SharedBufferPool : public DynamicThresholdPolicy {
  public:
   SharedBufferPool(std::uint64_t total_bytes, double alpha)
-      : total_bytes_(total_bytes), alpha_(alpha) {}
+      : DynamicThresholdPolicy(total_bytes, alpha) {}
 
-  // Admission test for a queue currently holding `queue_bytes`, wanting to
-  // add `packet_bytes`. On success the bytes are reserved.
+  // Legacy admission test for an anonymous queue currently holding
+  // `queue_bytes`, wanting to add `packet_bytes`. On success the bytes are
+  // reserved against the pool (only pool-level accounting; the caller owns
+  // the per-queue count). Hides the id-based BufferPolicy::TryReserve —
+  // calls through a BufferPolicy& still get the id-based one.
   bool TryReserve(std::uint64_t queue_bytes, std::uint32_t packet_bytes) {
-    if (used_bytes_ + packet_bytes > total_bytes_) return false;
-    const std::uint64_t free_bytes = total_bytes_ - used_bytes_;
-    const auto limit =
-        static_cast<std::uint64_t>(alpha_ * static_cast<double>(free_bytes));
+    if (used_bytes() + packet_bytes > total_bytes()) return false;
+    const auto limit = static_cast<std::uint64_t>(
+        alpha() * static_cast<double>(free_bytes()));
     if (queue_bytes + packet_bytes > limit) return false;
-    used_bytes_ += packet_bytes;
+    AddUsed(packet_bytes);
     return true;
   }
 
-  void Release(std::uint32_t packet_bytes) {
-    assert(used_bytes_ >= packet_bytes);
-    used_bytes_ -= packet_bytes;
-  }
+  // Legacy release. Releasing more than the pool holds is an accounting bug
+  // (double release); SubUsed fails fast with exit 2 — the old assert()
+  // compiled out in Release builds and let used_bytes_ wrap silently.
+  void Release(std::uint32_t packet_bytes) { SubUsed(packet_bytes); }
 
-  std::uint64_t used_bytes() const { return used_bytes_; }
-  std::uint64_t total_bytes() const { return total_bytes_; }
-  double alpha() const { return alpha_; }
-
- private:
-  std::uint64_t total_bytes_;
-  double alpha_;
-  std::uint64_t used_bytes_ = 0;
+  double alpha() const { return default_alpha(); }
 };
 
 }  // namespace ecnsharp

@@ -28,6 +28,18 @@ DwrrQueueDisc::DwrrQueueDisc(
   }
 }
 
+DwrrQueueDisc::DwrrQueueDisc(
+    BufferPolicy& policy, std::vector<ClassConfig> classes,
+    std::function<std::size_t(const Packet&)> classifier,
+    std::uint32_t quantum_bytes)
+    : DwrrQueueDisc(policy.total_bytes(), std::move(classes),
+                    std::move(classifier), quantum_bytes) {
+  pool_ = &policy;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    classes_[i].pool_queue = policy.RegisterQueue(static_cast<std::uint8_t>(i));
+  }
+}
+
 std::uint64_t DwrrQueueDisc::MqEcnThresholdBytes(std::size_t cls_index) const {
   std::uint64_t active_weight = 0;
   for (std::size_t i = 0; i < classes_.size(); ++i) {
@@ -41,14 +53,20 @@ std::uint64_t DwrrQueueDisc::MqEcnThresholdBytes(std::size_t cls_index) const {
 }
 
 bool DwrrQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
-  if (total_bytes_ + pkt->size_bytes > capacity_bytes_) {
+  const std::size_t idx = classifier_(*pkt);
+  assert(idx < classes_.size());
+  ClassState& cls = classes_[idx];
+  if (pool_ != nullptr) {
+    if (!pool_->TryReserve(cls.pool_queue, pkt->size_bytes)) {
+      ++stats_.dropped_overflow;
+      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
+      return false;
+    }
+  } else if (total_bytes_ + pkt->size_bytes > capacity_bytes_) {
     ++stats_.dropped_overflow;
     if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
     return false;
   }
-  const std::size_t idx = classifier_(*pkt);
-  assert(idx < classes_.size());
-  ClassState& cls = classes_[idx];
   if (mq_ecn_total_bytes_ != 0) {
     const bool was_ce = pkt->IsCeMarked();
     if (cls.bytes + pkt->size_bytes > MqEcnThresholdBytes(idx)) {
@@ -65,6 +83,7 @@ bool DwrrQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
                              cls.bytes};
     if (!cls.aqm->AllowEnqueue(*pkt, snap, now)) {
       ++stats_.dropped_aqm;
+      if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
       if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kAqm);
       return false;
     }
@@ -95,6 +114,7 @@ std::unique_ptr<Packet> DwrrQueueDisc::PopFrom(ClassState& cls, Time now) {
   cls.bytes -= pkt->size_bytes;
   total_bytes_ -= pkt->size_bytes;
   --total_packets_;
+  if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
   ++stats_.dequeued;
   if (tracer_ != nullptr) {
     tracer_->OnDequeue(*pkt, now, Snapshot(), now - pkt->enqueue_time);
@@ -161,6 +181,7 @@ std::uint32_t DwrrQueueDisc::PurgeAll(Time now) {
       cls.bytes -= pkt->size_bytes;
       total_bytes_ -= pkt->size_bytes;
       --total_packets_;
+      if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
       ++stats_.purged;
       if (tracer_ != nullptr) tracer_->OnPurge(*pkt, now, Snapshot());
     }

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "buffer/buffer_policy.h"
 #include "net/packet.h"
 #include "net/queue_disc.h"
 
@@ -32,6 +33,14 @@ class DwrrQueueDisc : public QueueDisc {
   // `quantum_bytes` is the base quantum for weight 1; one MTU by default.
   DwrrQueueDisc(std::uint64_t capacity_bytes,
                 std::vector<ClassConfig> classes,
+                std::function<std::size_t(const Packet&)> classifier = nullptr,
+                std::uint32_t quantum_bytes = kFullPacketBytes);
+
+  // Draws buffer from a shared policy instead of a static capacity: each
+  // class registers one policy queue with priority = its class index, so a
+  // per-priority DT alpha maps directly onto service classes. The policy
+  // must outlive the disc.
+  DwrrQueueDisc(BufferPolicy& policy, std::vector<ClassConfig> classes,
                 std::function<std::size_t(const Packet&)> classifier = nullptr,
                 std::uint32_t quantum_bytes = kFullPacketBytes);
 
@@ -66,12 +75,14 @@ class DwrrQueueDisc : public QueueDisc {
     std::uint64_t bytes = 0;
     std::uint64_t deficit = 0;
     bool in_active_list = false;
+    std::size_t pool_queue = 0;  // this class's queue id with the policy
   };
 
   std::unique_ptr<Packet> PopFrom(ClassState& cls, Time now);
 
   std::uint64_t capacity_bytes_;
   std::uint32_t quantum_bytes_;
+  BufferPolicy* pool_ = nullptr;  // non-owning; null = static capacity
   std::function<std::size_t(const Packet&)> classifier_;
   std::vector<ClassState> classes_;
   std::deque<std::size_t> active_;   // round-robin order of backlogged classes

@@ -6,7 +6,7 @@ namespace ecnsharp {
 
 bool FifoQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
   if (pool_ != nullptr) {
-    if (!pool_->TryReserve(bytes_, pkt->size_bytes)) {
+    if (!pool_->TryReserve(pool_queue_, pkt->size_bytes)) {
       ++stats_.dropped_overflow;
       if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
       return false;
@@ -20,7 +20,7 @@ bool FifoQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
     const bool was_ce = pkt->IsCeMarked();
     if (!aqm_->AllowEnqueue(*pkt, Snapshot(), now)) {
       ++stats_.dropped_aqm;
-      if (pool_ != nullptr) pool_->Release(pkt->size_bytes);
+      if (pool_ != nullptr) pool_->Release(pool_queue_, pkt->size_bytes);
       if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kAqm);
       return false;
     }
@@ -42,7 +42,7 @@ std::unique_ptr<Packet> FifoQueueDisc::Dequeue(Time now) {
   std::unique_ptr<Packet> pkt = std::move(queue_.front());
   queue_.pop_front();
   bytes_ -= pkt->size_bytes;
-  if (pool_ != nullptr) pool_->Release(pkt->size_bytes);
+  if (pool_ != nullptr) pool_->Release(pool_queue_, pkt->size_bytes);
   ++stats_.dequeued;
   const Time sojourn = now - pkt->enqueue_time;
   if (tracer_ != nullptr) tracer_->OnDequeue(*pkt, now, Snapshot(), sojourn);
@@ -67,7 +67,7 @@ std::uint32_t FifoQueueDisc::PurgeAll(Time now) {
     std::unique_ptr<Packet> pkt = std::move(queue_.front());
     queue_.pop_front();
     bytes_ -= pkt->size_bytes;
-    if (pool_ != nullptr) pool_->Release(pkt->size_bytes);
+    if (pool_ != nullptr) pool_->Release(pool_queue_, pkt->size_bytes);
     ++stats_.purged;
     ++n;
     if (tracer_ != nullptr) tracer_->OnPurge(*pkt, now, Snapshot());

@@ -9,6 +9,7 @@
 #include <deque>
 #include <memory>
 
+#include "buffer/buffer_policy.h"
 #include "net/packet.h"
 #include "net/queue_disc.h"
 #include "net/shared_buffer.h"
@@ -22,12 +23,17 @@ class FifoQueueDisc : public QueueDisc {
   FifoQueueDisc(std::uint64_t capacity_bytes, std::unique_ptr<AqmPolicy> aqm)
       : capacity_bytes_(capacity_bytes), aqm_(std::move(aqm)) {}
 
-  // Draws buffer from a shared pool (Dynamic Threshold admission) instead
-  // of a static per-queue capacity. The pool must outlive the disc.
-  FifoQueueDisc(SharedBufferPool& pool, std::unique_ptr<AqmPolicy> aqm)
-      : capacity_bytes_(pool.total_bytes()),
+  // Draws buffer from a shared policy (Dynamic Threshold, static split, or
+  // DT+headroom — see buffer/policies.h) instead of a static per-queue
+  // capacity. Registers one queue with the policy; `priority` selects
+  // per-priority policy parameters (e.g. the DT alpha). The policy must
+  // outlive the disc.
+  FifoQueueDisc(BufferPolicy& policy, std::unique_ptr<AqmPolicy> aqm,
+                std::uint8_t priority = 0)
+      : capacity_bytes_(policy.total_bytes()),
         aqm_(std::move(aqm)),
-        pool_(&pool) {}
+        pool_(&policy),
+        pool_queue_(policy.RegisterQueue(priority)) {}
 
   bool Enqueue(std::unique_ptr<Packet> pkt, Time now) override;
   std::unique_ptr<Packet> Dequeue(Time now) override;
@@ -42,7 +48,8 @@ class FifoQueueDisc : public QueueDisc {
  private:
   std::uint64_t capacity_bytes_;
   std::unique_ptr<AqmPolicy> aqm_;
-  SharedBufferPool* pool_ = nullptr;  // non-owning; null = static capacity
+  BufferPolicy* pool_ = nullptr;  // non-owning; null = static capacity
+  std::size_t pool_queue_ = 0;    // this disc's queue id with the policy
   std::deque<std::unique_ptr<Packet>> queue_;
   std::uint64_t bytes_ = 0;
 };

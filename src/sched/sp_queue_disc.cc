@@ -24,19 +24,36 @@ SpQueueDisc::SpQueueDisc(std::uint64_t capacity_bytes,
   }
 }
 
+SpQueueDisc::SpQueueDisc(BufferPolicy& policy, std::vector<ClassConfig> classes,
+                         std::function<std::size_t(const Packet&)> classifier)
+    : SpQueueDisc(policy.total_bytes(), std::move(classes),
+                  std::move(classifier)) {
+  pool_ = &policy;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    classes_[i].pool_queue = policy.RegisterQueue(static_cast<std::uint8_t>(i));
+  }
+}
+
 bool SpQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
-  if (total_bytes_ + pkt->size_bytes > capacity_bytes_) {
+  ClassState& cls = classes_[classifier_(*pkt)];
+  if (pool_ != nullptr) {
+    if (!pool_->TryReserve(cls.pool_queue, pkt->size_bytes)) {
+      ++stats_.dropped_overflow;
+      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
+      return false;
+    }
+  } else if (total_bytes_ + pkt->size_bytes > capacity_bytes_) {
     ++stats_.dropped_overflow;
     if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
     return false;
   }
-  ClassState& cls = classes_[classifier_(*pkt)];
   if (cls.aqm != nullptr) {
     const bool was_ce = pkt->IsCeMarked();
     const QueueSnapshot snap{static_cast<std::uint32_t>(cls.queue.size()),
                              cls.bytes};
     if (!cls.aqm->AllowEnqueue(*pkt, snap, now)) {
       ++stats_.dropped_aqm;
+      if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
       if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kAqm);
       return false;
     }
@@ -65,6 +82,7 @@ std::unique_ptr<Packet> SpQueueDisc::Dequeue(Time now) {
     cls.bytes -= pkt->size_bytes;
     total_bytes_ -= pkt->size_bytes;
     --total_packets_;
+    if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
     ++stats_.dequeued;
     if (tracer_ != nullptr) {
       tracer_->OnDequeue(*pkt, now, Snapshot(), now - pkt->enqueue_time);
@@ -95,6 +113,7 @@ std::uint32_t SpQueueDisc::PurgeAll(Time now) {
       cls.bytes -= pkt->size_bytes;
       total_bytes_ -= pkt->size_bytes;
       --total_packets_;
+      if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
       ++stats_.purged;
       if (tracer_ != nullptr) tracer_->OnPurge(*pkt, now, Snapshot());
     }

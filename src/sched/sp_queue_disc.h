@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "buffer/buffer_policy.h"
 #include "net/packet.h"
 #include "net/queue_disc.h"
 
@@ -23,6 +24,12 @@ class SpQueueDisc : public QueueDisc {
   };
 
   SpQueueDisc(std::uint64_t capacity_bytes, std::vector<ClassConfig> classes,
+              std::function<std::size_t(const Packet&)> classifier = nullptr);
+
+  // Draws buffer from a shared policy instead of a static capacity: each
+  // class registers one policy queue with priority = its class index (which
+  // is also its strict-priority rank). The policy must outlive the disc.
+  SpQueueDisc(BufferPolicy& policy, std::vector<ClassConfig> classes,
               std::function<std::size_t(const Packet&)> classifier = nullptr);
 
   bool Enqueue(std::unique_ptr<Packet> pkt, Time now) override;
@@ -40,9 +47,11 @@ class SpQueueDisc : public QueueDisc {
     std::unique_ptr<AqmPolicy> aqm;
     std::deque<std::unique_ptr<Packet>> queue;
     std::uint64_t bytes = 0;
+    std::size_t pool_queue = 0;  // this class's queue id with the policy
   };
 
   std::uint64_t capacity_bytes_;
+  BufferPolicy* pool_ = nullptr;  // non-owning; null = static capacity
   std::function<std::size_t(const Packet&)> classifier_;
   std::vector<ClassState> classes_;
   std::uint32_t total_packets_ = 0;

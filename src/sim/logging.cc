@@ -40,4 +40,10 @@ void FatalConfigError(std::string_view message) {
   std::exit(2);
 }
 
+void FatalError(std::string_view message) {
+  std::fprintf(stderr, "internal error: %.*s\n",
+               static_cast<int>(message.size()), message.data());
+  std::exit(2);
+}
+
 }  // namespace ecnsharp

@@ -23,6 +23,12 @@ void Log(LogLevel level, std::string_view message);
 // run masquerade as the experiment the user asked for.
 [[noreturn]] void FatalConfigError(std::string_view message);
 
+// Reports a violated internal invariant (e.g. a shared-buffer double
+// release) and exits with status 2. Unlike assert() this survives Release
+// builds: accounting corruption must never be allowed to silently wrap a
+// counter and keep simulating.
+[[noreturn]] void FatalError(std::string_view message);
+
 }  // namespace ecnsharp
 
 #endif  // ECNSHARP_SIM_LOGGING_H_

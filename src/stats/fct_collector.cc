@@ -31,4 +31,29 @@ FctSummary FctCollector::Summary(std::uint64_t min_bytes,
   return summary;
 }
 
+FctSummary FctCollector::SummaryByCc(CcKind cc) const {
+  std::vector<double> fcts;
+  for (const Sample& s : samples_) {
+    if (s.cc == cc) fcts.push_back(s.fct_us);
+  }
+  const SampleSummary s = SummarizeSamples(fcts);
+  FctSummary summary;
+  summary.count = s.count;
+  summary.avg_us = s.mean;
+  summary.stddev_us = s.stddev;
+  summary.p50_us = s.p50;
+  summary.p90_us = s.p90;
+  summary.p99_us = s.p99;
+  summary.max_us = s.max;
+  return summary;
+}
+
+std::uint64_t FctCollector::BytesByCc(CcKind cc) const {
+  std::uint64_t bytes = 0;
+  for (const Sample& s : samples_) {
+    if (s.cc == cc) bytes += s.size_bytes;
+  }
+  return bytes;
+}
+
 }  // namespace ecnsharp

@@ -32,12 +32,13 @@ class FctCollector {
     std::uint64_t size_bytes;
     double fct_us;
     std::uint32_t timeouts;
+    CcKind cc;
   };
 
   void Record(const FlowRecord& record) {
     samples_.push_back(Sample{record.size_bytes,
                               record.Fct().ToMicroseconds(),
-                              record.timeouts});
+                              record.timeouts, record.cc});
     total_timeouts_ += record.timeouts;
   }
 
@@ -50,6 +51,11 @@ class FctCollector {
   FctSummary Overall() const { return Summary(); }
   FctSummary ShortFlows() const { return Summary(0, kShortFlowMaxBytes); }
   FctSummary LargeFlows() const { return Summary(kLargeFlowMinBytes); }
+
+  // Per-congestion-controller breakdown for mixed-CC runs: summary and
+  // completed bytes over flows driven by `cc` only.
+  FctSummary SummaryByCc(CcKind cc) const;
+  std::uint64_t BytesByCc(CcKind cc) const;
 
   std::size_t count() const { return samples_.size(); }
   std::uint64_t total_timeouts() const { return total_timeouts_; }

@@ -12,6 +12,23 @@ namespace ecnsharp {
 Dumbbell::Dumbbell(Simulator& sim, const DumbbellConfig& config,
                    std::unique_ptr<QueueDisc> bottleneck_disc)
     : sim_(sim), config_(config) {
+  if (config_.buffer_policy.kind != BufferPolicyKind::kNone) {
+    FatalConfigError(
+        "dumbbell with a buffer policy requires the pool-aware disc factory "
+        "constructor");
+  }
+  Build([&bottleneck_disc](BufferPolicy*) { return std::move(bottleneck_disc); });
+}
+
+Dumbbell::Dumbbell(
+    Simulator& sim, const DumbbellConfig& config,
+    const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>& make_disc)
+    : sim_(sim), config_(config) {
+  Build(make_disc);
+}
+
+void Dumbbell::Build(
+    const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>& make_disc) {
   // Not an assert: a 0-sender dumbbell would make SampleFlowPair's
   // UniformInt(0) draw and IncastSender's k % 0 undefined in release
   // builds, where asserts compile out.
@@ -19,6 +36,10 @@ Dumbbell::Dumbbell(Simulator& sim, const DumbbellConfig& config,
     FatalConfigError("dumbbell needs >= 1 sender, got senders=" +
                      std::to_string(config_.senders));
   }
+  // One pool per switch chip: every switch egress port registers a queue.
+  pool_ = MakeBufferPolicy(config_.buffer_policy,
+                           /*queue_count=*/config_.senders + 1,
+                           /*per_queue_fallback=*/config_.buffer_bytes);
   switch_ = std::make_unique<SwitchNode>(sim_, "tor", /*ecmp_salt=*/1);
   const Time link_delay = config_.base_rtt / 4;
   const std::size_t total_hosts = config_.senders + 1;
@@ -35,10 +56,14 @@ Dumbbell::Dumbbell(Simulator& sim, const DumbbellConfig& config,
     // Switch port toward this host: the AQM under test for the receiver,
     // drop-tail for senders (carries mostly ACKs).
     const bool is_receiver = (i == total_hosts - 1);
-    std::unique_ptr<QueueDisc> disc =
-        is_receiver ? std::move(bottleneck_disc)
-                    : std::make_unique<FifoQueueDisc>(config_.buffer_bytes,
-                                                      nullptr);
+    std::unique_ptr<QueueDisc> disc;
+    if (is_receiver) {
+      disc = make_disc(pool_.get());
+    } else if (pool_ != nullptr) {
+      disc = std::make_unique<FifoQueueDisc>(*pool_, nullptr);
+    } else {
+      disc = std::make_unique<FifoQueueDisc>(config_.buffer_bytes, nullptr);
+    }
     auto port = std::make_unique<EgressPort>(sim_, config_.rate, link_delay,
                                              std::move(disc));
     port->ConnectTo(*host);

@@ -5,9 +5,11 @@
 #define ECNSHARP_TOPO_DUMBBELL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "buffer/policy_spec.h"
 #include "net/host.h"
 #include "net/switch_node.h"
 #include "sim/data_rate.h"
@@ -29,15 +31,27 @@ struct DumbbellConfig {
   // Host NIC queue (never the intended bottleneck).
   std::uint64_t host_buffer_bytes = 64ull * 1024 * 1024;
   TcpConfig tcp;
+  // Optional shared-buffer policy for the switch: all switch egress ports
+  // (senders' ACK path included) draw from one pool instead of static
+  // per-port buffers. kNone keeps the legacy static split byte-identically.
+  BufferPolicyConfig buffer_policy;
 };
 
 class Dumbbell : public Topology {
  public:
   // `bottleneck_disc` is installed on the switch port toward the receiver
   // (the queue every figure of the paper instruments). The ports toward
-  // senders (ACK path) are plain drop-tail.
+  // senders (ACK path) are plain drop-tail. This form predates buffer
+  // policies and requires buffer_policy.kind == kNone.
   Dumbbell(Simulator& sim, const DumbbellConfig& config,
            std::unique_ptr<QueueDisc> bottleneck_disc);
+
+  // Buffer-policy-aware form: `make_disc` builds the bottleneck disc, given
+  // the switch's shared pool (null when no policy is configured, in which
+  // case behaviour is identical to the legacy form).
+  Dumbbell(Simulator& sim, const DumbbellConfig& config,
+           const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>&
+               make_disc);
 
   std::size_t sender_count() const { return config_.senders; }
   Host& sender_host(std::size_t i) { return *hosts_.at(i); }
@@ -70,10 +84,18 @@ class Dumbbell : public Topology {
   std::size_t bottleneck_count() const override { return 1; }
   EgressPort& bottleneck(std::size_t i) override;
   std::uint64_t TotalLinkDownDrops() const override;
+  std::size_t buffer_pool_count() const override { return pool_ ? 1 : 0; }
+  BufferPolicy* buffer_pool(std::size_t i) override {
+    return i == 0 ? pool_.get() : nullptr;
+  }
 
  private:
+  void Build(const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>&
+                 make_disc);
+
   Simulator& sim_;
   DumbbellConfig config_;
+  std::unique_ptr<BufferPolicy> pool_;  // null when no policy configured
   std::unique_ptr<SwitchNode> switch_;
   std::vector<std::unique_ptr<Host>> hosts_;   // senders..., receiver
   std::vector<std::unique_ptr<TcpStack>> stacks_;

@@ -13,6 +13,25 @@ FatTree::FatTree(Simulator& sim, const FatTreeConfig& config,
                  std::function<std::unique_ptr<QueueDisc>()> make_disc)
     : sim_(sim), config_(config) {
   assert(make_disc != nullptr);
+  if (config_.buffer_policy.kind != BufferPolicyKind::kNone) {
+    FatalConfigError(
+        "fat-tree with a buffer policy requires the pool-aware disc factory "
+        "constructor");
+  }
+  Build([&make_disc](BufferPolicy*) { return make_disc(); });
+}
+
+FatTree::FatTree(
+    Simulator& sim, const FatTreeConfig& config,
+    const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>& make_disc)
+    : sim_(sim), config_(config) {
+  assert(make_disc != nullptr);
+  Build(make_disc);
+}
+
+void FatTree::Build(
+    const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>&
+        make_disc) {
   if (config_.k < 4 || config_.k % 2 != 0) {
     FatalConfigError("fat-tree k must be even and >= 4, got k=" +
                      std::to_string(config_.k));
@@ -32,6 +51,18 @@ FatTree::FatTree(Simulator& sim, const FatTreeConfig& config,
         sim_, "core" + std::to_string(c), /*ecmp_salt=*/0x30000 + c));
   }
 
+  // One shared-buffer pool per switch chip: every switch carries k egress
+  // queues (edge/agg: k/2 down + k/2 up; core: one per pod).
+  if (config_.buffer_policy.kind != BufferPolicyKind::kNone) {
+    const std::size_t chips =
+        edges_.size() + aggs_.size() + cores_.size();
+    pools_.reserve(chips);
+    for (std::size_t i = 0; i < chips; ++i) {
+      pools_.push_back(MakeBufferPolicy(config_.buffer_policy, config_.k,
+                                        config_.buffer_bytes));
+    }
+  }
+
   // Hosts and access links. Host h is slot h % (k/2) of global edge
   // h / (k/2); sequential hosts fill an edge, then the next edge, so each
   // edge's k/2 host down ports land in slot order (ports 0..k/2-1).
@@ -46,7 +77,8 @@ FatTree::FatTree(Simulator& sim, const FatTreeConfig& config,
     host->AttachNic(std::move(nic));
 
     auto down = std::make_unique<EgressPort>(
-        sim_, config_.rate, config_.host_link_delay, make_disc());
+        sim_, config_.rate, config_.host_link_delay,
+        make_disc(EdgePool(EdgeOfHost(h))));
     down->ConnectTo(*host);
     EgressPort& down_ref = edge.AddPort(std::move(down));
     edge.AddRoute(host->address(), down_ref);
@@ -69,14 +101,16 @@ FatTree::FatTree(Simulator& sim, const FatTreeConfig& config,
         SwitchNode& agg = *aggs_[p * half_k + a];
 
         auto up = std::make_unique<EgressPort>(
-            sim_, config_.rate, config_.fabric_link_delay, make_disc());
+            sim_, config_.rate, config_.fabric_link_delay,
+            make_disc(EdgePool(p * half_k + e)));
         up->ConnectTo(agg);
         edge.AddDefaultRoute(edge.AddPort(std::move(up)));
       }
       for (std::size_t a = 0; a < half_k; ++a) {
         SwitchNode& agg = *aggs_[p * half_k + a];
         auto down = std::make_unique<EgressPort>(
-            sim_, config_.rate, config_.fabric_link_delay, make_disc());
+            sim_, config_.rate, config_.fabric_link_delay,
+            make_disc(AggPool(p * half_k + a)));
         down->ConnectTo(edge);
         agg.AddRouteRange(block_lo, block_hi, agg.AddPort(std::move(down)));
       }
@@ -96,12 +130,14 @@ FatTree::FatTree(Simulator& sim, const FatTreeConfig& config,
         SwitchNode& core = *cores_[a * half_k + j];
 
         auto up = std::make_unique<EgressPort>(
-            sim_, config_.rate, config_.fabric_link_delay, make_disc());
+            sim_, config_.rate, config_.fabric_link_delay,
+            make_disc(AggPool(p * half_k + a)));
         up->ConnectTo(core);
         agg.AddDefaultRoute(agg.AddPort(std::move(up)));
 
         auto down = std::make_unique<EgressPort>(
-            sim_, config_.rate, config_.fabric_link_delay, make_disc());
+            sim_, config_.rate, config_.fabric_link_delay,
+            make_disc(CorePool(a * half_k + j)));
         down->ConnectTo(agg);
         core.AddRouteRange(pod_lo, pod_hi, core.AddPort(std::move(down)));
       }

@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "buffer/policy_spec.h"
 #include "net/host.h"
 #include "net/switch_node.h"
 #include "sim/data_rate.h"
@@ -49,14 +50,25 @@ struct FatTreeConfig {
   std::uint64_t buffer_bytes = 600ull * kFullPacketBytes;
   std::uint64_t host_buffer_bytes = 64ull * 1024 * 1024;
   TcpConfig tcp;
+  // Optional shared-buffer policy, one pool per switch chip (every edge,
+  // aggregation, and core switch shares one pool across its k egress
+  // queues). kNone (default) keeps static per-port buffers.
+  BufferPolicyConfig buffer_policy;
 };
 
 class FatTree : public Topology {
  public:
   // `make_disc` builds the queue disc for every switch egress port (the AQM
-  // under test runs fabric-wide).
+  // under test runs fabric-wide). This legacy form keeps static per-port
+  // buffers and exits 2 if `config.buffer_policy` asks for a pool.
   FatTree(Simulator& sim, const FatTreeConfig& config,
           std::function<std::unique_ptr<QueueDisc>()> make_disc);
+  // Pool-aware form: `make_disc` receives the owning switch chip's buffer
+  // pool (null when `config.buffer_policy.kind` is kNone) and must register
+  // the disc's queue(s) with it.
+  FatTree(Simulator& sim, const FatTreeConfig& config,
+          const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>&
+              make_disc);
 
   std::size_t k() const { return config_.k; }
   std::size_t pod_count() const { return config_.k; }
@@ -109,8 +121,27 @@ class FatTree : public Topology {
   std::size_t bottleneck_count() const override;
   EgressPort& bottleneck(std::size_t i) override;
   std::uint64_t TotalLinkDownDrops() const override;
+  // Pools in edge, agg, core order (matching the switch index spaces);
+  // empty when no buffer policy is configured.
+  std::size_t buffer_pool_count() const override { return pools_.size(); }
+  BufferPolicy* buffer_pool(std::size_t i) override {
+    return pools_.at(i).get();
+  }
 
  private:
+  void Build(const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>&
+                 make_disc);
+  BufferPolicy* EdgePool(std::size_t e) {
+    return pools_.empty() ? nullptr : pools_[e].get();
+  }
+  BufferPolicy* AggPool(std::size_t a) {
+    return pools_.empty() ? nullptr : pools_[edges_.size() + a].get();
+  }
+  BufferPolicy* CorePool(std::size_t c) {
+    return pools_.empty() ? nullptr
+                          : pools_[edges_.size() + aggs_.size() + c].get();
+  }
+
   Simulator& sim_;
   FatTreeConfig config_;
   std::vector<std::unique_ptr<Host>> hosts_;
@@ -118,6 +149,7 @@ class FatTree : public Topology {
   std::vector<std::unique_ptr<SwitchNode>> edges_;
   std::vector<std::unique_ptr<SwitchNode>> aggs_;
   std::vector<std::unique_ptr<SwitchNode>> cores_;
+  std::vector<std::unique_ptr<BufferPolicy>> pools_;
 };
 
 }  // namespace ecnsharp

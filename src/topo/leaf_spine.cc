@@ -13,6 +13,24 @@ LeafSpine::LeafSpine(Simulator& sim, const LeafSpineConfig& config,
                      std::function<std::unique_ptr<QueueDisc>()> make_disc)
     : sim_(sim), config_(config) {
   assert(make_disc != nullptr);
+  if (config_.buffer_policy.kind != BufferPolicyKind::kNone) {
+    FatalConfigError(
+        "leaf-spine with a buffer policy requires the pool-aware disc "
+        "factory constructor");
+  }
+  Build([&make_disc](BufferPolicy*) { return make_disc(); });
+}
+
+LeafSpine::LeafSpine(
+    Simulator& sim, const LeafSpineConfig& config,
+    const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>& make_disc)
+    : sim_(sim), config_(config) {
+  assert(make_disc != nullptr);
+  Build(make_disc);
+}
+
+void LeafSpine::Build(
+    const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>& make_disc) {
   if (config_.spines < 1 || config_.leaves < 1 ||
       config_.hosts_per_leaf < 1) {
     FatalConfigError("leaf-spine dimensions must all be >= 1, got spines=" +
@@ -21,6 +39,20 @@ LeafSpine::LeafSpine(Simulator& sim, const LeafSpineConfig& config,
                      std::to_string(config_.hosts_per_leaf));
   }
   const std::size_t host_count = config_.leaves * config_.hosts_per_leaf;
+
+  if (config_.buffer_policy.kind != BufferPolicyKind::kNone) {
+    // One pool per switch chip. A leaf has hosts_per_leaf down ports plus
+    // `spines` uplinks; a spine has one down port per leaf.
+    for (std::size_t l = 0; l < config_.leaves; ++l) {
+      pools_.push_back(MakeBufferPolicy(
+          config_.buffer_policy, config_.hosts_per_leaf + config_.spines,
+          config_.buffer_bytes));
+    }
+    for (std::size_t s = 0; s < config_.spines; ++s) {
+      pools_.push_back(MakeBufferPolicy(config_.buffer_policy, config_.leaves,
+                                        config_.buffer_bytes));
+    }
+  }
 
   for (std::size_t l = 0; l < config_.leaves; ++l) {
     leaves_.push_back(std::make_unique<SwitchNode>(
@@ -43,7 +75,8 @@ LeafSpine::LeafSpine(Simulator& sim, const LeafSpineConfig& config,
     host->AttachNic(std::move(nic));
 
     auto down = std::make_unique<EgressPort>(
-        sim_, config_.rate, config_.host_link_delay, make_disc());
+        sim_, config_.rate, config_.host_link_delay,
+        make_disc(LeafPool(LeafOfHost(h))));
     down->ConnectTo(*host);
     EgressPort& down_ref = leaf.AddPort(std::move(down));
     leaf.AddRoute(host->address(), down_ref);
@@ -59,12 +92,14 @@ LeafSpine::LeafSpine(Simulator& sim, const LeafSpineConfig& config,
       SwitchNode& spine = *spines_[s];
 
       auto up = std::make_unique<EgressPort>(
-          sim_, config_.rate, config_.spine_link_delay, make_disc());
+          sim_, config_.rate, config_.spine_link_delay,
+          make_disc(LeafPool(l)));
       up->ConnectTo(spine);
       EgressPort& up_ref = leaf.AddPort(std::move(up));
 
       auto down = std::make_unique<EgressPort>(
-          sim_, config_.rate, config_.spine_link_delay, make_disc());
+          sim_, config_.rate, config_.spine_link_delay,
+          make_disc(SpinePool(s)));
       down->ConnectTo(leaf);
       EgressPort& down_ref = spine.AddPort(std::move(down));
 

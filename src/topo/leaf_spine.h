@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "buffer/policy_spec.h"
 #include "net/host.h"
 #include "net/switch_node.h"
 #include "sim/data_rate.h"
@@ -30,14 +31,25 @@ struct LeafSpineConfig {
   std::uint64_t buffer_bytes = 600ull * kFullPacketBytes;
   std::uint64_t host_buffer_bytes = 64ull * 1024 * 1024;
   TcpConfig tcp;
+  // Optional shared-buffer policy, one pool per switch chip (every leaf and
+  // every spine). kNone keeps the legacy static per-port buffers.
+  BufferPolicyConfig buffer_policy;
 };
 
 class LeafSpine : public Topology {
  public:
   // `make_disc` builds the queue disc for every switch egress port (the AQM
-  // under test runs fabric-wide, as in the paper's simulations).
+  // under test runs fabric-wide, as in the paper's simulations). This form
+  // predates buffer policies and requires buffer_policy.kind == kNone.
   LeafSpine(Simulator& sim, const LeafSpineConfig& config,
             std::function<std::unique_ptr<QueueDisc>()> make_disc);
+
+  // Buffer-policy-aware form: `make_disc` receives the owning switch's
+  // shared pool (null when no policy is configured, in which case behaviour
+  // is identical to the legacy form).
+  LeafSpine(Simulator& sim, const LeafSpineConfig& config,
+            const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>&
+                make_disc);
 
   SwitchNode& leaf(std::size_t i) { return *leaves_.at(i); }
   SwitchNode& spine(std::size_t i) { return *spines_.at(i); }
@@ -74,10 +86,25 @@ class LeafSpine : public Topology {
   std::size_t bottleneck_count() const override;
   EgressPort& bottleneck(std::size_t i) override;
   std::uint64_t TotalLinkDownDrops() const override;
+  // Pools in switch order: leaves then spines (empty when no policy).
+  std::size_t buffer_pool_count() const override { return pools_.size(); }
+  BufferPolicy* buffer_pool(std::size_t i) override {
+    return i < pools_.size() ? pools_[i].get() : nullptr;
+  }
 
  private:
+  void Build(const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>&
+                 make_disc);
+  BufferPolicy* LeafPool(std::size_t l) {
+    return pools_.empty() ? nullptr : pools_[l].get();
+  }
+  BufferPolicy* SpinePool(std::size_t s) {
+    return pools_.empty() ? nullptr : pools_[config_.leaves + s].get();
+  }
+
   Simulator& sim_;
   LeafSpineConfig config_;
+  std::vector<std::unique_ptr<BufferPolicy>> pools_;  // leaves, then spines
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<TcpStack>> stacks_;
   std::vector<std::unique_ptr<SwitchNode>> leaves_;

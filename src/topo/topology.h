@@ -27,6 +27,8 @@
 
 namespace ecnsharp {
 
+class BufferPolicy;
+
 class Topology {
  public:
   virtual ~Topology() = default;
@@ -74,6 +76,14 @@ class Topology {
   // egress port for a fabric.
   virtual std::size_t bottleneck_count() const = 0;
   virtual EgressPort& bottleneck(std::size_t i) = 0;
+
+  // --- Shared-buffer pools ----------------------------------------------
+  // Buffer policies owned by the topology (one per switch chip when a
+  // policy is configured); none for statically buffered topologies. Exposed
+  // so tests can check accounting invariants and benches can report
+  // occupancy.
+  virtual std::size_t buffer_pool_count() const { return 0; }
+  virtual BufferPolicy* buffer_pool(std::size_t /*i*/) { return nullptr; }
 
   // --- Accounting --------------------------------------------------------
   // Sum of QueueDiscStats over the bottleneck set (total drop/mark

@@ -15,6 +15,13 @@ enum class EcnMode {
   kDctcp,    // RFC 8257: proportional cut cwnd *= (1 - alpha/2) (lambda ~ 0.17)
 };
 
+// Which congestion controller drives a flow. kNewReno is the existing
+// sender (slow start + NewReno loss recovery, ECN reaction per `ecn_mode`);
+// kCubic swaps in CUBIC window growth (RFC 8312) with its own ECN stance
+// (`cubic_ecn_mode`) — the loss-based cross-traffic of the mixed-CC
+// coexistence experiments.
+enum class CcKind { kNewReno, kCubic };
+
 struct TcpConfig {
   std::uint32_t mss = kMaxSegmentSize;
   std::uint32_t init_cwnd_segments = 10;
@@ -52,6 +59,19 @@ struct TcpConfig {
   // stack does. 1 MB comfortably exceeds the largest base-RTT BDP in the
   // paper's settings (10 Gbps x 350 us = 437 KB) plus any marking threshold.
   std::uint64_t max_cwnd_bytes = 1024 * 1024;
+
+  // Default controller for flows that do not specify one at StartFlow time.
+  CcKind cc_kind = CcKind::kNewReno;
+
+  // CUBIC parameters (RFC 8312), used by CcKind::kCubic flows.
+  double cubic_beta = 0.7;  // multiplicative-decrease keep factor
+  double cubic_c = 0.4;     // scaling constant C, in segments/sec^3
+  bool cubic_fast_convergence = true;
+  // ECN stance of Cubic flows: kNone sends non-ECT packets (pure loss-based
+  // — AQMs that mark cannot touch them, only overflow drops signal them);
+  // kClassic sends ECT and cuts by cubic_beta on ECE. kDctcp is not a
+  // meaningful Cubic response and is treated as kClassic.
+  EcnMode cubic_ecn_mode = EcnMode::kNone;
 };
 
 }  // namespace ecnsharp

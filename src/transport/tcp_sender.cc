@@ -157,8 +157,7 @@ void TcpSender::OnNewDataAcked(std::uint64_t ack_no, bool ece) {
       // under delayed ACKs.
       cwnd_ += static_cast<double>(newly);
     } else {
-      cwnd_ += static_cast<double>(config_.mss) * static_cast<double>(newly) /
-               cwnd_;
+      CongestionAvoidanceIncrease(newly);
     }
     cwnd_ = std::min(cwnd_, static_cast<double>(config_.max_cwnd_bytes));
   }
@@ -183,7 +182,7 @@ void TcpSender::OnDupAck() {
   }
   if (dupacks_ >= config_.dupack_threshold) {
     ++record_.fast_retransmits;
-    ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * config_.mss);
+    ssthresh_ = SsthreshAfterLoss();
     in_fast_recovery_ = true;
     recover_point_ = snd_nxt_;
     cwnd_ = ssthresh_ + 3.0 * config_.mss;
@@ -200,7 +199,7 @@ void TcpSender::OnRtoExpired() {
   if (tracer_ != nullptr) {
     tracer_->OnRto(flow_, host_.sim().Now(), rto_backoff_);
   }
-  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * config_.mss);
+  ssthresh_ = SsthreshAfterLoss();
   cwnd_ = config_.mss;
   dupacks_ = 0;
   in_fast_recovery_ = false;
@@ -267,6 +266,15 @@ void TcpSender::DctcpWindowUpdate(std::uint64_t newly_acked, bool ece) {
   dctcp_bytes_acked_ = 0;
   dctcp_bytes_marked_ = 0;
   dctcp_window_end_ = snd_nxt_;
+}
+
+void TcpSender::CongestionAvoidanceIncrease(std::uint64_t newly_acked) {
+  cwnd_ += static_cast<double>(config_.mss) *
+           static_cast<double>(newly_acked) / cwnd_;
+}
+
+double TcpSender::SsthreshAfterLoss() {
+  return std::max(cwnd_ / 2.0, 2.0 * config_.mss);
 }
 
 void TcpSender::ReduceWindowOnEcn(double factor) {

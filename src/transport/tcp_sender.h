@@ -28,6 +28,9 @@ struct FlowRecord {
   Time completion_time = Time::Zero();
   std::uint32_t timeouts = 0;
   std::uint32_t fast_retransmits = 0;
+  // Which controller drove the flow (CubicSender stamps kCubic) — lets the
+  // FCT collector split results per CC in mixed-CC runs.
+  CcKind cc = CcKind::kNewReno;
 
   Time Fct() const { return completion_time - start_time; }
 };
@@ -39,6 +42,7 @@ class TcpSender {
   TcpSender(Host& host, const TcpConfig& config, FlowKey flow,
             std::uint64_t flow_size, std::uint8_t traffic_class,
             CompletionCallback on_complete);
+  virtual ~TcpSender() = default;
 
   // Optional transport tracing (non-owning; null disables). Must be set
   // before Start() so the initial window is recorded.
@@ -57,6 +61,33 @@ class TcpSender {
   double dctcp_alpha() const { return dctcp_alpha_; }
   std::uint64_t bytes_acked() const { return snd_una_; }
 
+ protected:
+  // Congestion-control hooks. The defaults are the NewReno behaviour and are
+  // kept bit-identical to the pre-refactor arithmetic (the golden parity
+  // tests pin this); CubicSender overrides all three.
+  //
+  // Additive growth applied once per ACK of `newly_acked` bytes while in
+  // congestion avoidance (the caller clamps to max_cwnd_bytes afterwards).
+  virtual void CongestionAvoidanceIncrease(std::uint64_t newly_acked);
+  // New ssthresh after a loss event (fast retransmit or RTO), computed from
+  // the pre-cut cwnd_. May mutate controller-private epoch state.
+  virtual double SsthreshAfterLoss();
+  // Multiplicative ECN cut: cwnd *= (1 - factor), ssthresh follows.
+  virtual void ReduceWindowOnEcn(double factor);
+
+  Host& host_;
+  TcpConfig config_;
+  FlowRecord record_;
+
+  // Congestion control (bytes).
+  double cwnd_ = 0.0;
+  double ssthresh_ = 0.0;
+
+  // RTT estimate, shared with derived controllers (CUBIC's TCP-friendly
+  // region needs srtt_).
+  bool rtt_valid_ = false;
+  Time srtt_ = Time::Zero();
+
  private:
   void SendAvailable();
   void PacedSend();
@@ -69,26 +100,19 @@ class TcpSender {
   Time CurrentRto() const;
   void HandleEceClassic();
   void DctcpWindowUpdate(std::uint64_t newly_acked, bool ece);
-  void ReduceWindowOnEcn(double factor);
   void Complete();
   // Reports cwnd_/ssthresh_ to the tracer if they changed since last emit.
   void EmitCwnd();
 
-  Host& host_;
-  TcpConfig config_;
   FlowKey flow_;
   std::uint64_t flow_size_;
   std::uint8_t traffic_class_;
   CompletionCallback on_complete_;
-  FlowRecord record_;
 
   // Sequence state (byte offsets within the flow).
   std::uint64_t snd_una_ = 0;
   std::uint64_t snd_nxt_ = 0;
 
-  // Congestion control.
-  double cwnd_ = 0.0;      // bytes
-  double ssthresh_ = 0.0;  // bytes
   std::uint32_t dupacks_ = 0;
   bool in_fast_recovery_ = false;
   std::uint64_t recover_point_ = 0;
@@ -101,9 +125,8 @@ class TcpSender {
   std::uint64_t dctcp_bytes_acked_ = 0;
   std::uint64_t dctcp_bytes_marked_ = 0;
 
-  // RTT estimation / RTO (RFC 6298).
-  bool rtt_valid_ = false;
-  Time srtt_ = Time::Zero();
+  // RTT estimation / RTO (RFC 6298); srtt_/rtt_valid_ live in the
+  // protected block above.
   Time rttvar_ = Time::Zero();
   std::uint32_t rto_backoff_ = 0;  // consecutive timeouts
   Timer rto_timer_;

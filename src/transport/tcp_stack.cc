@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "transport/cubic_sender.h"
+
 namespace ecnsharp {
 
 TcpStack::TcpStack(Host& host, const TcpConfig& config)
@@ -12,7 +14,8 @@ TcpStack::TcpStack(Host& host, const TcpConfig& config)
 
 TcpSender& TcpStack::StartFlow(std::uint32_t dst, std::uint64_t size_bytes,
                                TcpSender::CompletionCallback on_complete,
-                               std::uint8_t traffic_class) {
+                               std::uint8_t traffic_class,
+                               std::optional<CcKind> cc) {
   FlowKey key;
   key.src = host_.address();
   key.dst = dst;
@@ -23,8 +26,22 @@ TcpSender& TcpStack::StartFlow(std::uint32_t dst, std::uint64_t size_bytes,
     if (next_port_ == 0) next_port_ = 1;
   } while (senders_.contains(key));
 
-  auto sender = std::make_unique<TcpSender>(
-      host_, config_, key, size_bytes, traffic_class, std::move(on_complete));
+  const CcKind kind = cc.value_or(config_.cc_kind);
+  std::unique_ptr<TcpSender> sender;
+  if (kind == CcKind::kCubic) {
+    // Cubic flows carry their own ECN stance; kDctcp is not a meaningful
+    // Cubic response, so it degrades to the classic one-cut-per-window.
+    TcpConfig cubic_config = config_;
+    cubic_config.ecn_mode = config_.cubic_ecn_mode == EcnMode::kDctcp
+                                ? EcnMode::kClassic
+                                : config_.cubic_ecn_mode;
+    sender = std::make_unique<CubicSender>(host_, cubic_config, key,
+                                           size_bytes, traffic_class,
+                                           std::move(on_complete));
+  } else {
+    sender = std::make_unique<TcpSender>(host_, config_, key, size_bytes,
+                                         traffic_class, std::move(on_complete));
+  }
   TcpSender& ref = *sender;
   ref.set_tracer(transport_tracer_);
   senders_.emplace(key, std::move(sender));

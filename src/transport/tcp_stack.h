@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "net/host.h"
@@ -24,10 +25,13 @@ class TcpStack : public PacketSink {
   TcpStack(Host& host, const TcpConfig& config);
 
   // Starts a `size_bytes` transfer to host `dst` now. The callback fires on
-  // completion (after the last byte is cumulatively acknowledged).
+  // completion (after the last byte is cumulatively acknowledged). `cc`
+  // overrides the stack's default controller for this flow (mixed-CC runs
+  // pass CcKind::kCubic for the seeded cross-traffic fraction).
   TcpSender& StartFlow(std::uint32_t dst, std::uint64_t size_bytes,
                        TcpSender::CompletionCallback on_complete,
-                       std::uint8_t traffic_class = 0);
+                       std::uint8_t traffic_class = 0,
+                       std::optional<CcKind> cc = std::nullopt);
 
   void HandlePacket(std::unique_ptr<Packet> pkt) override;
 

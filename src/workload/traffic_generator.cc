@@ -32,12 +32,20 @@ void TrafficGenerator::Start() {
         std::max(1.0, sizes_.Sample(rng_)));
     auto [stack, dst] = pick_pair_(rng_);
     assert(stack != nullptr);
-    sim_.ScheduleAt(at, [this, stack, dst, size] {
+    CcKind cc = CcKind::kNewReno;
+    if (config_.cubic_fraction > 0.0 &&
+        rng_.Uniform() < config_.cubic_fraction) {
+      cc = CcKind::kCubic;
+    }
+    sim_.ScheduleAt(at, [this, stack, dst, size, cc] {
       ++started_;
-      stack->StartFlow(dst, size, [this](const FlowRecord& record) {
-        ++completed_;
-        if (on_complete_) on_complete_(record);
-      });
+      stack->StartFlow(
+          dst, size,
+          [this](const FlowRecord& record) {
+            ++completed_;
+            if (on_complete_) on_complete_(record);
+          },
+          /*traffic_class=*/0, cc);
     });
   }
 }

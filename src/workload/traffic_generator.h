@@ -22,6 +22,10 @@ struct TrafficConfig {
   DataRate reference_capacity = DataRate::GigabitsPerSecond(10);
   std::size_t flow_count = 2000;
   Time start_time = Time::Zero();
+  // Fraction of flows started as loss-based Cubic (CcKind::kCubic). The
+  // Bernoulli draw happens only when > 0, so default runs consume exactly
+  // the same rng sequence as before this knob existed (golden parity).
+  double cubic_fraction = 0.0;
 };
 
 class TrafficGenerator {

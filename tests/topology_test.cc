@@ -428,6 +428,114 @@ TEST(GoldenParityTest, IncastMatchesPreSessionResults) {
   }
 }
 
+// The buffer-policy subsystem must be invisible at defaults: a topology
+// built through the pool-aware constructor with no policy configured has to
+// match the legacy constructor byte for byte, and it must report no pools.
+
+TEST(GoldenParityTest, DumbbellPoolAwareConstructorWithoutPolicyMatchesLegacy) {
+  auto run = [](bool pool_aware) {
+    Simulator sim;
+    DumbbellConfig config;
+    std::unique_ptr<Dumbbell> topo;
+    if (pool_aware) {
+      topo = std::make_unique<Dumbbell>(
+          sim, config, [](BufferPolicy* pool) {
+            EXPECT_EQ(pool, nullptr);
+            return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams(), pool);
+          });
+      EXPECT_EQ(topo->buffer_pool_count(), 0u);
+    } else {
+      topo = std::make_unique<Dumbbell>(
+          sim, config, MakeFifoDisc(Scheme::kEcnSharp, SchemeParams()));
+    }
+    std::vector<double> fcts(topo->sender_count(), 0.0);
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < topo->sender_count(); ++i) {
+      topo->sender_stack(i).StartFlow(
+          topo->receiver_address(), 100'000 + 50'000 * i,
+          [&fcts, &done, i](const FlowRecord& r) {
+            fcts[i] = r.Fct().ToMicroseconds();
+            ++done;
+          });
+    }
+    sim.RunUntil(Time::Seconds(5));
+    EXPECT_EQ(done, topo->sender_count());
+    return fcts;
+  };
+  const std::vector<double> legacy = run(false);
+  const std::vector<double> pooled = run(true);
+  ASSERT_EQ(legacy.size(), pooled.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legacy[i], pooled[i]) << "sender " << i;
+  }
+}
+
+TEST(GoldenParityTest, FatTreePoolAwareConstructorWithoutPolicyMatchesLegacy) {
+  auto run = [](bool pool_aware) {
+    Simulator sim;
+    FatTreeConfig config;
+    config.k = 4;
+    std::unique_ptr<FatTree> topo;
+    if (pool_aware) {
+      topo = std::make_unique<FatTree>(
+          sim, config, [](BufferPolicy* pool) {
+            EXPECT_EQ(pool, nullptr);
+            return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams(), pool);
+          });
+      EXPECT_EQ(topo->buffer_pool_count(), 0u);
+    } else {
+      topo = std::make_unique<FatTree>(sim, config, [] {
+        return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+      });
+    }
+    // Cross-pod pairs so flows traverse edge, agg and core discs.
+    const std::size_t n = topo->host_count();
+    std::vector<double> fcts(n, 0.0);
+    std::size_t done = 0;
+    for (std::size_t src = 0; src < n; ++src) {
+      const auto dst = static_cast<std::uint32_t>((src + n / 2) % n);
+      topo->stack(src).StartFlow(dst, 50'000,
+                                 [&fcts, &done, src](const FlowRecord& r) {
+                                   fcts[src] = r.Fct().ToMicroseconds();
+                                   ++done;
+                                 });
+    }
+    sim.RunUntil(Time::Seconds(5));
+    EXPECT_EQ(done, n);
+    return fcts;
+  };
+  const std::vector<double> legacy = run(false);
+  const std::vector<double> pooled = run(true);
+  ASSERT_EQ(legacy.size(), pooled.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(legacy[i], pooled[i]) << "host " << i;
+  }
+}
+
+// Explicitly spelling out the defaults (cc_mix=0, policy=none) must be
+// indistinguishable from leaving them untouched — the golden FCT numbers
+// pinned above remain in force with the new config fields present.
+TEST(GoldenParityTest, ExplicitDefaultCcMixAndPolicyKeepLeafSpineGolden) {
+  LeafSpineExperimentConfig config;
+  config.scheme = Scheme::kEcnSharp;
+  config.params = SimulationSchemeParams();
+  config.topo.spines = 2;
+  config.topo.leaves = 2;
+  config.topo.hosts_per_leaf = 4;
+  config.flows = 80;
+  config.load = 0.4;
+  config.seed = 7;
+  config.cc_mix = 0.0;
+  config.buffer_policy.kind = BufferPolicyKind::kNone;
+  config.buffer_policy.alpha = 2.0;  // parameters without a kind are inert
+  const ExperimentResult r = RunLeafSpine(config);
+  EXPECT_DOUBLE_EQ(r.overall.avg_us, 542.41020000000003);
+  EXPECT_DOUBLE_EQ(r.overall.p99_us, 3312.739);
+  EXPECT_EQ(r.flows_completed, 80u);
+  EXPECT_EQ(r.cubic_fct.count, 0u);
+  EXPECT_EQ(r.newreno_fct.count, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Session-level behavior the old runners got wrong or lacked
 // ---------------------------------------------------------------------------

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "buffer/policies.h"
 #include "dynamics/scenario.h"
 #include "dynamics/scenario_engine.h"
 #include "harness/experiment.h"
@@ -396,6 +397,89 @@ TEST(TraceSoakTest, DynamicFatTreeTraceAndSketchAgreeWithHarnessCounters) {
   EXPECT_EQ(r.scenario_actions, 10u);  // burst + 4 downs + 4 ups + re-estimate
   EXPECT_EQ(r.incast_bursts, 1u);
   EXPECT_EQ(r.flows_completed, 76u);  // 60 workload + 16 burst flows
+}
+
+// Two discs drawing from one Dynamic Threshold pool with per-priority
+// alphas, under the same purge-flap churn. The pool's books must track the
+// union of both discs at every step: used_bytes == the sum of the two
+// snapshots, each registered queue's bytes == its disc's snapshot, and each
+// disc independently satisfies enqueued == dequeued + purged + queued.
+TEST(TraceSoakTest, SharedDtPoolAccountingTracksBothDiscsUnderChurn) {
+  for (const std::uint64_t seed : kSoakSeeds) {
+    Simulator sim;
+    // Small pool + shallow alpha for priority 0: forces refusals on both
+    // discs, and admission on one disc shrinks the other's DT limit.
+    DynamicThresholdPolicy policy(24'000, 1.0, {0.5, 2.0});
+    EgressPort port_a(sim, DataRate::GigabitsPerSecond(1),
+                      Time::FromMicroseconds(1),
+                      std::make_unique<FifoQueueDisc>(policy, nullptr,
+                                                      /*priority=*/0));
+    EgressPort port_b(sim, DataRate::GigabitsPerSecond(1),
+                      Time::FromMicroseconds(1),
+                      std::make_unique<FifoQueueDisc>(policy, nullptr,
+                                                      /*priority=*/1));
+    NullSink sink;
+    port_a.ConnectTo(sink);
+    port_b.ConnectTo(sink);
+    ASSERT_EQ(policy.queue_count(), 2u);
+    ASSERT_EQ(policy.queue_priority(0), 0);
+    ASSERT_EQ(policy.queue_priority(1), 1);
+
+    auto check = [&](const char* when) {
+      const QueueSnapshot a = port_a.queue_disc().Snapshot();
+      const QueueSnapshot b = port_b.queue_disc().Snapshot();
+      ASSERT_EQ(policy.used_bytes(), a.bytes + b.bytes) << when;
+      ASSERT_EQ(policy.queue_bytes(0), a.bytes) << when;
+      ASSERT_EQ(policy.queue_bytes(1), b.bytes) << when;
+      for (const EgressPort* port : {&port_a, &port_b}) {
+        const QueueDiscStats& stats = port->queue_disc().stats();
+        const QueueSnapshot snapshot = port->queue_disc().Snapshot();
+        ASSERT_EQ(stats.enqueued,
+                  stats.dequeued + stats.purged + snapshot.packets)
+            << when;
+      }
+    };
+
+    Rng rng(seed);
+    Time at = Time::Zero();
+    for (int step = 0; step < 400; ++step) {
+      at = at + Time::FromMicroseconds(1 + rng.UniformInt(20));
+      EgressPort& port = rng.UniformInt(2) == 0 ? port_a : port_b;
+      const std::uint64_t dice = rng.UniformInt(10);
+      if (dice < 6) {
+        const std::uint64_t count = 1 + rng.UniformInt(8);
+        sim.ScheduleAt(at, [&, count] {
+          for (std::uint64_t i = 0; i < count; ++i) {
+            port.Enqueue(MakePacket(rng));
+          }
+          check("after burst");
+        });
+      } else if (dice < 8) {
+        const bool drop_queued = rng.UniformInt(2) == 0;
+        sim.ScheduleAt(at, [&, drop_queued] {
+          port.LinkDown(drop_queued);
+          check("after link down");
+        });
+      } else {
+        sim.ScheduleAt(at, [&] {
+          port.LinkUp();
+          check("after link up");
+        });
+      }
+    }
+    sim.Run();
+    port_a.LinkUp();
+    port_b.LinkUp();
+    sim.Run();
+    check("after drain");
+    EXPECT_EQ(policy.used_bytes(), 0u) << "seed " << seed;
+    // The churn must actually have contended for the pool.
+    const QueueDiscStats& stats_a = port_a.queue_disc().stats();
+    const QueueDiscStats& stats_b = port_b.queue_disc().stats();
+    EXPECT_GT(stats_a.dequeued + stats_b.dequeued, 0u) << "seed " << seed;
+    EXPECT_GT(stats_a.dropped_overflow + stats_b.dropped_overflow, 0u)
+        << "seed " << seed;
+  }
 }
 
 }  // namespace

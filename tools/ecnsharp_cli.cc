@@ -203,6 +203,22 @@ int Usage() {
       "                                     ECN# re-estimation actions\n"
       "                                     (default oracle; sketch needs\n"
       "                                     --sketch)\n"
+      "  --cc-mix=<0..1>                    fraction of flows driven by\n"
+      "                                     CUBIC instead of the default\n"
+      "                                     DCTCP sender (default 0; not\n"
+      "                                     incast)\n"
+      "  --buffer-policy=static|dt|dt-headroom\n"
+      "                                     shared-buffer policy per switch\n"
+      "                                     chip replacing static per-port\n"
+      "                                     buffers (default: none; not\n"
+      "                                     incast)\n"
+      "  --buffer-kb=<kb>                   shared pool size per chip in KB\n"
+      "                                     (default: queue count x the\n"
+      "                                     per-port buffer); requires\n"
+      "                                     --buffer-policy\n"
+      "  --alpha=<a>                        dynamic-threshold alpha\n"
+      "                                     (default 1); requires\n"
+      "                                     --buffer-policy\n"
       "  --help                             this text\n");
   return 0;
 }
@@ -240,6 +256,10 @@ void PrintFctResult(const ExperimentResult& r) {
   row("overall", r.overall);
   row("short (<100KB)", r.short_flows);
   row("large (>10MB)", r.large_flows);
+  if (r.cubic_fct.count != 0 || r.newreno_fct.count != 0) {
+    row("cubic flows", r.cubic_fct);
+    row("newreno flows", r.newreno_fct);
+  }
   table.Print();
   std::printf(
       "flows: %zu/%zu completed  timeouts: %llu  CE marks: %llu  drops: "
@@ -360,6 +380,39 @@ FatTreeConfig FatTreeConfigFromFlags(const Flags& flags) {
   return topo;
 }
 
+// Mixed-CC share, shared by single-run and sweep mode; validated to [0, 1].
+double CcMixFromFlags(const Flags& flags) {
+  const double mix = flags.GetDouble("cc-mix", 0.0);
+  if (mix < 0.0 || mix > 1.0) {
+    FlagError("cc-mix", flags.Get("cc-mix", ""), "a fraction in [0, 1]");
+  }
+  return mix;
+}
+
+// Shared-buffer policy knobs. --buffer-kb and --alpha only make sense with a
+// policy selected, so naming them alone is a config error, not a silent
+// no-op.
+BufferPolicyConfig BufferPolicyFromFlags(const Flags& flags) {
+  BufferPolicyConfig policy;
+  if (flags.Has("buffer-policy")) {
+    const std::string value = flags.Get("buffer-policy", "");
+    const std::optional<BufferPolicyKind> kind = ParseBufferPolicyKind(value);
+    if (!kind.has_value() || *kind == BufferPolicyKind::kNone) {
+      FlagError("buffer-policy", value, "static, dt or dt-headroom");
+    }
+    policy.kind = *kind;
+  } else if (flags.Has("buffer-kb") || flags.Has("alpha")) {
+    std::fprintf(stderr, "--buffer-kb/--alpha require --buffer-policy\n");
+    std::exit(2);
+  }
+  policy.total_bytes = flags.GetU64("buffer-kb", 0) * 1024;
+  policy.alpha = flags.GetDouble("alpha", 1.0);
+  if (policy.alpha <= 0.0) {
+    FlagError("alpha", flags.Get("alpha", ""), "a positive number");
+  }
+  return policy;
+}
+
 // One swept parameter: `load:10..90:10` expands to {10, 20, ..., 90}.
 struct SweepAxis {
   std::string param;
@@ -473,6 +526,9 @@ int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
     }
   }
 
+  const double cc_mix = CcMixFromFlags(flags);
+  const BufferPolicyConfig buffer_policy = BufferPolicyFromFlags(flags);
+
   std::vector<runner::JobSpec> specs;
   for (const GridPoint& point : ExpandGrid(axes)) {
     const auto value = [&point](const char* param, double fallback) {
@@ -495,6 +551,8 @@ int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
       config.seed = static_cast<std::uint64_t>(
           value("seed", static_cast<double>(flags.GetU64("seed", 1))));
       config.scenario = scenario;
+      config.cc_mix = cc_mix;
+      config.buffer_policy = buffer_policy;
       spec.config = config;
     } else if (topo == "leafspine") {
       LeafSpineExperimentConfig config;
@@ -507,6 +565,8 @@ int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
       config.seed = static_cast<std::uint64_t>(
           value("seed", static_cast<double>(flags.GetU64("seed", 1))));
       config.scenario = scenario;
+      config.cc_mix = cc_mix;
+      config.buffer_policy = buffer_policy;
       spec.config = config;
     } else if (topo == "fattree") {
       FatTreeExperimentConfig config;
@@ -519,6 +579,8 @@ int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
       config.seed = static_cast<std::uint64_t>(
           value("seed", static_cast<double>(flags.GetU64("seed", 1))));
       config.scenario = scenario;
+      config.cc_mix = cc_mix;
+      config.buffer_policy = buffer_policy;
       spec.config = config;
     } else {
       IncastExperimentConfig config;
@@ -607,6 +669,15 @@ int main(int argc, char** argv) {
     topo = value;
   }
 
+  if (topo == "incast" &&
+      (flags.Has("cc-mix") || flags.Has("buffer-policy") ||
+       flags.Has("buffer-kb") || flags.Has("alpha"))) {
+    std::fprintf(stderr,
+                 "--cc-mix/--buffer-policy apply to --topo=dumbbell, "
+                 "leafspine or fattree\n");
+    return 2;
+  }
+
   ScenarioScript scenario;
   if (flags.Has("scenario")) {
     if (topo == "incast") {
@@ -691,6 +762,8 @@ int main(int argc, char** argv) {
     config.trace = trace;
     config.sketch = sketch;
     config.estimator = estimator;
+    config.cc_mix = CcMixFromFlags(flags);
+    config.buffer_policy = BufferPolicyFromFlags(flags);
     PrintBanner("dumbbell / " + std::string(SchemeName(scheme)) + " / " +
                 workload_name);
     std::shared_ptr<const TraceRecorder> recorded;
@@ -719,6 +792,8 @@ int main(int argc, char** argv) {
     config.trace = trace;
     config.sketch = sketch;
     config.estimator = estimator;
+    config.cc_mix = CcMixFromFlags(flags);
+    config.buffer_policy = BufferPolicyFromFlags(flags);
     PrintBanner("leaf-spine / " + std::string(SchemeName(scheme)) + " / " +
                 workload_name);
     std::shared_ptr<const TraceRecorder> recorded;
@@ -747,6 +822,8 @@ int main(int argc, char** argv) {
     config.trace = trace;
     config.sketch = sketch;
     config.estimator = estimator;
+    config.cc_mix = CcMixFromFlags(flags);
+    config.buffer_policy = BufferPolicyFromFlags(flags);
     PrintBanner("fat-tree k=" + std::to_string(config.topo.k) + " / " +
                 std::string(SchemeName(scheme)) + " / " + workload_name);
     std::shared_ptr<const TraceRecorder> recorded;
