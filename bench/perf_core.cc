@@ -11,6 +11,9 @@
 //   ECNSHARP_PERF_EVENTS   events per event-engine bench   (default 2000000)
 //   ECNSHARP_PERF_PACKETS  packets through the queue path  (default 2000000)
 //   ECNSHARP_PERF_FLOWS    flows in the end-to-end run     (default 2000)
+//   ECNSHARP_PERF_FATTREE_FLOWS  flows in the k=16 fat-tree packet-path
+//                                section                   (default 2000)
+//   ECNSHARP_PERF_REPS     best-of reps for the micro loops (default 7)
 //   ECNSHARP_BENCH_OUT     output path                     (default BENCH_core.json)
 #include <chrono>
 #include <cstdio>
@@ -219,8 +222,61 @@ Json WebSearchAt70(std::size_t flows) {
            Json::Num(wall > 0.0 ? result.sim_seconds / wall : 0.0));
 }
 
+// ---------------------------------------------------------------------------
+// Big-topology packet path: the k=16 fat-tree (1024 hosts, 1280 switch
+// ports) under websearch load. The dumbbell loop above isolates per-packet
+// queue cost; this section measures the workload the hot-path refactor
+// actually targets — burst-drain trains, SoA chip/flow state, and ECMP
+// route lookups spread across thousands of ports — as switch-hop
+// dequeues per wall second.
+// ---------------------------------------------------------------------------
+
+Json FatTreePacketPath(std::size_t flows, Metric* metric) {
+  FatTreeExperimentConfig config;
+  config.scheme = Scheme::kEcnSharp;
+  config.topo.k = 16;
+  config.load = 0.5;
+  config.flows = flows;
+  config.seed = 1;
+  const auto start = Clock::now();
+  const ExperimentResult result = RunFatTree(config);
+  const double wall = SecondsSince(start);
+  *metric = Metric{result.bottleneck.dequeued, wall};
+  // "packet_rate" deliberately avoids the *_per_sec suffix: a single-shot
+  // 5-second simulation is too noisy for the 2% perf_gate (same reason
+  // websearch_70 exports sim_to_wall_ratio). The fat-tree trajectory is
+  // gated separately through BENCH_fattree.json at a loose threshold.
+  return Json::Object()
+      .Set("items", Json::UInt(metric->items))
+      .Set("seconds", Json::Num(metric->seconds))
+      .Set("packet_rate", Json::Num(metric->rate()))
+      .Set("flows_completed", Json::UInt(result.flows_completed))
+      .Set("sim_seconds", Json::Num(result.sim_seconds))
+      .Set("sim_to_wall_ratio",
+           Json::Num(wall > 0.0 ? result.sim_seconds / wall : 0.0));
+}
+
 }  // namespace
 }  // namespace ecnsharp
+
+namespace {
+
+// Run a micro-metric several times and keep the fastest rep. The micro loops
+// finish in tens of milliseconds, where scheduler noise swings single-shot
+// rates by +/-20%; the best-of floor is what the 2% perf_gate threshold
+// needs. End-to-end sections (websearch_70, packet_path_fattree) run whole
+// simulations for seconds and stay single-shot.
+template <typename Fn>
+ecnsharp::Metric BestOf(int reps, Fn fn) {
+  ecnsharp::Metric best = fn();
+  for (int i = 1; i < reps; ++i) {
+    const ecnsharp::Metric m = fn();
+    if (m.rate() > best.rate()) best = m;
+  }
+  return best;
+}
+
+}  // namespace
 
 int main() {
   using namespace ecnsharp;
@@ -231,29 +287,33 @@ int main() {
       static_cast<std::uint64_t>(EnvInt("ECNSHARP_PERF_PACKETS", 2'000'000));
   const auto flows =
       static_cast<std::size_t>(EnvInt("ECNSHARP_PERF_FLOWS", 2'000));
+  const int reps = static_cast<int>(EnvInt("ECNSHARP_PERF_REPS", 7));
 
-  const Metric churn = EventChurn(events);
+  const Metric churn = BestOf(reps, [&] { return EventChurn(events); });
   std::printf("event_churn:        %10.0f events/s  (%llu events, %.3f s)\n",
               churn.rate(), static_cast<unsigned long long>(churn.items),
               churn.seconds);
 
-  const Metric cancel = EventCancelChurn(events / 3);
+  const Metric cancel =
+      BestOf(reps, [&] { return EventCancelChurn(events / 3); });
   std::printf("event_cancel_churn: %10.0f events/s  (%llu events, %.3f s)\n",
               cancel.rate(), static_cast<unsigned long long>(cancel.items),
               cancel.seconds);
 
-  const Metric pkts = PacketPath(packets);
+  const Metric pkts = BestOf(reps, [&] { return PacketPath(packets); });
   std::printf("packet_path:        %10.0f packets/s (%llu packets, %.3f s)\n",
               pkts.rate(), static_cast<unsigned long long>(pkts.items),
               pkts.seconds);
 
-  const Metric pkts_sketch = PacketPathSketch(packets);
+  const Metric pkts_sketch =
+      BestOf(reps, [&] { return PacketPathSketch(packets); });
   std::printf("packet_path_sketch: %10.0f packets/s (%llu packets, %.3f s)\n",
               pkts_sketch.rate(),
               static_cast<unsigned long long>(pkts_sketch.items),
               pkts_sketch.seconds);
 
-  const Metric admission = BufferAdmission(packets);
+  const Metric admission =
+      BestOf(reps, [&] { return BufferAdmission(packets); });
   std::printf(
       "buffer_admission:   %10.0f admissions/s (%llu admissions, %.3f s)\n",
       admission.rate(), static_cast<unsigned long long>(admission.items),
@@ -261,6 +321,17 @@ int main() {
 
   const Json websearch = WebSearchAt70(flows);
   std::printf("websearch_70:       see JSON (flows=%zu)\n", flows);
+
+  const auto fattree_flows = static_cast<std::size_t>(
+      EnvInt("ECNSHARP_PERF_FATTREE_FLOWS", 2'000));
+  Metric fattree_pkts;
+  const Json fattree = FatTreePacketPath(fattree_flows, &fattree_pkts);
+  std::printf(
+      "packet_path_fattree: %9.0f packets/s (%llu switch-hop dequeues, "
+      "%.3f s)\n",
+      fattree_pkts.rate(),
+      static_cast<unsigned long long>(fattree_pkts.items),
+      fattree_pkts.seconds);
 
   Json doc = Json::Object()
                  .Set("schema_version", Json::Int(1))
@@ -275,6 +346,7 @@ int main() {
                                ToJson(pkts_sketch, "packets_per_sec"))
                           .Set("buffer_admission",
                                ToJson(admission, "admissions_per_sec"))
+                          .Set("packet_path_fattree", fattree)
                           .Set("websearch_70", websearch));
 
   const char* out_env = std::getenv("ECNSHARP_BENCH_OUT");

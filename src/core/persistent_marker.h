@@ -6,6 +6,11 @@
 // persistent target?) and it answers whether that packet should be marked,
 // implementing detection (one full interval above target) and conservative
 // marking (one packet per interval, shrinking as interval/sqrt(count)).
+//
+// The mutable per-queue fields live in a PersistentMarkerState POD reached
+// through a pointer: local to the marker by default, repointable into a
+// switch chip's hot-state block (net/chip_hot_state.h) so every queue's
+// marking state sits in the chip's dense SoA region.
 #ifndef ECNSHARP_CORE_PERSISTENT_MARKER_H_
 #define ECNSHARP_CORE_PERSISTENT_MARKER_H_
 
@@ -16,33 +21,59 @@
 
 namespace ecnsharp {
 
+// Algorithm 1's mutable state. Plain data; value-initialized = idle.
+struct PersistentMarkerState {
+  bool marking_state = false;
+  std::uint32_t marking_count = 0;
+  Time marking_next = Time::Zero();
+  Time first_above_time = Time::Zero();
+};
+
 class PersistentMarker {
  public:
   explicit PersistentMarker(Time pst_interval)
       : pst_interval_(pst_interval) {}
 
+  // Copies carry the state's current values but are always self-bound —
+  // a copy never aliases the source's (possibly chip-owned) state row.
+  PersistentMarker(const PersistentMarker& other)
+      : pst_interval_(other.pst_interval_), local_(*other.state_) {}
+  PersistentMarker& operator=(const PersistentMarker& other) {
+    pst_interval_ = other.pst_interval_;
+    *state_ = *other.state_;
+    return *this;
+  }
+
+  // Repoints the state into externally owned storage (a chip hot block row),
+  // carrying the current values over. `s` must outlive the marker.
+  void BindState(PersistentMarkerState* s) {
+    *s = *state_;
+    state_ = s;
+  }
+
   // Algorithm 1, ShouldPersistentMark: must be called for every departure
   // so the state machine advances.
   bool ShouldMark(bool above_target, Time now) {
+    PersistentMarkerState& st = *state_;
     const bool detected = Detect(above_target, now);
-    if (marking_state_) {
+    if (st.marking_state) {
       if (!detected) {
-        marking_state_ = false;
+        st.marking_state = false;
         return false;
       }
-      if (now > marking_next_) {
-        ++marking_count_;
-        marking_next_ +=
+      if (now > st.marking_next) {
+        ++st.marking_count;
+        st.marking_next +=
             pst_interval_ *
-            (1.0 / std::sqrt(static_cast<double>(marking_count_)));
+            (1.0 / std::sqrt(static_cast<double>(st.marking_count)));
         return true;
       }
       return false;
     }
     if (detected) {
-      marking_state_ = true;
-      marking_count_ = 1;
-      marking_next_ = now + pst_interval_;
+      st.marking_state = true;
+      st.marking_count = 1;
+      st.marking_next = now + pst_interval_;
       return true;
     }
     return false;
@@ -54,37 +85,33 @@ class PersistentMarker {
   // comparable.
   void set_pst_interval(Time pst_interval) {
     pst_interval_ = pst_interval;
-    marking_state_ = false;
-    marking_count_ = 0;
-    marking_next_ = Time::Zero();
-    first_above_time_ = Time::Zero();
+    *state_ = PersistentMarkerState{};
   }
 
-  bool marking_state() const { return marking_state_; }
-  std::uint32_t marking_count() const { return marking_count_; }
-  Time marking_next() const { return marking_next_; }
-  Time first_above_time() const { return first_above_time_; }
+  bool marking_state() const { return state_->marking_state; }
+  std::uint32_t marking_count() const { return state_->marking_count; }
+  Time marking_next() const { return state_->marking_next; }
+  Time first_above_time() const { return state_->first_above_time; }
   Time pst_interval() const { return pst_interval_; }
 
  private:
   // Algorithm 1, IsPersistentQueueBuildups.
   bool Detect(bool above_target, Time now) {
+    PersistentMarkerState& st = *state_;
     if (!above_target) {
-      first_above_time_ = Time::Zero();
+      st.first_above_time = Time::Zero();
       return false;
     }
-    if (first_above_time_.IsZero()) {
-      first_above_time_ = now;
+    if (st.first_above_time.IsZero()) {
+      st.first_above_time = now;
       return false;
     }
-    return now > first_above_time_ + pst_interval_;
+    return now > st.first_above_time + pst_interval_;
   }
 
   Time pst_interval_;
-  bool marking_state_ = false;
-  std::uint32_t marking_count_ = 0;
-  Time marking_next_ = Time::Zero();
-  Time first_above_time_ = Time::Zero();
+  PersistentMarkerState local_;
+  PersistentMarkerState* state_ = &local_;
 };
 
 }  // namespace ecnsharp

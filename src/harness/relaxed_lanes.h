@@ -1,0 +1,36 @@
+// Relaxed-lanes fat-tree runner: the opt-in multi-threaded execution mode
+// behind `--relaxed-lanes=N`.
+//
+// Builds the fat-tree in its locality-sharded form (pod p on lane
+// (1 + p) % N, core tier on lane 0 — topo/fat_tree.h) and drives all lanes
+// through LaneSet's conservative aligned-window scheme with the round
+// window equal to the fabric link delay. The mode is "relaxed" in a precise
+// sense: every run with the same config and lane count is bit-identical to
+// itself (deterministic mailbox absorption), but same-timestamp event ties
+// may resolve differently than the single-lane runner, so results are not
+// byte-comparable with RunFatTree. All golden/parity suites therefore run
+// lanes-off; this runner exists for wall-clock on big fabrics.
+//
+// The rng discipline mirrors ExperimentSession exactly (per-host RTT extras
+// drawn from the session rng in host order, then a forked stream draws the
+// arrival process in TrafficGenerator order), so the *offered load* is
+// identical to the single-lane run — only event interleaving differs.
+//
+// Restrictions (all violations exit 2 via FatalConfigError): needs >= 2
+// lanes, and scenario scripts, tracing, sketch telemetry, and queue
+// sampling are rejected — those observers assume a single event clock.
+#ifndef ECNSHARP_HARNESS_RELAXED_LANES_H_
+#define ECNSHARP_HARNESS_RELAXED_LANES_H_
+
+#include <cstddef>
+
+#include "harness/experiment.h"
+
+namespace ecnsharp {
+
+ExperimentResult RunFatTreeRelaxed(const FatTreeExperimentConfig& config,
+                                   std::size_t lane_count);
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_HARNESS_RELAXED_LANES_H_

@@ -1,0 +1,127 @@
+// Per-switch-chip struct-of-arrays hot state.
+//
+// A switch chip touches a handful of counters per packet: its queues' depths
+// and byte occupancies, the shared-buffer accounting, and the AQM's marking
+// state. Scattered across per-port heap objects those counters cost a cache
+// line each; a ChipHotBlock packs them into chip-owned arrays so the packet
+// loop of one chip works a few dense lines.
+//
+// Layout:
+//  * queue occupancy rows — parallel packets[] / bytes[] arrays, allocated
+//    one row per queue as ports bind (struct-of-arrays: a depth sweep across
+//    the chip's queues reads consecutive words, e.g. monitor sampling and
+//    shared-buffer scans).
+//  * a POD bump arena — Emplace<T>() carves chunk-stable storage for other
+//    per-queue hot structs (ECN#'s persistent-marker state, scheduler
+//    deficits) without this header needing to know their types, which keeps
+//    net/ free of dependencies on core/.
+//
+// Discs default to small internal fields and are repointed into a block by
+// BindChipHotState (SwitchNode does this in AddPort); standalone discs —
+// unit tests, microbenches, host stacks — never need a block. Addresses
+// handed out are stable for the block's lifetime (chunked storage, no
+// reallocation), so bound discs cache raw pointers.
+#ifndef ECNSHARP_NET_CHIP_HOT_STATE_H_
+#define ECNSHARP_NET_CHIP_HOT_STATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace ecnsharp {
+
+class ChipHotBlock {
+ public:
+  ChipHotBlock() = default;
+  ChipHotBlock(const ChipHotBlock&) = delete;
+  ChipHotBlock& operator=(const ChipHotBlock&) = delete;
+
+  // One queue's occupancy row: stable pointers into the chip's packets[] and
+  // bytes[] arrays.
+  struct QueueRow {
+    std::uint32_t* packets = nullptr;
+    std::uint64_t* bytes = nullptr;
+  };
+
+  // Allocates the next occupancy row. Rows within a chunk are consecutive in
+  // memory, in bind order.
+  QueueRow AllocQueueRow() {
+    const std::size_t chunk = queue_count_ >> kRowChunkShift;
+    if (chunk == occ_chunks_.size()) {
+      occ_chunks_.push_back(std::make_unique<OccChunk>());
+    }
+    const std::size_t i = queue_count_ & kRowChunkMask;
+    ++queue_count_;
+    OccChunk& c = *occ_chunks_[chunk];
+    c.packets[i] = 0;
+    c.bytes[i] = 0;
+    return QueueRow{&c.packets[i], &c.bytes[i]};
+  }
+
+  std::size_t queue_count() const { return queue_count_; }
+
+  // Total packets/bytes across every bound queue — the chip-level occupancy
+  // scan the SoA layout exists for.
+  std::uint32_t TotalPackets() const {
+    std::uint32_t total = 0;
+    ForEachRow([&](std::uint32_t p, std::uint64_t) { total += p; });
+    return total;
+  }
+  std::uint64_t TotalBytes() const {
+    std::uint64_t total = 0;
+    ForEachRow([&](std::uint32_t, std::uint64_t b) { total += b; });
+    return total;
+  }
+
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (std::size_t i = 0; i < queue_count_; ++i) {
+      const OccChunk& c = *occ_chunks_[i >> kRowChunkShift];
+      const std::size_t j = i & kRowChunkMask;
+      fn(c.packets[j], c.bytes[j]);
+    }
+  }
+
+  // Carves value-initialized, chunk-stable storage for a trivially
+  // destructible hot-state POD (the block never runs destructors).
+  template <typename T>
+  T* Emplace() {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is never destructed");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    const std::size_t need = (sizeof(T) + kArenaAlign - 1) & ~(kArenaAlign - 1);
+    if (arena_chunks_.empty() || arena_used_ + need > kArenaChunkBytes) {
+      arena_chunks_.push_back(
+          std::make_unique<unsigned char[]>(kArenaChunkBytes));
+      arena_used_ = 0;
+    }
+    unsigned char* p = arena_chunks_.back().get() + arena_used_;
+    arena_used_ += need;
+    return new (p) T();
+  }
+
+ private:
+  static constexpr std::size_t kRowChunkShift = 6;
+  static constexpr std::size_t kRowChunkSize = 1u << kRowChunkShift;
+  static constexpr std::size_t kRowChunkMask = kRowChunkSize - 1;
+  static constexpr std::size_t kArenaChunkBytes = 4096;
+  static constexpr std::size_t kArenaAlign = alignof(std::max_align_t);
+
+  // Struct-of-arrays per chunk: all depths together, all byte counts
+  // together.
+  struct OccChunk {
+    std::uint32_t packets[kRowChunkSize] = {};
+    std::uint64_t bytes[kRowChunkSize] = {};
+  };
+
+  std::vector<std::unique_ptr<OccChunk>> occ_chunks_;
+  std::size_t queue_count_ = 0;
+  std::vector<std::unique_ptr<unsigned char[]>> arena_chunks_;
+  std::size_t arena_used_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_NET_CHIP_HOT_STATE_H_

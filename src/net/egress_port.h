@@ -6,14 +6,27 @@
 // object. The port owns its QueueDisc, which in turn owns queued packets.
 //
 // Rate, propagation delay, and administrative link state are mutable at
-// event time (src/dynamics/ scripts churn them mid-run): a rate or delay
-// change applies from the next serialization on — the packet currently on
-// the wire keeps the parameters it started with, exactly like reconfiguring
-// a real port.
+// event time (src/dynamics/ scripts churn them mid-run). The mid-flight
+// semantics, pinned by tests:
+//  * SetRate applies from the next serialization on — the packet currently
+//    being serialized finishes its remaining bits at the old rate.
+//  * SetPropagationDelay applies from the next transmit completion on;
+//    packets already on the wire keep their departure-time delay (so a
+//    shortening can reorder deliveries, as on a real rerouted link).
+//  * LinkDown lets the packet currently being serialized complete at the old
+//    rate and still arrive; only queued/arriving packets are affected.
+//
+// Event usage (the burst-drain scheme): a back-to-back train is driven by
+// two persistent pinned events — one tx-completion event re-armed per
+// serialization, one arrival event re-armed per wire delivery against order
+// stamps reserved at transmit time — so draining a train costs O(1) per
+// packet with zero closure allocations. net/event_mode.h switches back to
+// the legacy one-closure-per-packet scheme; both interleave identically.
 #ifndef ECNSHARP_NET_EGRESS_PORT_H_
 #define ECNSHARP_NET_EGRESS_PORT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 
 #include "net/link_fault.h"
@@ -38,6 +51,7 @@ class EgressPort {
  public:
   EgressPort(Simulator& sim, DataRate rate, Time propagation_delay,
              std::unique_ptr<QueueDisc> disc);
+  ~EgressPort();
 
   EgressPort(const EgressPort&) = delete;
   EgressPort& operator=(const EgressPort&) = delete;
@@ -84,8 +98,20 @@ class EgressPort {
   }
 
  private:
+  // One packet committed to the wire: its arrival time and the order stamp
+  // reserved when it left the transmitter (so deliveries interleave exactly
+  // like independently scheduled per-packet events would).
+  struct WireEntry {
+    Time deliver_at;
+    std::uint64_t order;
+    std::unique_ptr<Packet> pkt;
+    bool corrupt;
+  };
+
   void MaybeStartTx();
   void FinishTx();
+  void PushWire(WireEntry entry);
+  void DeliverFront();
 
   Simulator& sim_;
   DataRate rate_;
@@ -99,6 +125,11 @@ class EgressPort {
   bool busy_ = false;
   bool link_up_ = true;
   PortCounters counters_;
+  // Burst-drain machinery: packets in flight on the wire, ordered by
+  // (deliver_at, order); the pinned arrival event is armed for the front.
+  std::deque<WireEntry> wire_;
+  PinnedEventId tx_event_;
+  PinnedEventId arrival_event_;
 };
 
 // Adapter presenting an EgressPort as a PacketSink, so ports can terminate

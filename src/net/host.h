@@ -46,6 +46,12 @@ class Host : public PacketSink {
   void set_extra_egress_delay(Time delay) { extra_egress_delay_ = delay; }
   Time extra_egress_delay() const { return extra_egress_delay_; }
 
+  // Logical locality (host group / pod) annotated by the topology builder;
+  // the relaxed-lanes executor maps localities onto event lanes. 0 = the
+  // shared/core locality.
+  void set_locality_id(std::uint32_t id) { locality_id_ = id; }
+  std::uint32_t locality_id() const { return locality_id_; }
+
   // Entry point for the transport layer: applies the extra egress delay and
   // hands the packet to the NIC queue.
   void SendPacket(std::unique_ptr<Packet> pkt);
@@ -63,6 +69,7 @@ class Host : public PacketSink {
   std::uint32_t address_;
   std::unique_ptr<EgressPort> nic_;
   Time extra_egress_delay_ = Time::Zero();
+  std::uint32_t locality_id_ = 0;
   PacketSink* upper_ = nullptr;
 };
 

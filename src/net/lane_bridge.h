@@ -1,0 +1,45 @@
+// LaneBridgeSink: the receiving end of a link whose peer lives on another
+// event lane.
+//
+// A cross-lane link's EgressPort is built with zero propagation delay and
+// connected to a bridge instead of the peer; the bridge re-applies the full
+// propagation delay when posting the delivery into the peer's lane. Because
+// the LaneSet round window never exceeds the link latency, the posted
+// delivery always lands in a strictly later round — see sim/lane_executor.h.
+#ifndef ECNSHARP_NET_LANE_BRIDGE_H_
+#define ECNSHARP_NET_LANE_BRIDGE_H_
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "net/packet.h"
+#include "sim/lane_executor.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+
+class LaneBridgeSink : public PacketSink {
+ public:
+  LaneBridgeSink(LaneSet& lanes, std::size_t from, std::size_t to, Time delay,
+                 PacketSink& peer)
+      : lanes_(lanes), from_(from), to_(to), delay_(delay), peer_(peer) {}
+
+  void HandlePacket(std::unique_ptr<Packet> pkt) override {
+    lanes_.Post(from_, to_, lanes_.lane(from_).Now() + delay_,
+                [peer = &peer_, p = std::move(pkt)]() mutable {
+                  peer->HandlePacket(std::move(p));
+                });
+  }
+
+ private:
+  LaneSet& lanes_;
+  std::size_t from_;
+  std::size_t to_;
+  Time delay_;
+  PacketSink& peer_;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_NET_LANE_BRIDGE_H_

@@ -1,0 +1,88 @@
+// PacketRing: a power-of-two ring buffer of owned Packet pointers.
+//
+// Queue discs keep their backlog here instead of in a
+// std::deque<std::unique_ptr<Packet>>: one contiguous array of raw pointers,
+// head/tail indices, no per-block allocation, and push/pop compile to a
+// store/load plus an index increment. Ownership semantics are unchanged —
+// the ring owns what it holds and releases storage through the same
+// unique_ptr discipline as the deque did.
+#ifndef ECNSHARP_NET_PACKET_RING_H_
+#define ECNSHARP_NET_PACKET_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace ecnsharp {
+
+class PacketRing {
+ public:
+  PacketRing() : slots_(kInitialCapacity), mask_(kInitialCapacity - 1) {}
+  ~PacketRing() {
+    while (!empty()) pop_front();
+  }
+  PacketRing(const PacketRing&) = delete;
+  PacketRing& operator=(const PacketRing&) = delete;
+  // Moves leave `other` valid and empty (fresh initial capacity).
+  PacketRing(PacketRing&& other) noexcept : PacketRing() { Swap(other); }
+  PacketRing& operator=(PacketRing&& other) noexcept {
+    if (this != &other) {
+      Swap(other);  // old contents freed by other's destructor
+    }
+    return *this;
+  }
+
+  bool empty() const { return head_ == tail_; }
+  std::size_t size() const { return tail_ - head_; }
+
+  void push_back(std::unique_ptr<Packet> pkt) {
+    if (size() > mask_) Grow();
+    slots_[tail_ & mask_] = pkt.release();
+    ++tail_;
+  }
+
+  Packet* front() const { return slots_[head_ & mask_]; }
+  Packet* back() const { return slots_[(tail_ - 1) & mask_]; }
+
+  std::unique_ptr<Packet> pop_front() {
+    Packet* p = slots_[head_ & mask_];
+    ++head_;
+    return std::unique_ptr<Packet>(p);
+  }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  void Swap(PacketRing& other) {
+    slots_.swap(other.slots_);
+    std::swap(mask_, other.mask_);
+    std::swap(head_, other.head_);
+    std::swap(tail_, other.tail_);
+  }
+
+  void Grow() {
+    std::vector<Packet*> bigger(slots_.size() * 2);
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      bigger[i] = slots_[(head_ + i) & mask_];
+    }
+    slots_.swap(bigger);
+    mask_ = slots_.size() - 1;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  std::vector<Packet*> slots_;
+  std::size_t mask_;
+  // Free-running indices; masked on access. 64-bit, so wrap is a non-issue.
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
+}  // namespace ecnsharp
+
+#endif  // ECNSHARP_NET_PACKET_RING_H_

@@ -25,11 +25,24 @@
 
 namespace ecnsharp {
 
+class ChipHotBlock;
+
 // Instantaneous occupancy of a queue (or of a whole multi-queue disc).
 struct QueueSnapshot {
   std::uint32_t packets = 0;
   std::uint64_t bytes = 0;
 };
+
+// Classification of an AQM policy's hot-path behaviour, so queue discs can
+// inline the per-packet work of simple policies instead of paying two
+// virtual calls per packet.
+//
+//  * kGeneric       — the disc must call AllowEnqueue / OnDequeue.
+//  * kThresholdMark — the policy is exactly "CE-mark when queue bytes
+//    including this packet exceed fast_path_threshold(); never drop; no
+//    dequeue hook" (DCTCP-RED). The disc may inline that comparison and
+//    skip both virtual calls; behaviour is byte-identical by contract.
+enum class AqmFastPath : std::uint8_t { kGeneric, kThresholdMark };
 
 class AqmPolicy {
  public:
@@ -56,6 +69,18 @@ class AqmPolicy {
   }
 
   virtual std::string name() const = 0;
+
+  // See AqmFastPath. Policies whose per-packet work is expressible as one of
+  // the fast-path families advertise it here; everything else stays generic.
+  virtual AqmFastPath fast_path() const { return AqmFastPath::kGeneric; }
+  // For kThresholdMark: the byte threshold K. Re-queried by discs after any
+  // reconfiguration that changes it.
+  virtual std::uint64_t fast_path_threshold() const { return 0; }
+
+  // Repoints the policy's mutable hot state (e.g. ECN#'s persistent-marker
+  // fields) into the chip-owned SoA block; default keeps internal fields.
+  // Called by the owning disc's own BindChipHotState.
+  virtual void BindChipHotState(ChipHotBlock& block) { (void)block; }
 };
 
 struct QueueDiscStats {
@@ -89,6 +114,13 @@ class QueueDisc {
 
   bool IsEmpty() const { return Snapshot().packets == 0; }
   const QueueDiscStats& stats() const { return stats_; }
+
+  // Repoints this disc's hot occupancy counters (queue depth, queued bytes,
+  // and any policy hot state) into the chip-owned struct-of-arrays block
+  // (see net/chip_hot_state.h). Called once by the switch when the port is
+  // added; current counter values are copied into the block. Discs that
+  // don't opt in keep their internal fields — standalone use needs no block.
+  virtual void BindChipHotState(ChipHotBlock& block) { (void)block; }
 
   // Optional drop/mark tracing (non-owning; null disables). Ports forward
   // their tracer here so one SetTracer on the port covers the whole path.

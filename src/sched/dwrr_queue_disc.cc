@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "net/chip_hot_state.h"
+
 namespace ecnsharp {
 
 DwrrQueueDisc::DwrrQueueDisc(
@@ -19,6 +21,16 @@ DwrrQueueDisc::DwrrQueueDisc(
     state.weight = c.weight;
     state.aqm = std::move(c.aqm);
     classes_.push_back(std::move(state));
+  }
+  // classes_ is final now; point each class's counters at its own fields.
+  for (ClassState& cls : classes_) {
+    cls.packets = &cls.local_packets;
+    cls.bytes = &cls.local_bytes;
+    cls.aqm_threshold_mark =
+        cls.aqm != nullptr &&
+        cls.aqm->fast_path() == AqmFastPath::kThresholdMark;
+    cls.aqm_threshold =
+        cls.aqm_threshold_mark ? cls.aqm->fast_path_threshold() : 0;
   }
   if (!classifier_) {
     const std::size_t n = classes_.size();
@@ -69,7 +81,7 @@ bool DwrrQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
   }
   if (mq_ecn_total_bytes_ != 0) {
     const bool was_ce = pkt->IsCeMarked();
-    if (cls.bytes + pkt->size_bytes > MqEcnThresholdBytes(idx)) {
+    if (*cls.bytes + pkt->size_bytes > MqEcnThresholdBytes(idx)) {
       pkt->MarkCe();
     }
     if (!was_ce && pkt->IsCeMarked()) {
@@ -77,10 +89,19 @@ bool DwrrQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
       if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
     }
   }
-  if (cls.aqm != nullptr) {
+  if (cls.aqm_threshold_mark) {
+    // Inlined kThresholdMark contract (see FifoQueueDisc::Enqueue).
+    if (*cls.bytes + pkt->size_bytes > cls.aqm_threshold &&
+        !pkt->IsCeMarked()) {
+      pkt->MarkCe();
+      if (pkt->IsCeMarked()) {
+        ++stats_.ce_marked;
+        if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
+      }
+    }
+  } else if (cls.aqm != nullptr) {
     const bool was_ce = pkt->IsCeMarked();
-    const QueueSnapshot snap{static_cast<std::uint32_t>(cls.queue.size()),
-                             cls.bytes};
+    const QueueSnapshot snap{*cls.packets, *cls.bytes};
     if (!cls.aqm->AllowEnqueue(*pkt, snap, now)) {
       ++stats_.dropped_aqm;
       if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
@@ -93,7 +114,8 @@ bool DwrrQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
     }
   }
   pkt->enqueue_time = now;
-  cls.bytes += pkt->size_bytes;
+  ++*cls.packets;
+  *cls.bytes += pkt->size_bytes;
   total_bytes_ += pkt->size_bytes;
   ++total_packets_;
   cls.queue.push_back(std::move(pkt));
@@ -109,9 +131,9 @@ bool DwrrQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
 }
 
 std::unique_ptr<Packet> DwrrQueueDisc::PopFrom(ClassState& cls, Time now) {
-  std::unique_ptr<Packet> pkt = std::move(cls.queue.front());
-  cls.queue.pop_front();
-  cls.bytes -= pkt->size_bytes;
+  std::unique_ptr<Packet> pkt = cls.queue.pop_front();
+  --*cls.packets;
+  *cls.bytes -= pkt->size_bytes;
   total_bytes_ -= pkt->size_bytes;
   --total_packets_;
   if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
@@ -119,10 +141,10 @@ std::unique_ptr<Packet> DwrrQueueDisc::PopFrom(ClassState& cls, Time now) {
   if (tracer_ != nullptr) {
     tracer_->OnDequeue(*pkt, now, Snapshot(), now - pkt->enqueue_time);
   }
-  if (cls.aqm != nullptr) {
+  // kThresholdMark policies have no dequeue hook by contract.
+  if (cls.aqm != nullptr && !cls.aqm_threshold_mark) {
     const bool was_ce = pkt->IsCeMarked();
-    const QueueSnapshot snap{static_cast<std::uint32_t>(cls.queue.size()),
-                             cls.bytes};
+    const QueueSnapshot snap{*cls.packets, *cls.bytes};
     cls.aqm->OnDequeue(*pkt, snap, now, now - pkt->enqueue_time);
     if (!was_ce && pkt->IsCeMarked()) {
       ++stats_.ce_marked;
@@ -176,9 +198,9 @@ std::uint32_t DwrrQueueDisc::PurgeAll(Time now) {
   const std::uint32_t n = total_packets_;
   for (ClassState& cls : classes_) {
     while (!cls.queue.empty()) {
-      std::unique_ptr<Packet> pkt = std::move(cls.queue.front());
-      cls.queue.pop_front();
-      cls.bytes -= pkt->size_bytes;
+      std::unique_ptr<Packet> pkt = cls.queue.pop_front();
+      --*cls.packets;
+      *cls.bytes -= pkt->size_bytes;
       total_bytes_ -= pkt->size_bytes;
       --total_packets_;
       if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
@@ -195,7 +217,19 @@ std::uint32_t DwrrQueueDisc::PurgeAll(Time now) {
 
 QueueSnapshot DwrrQueueDisc::ClassSnapshot(std::size_t cls) const {
   const ClassState& c = classes_.at(cls);
-  return QueueSnapshot{static_cast<std::uint32_t>(c.queue.size()), c.bytes};
+  return QueueSnapshot{*c.packets, *c.bytes};
+}
+
+void DwrrQueueDisc::BindChipHotState(ChipHotBlock& block) {
+  // One SoA row per service class, in class order.
+  for (ClassState& cls : classes_) {
+    ChipHotBlock::QueueRow row = block.AllocQueueRow();
+    *row.packets = *cls.packets;
+    *row.bytes = *cls.bytes;
+    cls.packets = row.packets;
+    cls.bytes = row.bytes;
+    if (cls.aqm != nullptr) cls.aqm->BindChipHotState(block);
+  }
 }
 
 }  // namespace ecnsharp

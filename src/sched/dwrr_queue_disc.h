@@ -17,11 +17,12 @@
 
 #include "buffer/buffer_policy.h"
 #include "net/packet.h"
+#include "net/packet_ring.h"
 #include "net/queue_disc.h"
 
 namespace ecnsharp {
 
-class DwrrQueueDisc : public QueueDisc {
+class DwrrQueueDisc final : public QueueDisc {
  public:
   struct ClassConfig {
     std::uint32_t weight = 1;
@@ -50,6 +51,7 @@ class DwrrQueueDisc : public QueueDisc {
   QueueSnapshot Snapshot() const override {
     return QueueSnapshot{total_packets_, total_bytes_};
   }
+  void BindChipHotState(ChipHotBlock& block) override;
 
   std::size_t class_count() const { return classes_.size(); }
   QueueSnapshot ClassSnapshot(std::size_t cls) const;
@@ -71,11 +73,20 @@ class DwrrQueueDisc : public QueueDisc {
   struct ClassState {
     std::uint32_t weight = 1;
     std::unique_ptr<AqmPolicy> aqm;
-    std::deque<std::unique_ptr<Packet>> queue;
-    std::uint64_t bytes = 0;
+    PacketRing queue;
     std::uint64_t deficit = 0;
     bool in_active_list = false;
     std::size_t pool_queue = 0;  // this class's queue id with the policy
+    // Cached AqmFastPath verdict for this class's policy.
+    bool aqm_threshold_mark = false;
+    std::uint64_t aqm_threshold = 0;
+    // Per-class occupancy, reached through pointers (see FifoQueueDisc):
+    // local by default, repointed into the chip SoA block on bind. The
+    // pointers are fixed up after classes_ stops moving (end of ctor).
+    std::uint32_t local_packets = 0;
+    std::uint64_t local_bytes = 0;
+    std::uint32_t* packets = nullptr;
+    std::uint64_t* bytes = nullptr;
   };
 
   std::unique_ptr<Packet> PopFrom(ClassState& cls, Time now);

@@ -2,60 +2,9 @@
 
 #include <utility>
 
+#include "net/chip_hot_state.h"
+
 namespace ecnsharp {
-
-bool FifoQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
-  if (pool_ != nullptr) {
-    if (!pool_->TryReserve(pool_queue_, pkt->size_bytes)) {
-      ++stats_.dropped_overflow;
-      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
-      return false;
-    }
-  } else if (bytes_ + pkt->size_bytes > capacity_bytes_) {
-    ++stats_.dropped_overflow;
-    if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
-    return false;
-  }
-  if (aqm_ != nullptr) {
-    const bool was_ce = pkt->IsCeMarked();
-    if (!aqm_->AllowEnqueue(*pkt, Snapshot(), now)) {
-      ++stats_.dropped_aqm;
-      if (pool_ != nullptr) pool_->Release(pool_queue_, pkt->size_bytes);
-      if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kAqm);
-      return false;
-    }
-    if (!was_ce && pkt->IsCeMarked()) {
-      ++stats_.ce_marked;
-      if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
-    }
-  }
-  pkt->enqueue_time = now;
-  bytes_ += pkt->size_bytes;
-  queue_.push_back(std::move(pkt));
-  ++stats_.enqueued;
-  if (tracer_ != nullptr) tracer_->OnEnqueue(*queue_.back(), now, Snapshot());
-  return true;
-}
-
-std::unique_ptr<Packet> FifoQueueDisc::Dequeue(Time now) {
-  if (queue_.empty()) return nullptr;
-  std::unique_ptr<Packet> pkt = std::move(queue_.front());
-  queue_.pop_front();
-  bytes_ -= pkt->size_bytes;
-  if (pool_ != nullptr) pool_->Release(pool_queue_, pkt->size_bytes);
-  ++stats_.dequeued;
-  const Time sojourn = now - pkt->enqueue_time;
-  if (tracer_ != nullptr) tracer_->OnDequeue(*pkt, now, Snapshot(), sojourn);
-  if (aqm_ != nullptr) {
-    const bool was_ce = pkt->IsCeMarked();
-    aqm_->OnDequeue(*pkt, Snapshot(), now, sojourn);
-    if (!was_ce && pkt->IsCeMarked()) {
-      ++stats_.ce_marked;
-      if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
-    }
-  }
-  return pkt;
-}
 
 std::uint32_t FifoQueueDisc::PurgeAll(Time now) {
   // Pop-then-notify: accounting is fully updated before each tracer
@@ -64,15 +13,24 @@ std::uint32_t FifoQueueDisc::PurgeAll(Time now) {
   // packet).
   std::uint32_t n = 0;
   while (!queue_.empty()) {
-    std::unique_ptr<Packet> pkt = std::move(queue_.front());
-    queue_.pop_front();
-    bytes_ -= pkt->size_bytes;
+    std::unique_ptr<Packet> pkt = queue_.pop_front();
+    --*packets_;
+    *bytes_ -= pkt->size_bytes;
     if (pool_ != nullptr) pool_->Release(pool_queue_, pkt->size_bytes);
     ++stats_.purged;
     ++n;
     if (tracer_ != nullptr) tracer_->OnPurge(*pkt, now, Snapshot());
   }
   return n;
+}
+
+void FifoQueueDisc::BindChipHotState(ChipHotBlock& block) {
+  ChipHotBlock::QueueRow row = block.AllocQueueRow();
+  *row.packets = *packets_;
+  *row.bytes = *bytes_;
+  packets_ = row.packets;
+  bytes_ = row.bytes;
+  if (aqm_ != nullptr) aqm_->BindChipHotState(block);
 }
 
 }  // namespace ecnsharp

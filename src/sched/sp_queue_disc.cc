@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "net/chip_hot_state.h"
+
 namespace ecnsharp {
 
 SpQueueDisc::SpQueueDisc(std::uint64_t capacity_bytes,
@@ -15,6 +17,16 @@ SpQueueDisc::SpQueueDisc(std::uint64_t capacity_bytes,
     ClassState state;
     state.aqm = std::move(c.aqm);
     classes_.push_back(std::move(state));
+  }
+  // classes_ is final now; point each class's counters at its own fields.
+  for (ClassState& cls : classes_) {
+    cls.packets = &cls.local_packets;
+    cls.bytes = &cls.local_bytes;
+    cls.aqm_threshold_mark =
+        cls.aqm != nullptr &&
+        cls.aqm->fast_path() == AqmFastPath::kThresholdMark;
+    cls.aqm_threshold =
+        cls.aqm_threshold_mark ? cls.aqm->fast_path_threshold() : 0;
   }
   if (!classifier_) {
     const std::size_t n = classes_.size();
@@ -47,10 +59,19 @@ bool SpQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
     if (tracer_ != nullptr) tracer_->OnDrop(*pkt, now, DropReason::kOverflow);
     return false;
   }
-  if (cls.aqm != nullptr) {
+  if (cls.aqm_threshold_mark) {
+    // Inlined kThresholdMark contract (see FifoQueueDisc::Enqueue).
+    if (*cls.bytes + pkt->size_bytes > cls.aqm_threshold &&
+        !pkt->IsCeMarked()) {
+      pkt->MarkCe();
+      if (pkt->IsCeMarked()) {
+        ++stats_.ce_marked;
+        if (tracer_ != nullptr) tracer_->OnMark(*pkt, now);
+      }
+    }
+  } else if (cls.aqm != nullptr) {
     const bool was_ce = pkt->IsCeMarked();
-    const QueueSnapshot snap{static_cast<std::uint32_t>(cls.queue.size()),
-                             cls.bytes};
+    const QueueSnapshot snap{*cls.packets, *cls.bytes};
     if (!cls.aqm->AllowEnqueue(*pkt, snap, now)) {
       ++stats_.dropped_aqm;
       if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
@@ -63,7 +84,8 @@ bool SpQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
     }
   }
   pkt->enqueue_time = now;
-  cls.bytes += pkt->size_bytes;
+  ++*cls.packets;
+  *cls.bytes += pkt->size_bytes;
   total_bytes_ += pkt->size_bytes;
   ++total_packets_;
   cls.queue.push_back(std::move(pkt));
@@ -77,9 +99,9 @@ bool SpQueueDisc::Enqueue(std::unique_ptr<Packet> pkt, Time now) {
 std::unique_ptr<Packet> SpQueueDisc::Dequeue(Time now) {
   for (ClassState& cls : classes_) {
     if (cls.queue.empty()) continue;
-    std::unique_ptr<Packet> pkt = std::move(cls.queue.front());
-    cls.queue.pop_front();
-    cls.bytes -= pkt->size_bytes;
+    std::unique_ptr<Packet> pkt = cls.queue.pop_front();
+    --*cls.packets;
+    *cls.bytes -= pkt->size_bytes;
     total_bytes_ -= pkt->size_bytes;
     --total_packets_;
     if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
@@ -87,10 +109,10 @@ std::unique_ptr<Packet> SpQueueDisc::Dequeue(Time now) {
     if (tracer_ != nullptr) {
       tracer_->OnDequeue(*pkt, now, Snapshot(), now - pkt->enqueue_time);
     }
-    if (cls.aqm != nullptr) {
+    // kThresholdMark policies have no dequeue hook by contract.
+    if (cls.aqm != nullptr && !cls.aqm_threshold_mark) {
       const bool was_ce = pkt->IsCeMarked();
-      const QueueSnapshot snap{static_cast<std::uint32_t>(cls.queue.size()),
-                               cls.bytes};
+      const QueueSnapshot snap{*cls.packets, *cls.bytes};
       cls.aqm->OnDequeue(*pkt, snap, now, now - pkt->enqueue_time);
       if (!was_ce && pkt->IsCeMarked()) {
         ++stats_.ce_marked;
@@ -108,9 +130,9 @@ std::uint32_t SpQueueDisc::PurgeAll(Time now) {
   const std::uint32_t n = total_packets_;
   for (ClassState& cls : classes_) {
     while (!cls.queue.empty()) {
-      std::unique_ptr<Packet> pkt = std::move(cls.queue.front());
-      cls.queue.pop_front();
-      cls.bytes -= pkt->size_bytes;
+      std::unique_ptr<Packet> pkt = cls.queue.pop_front();
+      --*cls.packets;
+      *cls.bytes -= pkt->size_bytes;
       total_bytes_ -= pkt->size_bytes;
       --total_packets_;
       if (pool_ != nullptr) pool_->Release(cls.pool_queue, pkt->size_bytes);
@@ -123,7 +145,19 @@ std::uint32_t SpQueueDisc::PurgeAll(Time now) {
 
 QueueSnapshot SpQueueDisc::ClassSnapshot(std::size_t cls) const {
   const ClassState& c = classes_.at(cls);
-  return QueueSnapshot{static_cast<std::uint32_t>(c.queue.size()), c.bytes};
+  return QueueSnapshot{*c.packets, *c.bytes};
+}
+
+void SpQueueDisc::BindChipHotState(ChipHotBlock& block) {
+  // One SoA row per strict-priority class, in priority order.
+  for (ClassState& cls : classes_) {
+    ChipHotBlock::QueueRow row = block.AllocQueueRow();
+    *row.packets = *cls.packets;
+    *row.bytes = *cls.bytes;
+    cls.packets = row.packets;
+    cls.bytes = row.bytes;
+    if (cls.aqm != nullptr) cls.aqm->BindChipHotState(block);
+  }
 }
 
 }  // namespace ecnsharp

@@ -6,18 +6,18 @@
 #define ECNSHARP_SCHED_SP_QUEUE_DISC_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "buffer/buffer_policy.h"
 #include "net/packet.h"
+#include "net/packet_ring.h"
 #include "net/queue_disc.h"
 
 namespace ecnsharp {
 
-class SpQueueDisc : public QueueDisc {
+class SpQueueDisc final : public QueueDisc {
  public:
   struct ClassConfig {
     std::unique_ptr<AqmPolicy> aqm;  // may be null
@@ -38,6 +38,7 @@ class SpQueueDisc : public QueueDisc {
   QueueSnapshot Snapshot() const override {
     return QueueSnapshot{total_packets_, total_bytes_};
   }
+  void BindChipHotState(ChipHotBlock& block) override;
 
   std::size_t class_count() const { return classes_.size(); }
   QueueSnapshot ClassSnapshot(std::size_t cls) const;
@@ -45,9 +46,17 @@ class SpQueueDisc : public QueueDisc {
  private:
   struct ClassState {
     std::unique_ptr<AqmPolicy> aqm;
-    std::deque<std::unique_ptr<Packet>> queue;
-    std::uint64_t bytes = 0;
+    PacketRing queue;
     std::size_t pool_queue = 0;  // this class's queue id with the policy
+    // Cached AqmFastPath verdict for this class's policy.
+    bool aqm_threshold_mark = false;
+    std::uint64_t aqm_threshold = 0;
+    // Per-class occupancy via pointers (see FifoQueueDisc); fixed up after
+    // classes_ stops moving (end of ctor).
+    std::uint32_t local_packets = 0;
+    std::uint64_t local_bytes = 0;
+    std::uint32_t* packets = nullptr;
+    std::uint64_t* bytes = nullptr;
   };
 
   std::uint64_t capacity_bytes_;

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace ecnsharp {
@@ -19,11 +20,15 @@ constexpr std::uint64_t PackId(std::uint32_t slot, std::uint32_t gen) {
 
 // Capacity recycled between Simulator instances on the same thread. Sweeps
 // construct one Simulator per experiment on a worker thread; adopting the
-// previous instance's vectors means only the first experiment grows them.
+// previous instance's bucket vectors, slot array, pinned chunks, and free
+// lists means only the first experiment grows them.
 struct Simulator::Storage {
-  std::vector<HeapEntry> heap;
+  std::vector<std::vector<HeapEntry>> buckets;
+  std::vector<HeapEntry> overflow;
   std::vector<Slot> slots;
   std::vector<std::uint32_t> free_slots;
+  std::vector<std::unique_ptr<PinnedSlot[]>> pinned_chunks;
+  std::vector<std::uint32_t> free_pinned;
 };
 
 Simulator::Storage& Simulator::ThreadStorageCache() {
@@ -33,125 +38,389 @@ Simulator::Storage& Simulator::ThreadStorageCache() {
 
 Simulator::Simulator() {
   Storage& cache = ThreadStorageCache();
-  heap_.swap(cache.heap);
+  buckets_.swap(cache.buckets);
+  overflow_.swap(cache.overflow);
   slots_.swap(cache.slots);
   free_slots_.swap(cache.free_slots);
-  heap_.clear();
-  slots_.clear();
+  pinned_chunks_.swap(cache.pinned_chunks);
+  free_pinned_.swap(cache.free_pinned);
+  buckets_.resize(kWheelBuckets);
+  for (auto& b : buckets_) b.clear();
+  overflow_.clear();
   free_slots_.clear();
+  free_pinned_.clear();
+  // Recycled slots keep their generation counters (ids never cross
+  // Simulator instances, so stale tags are harmless) but start logically
+  // empty: every recycled slot re-enters the free list.
+  free_slots_.reserve(slots_.size());
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    free_slots_.push_back(static_cast<std::uint32_t>(slots_.size()) - 1 - i);
+  }
+  pinned_count_ = 0;
+  wheel_on_ = false;
+  wheel_count_ = 0;
 }
 
 Simulator::~Simulator() {
-  Storage& cache = ThreadStorageCache();
-  heap_.clear();
-  slots_.clear();
+  for (auto& s : slots_) s.fn = nullptr;
+  for (std::uint32_t i = 0; i < pinned_count_; ++i) {
+    PinnedSlot& p = pinned(i);
+    p.fn = nullptr;
+    p.armed = false;
+  }
+  for (auto& b : buckets_) b.clear();
+  overflow_.clear();
   free_slots_.clear();
-  if (heap_.capacity() > cache.heap.capacity()) heap_.swap(cache.heap);
-  if (slots_.capacity() > cache.slots.capacity()) slots_.swap(cache.slots);
+  free_pinned_.clear();
+  Storage& cache = ThreadStorageCache();
+  if (buckets_.size() >= cache.buckets.size()) buckets_.swap(cache.buckets);
+  if (overflow_.capacity() > cache.overflow.capacity()) {
+    overflow_.swap(cache.overflow);
+  }
+  if (slots_.size() > cache.slots.size()) slots_.swap(cache.slots);
   if (free_slots_.capacity() > cache.free_slots.capacity()) {
     free_slots_.swap(cache.free_slots);
   }
+  if (pinned_chunks_.size() > cache.pinned_chunks.size()) {
+    pinned_chunks_.swap(cache.pinned_chunks);
+  }
+  if (free_pinned_.capacity() > cache.free_pinned.capacity()) {
+    free_pinned_.swap(cache.free_pinned);
+  }
+}
+
+void Simulator::Push(const HeapEntry& e) {
+  if (wheel_on_) {
+    const auto abs = static_cast<std::uint64_t>(e.when.ns()) >> kWheelShift;
+    const auto now_abs = static_cast<std::uint64_t>(now_.ns()) >> kWheelShift;
+    if (abs - now_abs < kWheelBuckets) {
+      const std::size_t idx = abs & kWheelMask;
+      auto& bucket = buckets_[idx];
+      bucket.push_back(e);
+      std::push_heap(bucket.begin(), bucket.end(), Later{});
+      MarkBucket(idx);
+      ++wheel_count_;
+      return;
+    }
+  }
+  overflow_.push_back(e);
+  std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  if (!wheel_on_ && overflow_.size() >= kWheelEngagePending) {
+    // Sticky engagement: entries already in the heap stay there (pops keep
+    // comparing both tops); only newly pushed near-horizon events start
+    // landing in buckets.
+    wheel_on_ = true;
+  }
+}
+
+EventId Simulator::ScheduleImpl(Time when, std::uint64_t order,
+                                UniqueFunction<void()> fn) {
+  if (when < now_) when = now_;
+  std::uint32_t s_idx;
+  if (!free_slots_.empty()) {
+    s_idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    s_idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[s_idx];
+  s.fn = std::move(fn);
+  Push(HeapEntry{when, order, s_idx, s.gen});
+  ++live_count_;
+  return EventId{PackId(s_idx, s.gen)};
 }
 
 EventId Simulator::Schedule(Time delay, UniqueFunction<void()> fn) {
   if (delay.IsNegative()) delay = Time::Zero();
-  return ScheduleAt(now_ + delay, std::move(fn));
+  return ScheduleImpl(now_ + delay, next_order_++, std::move(fn));
 }
 
 EventId Simulator::ScheduleAt(Time when, UniqueFunction<void()> fn) {
-  if (when < now_) when = now_;
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
-  Slot& s = slots_[slot];
-  s.fn = std::move(fn);
-  heap_.push_back(HeapEntry{when, next_order_++, slot, s.gen});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++live_count_;
-  return EventId{PackId(slot, s.gen)};
+  return ScheduleImpl(when, next_order_++, std::move(fn));
+}
+
+EventId Simulator::ScheduleAtOrdered(Time when, std::uint64_t order,
+                                     UniqueFunction<void()> fn) {
+  assert(order < next_order_);
+  return ScheduleImpl(when, order, std::move(fn));
 }
 
 void Simulator::Cancel(EventId id) {
   if (!id.valid()) return;
-  const auto slot_plus_one =
-      static_cast<std::uint32_t>(id.seq & 0xffffffffu);
+  const auto slot_plus_one = static_cast<std::uint32_t>(id.seq & 0xffffffffu);
   if (slot_plus_one == 0) return;
-  const std::uint32_t slot = slot_plus_one - 1;
+  const std::uint32_t s_idx = slot_plus_one - 1;
   const auto gen = static_cast<std::uint32_t>(id.seq >> 32);
-  if (slot >= slots_.size()) return;
-  Slot& s = slots_[slot];
+  if (s_idx >= slots_.size()) return;
+  Slot& s = slots_[s_idx];
   // A generation mismatch means the event already executed or was cancelled
   // (and the slot possibly recycled): no-op, nothing retained.
   if (s.gen != gen) return;
   s.fn = nullptr;
   ++s.gen;  // invalidates the heap entry and any outstanding copies of id
-  free_slots_.push_back(slot);
+  free_slots_.push_back(s_idx);
   --live_count_;
 }
 
-bool Simulator::PruneFront() {
-  while (!heap_.empty()) {
-    const HeapEntry& front = heap_.front();
-    if (slots_[front.slot].gen == front.gen) return true;
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+PinnedEventId Simulator::CreatePinned(UniqueFunction<void()> fn) {
+  std::uint32_t s_idx;
+  if (!free_pinned_.empty()) {
+    s_idx = free_pinned_.back();
+    free_pinned_.pop_back();
+  } else {
+    if ((pinned_count_ >> kPinnedChunkShift) == pinned_chunks_.size()) {
+      pinned_chunks_.push_back(
+          std::make_unique<PinnedSlot[]>(kPinnedChunkSize));
+    }
+    s_idx = pinned_count_++;
   }
-  return false;
+  PinnedSlot& p = pinned(s_idx);
+  p.fn = std::move(fn);
+  p.armed = false;
+  return PinnedEventId{s_idx};
 }
 
-bool Simulator::PopNext(HeapEntry& out) {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    const HeapEntry entry = heap_.back();
-    heap_.pop_back();
-    if (slots_[entry.slot].gen != entry.gen) continue;  // cancelled
-    out = entry;
-    return true;
-  }
-  return false;
+void Simulator::SchedulePinnedAt(PinnedEventId id, Time when) {
+  SchedulePinnedAtOrdered(id, when, next_order_++);
 }
 
-UniqueFunction<void()> Simulator::TakeAndRelease(const HeapEntry& entry) {
-  Slot& s = slots_[entry.slot];
-  UniqueFunction<void()> fn = std::move(s.fn);
-  // Release before dispatch: the callback may immediately schedule into the
-  // recycled slot, and cancelling the just-taken id must already be a no-op.
-  ++s.gen;
-  free_slots_.push_back(entry.slot);
+void Simulator::SchedulePinnedAtOrdered(PinnedEventId id, Time when,
+                                        std::uint64_t order) {
+  assert(id.valid() && order < next_order_);
+  PinnedSlot& p = pinned(id.slot);
+  assert(!p.armed);
+  if (when < now_) when = now_;
+  Push(HeapEntry{when, order, id.slot | kPinnedBit, p.gen});
+  p.armed = true;
+  ++live_count_;
+}
+
+void Simulator::CancelPinned(PinnedEventId id) {
+  if (!id.valid()) return;
+  PinnedSlot& p = pinned(id.slot);
+  if (!p.armed) return;
+  ++p.gen;  // stale-ifies the armed heap entry
+  p.armed = false;
   --live_count_;
-  return fn;
+}
+
+bool Simulator::PinnedArmed(PinnedEventId id) const {
+  return id.valid() && pinned(id.slot).armed;
+}
+
+void Simulator::DestroyPinned(PinnedEventId id) {
+  if (!id.valid()) return;
+  CancelPinned(id);
+  PinnedSlot& p = pinned(id.slot);
+  ++p.gen;  // belt and braces: any aliasing heap entry is stale
+  p.fn = nullptr;
+  free_pinned_.push_back(id.slot);
+}
+
+int Simulator::FindOccupiedBucket() const {
+  const auto start = static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(now_.ns()) >> kWheelShift) & kWheelMask);
+  // Hot case: the bucket holding Now() is occupied (dense same-instant and
+  // near-instant traffic lands there).
+  if (occupancy_[start >> 6] & (1ull << (start & 63))) {
+    return static_cast<int>(start);
+  }
+  // Visit masked indices in absolute-bucket order: start..end, then the
+  // wrapped prefix 0..start-1 (which holds the window's later half). Word-
+  // at-a-time with a masked first word.
+  std::size_t word = start >> 6;
+  std::uint64_t bits = occupancy_[word] & (~0ull << (start & 63));
+  for (std::size_t scanned = 0; scanned <= kOccWords; ++scanned) {
+    if (bits != 0) {
+      const auto idx =
+          (word << 6) + static_cast<std::size_t>(__builtin_ctzll(bits));
+      return static_cast<int>(idx);
+    }
+    word = (word + 1) & (kOccWords - 1);
+    bits = occupancy_[word];
+    // After wrapping past `start`'s word once, restrict to bits below start.
+    if (scanned + 1 == kOccWords && word == (start >> 6)) {
+      bits &= (start & 63) != 0 ? ~(~0ull << (start & 63)) : 0ull;
+    }
+  }
+  return -1;
+}
+
+Simulator::Peek Simulator::Locate() {
+  int b;
+  for (;;) {
+    b = wheel_count_ != 0 ? FindOccupiedBucket() : -1;
+    if (b < 0) break;
+    auto& bucket = buckets_[static_cast<std::size_t>(b)];
+    // Drop cancelled entries off the bucket front so the top is live.
+    bool live = false;
+    while (!bucket.empty()) {
+      if (EntryLive(bucket.front())) {
+        live = true;
+        break;
+      }
+      std::pop_heap(bucket.begin(), bucket.end(), Later{});
+      bucket.pop_back();
+      --wheel_count_;
+    }
+    if (live) break;
+    ClearBucket(static_cast<std::size_t>(b));
+  }
+  while (!overflow_.empty()) {
+    if (EntryLive(overflow_.front())) break;
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    overflow_.pop_back();
+  }
+  Peek peek;
+  if (b >= 0) {
+    if (overflow_.empty() ||
+        Later{}(overflow_.front(),
+                buckets_[static_cast<std::size_t>(b)].front())) {
+      peek.src = Peek::Src::kBucket;
+      peek.bucket = b;
+    } else {
+      peek.src = Peek::Src::kOverflow;
+    }
+  } else if (!overflow_.empty()) {
+    peek.src = Peek::Src::kOverflow;
+  }
+  return peek;
+}
+
+Simulator::HeapEntry Simulator::Pop(const Peek& p) {
+  if (p.src == Peek::Src::kBucket) {
+    auto& bucket = buckets_[static_cast<std::size_t>(p.bucket)];
+    std::pop_heap(bucket.begin(), bucket.end(), Later{});
+    const HeapEntry e = bucket.back();
+    bucket.pop_back();
+    if (bucket.empty()) ClearBucket(static_cast<std::size_t>(p.bucket));
+    --wheel_count_;
+    return e;
+  }
+  std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+  const HeapEntry e = overflow_.back();
+  overflow_.pop_back();
+  return e;
+}
+
+bool Simulator::PopNextLive(HeapEntry* out) {
+  if (!wheel_on_) {
+    // Single-heap mode: pop-then-check, exactly the small-run fast path.
+    while (!overflow_.empty()) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      const HeapEntry e = overflow_.back();
+      overflow_.pop_back();
+      if (EntryLive(e)) {
+        *out = e;
+        return true;
+      }
+    }
+    return false;
+  }
+  for (;;) {
+    // Eagerly prune cancelled overflow tops: with live near-horizon work in
+    // the buckets, a mostly-cancelled timer heap collapses here instead of
+    // accumulating stale entries that every push then sifts past.
+    while (!overflow_.empty() && !EntryLive(overflow_.front())) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      overflow_.pop_back();
+    }
+    const int b = wheel_count_ != 0 ? FindOccupiedBucket() : -1;
+    HeapEntry e;
+    if (b >= 0) {
+      auto& bucket = buckets_[static_cast<std::size_t>(b)];
+      // Raw bucket top: a stale top still bounds its heap from below, so
+      // choosing by it and discarding afterwards cannot hide an earlier
+      // live event.
+      if (!overflow_.empty() && !Later{}(overflow_.front(), bucket.front())) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+        e = overflow_.back();
+        overflow_.pop_back();
+      } else {
+        std::pop_heap(bucket.begin(), bucket.end(), Later{});
+        e = bucket.back();
+        bucket.pop_back();
+        if (bucket.empty()) ClearBucket(static_cast<std::size_t>(b));
+        --wheel_count_;
+      }
+    } else if (!overflow_.empty()) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      e = overflow_.back();
+      overflow_.pop_back();
+    } else {
+      return false;
+    }
+    if (EntryLive(e)) {
+      *out = e;
+      return true;
+    }
+  }
+}
+
+void Simulator::Dispatch(const HeapEntry& entry) {
+  now_ = entry.when;
+  --live_count_;
+  if ((entry.slot & kPinnedBit) == 0) {
+    Slot& s = slots_[entry.slot];
+    // Move the callback out and release the slot before running it, so the
+    // callback can freely schedule (possibly reusing this slot); cancelling
+    // the just-dispatched id is a no-op thanks to the generation bump.
+    UniqueFunction<void()> fn = std::move(s.fn);
+    ++s.gen;
+    free_slots_.push_back(entry.slot);
+    fn();
+  } else {
+    // Pinned: chunk-stable storage, run in place, zero closure churn. The
+    // callback may re-arm its own occurrence.
+    PinnedSlot& p = pinned(entry.slot & ~kPinnedBit);
+    p.armed = false;
+    p.fn();
+  }
+  ++events_executed_;
+}
+
+bool Simulator::PeekNextTime(Time* out) {
+  const Peek p = Locate();
+  if (p.src == Peek::Src::kNone) return false;
+  *out = Top(p).when;
+  return true;
+}
+
+std::size_t Simulator::pending_events() const {
+  std::size_t n = overflow_.size();
+  for (const auto& b : buckets_) n += b.size();
+  return n;
 }
 
 void Simulator::Run() {
   stopped_ = false;
-  HeapEntry entry;
-  while (!stopped_ && PopNext(entry)) {
-    UniqueFunction<void()> fn = TakeAndRelease(entry);
-    now_ = entry.when;
-    fn();
-    ++events_executed_;
-  }
+  HeapEntry e;
+  while (!stopped_ && PopNextLive(&e)) Dispatch(e);
 }
 
 void Simulator::RunUntil(Time until) {
   stopped_ = false;
   while (!stopped_) {
-    // Prune cancelled entries first so the peeked front is a live event.
-    if (!PruneFront()) break;
-    if (heap_.front().when > until) break;
-    HeapEntry entry;
-    PopNext(entry);
-    UniqueFunction<void()> fn = TakeAndRelease(entry);
-    now_ = entry.when;
-    fn();
-    ++events_executed_;
+    const Peek p = Locate();
+    if (p.src == Peek::Src::kNone) break;
+    if (Top(p).when > until) break;
+    Dispatch(Pop(p));
   }
   if (!stopped_ && now_ < until) now_ = until;
+}
+
+std::size_t Simulator::ExecuteBatch() {
+  Peek p = Locate();
+  if (p.src == Peek::Src::kNone) return 0;
+  const Time batch_time = Top(p).when;
+  std::size_t executed = 0;
+  while (p.src != Peek::Src::kNone && Top(p).when == batch_time) {
+    Dispatch(Pop(p));
+    ++executed;
+    p = Locate();
+  }
+  return executed;
 }
 
 }  // namespace ecnsharp

@@ -1,20 +1,39 @@
 // Discrete-event simulation core.
 //
-// `Simulator` owns the virtual clock and a min-heap of pending events. All
-// model components hold a reference to one Simulator and schedule callbacks
-// on it; nothing in the library uses wall-clock time. Events scheduled for
-// the same instant execute in scheduling order (FIFO), which makes runs
-// fully deterministic for a fixed seed.
+// `Simulator` owns the virtual clock and the pending-event store. All model
+// components hold a reference to one Simulator and schedule callbacks on it;
+// nothing in the library uses wall-clock time. Events scheduled for the same
+// instant execute in scheduling order (FIFO), which makes runs fully
+// deterministic for a fixed seed.
+//
+// The pending-event store is a binary heap with a calendar/timing-wheel
+// front that engages adaptively: while the pending set is small everything
+// lives in the one heap (the cheapest structure at that scale), and once a
+// run demonstrates scale the near-horizon band (1024 buckets of 256 ns)
+// starts absorbing the dense packet-timescale events into per-bucket
+// mini-heaps, leaving far-horizon work (RTO timers, scenario actions) in
+// the original heap. Both structures order entries by the same (when, order)
+// key, and the dispatcher always pops the global minimum across the two, so
+// the execution sequence is bit-identical to a single min-heap in either
+// mode — the wheel is purely a cache/complexity optimization: sift cost
+// scales with one bucket's occupancy, not the whole pending set; cancelled
+// far-horizon timers are reclaimed eagerly instead of rotting in the heap
+// body; and draining a same-timestamp train never re-heapifies the far
+// horizon (ExecuteBatch exposes that drain as an API).
 //
 // The hot path is allocation- and hash-free: callbacks are stored in a
-// recycled slot array, the heap orders POD entries only, and cancellation is
-// an O(1) generation-tag comparison (no hash-set bookkeeping). Slot, heap,
-// and free-list storage is recycled across Simulator instances on the same
+// recycled slot array, the heaps order POD entries only, and cancellation is
+// an O(1) generation-tag bump (no hash-set bookkeeping). Recurring events
+// (egress serialization, wire arrivals) can be *pinned*: the callback is
+// registered once in chunk-stable storage and re-armed per occurrence, so a
+// million packet transmissions build zero closures. Slot, heap, and
+// free-list storage is recycled across Simulator instances on the same
 // thread, so the Nth experiment of a sweep pays no warm-up allocations.
 #ifndef ECNSHARP_SIM_SIMULATOR_H_
 #define ECNSHARP_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/time.h"
@@ -29,6 +48,14 @@ namespace ecnsharp {
 struct EventId {
   std::uint64_t seq = 0;
   constexpr bool valid() const { return seq != 0; }
+};
+
+// Handle to a pinned (persistent, re-armable) event. Unlike EventId it stays
+// valid across firings: the callback is installed once with CreatePinned and
+// each SchedulePinned* arms one occurrence.
+struct PinnedEventId {
+  std::uint32_t slot = UINT32_MAX;
+  constexpr bool valid() const { return slot != UINT32_MAX; }
 };
 
 class Simulator {
@@ -46,9 +73,38 @@ class Simulator {
   // Schedules `fn` at absolute time `when` (clamped to Now()).
   EventId ScheduleAt(Time when, UniqueFunction<void()> fn);
 
+  // Reserves the next FIFO tie-break order stamp without scheduling
+  // anything. Burst-batched components (EgressPort's wire FIFO) reserve the
+  // stamp at the instant the legacy code would have scheduled a per-packet
+  // event, then later insert the event at exactly that position via
+  // ScheduleAtOrdered / SchedulePinnedAtOrdered — so batched delivery
+  // interleaves with all other same-timestamp events precisely as the
+  // unbatched code did.
+  std::uint64_t ReserveOrder() { return next_order_++; }
+  // ScheduleAt with a caller-supplied order stamp from ReserveOrder().
+  // `order` must not have been used by another event; events at equal `when`
+  // execute in increasing order-stamp sequence.
+  EventId ScheduleAtOrdered(Time when, std::uint64_t order,
+                            UniqueFunction<void()> fn);
+
   // Cancels a pending event. Cancelling an already-executed or invalid id is
   // a harmless no-op.
   void Cancel(EventId id);
+
+  // --- Pinned events ------------------------------------------------------
+  // A pinned event owns its callback for the lifetime of the registration;
+  // arming an occurrence moves no closure and allocates nothing. At most one
+  // occurrence may be armed at a time (re-arm from inside the callback is
+  // fine — the occurrence has un-armed by then).
+  PinnedEventId CreatePinned(UniqueFunction<void()> fn);
+  void SchedulePinnedAt(PinnedEventId id, Time when);
+  void SchedulePinnedAtOrdered(PinnedEventId id, Time when,
+                               std::uint64_t order);
+  // Disarms the pending occurrence, if any (the registration survives).
+  void CancelPinned(PinnedEventId id);
+  bool PinnedArmed(PinnedEventId id) const;
+  // Releases the registration (disarming it first). The id is dead after.
+  void DestroyPinned(PinnedEventId id);
 
   // Executes events until the queue is empty or Stop() is called.
   void Run();
@@ -57,25 +113,40 @@ class Simulator {
   void RunUntil(Time until);
   void RunFor(Time duration) { RunUntil(now_ + duration); }
 
+  // Executes the earliest pending event plus every other event scheduled for
+  // the same instant (including ones they chain at that instant), in FIFO
+  // order, touching only the wheel bucket(s) that hold the instant. Returns
+  // the number of events executed (0 when nothing is pending).
+  std::size_t ExecuteBatch();
+
+  // Earliest pending live-event time; false when no live events remain.
+  bool PeekNextTime(Time* out);
+
   // Stops the run loop after the currently executing event returns.
   void Stop() { stopped_ = true; }
 
   std::uint64_t events_executed() const { return events_executed_; }
-  std::size_t pending_events() const { return heap_.size(); }
+  // Entries currently sitting in the heaps, including cancelled ones not yet
+  // pruned. Computed on demand (test/diagnostic use) so the hot path keeps
+  // no counter.
+  std::size_t pending_events() const;
   // Scheduled events that have neither executed nor been cancelled. Unlike
-  // pending_events() this excludes cancelled entries still in the heap, and
+  // pending_events() this excludes cancelled entries still in the heaps, and
   // it is the invariant the cancellation bookkeeping is bounded by.
   std::size_t live_events() const { return live_count_; }
 
  private:
   // Heap entries are POD: the callback lives in its slot and only this
-  // 24-byte record moves during sift-up/down. `order` breaks ties FIFO.
+  // 24-byte record moves during sift-up/down. `order` breaks ties FIFO. The
+  // top bit of `slot` routes the entry to the pinned-slot arena instead of
+  // the one-shot slot array.
   struct HeapEntry {
     Time when;
     std::uint64_t order = 0;
     std::uint32_t slot = 0;
     std::uint32_t gen = 0;
   };
+  static constexpr std::uint32_t kPinnedBit = 0x80000000u;
   // Min-heap order: earliest time first; FIFO among equal times.
   struct Later {
     bool operator()(const HeapEntry& a, const HeapEntry& b) const {
@@ -83,31 +154,110 @@ class Simulator {
       return a.order > b.order;
     }
   };
-  // A slot holds one pending callback. `gen` increments every time the slot
-  // is released (executed or cancelled); heap entries and EventIds carrying
-  // an older generation are stale. A slot in the free list therefore never
-  // matches any outstanding id. (A tag can alias only after 2^32 reuses of
-  // one slot between issuing an id and cancelling it — timers re-arm their
-  // ids long before that.)
+  // A slot holds one pending one-shot callback. `gen` increments every time
+  // the slot is released (executed or cancelled); heap entries and EventIds
+  // carrying an older generation are stale. A slot in the free list
+  // therefore never matches any outstanding id. (A tag can alias only after
+  // 2^32 reuses of one slot between issuing an id and cancelling it — timers
+  // re-arm their ids long before that.)
   struct Slot {
     UniqueFunction<void()> fn;
     std::uint32_t gen = 0;
   };
+  // Pinned registrations live in fixed-size chunks so their addresses are
+  // stable: the callback runs in place, with no per-occurrence move, even if
+  // registering more pinned events grows the arena mid-callback. One-shot
+  // slots stay in a flat vector (dispatch moves the callback out before
+  // running it), keeping that hotter path a single indexed load.
+  struct PinnedSlot {
+    UniqueFunction<void()> fn;
+    std::uint32_t gen = 0;
+    bool armed = false;
+  };
+
+  // Near-horizon window: 1024 buckets of 256 ns cover 262 us —
+  // serialization and propagation timescales land here; protocol timers
+  // overflow.
+  static constexpr int kWheelShift = 8;
+  static constexpr std::size_t kWheelBuckets = 1024;
+  static constexpr std::size_t kWheelMask = kWheelBuckets - 1;
+  static constexpr std::size_t kOccWords = kWheelBuckets / 64;
+  // The wheel engages (stickily, for the Simulator's lifetime) once the
+  // overflow heap first reaches this many entries. Small runs — unit tests,
+  // microbenches, the dumbbell loop — never reach it and keep the exact
+  // single-heap hot path; big runs flip early and stay engaged. Because both
+  // structures order by the same (when, order) key and every pop compares
+  // the two tops, the executed sequence is identical in either mode, and
+  // entries never migrate on engagement.
+  static constexpr std::size_t kWheelEngagePending = 4096;
+
+  static constexpr std::uint32_t kPinnedChunkShift = 6;
+  static constexpr std::uint32_t kPinnedChunkSize = 1u << kPinnedChunkShift;
+  static constexpr std::uint32_t kPinnedChunkMask = kPinnedChunkSize - 1;
+
   struct Storage;  // thread-local capacity cache, defined in simulator.cc
 
   static Storage& ThreadStorageCache();
 
-  // Drops stale (cancelled) entries off the heap front; returns false when
-  // the heap is exhausted. Afterwards heap_.front() is a live event.
-  bool PruneFront();
-  // Pops the earliest live event. Returns false when the heap is exhausted.
-  bool PopNext(HeapEntry& out);
-  // Moves the callback out of the entry's slot and recycles the slot.
-  UniqueFunction<void()> TakeAndRelease(const HeapEntry& entry);
+  PinnedSlot& pinned(std::uint32_t i) {
+    return pinned_chunks_[i >> kPinnedChunkShift][i & kPinnedChunkMask];
+  }
+  const PinnedSlot& pinned(std::uint32_t i) const {
+    return pinned_chunks_[i >> kPinnedChunkShift][i & kPinnedChunkMask];
+  }
+  bool EntryLive(const HeapEntry& e) const {
+    return (e.slot & kPinnedBit) == 0
+               ? slots_[e.slot].gen == e.gen
+               : pinned(e.slot & ~kPinnedBit).gen == e.gen;
+  }
 
-  std::vector<HeapEntry> heap_;
+  // Inserts an entry into the wheel (when within the near-horizon window of
+  // Now()) or the overflow heap. `when` must be >= Now().
+  void Push(const HeapEntry& e);
+  EventId ScheduleImpl(Time when, std::uint64_t order,
+                       UniqueFunction<void()> fn);
+
+  void MarkBucket(std::size_t idx) {
+    occupancy_[idx >> 6] |= (1ull << (idx & 63));
+  }
+  void ClearBucket(std::size_t idx) {
+    occupancy_[idx >> 6] &= ~(1ull << (idx & 63));
+  }
+  // First occupied masked bucket index in abs-bucket order starting at the
+  // bucket holding Now(); -1 when the wheel is empty.
+  int FindOccupiedBucket() const;
+
+  // Pops the earliest live event (pop-then-check: stale tops are popped and
+  // discarded, which cannot reorder live events — a heap's top bounds all
+  // its entries from below, so discarding it never hides an earlier live
+  // one). Returns false when nothing live remains. This is the Run() hot
+  // path: one pop per event, no pre-peek.
+  bool PopNextLive(HeapEntry* out);
+  // Where the earliest live event lives after pruning cancelled tops — the
+  // peek-before-pop flavor for RunUntil / PeekNextTime / ExecuteBatch, which
+  // must see the live top's time before committing to dispatch it.
+  struct Peek {
+    enum class Src { kNone, kBucket, kOverflow } src = Src::kNone;
+    int bucket = -1;
+  };
+  Peek Locate();
+  const HeapEntry& Top(const Peek& p) const {
+    return p.src == Peek::Src::kBucket ? buckets_[p.bucket].front()
+                                       : overflow_.front();
+  }
+  HeapEntry Pop(const Peek& p);
+  void Dispatch(const HeapEntry& entry);
+
+  std::vector<std::vector<HeapEntry>> buckets_;  // always kWheelBuckets wide
+  std::uint64_t occupancy_[kOccWords] = {};
+  std::vector<HeapEntry> overflow_;
+  bool wheel_on_ = false;
+  std::size_t wheel_count_ = 0;  // entries currently in buckets_
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+  std::vector<std::unique_ptr<PinnedSlot[]>> pinned_chunks_;
+  std::uint32_t pinned_count_ = 0;
+  std::vector<std::uint32_t> free_pinned_;
   std::size_t live_count_ = 0;
   Time now_ = Time::Zero();
   std::uint64_t next_order_ = 1;

@@ -4,7 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "net/lane_bridge.h"
 #include "sched/fifo_queue_disc.h"
+#include "sim/lane_executor.h"
 #include "sim/logging.h"
 
 namespace ecnsharp {
@@ -29,6 +31,28 @@ FatTree::FatTree(
   Build(make_disc);
 }
 
+FatTree::FatTree(
+    LaneSet& lanes, const FatTreeConfig& config,
+    const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>& make_disc)
+    : sim_(lanes.lane(0)), lanes_(&lanes), config_(config) {
+  assert(make_disc != nullptr);
+  Build(make_disc);
+}
+
+std::size_t FatTree::LaneOfLocality(std::uint32_t locality) const {
+  return lanes_ == nullptr ? 0 : locality % lanes_->size();
+}
+
+Simulator& FatTree::PodSim(std::size_t pod) {
+  return lanes_ == nullptr
+             ? sim_
+             : lanes_->lane(LaneOfLocality(LocalityOfPod(pod)));
+}
+
+Simulator& FatTree::CoreSim() {
+  return lanes_ == nullptr ? sim_ : lanes_->lane(0);
+}
+
 void FatTree::Build(
     const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>&
         make_disc) {
@@ -41,14 +65,18 @@ void FatTree::Build(
   const std::size_t host_count = hosts_per_pod() * pods;
 
   for (std::size_t g = 0; g < pods * half_k; ++g) {
+    const std::size_t pod = g / half_k;
     edges_.push_back(std::make_unique<SwitchNode>(
-        sim_, "edge" + std::to_string(g), /*ecmp_salt=*/0x10000 + g));
+        PodSim(pod), "edge" + std::to_string(g), /*ecmp_salt=*/0x10000 + g));
+    edges_.back()->set_locality_id(LocalityOfPod(pod));
     aggs_.push_back(std::make_unique<SwitchNode>(
-        sim_, "agg" + std::to_string(g), /*ecmp_salt=*/0x20000 + g));
+        PodSim(pod), "agg" + std::to_string(g), /*ecmp_salt=*/0x20000 + g));
+    aggs_.back()->set_locality_id(LocalityOfPod(pod));
   }
   for (std::size_t c = 0; c < half_k * half_k; ++c) {
     cores_.push_back(std::make_unique<SwitchNode>(
-        sim_, "core" + std::to_string(c), /*ecmp_salt=*/0x30000 + c));
+        CoreSim(), "core" + std::to_string(c), /*ecmp_salt=*/0x30000 + c));
+    cores_.back()->set_locality_id(0);
   }
 
   // One shared-buffer pool per switch chip: every switch carries k egress
@@ -67,17 +95,19 @@ void FatTree::Build(
   // h / (k/2); sequential hosts fill an edge, then the next edge, so each
   // edge's k/2 host down ports land in slot order (ports 0..k/2-1).
   for (std::size_t h = 0; h < host_count; ++h) {
-    auto host = std::make_unique<Host>(sim_, static_cast<std::uint32_t>(h));
+    Simulator& pod_sim = PodSim(PodOfHost(h));
+    auto host = std::make_unique<Host>(pod_sim, static_cast<std::uint32_t>(h));
+    host->set_locality_id(LocalityOfPod(PodOfHost(h)));
     SwitchNode& edge = *edges_[EdgeOfHost(h)];
 
     auto nic = std::make_unique<EgressPort>(
-        sim_, config_.rate, config_.host_link_delay,
+        pod_sim, config_.rate, config_.host_link_delay,
         std::make_unique<FifoQueueDisc>(config_.host_buffer_bytes, nullptr));
     nic->ConnectTo(edge);
     host->AttachNic(std::move(nic));
 
     auto down = std::make_unique<EgressPort>(
-        sim_, config_.rate, config_.host_link_delay,
+        pod_sim, config_.rate, config_.host_link_delay,
         make_disc(EdgePool(EdgeOfHost(h))));
     down->ConnectTo(*host);
     EgressPort& down_ref = edge.AddPort(std::move(down));
@@ -101,7 +131,7 @@ void FatTree::Build(
         SwitchNode& agg = *aggs_[p * half_k + a];
 
         auto up = std::make_unique<EgressPort>(
-            sim_, config_.rate, config_.fabric_link_delay,
+            PodSim(p), config_.rate, config_.fabric_link_delay,
             make_disc(EdgePool(p * half_k + e)));
         up->ConnectTo(agg);
         edge.AddDefaultRoute(edge.AddPort(std::move(up)));
@@ -109,7 +139,7 @@ void FatTree::Build(
       for (std::size_t a = 0; a < half_k; ++a) {
         SwitchNode& agg = *aggs_[p * half_k + a];
         auto down = std::make_unique<EgressPort>(
-            sim_, config_.rate, config_.fabric_link_delay,
+            PodSim(p), config_.rate, config_.fabric_link_delay,
             make_disc(AggPool(p * half_k + a)));
         down->ConnectTo(edge);
         agg.AddRouteRange(block_lo, block_hi, agg.AddPort(std::move(down)));
@@ -124,21 +154,41 @@ void FatTree::Build(
     const auto pod_lo = static_cast<std::uint32_t>(p * hosts_per_pod());
     const auto pod_hi =
         static_cast<std::uint32_t>(pod_lo + hosts_per_pod() - 1);
+    const std::size_t pod_lane = LaneOfLocality(LocalityOfPod(p));
+    const bool cross_lane = lanes_ != nullptr && pod_lane != 0;
     for (std::size_t a = 0; a < half_k; ++a) {
       SwitchNode& agg = *aggs_[p * half_k + a];
       for (std::size_t j = 0; j < half_k; ++j) {
         SwitchNode& core = *cores_[a * half_k + j];
 
+        // When the pod executes on a different lane than the core tier, the
+        // link's serialization stays on the sender's lane but propagation
+        // moves into the LaneSet mailbox: the port gets zero delay and a
+        // bridge re-applies fabric_link_delay when posting to the peer lane.
         auto up = std::make_unique<EgressPort>(
-            sim_, config_.rate, config_.fabric_link_delay,
+            PodSim(p), config_.rate,
+            cross_lane ? Time::Zero() : config_.fabric_link_delay,
             make_disc(AggPool(p * half_k + a)));
-        up->ConnectTo(core);
+        if (cross_lane) {
+          bridges_.push_back(std::make_unique<LaneBridgeSink>(
+              *lanes_, pod_lane, /*to=*/0, config_.fabric_link_delay, core));
+          up->ConnectTo(*bridges_.back());
+        } else {
+          up->ConnectTo(core);
+        }
         agg.AddDefaultRoute(agg.AddPort(std::move(up)));
 
         auto down = std::make_unique<EgressPort>(
-            sim_, config_.rate, config_.fabric_link_delay,
+            CoreSim(), config_.rate,
+            cross_lane ? Time::Zero() : config_.fabric_link_delay,
             make_disc(CorePool(a * half_k + j)));
-        down->ConnectTo(agg);
+        if (cross_lane) {
+          bridges_.push_back(std::make_unique<LaneBridgeSink>(
+              *lanes_, /*from=*/0, pod_lane, config_.fabric_link_delay, agg));
+          down->ConnectTo(*bridges_.back());
+        } else {
+          down->ConnectTo(agg);
+        }
         core.AddRouteRange(pod_lo, pod_hi, core.AddPort(std::move(down)));
       }
     }

@@ -38,6 +38,8 @@
 
 namespace ecnsharp {
 
+class LaneSet;
+
 struct FatTreeConfig {
   // Fat-tree arity: k pods of k/2 edge + k/2 aggregation switches. Must be
   // even and >= 4 (validated with exit 2).
@@ -69,6 +71,17 @@ class FatTree : public Topology {
   FatTree(Simulator& sim, const FatTreeConfig& config,
           const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>&
               make_disc);
+  // Locality-sharded form for the relaxed-lanes executor: pod p's hosts,
+  // edge and aggregation switches are built on lane
+  // LaneOfLocality(1 + p) = (1 + p) % lanes.size(), core switches on lane
+  // 0, and every agg<->core link whose endpoints land on different lanes is
+  // bridged through the LaneSet mailboxes with the full fabric_link_delay
+  // (which must therefore be >= the executor's round window). The Topology
+  // interface still works for construction-time wiring, but scenario /
+  // trace / sketch hooks must not be used — the relaxed runner rejects them.
+  FatTree(LaneSet& lanes, const FatTreeConfig& config,
+          const std::function<std::unique_ptr<QueueDisc>(BufferPolicy*)>&
+              make_disc);
 
   std::size_t k() const { return config_.k; }
   std::size_t pod_count() const { return config_.k; }
@@ -80,6 +93,18 @@ class FatTree : public Topology {
   std::size_t EdgeOfHost(std::size_t host_index) const {
     return host_index / hosts_per_edge();  // global edge index
   }
+
+  // Logical locality ids (annotated on every node): pod p is locality
+  // 1 + p, the core tier is locality 0. In a lane-sharded build locality
+  // `l` executes on lane l % lane_count.
+  std::uint32_t LocalityOfPod(std::size_t pod) const {
+    return static_cast<std::uint32_t>(1 + pod);
+  }
+  std::size_t LaneOfLocality(std::uint32_t locality) const;
+  std::size_t LaneOfHost(std::size_t host_index) const {
+    return LaneOfLocality(LocalityOfPod(PodOfHost(host_index)));
+  }
+  bool lane_sharded() const { return lanes_ != nullptr; }
 
   // Global switch indices: edges and aggs are pod-major (pod p holds edges
   // [p*k/2, (p+1)*k/2)), cores are indexed a*(k/2)+j where core group `a`
@@ -142,7 +167,13 @@ class FatTree : public Topology {
                           : pools_[edges_.size() + aggs_.size() + c].get();
   }
 
+  // The simulator a pod-p node lives on: `sim_` in single-simulator builds,
+  // the pod's lane in lane-sharded ones. CoreSim() is lane 0 / `sim_`.
+  Simulator& PodSim(std::size_t pod);
+  Simulator& CoreSim();
+
   Simulator& sim_;
+  LaneSet* lanes_ = nullptr;
   FatTreeConfig config_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<TcpStack>> stacks_;
@@ -150,6 +181,8 @@ class FatTree : public Topology {
   std::vector<std::unique_ptr<SwitchNode>> aggs_;
   std::vector<std::unique_ptr<SwitchNode>> cores_;
   std::vector<std::unique_ptr<BufferPolicy>> pools_;
+  // Receiving ends of cross-lane links (lane-sharded builds only).
+  std::vector<std::unique_ptr<PacketSink>> bridges_;
 };
 
 }  // namespace ecnsharp

@@ -54,18 +54,23 @@ void LeafSpine::Build(
     }
   }
 
+  // Locality annotations: leaf l and its hosts form locality 1 + l; the
+  // spine tier is the shared locality 0 (mirrors the fat-tree pod scheme).
   for (std::size_t l = 0; l < config_.leaves; ++l) {
     leaves_.push_back(std::make_unique<SwitchNode>(
         sim_, "leaf" + std::to_string(l), /*ecmp_salt=*/0x1000 + l));
+    leaves_.back()->set_locality_id(static_cast<std::uint32_t>(1 + l));
   }
   for (std::size_t s = 0; s < config_.spines; ++s) {
     spines_.push_back(std::make_unique<SwitchNode>(
         sim_, "spine" + std::to_string(s), /*ecmp_salt=*/0x2000 + s));
+    spines_.back()->set_locality_id(0);
   }
 
   // Hosts and access links.
   for (std::size_t h = 0; h < host_count; ++h) {
     auto host = std::make_unique<Host>(sim_, static_cast<std::uint32_t>(h));
+    host->set_locality_id(static_cast<std::uint32_t>(1 + LeafOfHost(h)));
     SwitchNode& leaf = *leaves_[LeafOfHost(h)];
 
     auto nic = std::make_unique<EgressPort>(

@@ -21,7 +21,11 @@ class CubicSender : public TcpSender {
               std::uint64_t flow_size, std::uint8_t traffic_class,
               CompletionCallback on_complete);
 
-  double w_max_bytes() const { return w_max_; }
+  double w_max_bytes() const { return hot_->w_max; }
+
+  // Also co-locates the cubic epoch state in the arena, next to the base
+  // row, so a bound flow's whole per-ACK working set is arena-resident.
+  void BindFlowHotState(FlowHotArena& arena) override;
 
  protected:
   void CongestionAvoidanceIncrease(std::uint64_t newly_acked) override;
@@ -29,18 +33,24 @@ class CubicSender : public TcpSender {
   void ReduceWindowOnEcn(double factor) override;
 
  private:
+  // Controller-private hot state: W_max plus the epoch established on the
+  // first CA ack after a congestion event.
+  struct CubicHotState {
+    double w_max = 0.0;     // window size at the last congestion event, bytes
+    bool epoch_valid = false;
+    Time epoch_start = Time::Zero();
+    double k = 0.0;         // K, seconds
+    double origin = 0.0;    // W_max at epoch start, bytes
+    double w_est = 0.0;     // TCP-friendly (Reno-tracking) estimate, bytes
+  };
+
   // Records the loss/mark event for the cubic polynomial: updates W_max
   // (with fast convergence) and invalidates the epoch so the next CA ack
   // starts a fresh one.
   void OnCongestionEvent();
 
-  double w_max_ = 0.0;  // window size at the last congestion event, bytes
-  // Epoch state, established on the first CA ack after a congestion event.
-  bool epoch_valid_ = false;
-  Time epoch_start_ = Time::Zero();
-  double epoch_k_ = 0.0;      // K, seconds
-  double epoch_origin_ = 0.0; // W_max at epoch start, bytes
-  double w_est_ = 0.0;        // TCP-friendly (Reno-tracking) estimate, bytes
+  CubicHotState local_cubic_;
+  CubicHotState* hot_ = &local_cubic_;
 };
 
 }  // namespace ecnsharp

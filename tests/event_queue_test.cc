@@ -2,7 +2,10 @@
 // ordering among same-timestamp events, cancellation life-cycle, and the
 // guarantee that a stale EventId can never touch a recycled slot's new
 // occupant.
+#include <algorithm>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -166,6 +169,156 @@ TEST(EventQueueTest, HeavyChurnReusesSlotsWithoutGrowth) {
   EXPECT_EQ(remaining, 0);
   EXPECT_EQ(sim.events_executed(), 10'000u);
   EXPECT_EQ(sim.live_events(), 0u);
+}
+
+TEST(EventQueueTest, WheelEngagementPreservesExecutionOrder) {
+  // Push the pending set past the wheel-engagement threshold and check the
+  // executed sequence is still exactly (when, schedule-order): engagement
+  // must be observationally invisible. Times deliberately mix near-horizon
+  // (wheel) and far-horizon (overflow) scales, plus same-timestamp ties.
+  Simulator sim;
+  std::vector<std::pair<std::int64_t, int>> expected;
+  std::vector<std::pair<std::int64_t, int>> actual;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 6000; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    // 0..~1 ms, quantized to 100 ns so ties are common.
+    const std::int64_t ns = static_cast<std::int64_t>((rng >> 33) % 10000) * 100;
+    expected.emplace_back(ns, i);
+    sim.ScheduleAt(Time::Nanoseconds(ns),
+                   [&actual, ns, i] { actual.emplace_back(ns, i); });
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  sim.Run();
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(EventQueueTest, WheelModeCancellationPreservesSurvivors) {
+  // Same engagement scenario, but cancel a swath after the wheel is live:
+  // generation-tag staleness must work identically in bucket and overflow
+  // storage.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 6000; ++i) {
+    const std::int64_t ns = 1000 + (i % 50) * 200;  // dense near-horizon ties
+    ids.push_back(sim.ScheduleAt(Time::Nanoseconds(ns),
+                                 [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 6000; i += 3) sim.Cancel(ids[i]);
+  sim.Run();
+  EXPECT_EQ(order.size(), 4000u);
+  for (int v : order) EXPECT_NE(v % 3, 0);
+  EXPECT_EQ(sim.live_events(), 0u);
+}
+
+TEST(EventQueueTest, PinnedEventFiresAndRearmsWithoutNewClosures) {
+  Simulator sim;
+  int fires = 0;
+  PinnedEventId tick;
+  tick = sim.CreatePinned([&] {
+    ++fires;
+    if (fires < 5) {
+      sim.SchedulePinnedAt(tick, sim.Now() + Time::Nanoseconds(100));
+    }
+  });
+  EXPECT_FALSE(sim.PinnedArmed(tick));
+  sim.SchedulePinnedAt(tick, Time::Nanoseconds(100));
+  EXPECT_TRUE(sim.PinnedArmed(tick));
+  sim.Run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_FALSE(sim.PinnedArmed(tick));
+  EXPECT_EQ(sim.live_events(), 0u);
+  sim.DestroyPinned(tick);
+}
+
+TEST(EventQueueTest, PinnedCancelDisarmsOccurrenceButKeepsRegistration) {
+  Simulator sim;
+  int fires = 0;
+  const PinnedEventId tick = sim.CreatePinned([&] { ++fires; });
+  sim.SchedulePinnedAt(tick, Time::Nanoseconds(100));
+  sim.CancelPinned(tick);
+  EXPECT_FALSE(sim.PinnedArmed(tick));
+  EXPECT_EQ(sim.live_events(), 0u);
+  sim.Run();
+  EXPECT_EQ(fires, 0);
+  // The registration survives: re-arming after a cancel works.
+  sim.SchedulePinnedAt(tick, Time::Nanoseconds(200));
+  sim.Run();
+  EXPECT_EQ(fires, 1);
+  sim.DestroyPinned(tick);
+  EXPECT_EQ(sim.live_events(), 0u);
+}
+
+TEST(EventQueueTest, PinnedAndOneShotShareFifoOrder) {
+  // A pinned occurrence armed with the default (next) order stamp slots into
+  // the same FIFO sequence as surrounding one-shot events.
+  Simulator sim;
+  std::string log;
+  const Time t = Time::FromMicroseconds(1);
+  sim.ScheduleAt(t, [&] { log += 'a'; });
+  const PinnedEventId p = sim.CreatePinned([&] { log += 'b'; });
+  sim.SchedulePinnedAt(p, t);
+  sim.ScheduleAt(t, [&] { log += 'c'; });
+  sim.Run();
+  EXPECT_EQ(log, "abc");
+  sim.DestroyPinned(p);
+}
+
+TEST(EventQueueTest, ReservedOrderStampInterleavesAtReservedPosition) {
+  // ReserveOrder now, schedule with it later: the event must execute where
+  // the stamp was reserved, not where the schedule call happened — the
+  // contract burst-batched wire delivery depends on.
+  Simulator sim;
+  std::string log;
+  const Time t = Time::FromMicroseconds(2);
+  sim.ScheduleAt(t, [&] { log += 'a'; });
+  const std::uint64_t slot_b = sim.ReserveOrder();
+  sim.ScheduleAt(t, [&] { log += 'c'; });
+  // Scheduled last, reserved between a and c.
+  sim.ScheduleAtOrdered(t, slot_b, [&] { log += 'b'; });
+  const PinnedEventId p = sim.CreatePinned([&] { log += 'd'; });
+  const std::uint64_t slot_d = sim.ReserveOrder();
+  sim.ScheduleAt(t, [&] { log += 'e'; });
+  sim.SchedulePinnedAtOrdered(p, t, slot_d);
+  sim.Run();
+  EXPECT_EQ(log, "abcde");
+  sim.DestroyPinned(p);
+}
+
+TEST(EventQueueTest, ExecuteBatchDrainsExactlyOneInstant) {
+  Simulator sim;
+  std::string log;
+  const Time t1 = Time::FromMicroseconds(1);
+  const Time t2 = Time::FromMicroseconds(2);
+  sim.ScheduleAt(t1, [&] {
+    log += 'a';
+    // Chained same-instant work joins the batch.
+    sim.ScheduleAt(t1, [&] { log += 'c'; });
+  });
+  sim.ScheduleAt(t1, [&] { log += 'b'; });
+  sim.ScheduleAt(t2, [&] { log += 'z'; });
+  EXPECT_EQ(sim.ExecuteBatch(), 3u);
+  EXPECT_EQ(log, "abc");
+  EXPECT_EQ(sim.Now(), t1);
+  EXPECT_EQ(sim.ExecuteBatch(), 1u);
+  EXPECT_EQ(log, "abcz");
+  EXPECT_EQ(sim.ExecuteBatch(), 0u);
+}
+
+TEST(EventQueueTest, PeekNextTimeSkipsCancelledEvents) {
+  Simulator sim;
+  const EventId early = sim.Schedule(Time::FromMicroseconds(1), [] {});
+  sim.Schedule(Time::FromMicroseconds(3), [] {});
+  Time next;
+  ASSERT_TRUE(sim.PeekNextTime(&next));
+  EXPECT_EQ(next, Time::FromMicroseconds(1));
+  sim.Cancel(early);
+  ASSERT_TRUE(sim.PeekNextTime(&next));
+  EXPECT_EQ(next, Time::FromMicroseconds(3));
+  sim.Run();
+  EXPECT_FALSE(sim.PeekNextTime(&next));
 }
 
 }  // namespace

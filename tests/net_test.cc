@@ -9,6 +9,7 @@
 
 #include "net/delay_line.h"
 #include "net/egress_port.h"
+#include "net/event_mode.h"
 #include "net/host.h"
 #include "net/switch_node.h"
 #include "sched/fifo_queue_disc.h"
@@ -415,6 +416,126 @@ TEST(PacketTest, FlowKeyReversal) {
   EXPECT_EQ(r.src_port, 80);
   EXPECT_EQ(r.dst_port, 1111);
   EXPECT_EQ(r.Reversed(), k);
+}
+
+
+// --- Mid-serialization reconfiguration semantics (dynamics contract) -----
+//
+// SetRate applies from the next serialization on: the packet on the
+// transmitter finishes its remaining bits at the old rate. LinkDown lets
+// that committed packet complete and arrive; only queued (and later
+// arriving) packets are affected. Pinned here in the default burst-drain
+// mode and re-checked byte-identically in the legacy per-packet mode.
+
+// Runs the SetRate-mid-serialization scenario and returns the two arrival
+// times. 1500 B at 10 Gb/s serializes in 1.2 us; the rate change lands at
+// 0.5 us, mid-way through packet one.
+std::pair<Time, Time> RunMidSerializationRateChange() {
+  Simulator sim;
+  CollectorSink sink(sim);
+  EgressPort port(sim, DataRate::GigabitsPerSecond(10),
+                  Time::Microseconds(5), BigFifo());
+  port.ConnectTo(sink);
+  port.Enqueue(MakePacket(0, 1, 1500));
+  port.Enqueue(MakePacket(0, 1, 1500));
+  sim.ScheduleAt(Time::Nanoseconds(500),
+                 [&port] { port.SetRate(DataRate::GigabitsPerSecond(1)); });
+  sim.Run();
+  EXPECT_EQ(sink.count(), 2u);
+  return {sink.arrival(0), sink.arrival(1)};
+}
+
+TEST(EgressPortDynamicsTest, SetRateMidSerializationKeepsOldRateForCurrent) {
+  const auto [first, second] = RunMidSerializationRateChange();
+  // Packet one: full 1.2 us at 10 Gb/s (unaffected by the 0.5 us change),
+  // +5 us propagation. Packet two: starts at 1.2 us, serializes 12 us at
+  // the new 1 Gb/s rate, arrives at 18.2 us.
+  EXPECT_EQ(first, Time::Nanoseconds(6200));
+  EXPECT_EQ(second, Time::Nanoseconds(1200 + 12000 + 5000));
+}
+
+TEST(EgressPortDynamicsTest, SetRateSemanticsIdenticalInLegacyEventMode) {
+  const auto burst = RunMidSerializationRateChange();
+  LegacyPerPacketEvents() = true;
+  const auto legacy = RunMidSerializationRateChange();
+  LegacyPerPacketEvents() = false;
+  EXPECT_EQ(burst.first, legacy.first);
+  EXPECT_EQ(burst.second, legacy.second);
+}
+
+// LinkDown at 0.5 us, mid-way through packet one's serialization, with two
+// more packets queued. Returns (arrivals, dropped_link_down, purged).
+struct LinkDownOutcome {
+  std::vector<Time> arrivals;
+  std::uint64_t dropped_link_down;
+  std::uint64_t purged;
+};
+
+LinkDownOutcome RunMidSerializationLinkDown(bool drop_queued, bool link_up_at_10us) {
+  Simulator sim;
+  CollectorSink sink(sim);
+  EgressPort port(sim, DataRate::GigabitsPerSecond(10),
+                  Time::Microseconds(5), BigFifo());
+  port.ConnectTo(sink);
+  for (int i = 0; i < 3; ++i) port.Enqueue(MakePacket(0, 1, 1500));
+  sim.ScheduleAt(Time::Nanoseconds(500),
+                 [&port, drop_queued] { port.LinkDown(drop_queued); });
+  // A packet arriving while the link is down is dropped (no carrier).
+  sim.ScheduleAt(Time::Microseconds(2),
+                 [&port] { port.Enqueue(MakePacket(0, 1, 1500)); });
+  if (link_up_at_10us) {
+    sim.ScheduleAt(Time::Microseconds(10), [&port] { port.LinkUp(); });
+  }
+  sim.Run();
+  LinkDownOutcome outcome;
+  for (std::size_t i = 0; i < sink.count(); ++i) {
+    outcome.arrivals.push_back(sink.arrival(i));
+  }
+  outcome.dropped_link_down = port.counters().dropped_link_down;
+  outcome.purged = port.queue_disc().stats().purged;
+  return outcome;
+}
+
+TEST(EgressPortDynamicsTest, LinkDownMidSerializationCommittedPacketArrives) {
+  const LinkDownOutcome outcome =
+      RunMidSerializationLinkDown(/*drop_queued=*/false,
+                                  /*link_up_at_10us=*/true);
+  // Packet one was committed to the wire: finishes at 1.2 us (old rate) and
+  // arrives at 6.2 us despite the 0.5 us LinkDown. The 2 us arrival is
+  // dropped; the two queued survivors drain after the 10 us LinkUp,
+  // back-to-back at 1.2 us pitch.
+  ASSERT_EQ(outcome.arrivals.size(), 3u);
+  EXPECT_EQ(outcome.arrivals[0], Time::Nanoseconds(6200));
+  EXPECT_EQ(outcome.arrivals[1], Time::Nanoseconds(10000 + 1200 + 5000));
+  EXPECT_EQ(outcome.arrivals[2], Time::Nanoseconds(10000 + 2400 + 5000));
+  EXPECT_EQ(outcome.dropped_link_down, 1u);
+  EXPECT_EQ(outcome.purged, 0u);
+}
+
+TEST(EgressPortDynamicsTest, LinkDownDropQueuedPurgesBacklogNotWire) {
+  const LinkDownOutcome outcome =
+      RunMidSerializationLinkDown(/*drop_queued=*/true,
+                                  /*link_up_at_10us=*/true);
+  // Only the committed packet arrives; the two queued packets are purged
+  // (not counted as link-down drops), and the 2 us arrival is dropped.
+  ASSERT_EQ(outcome.arrivals.size(), 1u);
+  EXPECT_EQ(outcome.arrivals[0], Time::Nanoseconds(6200));
+  EXPECT_EQ(outcome.dropped_link_down, 1u);
+  EXPECT_EQ(outcome.purged, 2u);
+}
+
+TEST(EgressPortDynamicsTest, LinkDownSemanticsIdenticalInLegacyEventMode) {
+  for (const bool drop_queued : {false, true}) {
+    const LinkDownOutcome burst =
+        RunMidSerializationLinkDown(drop_queued, /*link_up_at_10us=*/true);
+    LegacyPerPacketEvents() = true;
+    const LinkDownOutcome legacy =
+        RunMidSerializationLinkDown(drop_queued, /*link_up_at_10us=*/true);
+    LegacyPerPacketEvents() = false;
+    EXPECT_EQ(burst.arrivals, legacy.arrivals);
+    EXPECT_EQ(burst.dropped_link_down, legacy.dropped_link_down);
+    EXPECT_EQ(burst.purged, legacy.purged);
+  }
 }
 
 }  // namespace

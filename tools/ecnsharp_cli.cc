@@ -22,6 +22,7 @@
 
 #include "harness/config_json.h"
 #include "harness/experiment.h"
+#include "harness/relaxed_lanes.h"
 #include "harness/sketch_export.h"
 #include "harness/table.h"
 #include "harness/trace_export.h"
@@ -148,6 +149,14 @@ int Usage() {
       "                                     (default 10)\n"
       "  --fabric-delay-us=<us>             fat-tree switch<->switch hop\n"
       "                                     delay (default 10)\n"
+      "  --relaxed-lanes=<n>                fat-tree only: execute pods on\n"
+      "                                     n >= 2 event lanes (threads)\n"
+      "                                     under the conservative-window\n"
+      "                                     scheme. Deterministic for a\n"
+      "                                     given config+n but not\n"
+      "                                     byte-comparable with the\n"
+      "                                     single-lane run; rejects\n"
+      "                                     --scenario/--trace/--sketch\n"
       "  --scheme=<name>                    dctcp-red-tail, dctcp-red-avg,\n"
       "                                     codel, tcn, ecn-sharp,\n"
       "                                     ecn-sharp-tofino, droptail, pie,\n"
@@ -745,6 +754,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (flags.Has("relaxed-lanes")) {
+    if (topo != "fattree") {
+      std::fprintf(stderr, "--relaxed-lanes applies to --topo=fattree\n");
+      return 2;
+    }
+    if (flags.Has("sweep")) {
+      std::fprintf(stderr,
+                   "--relaxed-lanes applies to single runs, not --sweep\n");
+      return 2;
+    }
+  }
+
   if (flags.Has("sweep")) {
     return RunSweepMode(flags, topo, scheme, workload, scenario);
   }
@@ -826,6 +847,14 @@ int main(int argc, char** argv) {
     config.buffer_policy = BufferPolicyFromFlags(flags);
     PrintBanner("fat-tree k=" + std::to_string(config.topo.k) + " / " +
                 std::string(SchemeName(scheme)) + " / " + workload_name);
+    if (flags.Has("relaxed-lanes")) {
+      // Validation of the mode's restrictions (scenario / trace / sketch /
+      // lane count) lives in RunFatTreeRelaxed and exits 2 on violation.
+      const auto lanes =
+          static_cast<std::size_t>(flags.GetU64("relaxed-lanes", 2));
+      PrintFctResult(RunFatTreeRelaxed(config, lanes));
+      return 0;
+    }
     std::shared_ptr<const TraceRecorder> recorded;
     std::shared_ptr<const SketchTelemetry> telemetry;
     if (scenario.empty()) {

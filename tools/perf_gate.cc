@@ -83,6 +83,14 @@ double Lookup(const Json& doc, const Metric& metric) {
   return field->AsDouble(-1.0);
 }
 
+// Throughput metrics span packets/sec (1e8) down to fat-tree sim-to-wall
+// ratios (1e-2); pick a precision that keeps both readable.
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), v < 1000.0 ? "%.4f" : "%.0f", v);
+  return buf;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,6 +119,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Full delta table on pass and fail alike: BENCH trajectory reviews read
+  // the gate's CI output instead of re-running the bench.
+  std::printf("%-28s %14s    %14s  %8s  %s\n", "metric", "baseline",
+              "current", "delta", "status");
   bool failed = false;
   for (const Metric& metric : gated) {
     const double base = Lookup(baseline, metric);
@@ -129,8 +141,8 @@ int main(int argc, char** argv) {
     }
     const double delta_pct = (now - base) / base * 100.0;
     const bool ok = delta_pct >= -threshold_pct;
-    std::printf("%-28s %14.0f -> %14.0f  %+7.2f%%  %s\n",
-                metric.name().c_str(), base, now, delta_pct,
+    std::printf("%-28s %14s -> %14s  %+7.2f%%  %s\n", metric.name().c_str(),
+                FormatValue(base).c_str(), FormatValue(now).c_str(), delta_pct,
                 ok ? "ok" : "REGRESSED");
     failed = failed || !ok;
   }
@@ -140,8 +152,8 @@ int main(int argc, char** argv) {
     const double base = Lookup(baseline, metric);
     if (base > 0.0) continue;  // shared with the baseline, handled above
     const double now = Lookup(current, metric);
-    std::printf("%-28s %14s -> %14.0f  %7s  NEW (no baseline)\n",
-                metric.name().c_str(), "-", now, "-");
+    std::printf("%-28s %14s -> %14s  %7s  NEW (no baseline)\n",
+                metric.name().c_str(), "-", FormatValue(now).c_str(), "-");
   }
 
   if (failed) {
@@ -149,5 +161,7 @@ int main(int argc, char** argv) {
                  threshold_pct);
     return 1;
   }
+  std::printf("perf_gate: %zu metric(s) within %.2f%% of baseline\n",
+              gated.size(), threshold_pct);
   return 0;
 }
