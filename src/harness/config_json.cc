@@ -291,6 +291,60 @@ Json ToJson(const FatTreeExperimentConfig& config) {
   return json;
 }
 
+namespace {
+
+// One side of a composed fabric: its family plus the dimensions that pick
+// its size (the shared rate/delay/tcp knobs ride along per side).
+Json SideToJson(const ComposedSideConfig& side) {
+  if (side.kind == ComposedSideConfig::Kind::kLeafSpine) {
+    return Json::Object()
+        .Set("kind", Json::Str("leafspine"))
+        .Set("spines", Json::UInt(side.leaf_spine.spines))
+        .Set("leaves", Json::UInt(side.leaf_spine.leaves))
+        .Set("hosts_per_leaf", Json::UInt(side.leaf_spine.hosts_per_leaf))
+        .Set("rate_bps", Json::Int(side.leaf_spine.rate.bps()))
+        .Set("base_address", Json::UInt(side.leaf_spine.base_address))
+        .Set("tcp", ToJson(side.leaf_spine.tcp));
+  }
+  return Json::Object()
+      .Set("kind", Json::Str("fattree"))
+      .Set("k", Json::UInt(side.fat_tree.k))
+      .Set("rate_bps", Json::Int(side.fat_tree.rate.bps()))
+      .Set("base_address", Json::UInt(side.fat_tree.base_address))
+      .Set("tcp", ToJson(side.fat_tree.tcp));
+}
+
+}  // namespace
+
+Json ToJson(const InterDcExperimentConfig& config) {
+  Json json = Json::Object()
+      .Set("topology", Json::Str("interdc"))
+      .Set("scheme", Json::Str(SchemeName(config.scheme)))
+      .Set("workload", Json::Str(WorkloadName(config.workload)))
+      .Set("inter_workload", Json::Str(WorkloadName(config.inter_workload)))
+      .Set("load", Json::Num(config.load))
+      .Set("flows", Json::UInt(config.flows))
+      .Set("inter_fraction", Json::Num(config.inter_fraction))
+      .Set("side_a", SideToJson(config.topo.side_a))
+      .Set("side_b", SideToJson(config.topo.side_b))
+      .Set("border_links", Json::UInt(config.topo.border_links))
+      .Set("border_rate_bps", Json::Int(config.topo.border_rate.bps()))
+      .Set("border_rtt_us", TimeUs(config.topo.border_rtt))
+      .Set("attach_delay_us", TimeUs(config.topo.attach_delay))
+      .Set("inter_rtt_fraction", Json::Num(config.topo.inter_rtt_fraction))
+      .Set("max_extra_delay_us", TimeUs(config.max_extra_delay))
+      .Set("seed", Json::UInt(config.seed))
+      .Set("queue_sample_period_us", TimeUs(config.queue_sample_period))
+      .Set("max_sim_time_us", TimeUs(config.max_sim_time))
+      .Set("params", ToJson(config.params));
+  // Key omitted for static-network configs so their records are unchanged.
+  if (!config.scenario.empty()) {
+    json.Set("scenario", ToJson(config.scenario));
+  }
+  SetCcAndBufferKeys(json, config.cc_mix, config.buffer_policy);
+  return json;
+}
+
 Json ToJson(const IncastExperimentConfig& config) {
   return Json::Object()
       .Set("topology", Json::Str("incast"))
@@ -361,6 +415,17 @@ Json ToJson(const ExperimentResult& result) {
         .Set("newreno_fct", ToJson(result.newreno_fct))
         .Set("cubic_bytes", Json::UInt(result.cubic_bytes))
         .Set("newreno_bytes", Json::UInt(result.newreno_bytes));
+  }
+  // Split traffic-matrix breakdown exists only for inter-DC runs.
+  if (result.intra_fct.count != 0 || result.inter_fct.count != 0) {
+    json.Set("intra_fct", ToJson(result.intra_fct))
+        .Set("intra_short_fct", ToJson(result.intra_short_fct))
+        .Set("inter_fct", ToJson(result.inter_fct))
+        .Set("inter_short_fct", ToJson(result.inter_short_fct))
+        .Set("intra_a_fct", ToJson(result.intra_a_fct))
+        .Set("intra_b_fct", ToJson(result.intra_b_fct))
+        .Set("intra_timeouts", Json::UInt(result.intra_timeouts))
+        .Set("inter_timeouts", Json::UInt(result.inter_timeouts));
   }
   return json;
 }

@@ -40,6 +40,7 @@ bool ParseScenarioScript(const std::string& text, ScenarioScript* out,
 Json ToJson(const DumbbellExperimentConfig& config);
 Json ToJson(const LeafSpineExperimentConfig& config);
 Json ToJson(const FatTreeExperimentConfig& config);
+Json ToJson(const InterDcExperimentConfig& config);
 Json ToJson(const IncastExperimentConfig& config);
 
 Json ToJson(const FctSummary& summary);

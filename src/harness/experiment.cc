@@ -4,10 +4,14 @@
 // harness/session.cc.
 #include "harness/experiment.h"
 
+#include <cmath>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "harness/session.h"
+#include "sim/logging.h"
+#include "topo/composed.h"
 #include "topo/dumbbell.h"
 #include "topo/rtt_variation.h"
 
@@ -112,6 +116,136 @@ ExperimentResult RunFatTree(const FatTreeExperimentConfig& config) {
   session.Bind(topo);
   session.Run();
   return session.Result();
+}
+
+ExperimentResult RunInterDc(const InterDcExperimentConfig& config) {
+  if (config.inter_fraction < 0.0 || config.inter_fraction > 1.0 ||
+      !std::isfinite(config.inter_fraction)) {
+    FatalConfigError("interdc inter_fraction out of range: got " +
+                     std::to_string(config.inter_fraction) +
+                     "; valid range [0, 1]");
+  }
+
+  ExperimentSessionConfig session_config;
+  // No session workload and no session RTT assignment: the split traffic
+  // matrix and the per-side extras are wired by hand below, one rng stream
+  // per side, so each side replays its standalone single-fabric run exactly
+  // (the reduction-parity contract of topo/composed.h).
+  session_config.seed = config.seed;
+  session_config.rtt_assignment = ExperimentSessionConfig::RttAssignment::kNone;
+  session_config.queue_sample_period = config.queue_sample_period;
+  session_config.max_sim_time = config.max_sim_time;
+  session_config.scenario = config.scenario;
+  session_config.trace = config.trace;
+  session_config.sketch = config.sketch;
+  session_config.estimator = config.estimator;
+  session_config.cc_mix = config.cc_mix;
+  ExperimentSession session(std::move(session_config));
+  Simulator& sim = session.sim();
+
+  ComposedConfig topo_config = config.topo;
+  topo_config.buffer_bytes = config.params.buffer_bytes;
+  topo_config.buffer_policy = config.buffer_policy;
+  for (ComposedSideConfig* side : {&topo_config.side_a, &topo_config.side_b}) {
+    side->leaf_spine.buffer_bytes = config.params.buffer_bytes;
+    side->leaf_spine.buffer_policy = config.buffer_policy;
+    side->fat_tree.buffer_bytes = config.params.buffer_bytes;
+    side->fat_tree.buffer_policy = config.buffer_policy;
+  }
+  ComposedTopology topo(sim, topo_config, [&config](BufferPolicy* pool) {
+    return MakeFifoDisc(config.scheme, config.params, pool);
+  });
+
+  session.Bind(topo);
+
+  // Flow split: round(f * flows) cross the border, the rest alternate-split
+  // across the sides (side A gets the odd one).
+  const auto inter_flows = static_cast<std::size_t>(
+      std::llround(config.inter_fraction * static_cast<double>(config.flows)));
+  const std::size_t intra_flows = config.flows - inter_flows;
+  const std::size_t side_flows[2] = {(intra_flows + 1) / 2, intra_flows / 2};
+
+  FctCollector& collector = session.collector();
+  FctCollector intra_collector;
+  FctCollector side_collectors[2];
+  FctCollector inter_collector;
+  std::unique_ptr<TrafficGenerator> generators[3];
+
+  // Per-side extras and intra generator, each from Rng(seed + side): same
+  // draw order as ExperimentSession::Bind's kPerHostSample-then-Fork, so a
+  // zero-border composed run reproduces the standalone runs byte-for-byte.
+  for (std::size_t s = 0; s < 2; ++s) {
+    Rng rng(config.seed + s);
+    for (std::size_t i = 0; i < topo.side_host_count(s); ++i) {
+      topo.side(s).host(i).set_extra_egress_delay(SampleRttExtra(
+          rng, config.max_extra_delay, RttProfile::kLeafSpine));
+    }
+    if (side_flows[s] == 0) continue;
+    TrafficConfig traffic;
+    traffic.load = config.load;
+    traffic.reference_capacity = topo.side(s).ReferenceCapacity();
+    traffic.flow_count = side_flows[s];
+    traffic.cubic_fraction = config.cc_mix;
+    generators[s] = std::make_unique<TrafficGenerator>(
+        sim, *config.workload, traffic,
+        [&topo, s](Rng& r) { return topo.SampleIntraPair(s, r); },
+        [&collector, &intra_collector, &side_collectors,
+         s](const FlowRecord& record) {
+          collector.Record(record);
+          intra_collector.Record(record);
+          side_collectors[s].Record(record);
+        },
+        rng.Fork());
+  }
+
+  // Cross-border generator: its load targets the border aggregate (the
+  // inter-DC bottleneck), not the combined fabric capacity — f * L of the
+  // fabric bisection would oversaturate an oversubscribed border and never
+  // drain.
+  if (inter_flows > 0) {
+    Rng rng(config.seed + 2);
+    TrafficConfig traffic;
+    traffic.load = config.load;
+    traffic.reference_capacity = DataRate::BitsPerSecond(
+        config.topo.border_rate.bps() *
+        static_cast<std::int64_t>(config.topo.border_links));
+    traffic.flow_count = inter_flows;
+    traffic.cubic_fraction = config.cc_mix;
+    generators[2] = std::make_unique<TrafficGenerator>(
+        sim, *config.inter_workload, traffic,
+        [&topo](Rng& r) { return topo.SampleInterPair(r); },
+        [&collector, &inter_collector](const FlowRecord& record) {
+          collector.Record(record);
+          inter_collector.Record(record);
+        },
+        rng.Fork());
+  }
+
+  for (auto& generator : generators) {
+    if (generator != nullptr) generator->Start();
+  }
+  session.Run([&generators] {
+    for (const auto& generator : generators) {
+      if (generator != nullptr && !generator->AllDone()) return true;
+    }
+    return false;
+  });
+
+  ExperimentResult result = session.Result();
+  for (const auto& generator : generators) {
+    if (generator == nullptr) continue;
+    result.flows_started += generator->started();
+    result.flows_completed += generator->completed();
+  }
+  result.intra_fct = intra_collector.Overall();
+  result.intra_short_fct = intra_collector.ShortFlows();
+  result.inter_fct = inter_collector.Overall();
+  result.inter_short_fct = inter_collector.ShortFlows();
+  result.intra_a_fct = side_collectors[0].Overall();
+  result.intra_b_fct = side_collectors[1].Overall();
+  result.intra_timeouts = intra_collector.total_timeouts();
+  result.inter_timeouts = inter_collector.total_timeouts();
+  return result;
 }
 
 IncastResult RunIncast(const IncastExperimentConfig& config) {

@@ -15,6 +15,7 @@
 #include "sketch/sketch_config.h"
 #include "stats/fct_collector.h"
 #include "stats/queue_monitor.h"
+#include "topo/composed.h"
 #include "topo/fat_tree.h"
 #include "topo/leaf_spine.h"
 #include "trace/trace_config.h"
@@ -99,6 +100,18 @@ struct ExperimentResult {
   FctSummary newreno_fct;
   std::uint64_t cubic_bytes = 0;
   std::uint64_t newreno_bytes = 0;
+  // Split traffic-matrix breakdown, filled only by RunInterDc (all counts
+  // stay zero for the single-fabric runners). The intra_a/intra_b splits
+  // carry exactly the flows of one side's generator — the reduction-parity
+  // tests compare them against standalone single-fabric runs.
+  FctSummary intra_fct;        // both sides' intra-DC flows
+  FctSummary intra_short_fct;  // intra flows < 100 KB
+  FctSummary inter_fct;        // cross-border flows
+  FctSummary inter_short_fct;  // cross-border flows < 100 KB
+  FctSummary intra_a_fct;      // side A's intra flows only
+  FctSummary intra_b_fct;      // side B's intra flows only
+  std::uint64_t intra_timeouts = 0;
+  std::uint64_t inter_timeouts = 0;
 };
 
 ExperimentResult RunDumbbell(const DumbbellExperimentConfig& config);
@@ -174,6 +187,55 @@ struct FatTreeExperimentConfig {
 };
 
 ExperimentResult RunFatTree(const FatTreeExperimentConfig& config);
+
+// ---------------------------------------------------------------------------
+// Inter-DC composed-fabric experiments: two fabrics joined over ms-RTT
+// border links (topo/composed.h) under a split traffic matrix — the extreme
+// RTT-disparity regime of §2.3 pushed to WAN ratios.
+// ---------------------------------------------------------------------------
+
+struct InterDcExperimentConfig {
+  Scheme scheme = Scheme::kEcnSharp;
+  SchemeParams params = SimulationSchemeParams();
+  // Intra-DC flows (each side's own matrix) draw from `workload`;
+  // cross-border flows draw from `inter_workload` (bulkier by default, like
+  // real WAN replication traffic).
+  const EmpiricalCdf* workload = &WebSearchWorkload();
+  const EmpiricalCdf* inter_workload = &DataMiningWorkload();
+  double load = 0.5;
+  std::size_t flows = 2000;
+  // Fraction of `flows` crossing the border (validated in [0, 1], exit 2
+  // outside). The remainder splits evenly across the two sides as intra-DC
+  // traffic; the cross-border generator's load is defined against the
+  // border aggregate capacity, each side's against its own fabric.
+  double inter_fraction = 0.1;
+  ComposedConfig topo;
+  // Per-host extra delay upper bound, drawn per side from seed+side so a
+  // side's rng sequence matches its standalone single-fabric run.
+  Time max_extra_delay = Time::FromMicroseconds(160);
+  std::uint64_t seed = 1;
+  // Queue occupancy sampling across every egress port incl. border (0
+  // disables).
+  Time queue_sample_period = Time::Zero();
+  Time max_sim_time = Time::Seconds(120);
+  // Optional mid-run network dynamics; port target ids follow the composed
+  // convention in topo/composed.h (-1 = first border link).
+  ScenarioScript scenario;
+  // Optional flight-recorder tracing across every bottleneck port.
+  TraceConfig trace;
+  // Optional sketch telemetry across the same ports; border ports seed the
+  // base-RTT sketch with their WAN hint.
+  SketchConfig sketch;
+  // Measurement source for scenario ECN# re-estimation actions.
+  EcnEstimator estimator = EcnEstimator::kOracle;
+  // Fraction of workload flows driven by CUBIC (0 = pure default CC).
+  double cc_mix = 0.0;
+  // Optional shared-buffer policy, one pool per switch chip including the
+  // two border gateways (kNone keeps static per-port buffers).
+  BufferPolicyConfig buffer_policy;
+};
+
+ExperimentResult RunInterDc(const InterDcExperimentConfig& config);
 
 // ---------------------------------------------------------------------------
 // Incast / microscopic-queue experiments: Figs. 10, 11.

@@ -73,9 +73,7 @@ void ApplyEcnSharpConfig(Topology& topo, const EcnSharpConfig& fresh) {
 void ReestimateEcnSharp(Topology& topo) {
   std::vector<double> rtts_us;
   rtts_us.reserve(topo.host_count());
-  for (std::size_t i = 0; i < topo.host_count(); ++i) {
-    rtts_us.push_back(topo.HostBaseRtt(i).ToMicroseconds());
-  }
+  topo.AppendRttSamplesUs(rtts_us);
   const RttStats stats = ComputeRttStats(std::move(rtts_us));
   if (stats.status != RttProbeStatus::kOk) return;
   ApplyEcnSharpConfig(topo,
@@ -115,7 +113,13 @@ void ExperimentSession::Bind(Topology& topo) {
         trace_tap = recorder_->PortTap(recorder_->RegisterSite(label));
       }
       if (telemetry_ != nullptr) {
-        sketch_tap = telemetry_->PortTap(telemetry_->RegisterSite(label));
+        const std::uint16_t site = telemetry_->RegisterSite(label);
+        sketch_tap = telemetry_->PortTap(site);
+        // Border ports of a composed fabric annotate their WAN base RTT;
+        // seed the sketch's histogram so sketch-driven re-estimation covers
+        // the inter-DC paths from the first epoch.
+        const Time hint = topo.bottleneck(b).base_rtt_hint();
+        if (hint > Time::Zero()) telemetry_->SetSiteBaseRtt(site, hint);
       }
       if (trace_tap != nullptr && sketch_tap != nullptr) {
         tee_taps_.emplace_back(trace_tap, sketch_tap);

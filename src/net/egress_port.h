@@ -90,6 +90,14 @@ class EgressPort {
   void SetFaultInjector(LinkFaultInjector* injector) { fault_ = injector; }
   LinkFaultInjector* fault_injector() { return fault_; }
 
+  // Annotates the base RTT of the longest path through this port when it
+  // differs from the fabric's host-to-host RTTs (an inter-DC border link).
+  // Zero (default) means "no annotation". The sketch telemetry seeds its
+  // base-RTT histogram from the hint so sketch-driven ECN# re-estimation
+  // covers the WAN paths even before transport RTT samples arrive.
+  void set_base_rtt_hint(Time hint) { base_rtt_hint_ = hint; }
+  Time base_rtt_hint() const { return base_rtt_hint_; }
+
   // Optional per-packet tracing (non-owning; null disables). Also forwarded
   // to the queue disc so drop/mark events on this port are captured.
   void SetTracer(PacketTracer* tracer) {
@@ -124,6 +132,7 @@ class EgressPort {
   bool in_flight_corrupt_ = false;
   bool busy_ = false;
   bool link_up_ = true;
+  Time base_rtt_hint_ = Time::Zero();
   PortCounters counters_;
   // Burst-drain machinery: packets in flight on the wire, ordered by
   // (deliver_at, order); the pinned arrival event is armed for the front.

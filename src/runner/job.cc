@@ -20,6 +20,8 @@ JobResult RunJob(const JobSpec& spec, std::size_t index) {
           return RunLeafSpine(config);
         } else if constexpr (std::is_same_v<Config, FatTreeExperimentConfig>) {
           return RunFatTree(config);
+        } else if constexpr (std::is_same_v<Config, InterDcExperimentConfig>) {
+          return RunInterDc(config);
         } else {
           return RunIncast(config);
         }

@@ -1,7 +1,8 @@
 // JobSpec/JobResult: one simulation run as a schedulable unit of work.
 //
 // A JobSpec is a named, fully-specified experiment configuration for one of
-// the four experiment families (dumbbell, leaf-spine, fat-tree, incast).
+// the five experiment families (dumbbell, leaf-spine, fat-tree, inter-DC
+// composed, incast).
 // Each job
 // carries its own seed inside the config, so a job's result depends only on
 // its spec — never on which worker thread ran it or in what order. That is
@@ -22,7 +23,8 @@ struct JobSpec {
   // Stable identifier within a sweep; keys the JSON export.
   std::string name;
   std::variant<DumbbellExperimentConfig, LeafSpineExperimentConfig,
-               FatTreeExperimentConfig, IncastExperimentConfig>
+               FatTreeExperimentConfig, InterDcExperimentConfig,
+               IncastExperimentConfig>
       config;
 };
 
@@ -38,7 +40,7 @@ struct JobResult {
 // thread and returns its result (with `index` echoed back).
 JobResult RunJob(const JobSpec& spec, std::size_t index);
 
-// Typed accessors: dumbbell, leaf-spine and fat-tree jobs yield an
+// Typed accessors: dumbbell, leaf-spine, fat-tree and inter-DC jobs yield an
 // ExperimentResult, incast jobs an IncastResult. Calling the wrong one aborts (programming
 // error — the caller built the spec and knows its family).
 const ExperimentResult& FctResult(const JobResult& result);

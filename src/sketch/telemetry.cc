@@ -82,6 +82,26 @@ const QueueOccupancyEwma& SketchTelemetry::queue_ewma(
   return sites_.at(site).ewma;
 }
 
+namespace {
+// Synthetic sketch key for a site's RTT hint; far outside the FNV-1a image
+// of real flow keys in practice, and distinct per site.
+std::uint64_t SiteHintKey(std::uint16_t site) {
+  return 0x426f726465725254ull + site;  // "BorderRT" + site
+}
+}  // namespace
+
+void SketchTelemetry::SetSiteBaseRtt(std::uint16_t site, Time hint) {
+  sites_.at(site).rtt_hint = hint;
+  if (hint > Time::Zero() &&
+      rtt_.AddSample(SiteHintKey(site), hint, last_update_)) {
+    ++hint_samples_admitted_;
+  }
+}
+
+Time SketchTelemetry::site_base_rtt_hint(std::uint16_t site) const {
+  return sites_.at(site).rtt_hint;
+}
+
 void SketchTelemetry::Tap::OnTransmit(const Packet& /*pkt*/, Time /*at*/) {
   ++owner_->sites_[site_].counters.transmitted;
 }
@@ -116,6 +136,12 @@ void SketchTelemetry::ObserveEnqueue(std::uint16_t site, const Packet& pkt,
   s.ewma.Observe(after.packets, after.bytes);
   ++packets_observed_;
   last_update_ = std::max(last_update_, at);
+  // Re-offer the site's base-RTT annotation (admitted once per epoch by the
+  // min matrix) so the hint tracks the sliding window while traffic flows.
+  if (s.rtt_hint > Time::Zero() &&
+      rtt_.AddSample(SiteHintKey(site), s.rtt_hint, at)) {
+    ++hint_samples_admitted_;
+  }
 
   const std::uint64_t key = KeyOf(pkt.flow);
   const std::uint64_t estimate = totals_.Update(key, pkt.size_bytes);

@@ -79,6 +79,18 @@ class SketchTelemetry : public TransportTracer {
   const SketchSiteCounters& site_counters(std::uint16_t site) const;
   const QueueOccupancyEwma& queue_ewma(std::uint16_t site) const;
 
+  // Seeds the base-RTT histogram with a known path RTT through `site` (the
+  // border-port annotation of an inter-DC composed fabric). The hint is
+  // admitted immediately and re-offered on every enqueue at the site, so the
+  // per-epoch min matrix keeps it inside the sliding window for as long as
+  // the port carries traffic — sketch-driven ECN# re-estimation then sees
+  // the WAN RTT even when queueing inflates every transport sample.
+  void SetSiteBaseRtt(std::uint16_t site, Time hint);
+  Time site_base_rtt_hint(std::uint16_t site) const;
+  std::uint64_t hint_samples_admitted() const {
+    return hint_samples_admitted_;
+  }
+
   // --- TransportTracer --------------------------------------------------
   void OnRttSample(const FlowKey& flow, Time at, Time sample) override;
 
@@ -137,6 +149,7 @@ class SketchTelemetry : public TransportTracer {
     std::string label;
     SketchSiteCounters counters;
     QueueOccupancyEwma ewma;
+    Time rtt_hint = Time::Zero();  // zero = no annotation
   };
 
   // Fixed-size heavy-hitter slot; `estimate` is the count-min estimate at
@@ -168,6 +181,7 @@ class SketchTelemetry : public TransportTracer {
   std::uint64_t packets_observed_ = 0;
   std::uint64_t rtt_samples_offered_ = 0;
   std::uint64_t rtt_samples_admitted_ = 0;
+  std::uint64_t hint_samples_admitted_ = 0;
   Time last_update_ = Time::Zero();
 
   // Exact mirror (track_exact): lifetime bytes plus a ring of per-epoch

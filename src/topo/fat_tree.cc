@@ -96,7 +96,8 @@ void FatTree::Build(
   // edge's k/2 host down ports land in slot order (ports 0..k/2-1).
   for (std::size_t h = 0; h < host_count; ++h) {
     Simulator& pod_sim = PodSim(PodOfHost(h));
-    auto host = std::make_unique<Host>(pod_sim, static_cast<std::uint32_t>(h));
+    auto host = std::make_unique<Host>(
+        pod_sim, config_.base_address + static_cast<std::uint32_t>(h));
     host->set_locality_id(LocalityOfPod(PodOfHost(h)));
     SwitchNode& edge = *edges_[EdgeOfHost(h)];
 
@@ -125,6 +126,7 @@ void FatTree::Build(
     for (std::size_t e = 0; e < half_k; ++e) {
       SwitchNode& edge = *edges_[p * half_k + e];
       const auto block_lo =
+          config_.base_address +
           static_cast<std::uint32_t>((p * half_k + e) * half_k);
       const auto block_hi = static_cast<std::uint32_t>(block_lo + half_k - 1);
       for (std::size_t a = 0; a < half_k; ++a) {
@@ -151,7 +153,8 @@ void FatTree::Build(
   // group a = c / (k/2) links to aggregation switch a of every pod, one
   // port per pod in pod order). A core routes each pod's host block down.
   for (std::size_t p = 0; p < pods; ++p) {
-    const auto pod_lo = static_cast<std::uint32_t>(p * hosts_per_pod());
+    const auto pod_lo = config_.base_address +
+                        static_cast<std::uint32_t>(p * hosts_per_pod());
     const auto pod_hi =
         static_cast<std::uint32_t>(pod_lo + hosts_per_pod() - 1);
     const std::size_t pod_lane = LaneOfLocality(LocalityOfPod(p));
@@ -215,7 +218,8 @@ std::pair<TcpStack*, std::uint32_t> FatTree::SampleFlowPair(Rng& rng) {
   const std::size_t src = rng.UniformInt(n);
   std::size_t dst = rng.UniformInt(n - 1);
   if (dst >= src) ++dst;
-  return std::make_pair(stacks_[src].get(), static_cast<std::uint32_t>(dst));
+  return std::make_pair(stacks_[src].get(),
+                        config_.base_address + static_cast<std::uint32_t>(dst));
 }
 
 std::uint32_t FatTree::IncastTarget() const { return hosts_[0]->address(); }

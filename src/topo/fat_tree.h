@@ -44,6 +44,10 @@ struct FatTreeConfig {
   // Fat-tree arity: k pods of k/2 edge + k/2 aggregation switches. Must be
   // even and >= 4 (validated with exit 2).
   std::size_t k = 8;
+  // First host address. Standalone fabrics keep 0; a composed topology
+  // (topo/composed.h) offsets the second side so the two address spaces are
+  // disjoint and border switches can route on contiguous ranges.
+  std::uint32_t base_address = 0;
   DataRate rate = DataRate::GigabitsPerSecond(10);
   // Propagation per host<->edge hop and per switch<->switch hop. With 10 us
   // each, the inter-pod base RTT is 4*10 + 8*10 = 120 us.

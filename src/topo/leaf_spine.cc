@@ -67,9 +67,11 @@ void LeafSpine::Build(
     spines_.back()->set_locality_id(0);
   }
 
-  // Hosts and access links.
+  // Hosts and access links. Addresses start at base_address (nonzero only
+  // inside a composed topology).
   for (std::size_t h = 0; h < host_count; ++h) {
-    auto host = std::make_unique<Host>(sim_, static_cast<std::uint32_t>(h));
+    auto host = std::make_unique<Host>(
+        sim_, config_.base_address + static_cast<std::uint32_t>(h));
     host->set_locality_id(static_cast<std::uint32_t>(1 + LeafOfHost(h)));
     SwitchNode& leaf = *leaves_[LeafOfHost(h)];
 
@@ -111,13 +113,15 @@ void LeafSpine::Build(
       // Spine routes to every host under this leaf via the down port.
       for (std::size_t h = 0; h < config_.hosts_per_leaf; ++h) {
         const auto addr =
+            config_.base_address +
             static_cast<std::uint32_t>(l * config_.hosts_per_leaf + h);
         spine.AddRoute(addr, down_ref);
       }
       // Leaf routes to every non-local host via all uplinks (ECMP).
       for (std::size_t h = 0; h < host_count; ++h) {
         if (LeafOfHost(h) == l) continue;
-        leaf.AddRoute(static_cast<std::uint32_t>(h), up_ref);
+        leaf.AddRoute(config_.base_address + static_cast<std::uint32_t>(h),
+                      up_ref);
       }
     }
   }
@@ -147,7 +151,7 @@ std::pair<TcpStack*, std::uint32_t> LeafSpine::SampleFlowPair(Rng& rng) {
   std::size_t dst = rng.UniformInt(n - 1);
   if (dst >= src) ++dst;
   return std::make_pair(stacks_[src].get(),
-                        static_cast<std::uint32_t>(dst));
+                        config_.base_address + static_cast<std::uint32_t>(dst));
 }
 
 std::uint32_t LeafSpine::IncastTarget() const { return hosts_[0]->address(); }

@@ -23,6 +23,10 @@ struct LeafSpineConfig {
   std::size_t spines = 8;
   std::size_t leaves = 8;
   std::size_t hosts_per_leaf = 16;
+  // First host address. Standalone fabrics keep 0; a composed topology
+  // (topo/composed.h) offsets the second side so the two address spaces are
+  // disjoint and border switches can route on contiguous ranges.
+  std::uint32_t base_address = 0;
   DataRate rate = DataRate::GigabitsPerSecond(10);
   // Propagation per host<->leaf hop and per leaf<->spine hop. With 10 us
   // each, the cross-rack base RTT is ~80 us (the §5.3 minimum).

@@ -2,6 +2,12 @@
 
 namespace ecnsharp {
 
+void Topology::AppendRttSamplesUs(std::vector<double>& rtts_us) const {
+  for (std::size_t i = 0; i < host_count(); ++i) {
+    rtts_us.push_back(HostBaseRtt(i).ToMicroseconds());
+  }
+}
+
 std::string Topology::DescribePortTargets() const {
   return "-1 = primary bottleneck, 0.." + std::to_string(host_count() - 1) +
          " = host NICs";

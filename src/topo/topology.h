@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "net/egress_port.h"
 #include "net/host.h"
@@ -42,6 +43,12 @@ class Topology {
   // delay — the quantity ECN# re-estimation feeds into the §3.4
   // rule-of-thumb.
   virtual Time HostBaseRtt(std::size_t i) const = 0;
+  // Appends the base-RTT population (in microseconds) ECN# re-estimation
+  // derives its thresholds from. The default is one sample per host; a
+  // topology whose traffic matrix includes paths longer than any single
+  // host's fabric path (e.g. the inter-DC border of topo/composed.h)
+  // overrides this to represent those paths in the distribution.
+  virtual void AppendRttSamplesUs(std::vector<double>& rtts_us) const;
 
   // --- Open-loop workload wiring ----------------------------------------
   // Capacity a load factor refers to: the bottleneck rate for a dumbbell,

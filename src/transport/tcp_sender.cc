@@ -115,11 +115,14 @@ void TcpSender::SendSegment(std::uint64_t seq, bool is_retransmit) {
     }
     // Karn: never sample RTT across a retransmission.
     probe_armed_ = false;
-  } else if (!probe_armed_) {
+  } else if (!probe_armed_ && seq >= sent_high_) {
+    // Only genuinely new data is unambiguous: after a go-back-N resend the
+    // ACK for a re-covered range may belong to the original transmission.
     probe_armed_ = true;
     probe_seq_end_ = seq + payload;
     (*probe_sent_at_) = host_.sim().Now();
   }
+  sent_high_ = std::max(sent_high_, seq + payload);
   host_.SendPacket(std::move(pkt));
 }
 
@@ -141,7 +144,17 @@ void TcpSender::OnNewDataAcked(std::uint64_t ack_no, bool ece) {
     probe_armed_ = false;
     UpdateRttEstimate(host_.sim().Now() - (*probe_sent_at_));
   }
-  rto_backoff_ = 0;
+  // New-data ACK progress ends the backed-off regime (BSD/Linux practice) —
+  // but only once an RTT sample exists. Waiting for a fresh sample instead
+  // would ratchet the backoff across independent loss events (after a
+  // go-back-N resend no probe can arm until snd_nxt passes sent_high_, so a
+  // loss-heavy elephant pins its RTO at max_rto for its whole lifetime).
+  // Before the first sample the opposite holds: with min_rto below the path
+  // RTT every un-backed-off timer fires spuriously mid-flight and the resend
+  // cancels the probe, so clearing the backoff here would re-arm the 1-RTT
+  // death spiral forever — the backoff is the only thing that lets the first
+  // probe ACK arrive before the timer.
+  if (*rtt_valid_) rto_backoff_ = 0;
   dupacks_ = 0;
 
   switch (config_.ecn_mode) {

@@ -154,9 +154,14 @@ class TcpSender {
   std::uint32_t rto_backoff_ = 0;  // consecutive timeouts
   Timer rto_timer_;
   Timer pace_timer_;
-  // Karn's algorithm: one outstanding un-retransmitted RTT probe.
+  // Karn's algorithm: one outstanding un-retransmitted RTT probe, armed
+  // only on data never sent before (seq >= sent_high_). A go-back-N resend
+  // re-covers old sequence ranges with is_retransmit=false segments; an ACK
+  // for the *original* transmission of that range would otherwise match a
+  // probe armed on the resend and yield a near-zero RTT sample.
   bool probe_armed_ = false;
   std::uint64_t probe_seq_end_ = 0;
+  std::uint64_t sent_high_ = 0;  // highest sequence ever sent
   Time* probe_sent_at_ = &local_.probe_sent_at;
 
   bool complete_ = false;

@@ -13,6 +13,7 @@
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "tofino/ecn_sharp_pipeline.h"
+#include "topo/composed.h"
 #include "topo/leaf_spine.h"
 #include "topo/rtt_variation.h"
 #include "transport/dcqcn.h"
@@ -343,6 +344,142 @@ TEST(ConfigValidationDeathTest, StaleScenarioPortTargetExitsWithRange) {
         RunFatTree(config);
       },
       testing::ExitedWithCode(2), "target 96 does not resolve.*16\\.\\.95");
+}
+
+// Composed inter-DC fabrics: degenerate border spans and colliding target-id
+// spaces must die at build time with the valid range, not mis-route or wrap.
+
+ComposedConfig TinyComposed() {
+  ComposedConfig config;
+  config.side_a.leaf_spine.spines = 1;
+  config.side_a.leaf_spine.leaves = 1;
+  config.side_a.leaf_spine.hosts_per_leaf = 2;
+  config.side_b = config.side_a;
+  return config;
+}
+
+std::unique_ptr<QueueDisc> TinyDisc() {
+  return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+}
+
+TEST(ConfigValidationDeathTest, ZeroBorderLinkComposedExits) {
+  EXPECT_EXIT(
+      {
+        Simulator sim;
+        ComposedConfig config = TinyComposed();
+        config.border_links = 0;
+        ComposedTopology topo(sim, config, TinyDisc);
+      },
+      testing::ExitedWithCode(2),
+      "needs >= 1 border link, got border_links=0; valid range \\[1, inf\\)");
+}
+
+TEST(ConfigValidationDeathTest, ZeroBorderRateComposedExits) {
+  EXPECT_EXIT(
+      {
+        Simulator sim;
+        ComposedConfig config = TinyComposed();
+        config.border_rate = DataRate::BitsPerSecond(0);
+        ComposedTopology topo(sim, config, TinyDisc);
+      },
+      testing::ExitedWithCode(2), "border rate must be positive");
+}
+
+TEST(ConfigValidationDeathTest, BorderRttOverflowComposedExits) {
+  EXPECT_EXIT(
+      {
+        Simulator sim;
+        ComposedConfig config = TinyComposed();
+        config.border_rtt = Time::Seconds(11);  // a unit mistake, not a WAN
+        ComposedTopology topo(sim, config, TinyDisc);
+      },
+      testing::ExitedWithCode(2),
+      "border RTT out of range.*valid range \\[0us, 10000000 us\\]");
+}
+
+TEST(ConfigValidationDeathTest, NegativeBorderRttComposedExits) {
+  EXPECT_EXIT(
+      {
+        Simulator sim;
+        ComposedConfig config = TinyComposed();
+        config.border_rtt = Time::FromMicroseconds(-1);
+        ComposedTopology topo(sim, config, TinyDisc);
+      },
+      testing::ExitedWithCode(2), "border RTT out of range");
+}
+
+TEST(ConfigValidationDeathTest, OverlappingComposedAddressRangesExit) {
+  EXPECT_EXIT(
+      {
+        Simulator sim;
+        ComposedConfig config = TinyComposed();
+        config.auto_address = false;
+        config.side_a.leaf_spine.base_address = 0;  // hosts [0, 1]
+        config.side_b.leaf_spine.base_address = 1;  // hosts [1, 2]: collides
+        ComposedTopology topo(sim, config, TinyDisc);
+      },
+      testing::ExitedWithCode(2),
+      "overlapping host address ranges: side A \\[0, 1\\], side B \\[1, 2\\]");
+}
+
+TEST(ConfigValidationDeathTest, ComposedAddressOverflowExits) {
+  EXPECT_EXIT(
+      {
+        Simulator sim;
+        ComposedConfig config = TinyComposed();
+        config.auto_address = false;
+        config.side_b.leaf_spine.base_address = 0xFFFFFFFFu;  // 2 hosts wrap
+        ComposedTopology topo(sim, config, TinyDisc);
+      },
+      testing::ExitedWithCode(2), "host address range overflows 32 bits");
+}
+
+TEST(ConfigValidationDeathTest, ComposedInterRttFractionOutOfRangeExits) {
+  EXPECT_EXIT(
+      {
+        Simulator sim;
+        ComposedConfig config = TinyComposed();
+        config.inter_rtt_fraction = 1.5;
+        ComposedTopology topo(sim, config, TinyDisc);
+      },
+      testing::ExitedWithCode(2),
+      "inter_rtt_fraction out of range: got 1.5.*valid range \\[0, 1\\]");
+}
+
+TEST(ConfigValidationDeathTest, ComposedLegacyCtorWithBufferPolicyExits) {
+  EXPECT_EXIT(
+      {
+        Simulator sim;
+        ComposedConfig config = TinyComposed();
+        config.buffer_policy.kind = BufferPolicyKind::kDynamicThreshold;
+        ComposedTopology topo(sim, config, TinyDisc);
+      },
+      testing::ExitedWithCode(2),
+      "buffer policy requires the pool-aware disc factory");
+}
+
+TEST(ConfigValidationDeathTest, InterFractionBelowZeroExits) {
+  EXPECT_EXIT(
+      {
+        InterDcExperimentConfig config;
+        config.topo = TinyComposed();
+        config.inter_fraction = -0.1;
+        RunInterDc(config);
+      },
+      testing::ExitedWithCode(2),
+      "interdc inter_fraction out of range.*valid range \\[0, 1\\]");
+}
+
+TEST(ConfigValidationDeathTest, InterFractionAboveOneExits) {
+  EXPECT_EXIT(
+      {
+        InterDcExperimentConfig config;
+        config.topo = TinyComposed();
+        config.inter_fraction = 1.5;
+        RunInterDc(config);
+      },
+      testing::ExitedWithCode(2),
+      "interdc inter_fraction out of range.*valid range \\[0, 1\\]");
 }
 
 TEST(ConfigValidationDeathTest, OutOfRangeHostDelayTargetExits) {

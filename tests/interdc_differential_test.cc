@@ -1,0 +1,298 @@
+// Differential test layer for ECN# under extreme RTT disparity: the full
+// ECN# AQM (instantaneous OR persistent marking) vs an instantaneous-only
+// arm built exactly like Scheme::kEcnSharpInstOnly (persistent target pushed
+// to Time::Max()/4), driven in lockstep over identical sojourn sequences.
+//
+// The inter-DC regime sizes the instantaneous threshold for the tail (WAN)
+// RTT — ins ~ 200R us at border ratio R — while the persistent target stays
+// at fabric scale (~85 us). The standing-queue analysis (§2.3/§3) then
+// predicts the two arms diverge in exactly one place: packets whose sojourn
+// sits in the mid-band [pst_target, ins_target), and only after the sojourn
+// has stayed above pst_target for strictly more than one pst_interval. A
+// fabric-scale standing queue (a few hundred us) is invisible to the
+// WAN-sized instantaneous threshold at R in {10, 100} but trips it at R=1 —
+// that asymmetry is the phenomenon the composed-topology benches measure
+// end to end; here it is pinned algorithmically, packet by packet.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstddef>
+
+#include "core/ecn_sharp.h"
+#include "net/packet.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace ecnsharp {
+namespace {
+
+struct ArmDecision {
+  bool full = false;
+  bool inst = false;
+  bool Divergent() const { return full && !inst; }
+};
+
+// Drives both arms over one sojourn/time sequence and asserts, on every
+// packet, the three properties the analysis predicts:
+//   1. the inst-only arm is a pure comparator: mark iff sojourn >= ins;
+//   2. the full arm dominates it (same instantaneous condition, OR more);
+//   3. any divergent mark lies in the mid-band AND strictly more than one
+//      pst_interval after the current above-pst episode began (tracked by a
+//      shadow of Algorithm 1's first_above_time).
+class DisparityHarness {
+ public:
+  DisparityHarness(Time ins, Time pst, Time interval)
+      : ins_(ins),
+        pst_(pst),
+        interval_(interval),
+        full_(FullConfig(ins, pst, interval)),
+        inst_(InstOnlyConfig(ins, interval)) {}
+
+  ArmDecision Step(Time now, Time sojourn) {
+    // Shadow of PersistentMarker::Detect's first_above_time bookkeeping.
+    if (sojourn < pst_) {
+      first_above_ = Time::Zero();
+    } else if (first_above_.IsZero()) {
+      first_above_ = now;
+    }
+
+    ArmDecision d;
+    d.full = Mark(full_, now, sojourn);
+    d.inst = Mark(inst_, now, sojourn);
+
+    EXPECT_EQ(d.inst, sojourn >= ins_)
+        << "inst-only arm is not a pure threshold comparator at t="
+        << now.ToMicroseconds() << "us sojourn=" << sojourn.ToMicroseconds();
+    if (d.inst) {
+      EXPECT_TRUE(d.full) << "full arm missed an instantaneous mark at t="
+                          << now.ToMicroseconds() << "us";
+    }
+    if (d.Divergent()) {
+      ++divergent_;
+      EXPECT_GE(sojourn, pst_) << "divergent mark below the mid-band";
+      EXPECT_LT(sojourn, ins_) << "divergent mark above the mid-band";
+      EXPECT_FALSE(first_above_.IsZero());
+      EXPECT_GT(now, first_above_ + interval_)
+          << "divergent mark before one full detection interval elapsed";
+      if (first_divergent_.IsZero()) first_divergent_ = now;
+    }
+    return d;
+  }
+
+  std::uint64_t divergent() const { return divergent_; }
+  Time first_divergent() const { return first_divergent_; }
+  EcnSharpAqm& full() { return full_; }
+  EcnSharpAqm& inst() { return inst_; }
+
+ private:
+  static EcnSharpConfig FullConfig(Time ins, Time pst, Time interval) {
+    EcnSharpConfig config;
+    config.ins_target = ins;
+    config.pst_target = pst;
+    config.pst_interval = interval;
+    return config;
+  }
+
+  // Exactly how harness/schemes.cc builds Scheme::kEcnSharpInstOnly.
+  static EcnSharpConfig InstOnlyConfig(Time ins, Time interval) {
+    EcnSharpConfig config;
+    config.ins_target = ins;
+    config.pst_target = Time::Max() / 4;
+    config.pst_interval = interval;
+    return config;
+  }
+
+  static bool Mark(EcnSharpAqm& aqm, Time now, Time sojourn) {
+    Packet pkt;
+    pkt.ecn = EcnCodepoint::kEct0;  // MarkCe is a no-op on non-ECT packets
+    aqm.OnDequeue(pkt, QueueSnapshot{}, now, sojourn);
+    return pkt.IsCeMarked();
+  }
+
+  Time ins_;
+  Time pst_;
+  Time interval_;
+  EcnSharpAqm full_;
+  EcnSharpAqm inst_;
+  Time first_above_ = Time::Zero();
+  Time first_divergent_ = Time::Zero();
+  std::uint64_t divergent_ = 0;
+};
+
+// Border RTT ratios the composed-fabric experiments sweep.
+constexpr std::int64_t kRatios[] = {1, 10, 100};
+
+Time Us(std::int64_t us) { return Time::FromMicroseconds(us); }
+
+// ------------------------- boundary sequences -------------------------------
+
+// Threshold-adjacent sojourns at every ratio, probing the exact detection
+// window boundary (strict-greater semantics: now == first_above + interval
+// must not detect) and the inclusive instantaneous comparison.
+TEST(InterDcDifferentialTest, ThresholdAndWindowBoundariesMatchAtEveryRatio) {
+  for (const std::int64_t ratio : kRatios) {
+    SCOPED_TRACE(ratio);
+    const Time ins = Us(220 * ratio);
+    const Time pst = Us(85);
+    const Time interval = Us(240 * ratio);
+    const std::int64_t soj_us[] = {0,
+                                   84,
+                                   85,
+                                   86,
+                                   220 * ratio - 1,
+                                   220 * ratio,
+                                   220 * ratio + 1};
+    for (const std::int64_t s : soj_us) {
+      DisparityHarness h(ins, pst, interval);
+      const Time t0 = Us(1000);
+      const ArmDecision first = h.Step(t0, Us(s));
+      // No history yet: only the instantaneous condition can mark.
+      EXPECT_EQ(first.full, s >= 220 * ratio);
+      // Exactly at the window boundary: strictly-greater, so no detection.
+      h.Step(t0 + interval, Us(s));
+      // One microsecond past the boundary: persistent detection fires iff
+      // the sojourn sat in (or above) the persistent band the whole time.
+      const ArmDecision past = h.Step(t0 + interval + Us(1), Us(s));
+      EXPECT_EQ(past.full, s >= 85);
+      EXPECT_EQ(past.Divergent(), s >= 85 && s < 220 * ratio);
+    }
+  }
+}
+
+// ------------------------ standing-queue analysis ---------------------------
+
+// A fabric-scale standing queue (300 us sojourn plateau) under thresholds
+// sized for border ratio R. At R=1 the instantaneous threshold (220 us)
+// catches it on every packet and the arms never diverge; at R in {10, 100}
+// the WAN-sized threshold (2.2 ms / 22 ms) never fires and ECN#'s
+// persistent machine is the only drain signal: first divergent mark exactly
+// one detection interval (plus one packet slot) after the plateau starts,
+// then the sqrt-shrinking cadence. The mark count is scale-invariant: the
+// whole sequence at R=100 is the R=10 one stretched 10x in time.
+TEST(InterDcDifferentialTest, StandingQueueDivergenceFollowsTheAnalysis) {
+  const Time plateau = Us(300);
+  std::uint64_t marks_at_ratio[3] = {0, 0, 0};
+  for (std::size_t r = 0; r < 3; ++r) {
+    const std::int64_t ratio = kRatios[r];
+    SCOPED_TRACE(ratio);
+    const Time ins = Us(220 * ratio);
+    const Time interval = Us(240 * ratio);
+    const Time spacing = Us(10 * ratio);  // 24 departures per interval
+    DisparityHarness h(ins, Us(85), interval);
+
+    const Time t0 = Us(500);
+    std::uint64_t packets = 0;
+    std::uint64_t inst_marks = 0;
+    for (Time t = t0; t < t0 + interval * 12.0; t = t + spacing) {
+      const ArmDecision d = h.Step(t, plateau);
+      ++packets;
+      if (d.inst) ++inst_marks;
+    }
+    ASSERT_FALSE(::testing::Test::HasFailure()) << "ratio " << ratio;
+    marks_at_ratio[r] = h.divergent();
+
+    if (ratio == 1) {
+      // 300 us >= 220 us: the fabric-sized threshold marks every packet,
+      // so the persistent machine never adds anything.
+      EXPECT_EQ(inst_marks, packets);
+      EXPECT_EQ(h.divergent(), 0u);
+    } else {
+      // WAN-sized threshold: blind to the standing queue.
+      EXPECT_EQ(inst_marks, 0u);
+      // Onset: detection needs strictly more than one interval above
+      // target, so the first divergent mark lands one packet slot after
+      // the t0 + interval boundary.
+      EXPECT_EQ(h.first_divergent(), t0 + interval + spacing);
+      // Rate: one mark per interval/sqrt(count) — for ~11 post-detection
+      // intervals the sqrt series gives ~40 marks, far above one-per-
+      // interval and far below one-per-packet.
+      EXPECT_GE(h.divergent(), 30u);
+      EXPECT_LE(h.divergent(), 55u);
+      EXPECT_EQ(h.full().persistent_marks(), h.divergent());
+    }
+  }
+  // Scale invariance: R=100 is R=10 stretched 10x, so the cadence produces
+  // the same mark count (up to one packet of integer-truncation slack).
+  const std::int64_t delta =
+      static_cast<std::int64_t>(marks_at_ratio[1]) -
+      static_cast<std::int64_t>(marks_at_ratio[2]);
+  EXPECT_LE(delta < 0 ? -delta : delta, 1);
+}
+
+// ------------------------- randomized trials --------------------------------
+
+// 5000 seeded trials per ratio: piecewise-constant sojourn plateaus drawn
+// from the below-pst / mid-band / above-ins bands, with plateau lengths and
+// inter-departure gaps randomized around the detection window. Every packet
+// re-asserts the three lockstep properties via the harness; the trial mix
+// guarantees both divergent and non-divergent trials occur (every fifth
+// trial draws only below-pst and above-ins plateaus, where the analysis
+// says the arms must agree exactly).
+TEST(InterDcDifferentialTest, RandomizedTrialsDivergeOnlyInTheMidBand) {
+  constexpr int kTrials = 5000;
+  for (std::size_t r = 0; r < 3; ++r) {
+    const std::int64_t ratio = kRatios[r];
+    std::uint64_t divergent_trials = 0;
+    std::uint64_t calm_trials = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(0x9e3779b9ull + static_cast<std::uint64_t>(trial) * 3 + r);
+      const std::int64_t pst_us = 60 + static_cast<std::int64_t>(
+                                           rng.UniformInt(41));
+      const std::int64_t ins_us =
+          (200 + static_cast<std::int64_t>(rng.UniformInt(41))) * ratio;
+      const std::int64_t interval_us =
+          (200 + static_cast<std::int64_t>(rng.UniformInt(81))) * ratio;
+      DisparityHarness h(Us(ins_us), Us(pst_us), Us(interval_us));
+
+      // Calm trials never visit the mid-band — the arms must stay
+      // identical end to end.
+      const bool calm = trial % 5 == 0;
+      if (calm) ++calm_trials;
+      std::int64_t t_us = 1 + static_cast<std::int64_t>(
+                                  rng.UniformInt(1'000'000));
+      int packets = 0;
+      while (packets < 200) {
+        std::int64_t sojourn_us;
+        const double band = rng.Uniform();
+        if (calm ? band < 0.6 : band < 0.35) {
+          sojourn_us = static_cast<std::int64_t>(rng.UniformInt(pst_us));
+        } else if (!calm && band < 0.8) {
+          sojourn_us = pst_us + static_cast<std::int64_t>(
+                                    rng.UniformInt(ins_us - pst_us));
+        } else {
+          sojourn_us = ins_us + static_cast<std::int64_t>(
+                                    rng.UniformInt(ins_us));
+        }
+        const std::int64_t plateau_len =
+            1 + static_cast<std::int64_t>(rng.UniformInt(40));
+        for (std::int64_t p = 0; p < plateau_len && packets < 200; ++p) {
+          t_us += 1 + static_cast<std::int64_t>(
+                          rng.UniformInt(interval_us / 4));
+          h.Step(Us(t_us), Us(sojourn_us));
+          ++packets;
+        }
+        if (::testing::Test::HasFailure()) {
+          FAIL() << "trial " << trial << " ratio " << ratio
+                 << " diverged from the predicted behaviour (pst=" << pst_us
+                 << " ins=" << ins_us << " interval=" << interval_us << ")";
+        }
+      }
+      if (calm) {
+        EXPECT_EQ(h.divergent(), 0u)
+            << "calm trial " << trial << " ratio " << ratio;
+      }
+      if (h.divergent() > 0) ++divergent_trials;
+    }
+    // The mix really exercised both regimes at this ratio.
+    EXPECT_GT(divergent_trials, static_cast<std::uint64_t>(kTrials) / 4)
+        << "ratio " << ratio;
+    EXPECT_GE(calm_trials, static_cast<std::uint64_t>(kTrials) / 5)
+        << "ratio " << ratio;
+    EXPECT_LE(divergent_trials, static_cast<std::uint64_t>(kTrials) -
+                                    calm_trials)
+        << "ratio " << ratio;
+  }
+}
+
+}  // namespace
+}  // namespace ecnsharp

@@ -278,6 +278,84 @@ TEST(TcpSenderTest, StaleAckIsIgnored) {
   EXPECT_EQ(h.sender->record().fast_retransmits, 0u);
 }
 
+// --- Karn's algorithm: RTO backoff vs the RTT probe ------------------------
+//
+// Three regressions for the interaction between exponential RTO backoff and
+// the single un-retransmitted RTT probe, shaped by ms-RTT inter-DC paths
+// where min_rto (5 ms) sits BELOW the path RTT:
+//
+//  * before the first RTT sample, ACK progress must NOT clear the backoff —
+//    the backed-off timer is the only thing that lets the first probe ACK
+//    arrive before the next spurious RTO;
+//  * once a sample exists, ACK progress MUST clear it — waiting for a fresh
+//    sample instead ratchets the backoff across independent loss events;
+//  * a go-back-N resend re-covers old sequence ranges, and an ACK of the
+//    original transmission must not satisfy a probe armed on the resend
+//    (the near-zero sample would pin the RTO at min_rto forever).
+
+TEST(TcpSenderTest, RtoBackoffHeldUntilFirstRttSample) {
+  TcpConfig config = NoEcn();
+  config.init_cwnd_segments = 2;
+  config.min_rto = Time::Milliseconds(5);
+  SenderHarness h(config, 1000 * 1460);
+  // No ACKs for 6 ms: the un-sampled 5 ms timer fires spuriously (a WAN
+  // path's first ACK is still in flight).
+  h.sim.RunFor(Time::Milliseconds(6));
+  EXPECT_EQ(h.sender->record().timeouts, 1u);
+  // The original transmissions' ACK lands. It is new-data progress, but no
+  // RTT sample was taken (the resend cancelled the probe and re-covered the
+  // range) — the backoff must survive, keeping the next RTO at ~10 ms.
+  h.Ack(2 * 1460);
+  h.sim.RunFor(Time::Milliseconds(6));
+  EXPECT_EQ(h.sender->record().timeouts, 1u);  // 5 ms timer would have fired
+  h.sim.RunFor(Time::Milliseconds(6));
+  EXPECT_EQ(h.sender->record().timeouts, 2u);  // the 10 ms one does
+}
+
+TEST(TcpSenderTest, RtoBackoffClearsOnAckProgressOnceRttValid) {
+  TcpConfig config = NoEcn();
+  config.init_cwnd_segments = 2;
+  config.min_rto = Time::Milliseconds(5);
+  SenderHarness h(config, 1000 * 1460);
+  // Prompt ACK of the initial window: a valid (tiny) RTT sample.
+  h.Ack(2 * 1460);
+  // Two back-to-back timeouts: backoff reaches 2 (next RTO 20 ms).
+  h.sim.RunFor(Time::Milliseconds(6));
+  h.sim.RunFor(Time::Milliseconds(12));
+  EXPECT_EQ(h.sender->record().timeouts, 2u);
+  // ACK progress with a valid estimate ends the backed-off regime: the next
+  // RTO is srtt-based (~5 ms floor), not 20 ms. Anything else ratchets the
+  // backoff across a loss-heavy elephant's whole lifetime.
+  h.Ack(6 * 1460);
+  h.sim.RunFor(Time::Milliseconds(6));
+  EXPECT_EQ(h.sender->record().timeouts, 3u);
+}
+
+TEST(TcpSenderTest, GoBackNResendDoesNotArmRttProbe) {
+  TcpConfig config = NoEcn();
+  config.init_cwnd_segments = 2;
+  config.min_rto = Time::Milliseconds(5);
+  SenderHarness h(config, 1000 * 1460);
+  // Spurious RTO at 5 ms; the go-back-N resend re-covers [0, 1460).
+  h.sim.RunFor(Time::Milliseconds(6));
+  EXPECT_EQ(h.sender->record().timeouts, 1u);
+  // ACK of the ORIGINAL initial window, ~1 ms after the resend. A probe
+  // armed on the resend would read this as a ~1 ms RTT and poison srtt;
+  // it must instead be ignored (no sample: the range was re-sent).
+  h.Ack(2 * 1460);
+  // Fresh data went out above (seq past everything ever sent) and armed the
+  // real probe; its ACK arrives a WAN-like 8 ms later.
+  h.sim.RunFor(Time::Milliseconds(8));
+  EXPECT_EQ(h.sender->record().timeouts, 1u);  // backed-off timer: 10 ms
+  h.Ack(3 * 1460);
+  // srtt is now ~8 ms, so the restarted RTO is srtt + 4*rttvar ~ 24 ms. A
+  // poisoned ~1 ms estimate would put it at the 5 ms floor instead.
+  h.sim.RunFor(Time::Milliseconds(20));
+  EXPECT_EQ(h.sender->record().timeouts, 1u);
+  h.sim.RunFor(Time::Milliseconds(8));
+  EXPECT_EQ(h.sender->record().timeouts, 2u);
+}
+
 // --- FlowHotState SoA arena ------------------------------------------------
 
 TEST(FlowHotArenaTest, RowsStayStableAcrossChunkGrowth) {

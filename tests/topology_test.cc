@@ -24,6 +24,8 @@
 #include "sched/fifo_queue_disc.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "sketch/telemetry.h"
+#include "topo/composed.h"
 #include "topo/dumbbell.h"
 #include "topo/fat_tree.h"
 #include "topo/leaf_spine.h"
@@ -747,6 +749,388 @@ TEST(SessionScenarioTest, ScenarioScriptRunsOnFatTree) {
   const ExperimentResult r = RunFatTree(config);
   EXPECT_EQ(r.scenario_actions, 3u);
   EXPECT_EQ(r.flows_completed, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Topology interface on ComposedTopology (inter-DC)
+// ---------------------------------------------------------------------------
+
+ComposedConfig SmallComposed() {
+  ComposedConfig config;
+  config.side_a.leaf_spine = SmallFabric();  // 2 spines, 2 leaves, 3 hpl
+  config.side_b.leaf_spine = SmallFabric();
+  config.border_rtt = Time::Milliseconds(2);
+  return config;
+}
+
+TEST(ComposedTopologyTest, EnumeratesSidesGatewaysAndBorder) {
+  Simulator sim;
+  ComposedTopology topo(sim, SmallComposed(), [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  Topology& iface = topo;
+
+  EXPECT_EQ(iface.host_count(), 12u);
+  EXPECT_EQ(topo.side_host_count(0), 6u);
+  EXPECT_EQ(topo.side_host_count(1), 6u);
+  // auto_address: side B's block sits immediately after side A's.
+  EXPECT_EQ(topo.side_base_address(0), 0u);
+  EXPECT_EQ(topo.side_base_address(1), 6u);
+  EXPECT_EQ(topo.host(7).address(), 7u);
+  EXPECT_EQ(topo.border_link_count(), 1u);
+  EXPECT_EQ(topo.attach_count(0), 2u);  // one attach per spine
+  EXPECT_EQ(topo.attach_count(1), 2u);
+
+  // Per side: 2 leaves x (3 down + 2 up) + 2 spines x (2 down + 1 attach
+  // up) = 16 ports; each gateway: 2 attach downs + 1 border link = 3.
+  ASSERT_EQ(iface.bottleneck_count(), 16u + 16u + 3u + 3u);
+  EXPECT_EQ(&iface.bottleneck(0), &topo.side(0).bottleneck(0));
+  EXPECT_EQ(&iface.bottleneck(16), &topo.side(1).bottleneck(0));
+  EXPECT_EQ(&iface.bottleneck(32), &topo.gateway(0).port(0));
+  EXPECT_EQ(&iface.bottleneck(34), &topo.border_port(0, 0));
+  EXPECT_EQ(&iface.bottleneck(35), &topo.gateway(1).port(0));
+  EXPECT_EQ(&iface.bottleneck(37), &topo.border_port(1, 0));
+
+  // Load is defined against both sides' aggregate access capacity.
+  EXPECT_EQ(iface.ReferenceCapacity().bps(),
+            SmallFabric().rate.bps() * static_cast<std::int64_t>(12));
+  // Incast converges on side A's host 0 from hosts fabric-wide.
+  EXPECT_EQ(iface.IncastTarget(), 0u);
+  EXPECT_EQ(&iface.IncastSender(0), &iface.stack(1));
+  EXPECT_EQ(&iface.IncastSender(10), &iface.stack(11));
+  EXPECT_EQ(&iface.IncastSender(11), &iface.stack(1));
+}
+
+TEST(ComposedTopologyTest, ResolvesScenarioPortIds) {
+  Simulator sim;
+  ComposedTopology topo(sim, SmallComposed(), [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  Topology& iface = topo;
+
+  // -1 = the first border link's egress on gateway A.
+  EXPECT_EQ(iface.ResolvePort(-1), &topo.border_port(0, 0));
+  for (std::size_t h = 0; h < iface.host_count(); ++h) {
+    EXPECT_EQ(iface.ResolvePort(static_cast<int>(h)), &iface.host(h).nic());
+  }
+  const int base = static_cast<int>(iface.host_count());
+  for (std::size_t b = 0; b < iface.bottleneck_count(); ++b) {
+    EXPECT_EQ(iface.ResolvePort(base + static_cast<int>(b)),
+              &iface.bottleneck(b));
+  }
+  EXPECT_EQ(
+      iface.ResolvePort(base + static_cast<int>(iface.bottleneck_count())),
+      nullptr);
+  // The diagnostic names every range of the unified target-id space.
+  const std::string targets = iface.DescribePortTargets();
+  EXPECT_NE(targets.find("0..11"), std::string::npos);
+  EXPECT_NE(targets.find("12..27"), std::string::npos);
+  EXPECT_NE(targets.find("28..43"), std::string::npos);
+  EXPECT_NE(targets.find("44..46"), std::string::npos);
+  EXPECT_NE(targets.find("gateway B"), std::string::npos);
+}
+
+TEST(ComposedTopologyTest, RttCapacityAndSamplePopulation) {
+  Simulator sim;
+  ComposedConfig config = SmallComposed();
+  config.attach_delay = Time::FromMicroseconds(5);
+  ComposedTopology topo(sim, config, [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  Topology& iface = topo;
+
+  // Hosts keep their side's intra-fabric base RTT (plus extras).
+  EXPECT_EQ(iface.HostBaseRtt(0), Time::FromMicroseconds(80));
+  EXPECT_EQ(iface.HostBaseRtt(6), Time::FromMicroseconds(80));
+  topo.host(7).set_extra_egress_delay(Time::FromMicroseconds(40));
+  EXPECT_EQ(iface.HostBaseRtt(7), Time::FromMicroseconds(120));
+
+  // The border adds its RTT plus the four attach hops to inter-DC paths.
+  EXPECT_EQ(topo.InterExtraRtt(), Time::FromMicroseconds(2020));
+  EXPECT_EQ(topo.InterBaseRtt(), Time::FromMicroseconds(2100));
+  // Border ports advertise the full inter-DC base RTT to the sketch.
+  EXPECT_EQ(topo.border_port(0, 0).base_rtt_hint(), topo.InterBaseRtt());
+  EXPECT_EQ(topo.border_port(1, 0).base_rtt_hint(), topo.InterBaseRtt());
+  // Attach and side ports carry no WAN annotation.
+  EXPECT_EQ(topo.gateway(0).port(0).base_rtt_hint(), Time::Zero());
+  EXPECT_EQ(topo.side(0).bottleneck(0).base_rtt_hint(), Time::Zero());
+
+  // Re-estimation population: one sample per host plus
+  // round(inter_rtt_fraction * hosts) inter-DC samples cycling over hosts.
+  std::vector<double> rtts;
+  iface.AppendRttSamplesUs(rtts);
+  ASSERT_EQ(rtts.size(), 12u + 3u);  // default fraction 0.25
+  EXPECT_DOUBLE_EQ(rtts[0], 80.0);
+  EXPECT_DOUBLE_EQ(rtts[7], 120.0);  // the extra delay above
+  EXPECT_DOUBLE_EQ(rtts[12], 80.0 + 2020.0);
+  EXPECT_DOUBLE_EQ(rtts[13], 80.0 + 2020.0);
+}
+
+TEST(ComposedTopologyTest, SplitSamplingRespectsTheSeam) {
+  Simulator sim;
+  ComposedTopology topo(sim, SmallComposed(), [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+
+  Rng rng(77);
+  for (int i = 0; i < 400; ++i) {
+    const auto [src_a, dst_a] = topo.SampleIntraPair(0, rng);
+    ASSERT_NE(src_a, nullptr);
+    EXPECT_LT(src_a->host().address(), 6u);
+    EXPECT_LT(dst_a, 6u);
+    EXPECT_NE(src_a->host().address(), dst_a);
+
+    const auto [src_b, dst_b] = topo.SampleIntraPair(1, rng);
+    ASSERT_NE(src_b, nullptr);
+    EXPECT_GE(src_b->host().address(), 6u);
+    EXPECT_GE(dst_b, 6u);
+    EXPECT_LT(dst_b, 12u);
+    EXPECT_NE(src_b->host().address(), dst_b);
+
+    const auto [src_x, dst_x] = topo.SampleInterPair(rng);
+    ASSERT_NE(src_x, nullptr);
+    // An inter pair always crosses the seam, in either direction.
+    EXPECT_NE(src_x->host().address() < 6u, dst_x < 6u);
+    EXPECT_LT(dst_x, 12u);
+  }
+}
+
+TEST(ComposedTopologyTest, MixedLeafSpineFatTreeSidesCarryTraffic) {
+  InterDcExperimentConfig config;
+  config.topo.side_a.leaf_spine = SmallFabric();
+  config.topo.side_b.kind = ComposedSideConfig::Kind::kFatTree;
+  config.topo.side_b.fat_tree.k = 4;
+  config.topo.border_rtt = Time::FromMicroseconds(200);
+  config.flows = 24;
+  config.load = 0.3;
+  config.inter_fraction = 0.5;
+  config.seed = 13;
+  const ExperimentResult r = RunInterDc(config);
+  EXPECT_EQ(r.flows_started, 24u);
+  EXPECT_EQ(r.flows_completed, 24u);
+  EXPECT_EQ(r.inter_fct.count, 12u);
+  EXPECT_EQ(r.intra_a_fct.count + r.intra_b_fct.count, 12u);
+
+  // The composition itself: 6 leaf-spine hosts then 16 fat-tree hosts,
+  // gateway B attaches to every core (k^2/4 = 4 of them).
+  Simulator sim;
+  ComposedTopology topo(sim, config.topo, [] {
+    return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams());
+  });
+  EXPECT_EQ(topo.host_count(), 22u);
+  EXPECT_EQ(topo.side_base_address(1), 6u);
+  EXPECT_EQ(topo.attach_count(1), 4u);
+  EXPECT_EQ(topo.host(6).address(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Composed reduction parity: with zero border traffic and zero extra border
+// RTT, each side of the composed fabric must reproduce its standalone
+// single-fabric run bit for bit — the acceptance bar for the seam (attach
+// ports, gateway switches, range routes) being invisible until used.
+// ---------------------------------------------------------------------------
+
+void ExpectSummariesEqual(const FctSummary& a, const FctSummary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.avg_us, b.avg_us);
+  EXPECT_DOUBLE_EQ(a.stddev_us, b.stddev_us);
+  EXPECT_DOUBLE_EQ(a.p50_us, b.p50_us);
+  EXPECT_DOUBLE_EQ(a.p90_us, b.p90_us);
+  EXPECT_DOUBLE_EQ(a.p99_us, b.p99_us);
+  EXPECT_DOUBLE_EQ(a.max_us, b.max_us);
+}
+
+TEST(GoldenParityTest, ComposedZeroBorderReducesToStandaloneSides) {
+  for (const Scheme scheme :
+       {Scheme::kEcnSharp, Scheme::kDctcpRedTail, Scheme::kCodel}) {
+    SCOPED_TRACE(SchemeName(scheme));
+    // Both sides are the leaf-spine golden fabric; flows split evenly, so
+    // each side runs the standalone golden's 80 flows.
+    InterDcExperimentConfig composed;
+    composed.scheme = scheme;
+    composed.params = SimulationSchemeParams();
+    composed.topo.side_a.leaf_spine.spines = 2;
+    composed.topo.side_a.leaf_spine.leaves = 2;
+    composed.topo.side_a.leaf_spine.hosts_per_leaf = 4;
+    composed.topo.side_b = composed.topo.side_a;
+    composed.topo.border_rtt = Time::Zero();
+    composed.topo.attach_delay = Time::Zero();
+    composed.inter_fraction = 0.0;
+    composed.flows = 160;
+    composed.load = 0.4;
+    composed.seed = 7;
+    const ExperimentResult c = RunInterDc(composed);
+    EXPECT_EQ(c.flows_completed, 160u);
+    EXPECT_EQ(c.inter_fct.count, 0u);
+    EXPECT_EQ(c.intra_fct.count, 160u);
+
+    // Side A replays the standalone run at the composed seed; side B at
+    // seed+1 with its address block offset to match the composed plan.
+    LeafSpineExperimentConfig standalone;
+    standalone.scheme = scheme;
+    standalone.params = SimulationSchemeParams();
+    standalone.topo.spines = 2;
+    standalone.topo.leaves = 2;
+    standalone.topo.hosts_per_leaf = 4;
+    standalone.flows = 80;
+    standalone.load = 0.4;
+    standalone.seed = 7;
+    const ExperimentResult a = RunLeafSpine(standalone);
+    standalone.seed = 8;
+    standalone.topo.base_address = 8;  // side B's auto-assigned block
+    const ExperimentResult b = RunLeafSpine(standalone);
+
+    ExpectSummariesEqual(c.intra_a_fct, a.overall);
+    ExpectSummariesEqual(c.intra_b_fct, b.overall);
+    EXPECT_EQ(c.timeouts, a.timeouts + b.timeouts);
+    // With the seam idle, the composed fabric's aggregate queue counters
+    // are exactly the two standalone fabrics' sums (gateway and attach
+    // queues never see a packet).
+    EXPECT_EQ(c.bottleneck.ce_marked,
+              a.bottleneck.ce_marked + b.bottleneck.ce_marked);
+    EXPECT_EQ(c.bottleneck.dropped_overflow,
+              a.bottleneck.dropped_overflow + b.bottleneck.dropped_overflow);
+  }
+}
+
+// Side A of the zero-border composed run at the golden seed IS the pinned
+// leaf-spine golden — pin it directly so composed-run drift is caught even
+// if RunLeafSpine drifts in the same way.
+TEST(GoldenParityTest, ComposedSideAMatchesPinnedLeafSpineGolden) {
+  InterDcExperimentConfig composed;
+  composed.scheme = Scheme::kEcnSharp;
+  composed.params = SimulationSchemeParams();
+  composed.topo.side_a.leaf_spine.spines = 2;
+  composed.topo.side_a.leaf_spine.leaves = 2;
+  composed.topo.side_a.leaf_spine.hosts_per_leaf = 4;
+  composed.topo.side_b = composed.topo.side_a;
+  composed.topo.border_rtt = Time::Zero();
+  composed.topo.attach_delay = Time::Zero();
+  composed.inter_fraction = 0.0;
+  composed.flows = 160;
+  composed.load = 0.4;
+  composed.seed = 7;
+  const ExperimentResult c = RunInterDc(composed);
+  EXPECT_EQ(c.intra_a_fct.count, 80u);
+  EXPECT_DOUBLE_EQ(c.intra_a_fct.avg_us, 542.41020000000003);
+  EXPECT_DOUBLE_EQ(c.intra_a_fct.p99_us, 3312.739);
+}
+
+// ---------------------------------------------------------------------------
+// Inter-DC session behavior: split reporting, scenarios, sketch seeding
+// ---------------------------------------------------------------------------
+
+TEST(InterDcSessionTest, SplitFctReportingCoversEveryFlow) {
+  InterDcExperimentConfig config;
+  config.topo.side_a.leaf_spine = SmallFabric();
+  config.topo.side_b.leaf_spine = SmallFabric();
+  config.topo.border_rtt = Time::Milliseconds(2);
+  config.flows = 40;
+  config.load = 0.3;
+  config.inter_fraction = 0.5;
+  config.seed = 21;
+  const ExperimentResult r = RunInterDc(config);
+  EXPECT_EQ(r.flows_started, 40u);
+  EXPECT_EQ(r.flows_completed, 40u);
+  // The split partitions the flow population exactly.
+  EXPECT_EQ(r.inter_fct.count, 20u);
+  EXPECT_EQ(r.intra_fct.count, 20u);
+  EXPECT_EQ(r.intra_a_fct.count + r.intra_b_fct.count, r.intra_fct.count);
+  EXPECT_EQ(r.overall.count, r.intra_fct.count + r.inter_fct.count);
+  EXPECT_EQ(r.intra_timeouts + r.inter_timeouts, r.timeouts);
+  // A 2 ms border makes cross-border flows visibly slower than intra ones.
+  EXPECT_GT(r.inter_fct.p50_us, r.intra_fct.p50_us + 1000.0);
+}
+
+TEST(SessionScenarioTest, ScenarioScriptFlapsTheBorderLink) {
+  ScenarioScript script;
+  script.seed = 9;
+  ScenarioAction down;
+  down.kind = ScenarioActionKind::kLinkDown;
+  down.at = Time::Milliseconds(2);
+  down.target = -1;  // composed convention: the first border link
+  down.drop_queued = true;
+  script.actions.push_back(down);
+  ScenarioAction up = down;
+  up.kind = ScenarioActionKind::kLinkUp;
+  up.at = Time::Milliseconds(2) + Time::FromMicroseconds(300);
+  script.actions.push_back(up);
+  ScenarioAction reest;
+  reest.kind = ScenarioActionKind::kReestimateEcnSharp;
+  reest.at = Time::Milliseconds(3);
+  script.actions.push_back(reest);
+
+  InterDcExperimentConfig config;
+  config.topo.side_a.leaf_spine = SmallFabric();
+  config.topo.side_b.leaf_spine = SmallFabric();
+  config.topo.border_rtt = Time::FromMicroseconds(400);
+  config.flows = 40;
+  config.load = 0.3;
+  config.inter_fraction = 0.4;
+  config.seed = 5;
+  config.scenario = script;
+  const ExperimentResult r = RunInterDc(config);
+  EXPECT_EQ(r.scenario_actions, 3u);
+  EXPECT_EQ(r.flows_completed, 40u);
+}
+
+TEST(InterDcSessionTest, SketchSeedsBorderBaseRttHint) {
+  InterDcExperimentConfig config;
+  config.topo.side_a.leaf_spine = SmallFabric();
+  config.topo.side_b.leaf_spine = SmallFabric();
+  config.topo.border_rtt = Time::Milliseconds(2);
+  config.flows = 30;
+  config.load = 0.3;
+  config.inter_fraction = 0.3;
+  config.seed = 17;
+  config.sketch.enabled = true;
+  const ExperimentResult r = RunInterDc(config);
+  ASSERT_NE(r.sketch, nullptr);
+  // The border ports' WAN annotation must have been offered to (and
+  // admitted by) the base-RTT sketch — that is what lets the sketch-driven
+  // estimator see ms-RTT paths no data packet has measured yet.
+  EXPECT_GT(r.sketch->hint_samples_admitted(), 0u);
+  EXPECT_EQ(r.flows_completed, 30u);
+}
+
+// The sweep export contract extends to the inter-DC family: byte-identical
+// across --jobs settings and across re-runs.
+TEST(GoldenSweepTest, InterDcSweepJsonIsJobCountInvariantAndRepeatable) {
+  std::vector<runner::JobSpec> specs;
+  for (std::uint64_t seed : {2ull, 3ull, 4ull}) {
+    InterDcExperimentConfig config;
+    config.topo.side_a.leaf_spine = SmallFabric();
+    config.topo.side_b.leaf_spine = SmallFabric();
+    config.topo.border_rtt = Time::FromMicroseconds(800);
+    config.flows = 60;
+    config.load = 0.3;
+    config.inter_fraction = 0.25;
+    config.seed = seed;
+    specs.push_back({"interdc/" + std::to_string(seed), config});
+  }
+  runner::SweepOptions options;
+  options.progress = false;
+  std::string golden;  // from the first --jobs 1 run
+  for (const std::size_t jobs : {1u, 1u, 4u, 8u}) {  // 1 twice: re-run parity
+    options.jobs = jobs;
+    const std::vector<runner::JobResult> results =
+        runner::RunJobs(specs, options);
+    ASSERT_EQ(results.size(), specs.size());
+    const std::string dump =
+        runner::SweepToJson("interdc_golden", specs, results).Dump();
+    EXPECT_GT(dump.size(), 500u);
+    // The export carries the split-FCT block and the border parameters.
+    EXPECT_NE(dump.find("inter_fct"), std::string::npos);
+    EXPECT_NE(dump.find("border_rtt_us"), std::string::npos);
+    if (golden.empty()) {
+      golden = dump;
+    } else {
+      EXPECT_EQ(dump, golden) << "jobs=" << jobs;
+    }
+  }
+  const std::vector<runner::JobResult> once = runner::RunJobs(specs, options);
+  EXPECT_NE(runner::FctResult(once[0]).overall.avg_us,
+            runner::FctResult(once[1]).overall.avg_us);
 }
 
 }  // namespace

@@ -32,6 +32,7 @@
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sketch/telemetry.h"
+#include "topo/composed.h"
 #include "topo/fat_tree.h"
 #include "trace/trace_config.h"
 #include "trace/trace_recorder.h"
@@ -397,6 +398,144 @@ TEST(TraceSoakTest, DynamicFatTreeTraceAndSketchAgreeWithHarnessCounters) {
   EXPECT_EQ(r.scenario_actions, 10u);  // burst + 4 downs + 4 ups + re-estimate
   EXPECT_EQ(r.incast_bursts, 1u);
   EXPECT_EQ(r.flows_completed, 76u);  // 60 workload + 16 burst flows
+}
+
+// The same churn timeline against the composed inter-DC fabric's border
+// port — the seam where ms-RTT WAN serialization meets purge-flaps — with
+// the rest of both sides live behind it. One test per queue disc so each
+// drain/purge interleave is pinned independently.
+ComposedConfig SoakComposed() {
+  ComposedConfig config;
+  config.side_a.leaf_spine.spines = 2;
+  config.side_a.leaf_spine.leaves = 2;
+  config.side_a.leaf_spine.hosts_per_leaf = 3;
+  config.side_b = config.side_a;
+  config.border_rtt = Time::Milliseconds(2);
+  return config;
+}
+
+void SoakComposedBorder(
+    const std::function<std::unique_ptr<QueueDisc>()>& make_disc) {
+  for (const std::uint64_t seed : kSoakSeeds) {
+    Simulator sim;
+    ComposedTopology topo(sim, SoakComposed(), make_disc);
+    EgressPort* border = topo.ResolvePort(-1);
+    ASSERT_NE(border, nullptr);
+    SoakPort(sim, *border, nullptr, seed);
+  }
+}
+
+TEST(TraceSoakTest, ComposedBorderFifoInvariantHoldsUnderChurn) {
+  SoakComposedBorder(
+      [] { return MakeFifoDisc(Scheme::kEcnSharp, SchemeParams()); });
+}
+
+TEST(TraceSoakTest, ComposedBorderDwrrInvariantHoldsUnderChurn) {
+  SoakComposedBorder([] {
+    std::vector<DwrrQueueDisc::ClassConfig> classes(3);
+    classes[0].weight = 2;
+    classes[1].weight = 1;
+    classes[2].weight = 1;
+    return std::make_unique<DwrrQueueDisc>(24'000, std::move(classes));
+  });
+}
+
+TEST(TraceSoakTest, ComposedBorderSpInvariantHoldsUnderChurn) {
+  SoakComposedBorder([] {
+    std::vector<SpQueueDisc::ClassConfig> classes(3);
+    return std::make_unique<SpQueueDisc>(24'000, std::move(classes));
+  });
+}
+
+// Full-stack composed soak: two live leaf-spine sides over a flapping
+// border under a split traffic matrix, with both the flight recorder and
+// the sketch telemetry on. The scenario combines border purge-flaps with an
+// RTT shift (border propagation change + ECN# re-estimation) — the two
+// stressors the inter-DC regime composes. Per-site tallies summed over all
+// 38 sites (16 per side + 3 per gateway) must equal the fabric-wide
+// aggregates, and the fabric must drain to enqueued == dequeued + purged.
+TEST(TraceSoakTest, DynamicInterDcTraceAndSketchAgreeWithHarnessCounters) {
+  InterDcExperimentConfig config;
+  config.topo = SoakComposed();
+  config.topo.border_rtt = Time::FromMicroseconds(400);
+  // Oversubscribed border (1G against a 10G fabric): the B->A burst data
+  // queues at the seam, so the purge-flaps find a standing backlog there.
+  config.topo.border_rate = DataRate::GigabitsPerSecond(1);
+  config.flows = 40;
+  config.inter_fraction = 0.25;
+  config.seed = 5;
+  config.trace.enabled = true;
+  config.sketch.enabled = true;
+
+  // An incast burst converging on side A's host 0 pulls the side B senders
+  // across the border, so the border purge-flaps have a guaranteed backlog.
+  ScenarioScript script;
+  script.seed = 21;
+  ScenarioAction burst;
+  burst.kind = ScenarioActionKind::kIncastBurst;
+  burst.at = Time::Milliseconds(1) + Time::FromMicroseconds(500);
+  burst.flows = 10;
+  burst.bytes = 80000;
+  script.actions.push_back(burst);
+  ScenarioAction down;
+  down.kind = ScenarioActionKind::kLinkDown;
+  down.at = Time::Milliseconds(2);
+  // Gateway B's border egress — the B->A direction carrying the burst data
+  // (id 49 = 12 hosts + 32 side bottlenecks + 3 gwA ports + 2 gwB attach
+  // downs; gateway A's direction only carries ACKs here).
+  down.target = 49;
+  down.drop_queued = true;
+  down.repeat = 4;
+  down.period = Time::FromMicroseconds(500);
+  script.actions.push_back(down);
+  ScenarioAction up = down;
+  up.kind = ScenarioActionKind::kLinkUp;
+  up.at = down.at + Time::FromMicroseconds(250);
+  script.actions.push_back(up);
+  ScenarioAction shift;
+  shift.kind = ScenarioActionKind::kSetLinkDelay;
+  shift.at = Time::Milliseconds(5);
+  shift.target = -1;
+  shift.delay_us = 1000.0;  // border one-way 200us -> 1ms mid-run
+  script.actions.push_back(shift);
+  ScenarioAction reest;
+  reest.kind = ScenarioActionKind::kReestimateEcnSharp;
+  reest.at = Time::Milliseconds(5) + Time::FromMicroseconds(100);
+  script.actions.push_back(reest);
+  config.scenario = script;
+
+  const ExperimentResult r = RunInterDc(config);
+  ASSERT_NE(r.trace, nullptr);
+  ASSERT_NE(r.sketch, nullptr);
+  ASSERT_EQ(r.trace->site_count(), 38u);
+  ASSERT_EQ(r.sketch->site_count(), 38u);
+
+  TraceSiteCounters total;
+  SketchSiteCounters sketch_total;
+  for (std::uint16_t s = 0; s < 38; ++s) {
+    const TraceSiteCounters& c = r.trace->site_counters(s);
+    total.enqueued += c.enqueued;
+    total.dequeued += c.dequeued;
+    total.purged += c.purged;
+    total.marks += c.marks;
+    const SketchSiteCounters& sc = r.sketch->site_counters(s);
+    sketch_total.enqueued += sc.enqueued;
+    sketch_total.dequeued += sc.dequeued;
+    sketch_total.marks += sc.marks;
+  }
+  EXPECT_EQ(total.enqueued, r.bottleneck.enqueued);
+  EXPECT_EQ(total.dequeued, r.bottleneck.dequeued);
+  EXPECT_EQ(total.purged, r.bottleneck.purged);
+  EXPECT_EQ(total.marks, r.bottleneck.ce_marked);
+  EXPECT_EQ(sketch_total.enqueued, r.bottleneck.enqueued);
+  EXPECT_EQ(sketch_total.dequeued, r.bottleneck.dequeued);
+  EXPECT_EQ(sketch_total.marks, r.bottleneck.ce_marked);
+  // Drained fabric: the `queued` term of the invariant is zero.
+  EXPECT_EQ(r.bottleneck.enqueued, r.bottleneck.dequeued + r.bottleneck.purged);
+  EXPECT_GT(r.bottleneck.purged, 0u);  // the flaps really purged a backlog
+  EXPECT_EQ(r.scenario_actions, 11u);  // burst + 4 downs + 4 ups + shift + reest
+  EXPECT_EQ(r.incast_bursts, 1u);
+  EXPECT_EQ(r.flows_completed, 50u);  // 40 workload + 10 burst flows
 }
 
 // Two discs drawing from one Dynamic Threshold pool with per-priority

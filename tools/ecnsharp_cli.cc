@@ -135,13 +135,26 @@ ScenarioScript LoadScenarioOrDie(const std::string& value) {
 int Usage() {
   std::printf(
       "ecnsharp_cli — run an ECN# experiment\n\n"
-      "  --topo=dumbbell|leafspine|fattree|incast\n"
+      "  --topo=dumbbell|leafspine|fattree|interdc|incast\n"
       "                                     topology (default dumbbell)\n"
-      "  --topology=dumbbell|leafspine|fattree\n"
+      "  --topology=dumbbell|leafspine|fattree|interdc\n"
       "                                     alias of --topo for the\n"
       "                                     scenario-capable topologies;\n"
       "                                     overrides --topo when both are\n"
       "                                     given\n"
+      "  --border-rtt-us=<us>               interdc: extra round-trip of each\n"
+      "                                     border link, in [0, 10000000]\n"
+      "                                     (default 2000)\n"
+      "  --border-gbps=<g>                  interdc: per-border-link rate\n"
+      "                                     (default 10)\n"
+      "  --border-links=<n >= 1>            interdc: parallel border links\n"
+      "                                     (default 1)\n"
+      "  --inter-fraction=<0..1>            interdc: fraction of flows that\n"
+      "                                     cross the border (default 0.1)\n"
+      "  --inter-workload=websearch|datamining\n"
+      "                                     interdc: size distribution of\n"
+      "                                     the cross-border flows (default\n"
+      "                                     datamining)\n"
       "  --k=<even n>=4>                    fat-tree arity: k^3/4 hosts\n"
       "                                     (default 8 -> 128 hosts)\n"
       "  --rate-gbps=<g>                    fat-tree link rate (default 10)\n"
@@ -269,6 +282,13 @@ void PrintFctResult(const ExperimentResult& r) {
     row("cubic flows", r.cubic_fct);
     row("newreno flows", r.newreno_fct);
   }
+  // Split traffic-matrix rows exist only for inter-DC composed runs.
+  if (r.intra_fct.count != 0 || r.inter_fct.count != 0) {
+    row("intra-DC", r.intra_fct);
+    row("intra-DC short", r.intra_short_fct);
+    row("inter-DC", r.inter_fct);
+    row("inter-DC short", r.inter_short_fct);
+  }
   table.Print();
   std::printf(
       "flows: %zu/%zu completed  timeouts: %llu  CE marks: %llu  drops: "
@@ -387,6 +407,47 @@ FatTreeConfig FatTreeConfigFromFlags(const Flags& flags) {
   topo.fabric_link_delay =
       Time::FromMicroseconds(flags.GetDouble("fabric-delay-us", 10.0));
   return topo;
+}
+
+// Inter-DC composed-fabric knobs shared by single-run and sweep mode. Border
+// numbers are validated here so a bad flag fails at parse time with the
+// CLI's usual exit 2 (the ComposedTopology constructor would also reject
+// them, with the same status).
+InterDcExperimentConfig InterDcConfigFromFlags(const Flags& flags,
+                                               const EmpiricalCdf* workload) {
+  InterDcExperimentConfig config;
+  config.workload = workload;
+  const std::string inter_workload = flags.Get("inter-workload", "datamining");
+  if (inter_workload == "websearch") {
+    config.inter_workload = &WebSearchWorkload();
+  } else if (inter_workload == "datamining") {
+    config.inter_workload = &DataMiningWorkload();
+  } else {
+    FlagError("inter-workload", inter_workload, "websearch or datamining");
+  }
+  config.inter_fraction = flags.GetDouble("inter-fraction", 0.1);
+  if (config.inter_fraction < 0.0 || config.inter_fraction > 1.0) {
+    FlagError("inter-fraction", flags.Get("inter-fraction", ""),
+              "a fraction in [0, 1]");
+  }
+  config.topo.border_links = flags.GetU64("border-links", 1);
+  if (config.topo.border_links < 1) {
+    FlagError("border-links", flags.Get("border-links", ""),
+              "an integer >= 1");
+  }
+  const double border_gbps = flags.GetDouble("border-gbps", 10.0);
+  if (border_gbps <= 0.0) {
+    FlagError("border-gbps", flags.Get("border-gbps", ""),
+              "a positive rate in Gbit/s");
+  }
+  config.topo.border_rate = DataRate::GigabitsPerSecond(border_gbps);
+  const double border_rtt_us = flags.GetDouble("border-rtt-us", 2000.0);
+  if (border_rtt_us < 0.0 || border_rtt_us > 10'000'000.0) {
+    FlagError("border-rtt-us", flags.Get("border-rtt-us", ""),
+              "microseconds in [0, 10000000]");
+  }
+  config.topo.border_rtt = Time::FromMicroseconds(border_rtt_us);
+  return config;
 }
 
 // Mixed-CC share, shared by single-run and sweep mode; validated to [0, 1].
@@ -526,7 +587,7 @@ int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
                    axis.param.c_str(), topo.c_str());
       return 2;
     }
-    if ((topo == "leafspine" || topo == "fattree") &&
+    if ((topo == "leafspine" || topo == "fattree" || topo == "interdc") &&
         axis.param == "variation") {
       std::fprintf(stderr,
                    "--sweep param 'variation' does not apply to --topo=%s\n",
@@ -582,6 +643,18 @@ int RunSweepMode(const Flags& flags, const std::string& topo, Scheme scheme,
       config.scheme = scheme;
       config.workload = workload;
       config.topo = FatTreeConfigFromFlags(flags);
+      config.load = value("load", flags.GetDouble("load", 0.5) * 100) / 100;
+      config.flows = static_cast<std::size_t>(
+          value("flows", static_cast<double>(flags.GetU64("flows", 1000))));
+      config.seed = static_cast<std::uint64_t>(
+          value("seed", static_cast<double>(flags.GetU64("seed", 1))));
+      config.scenario = scenario;
+      config.cc_mix = cc_mix;
+      config.buffer_policy = buffer_policy;
+      spec.config = config;
+    } else if (topo == "interdc") {
+      InterDcExperimentConfig config = InterDcConfigFromFlags(flags, workload);
+      config.scheme = scheme;
       config.load = value("load", flags.GetDouble("load", 0.5) * 100) / 100;
       config.flows = static_cast<std::size_t>(
           value("flows", static_cast<double>(flags.GetU64("flows", 1000))));
@@ -660,7 +733,7 @@ int main(int argc, char** argv) {
                                      : &WebSearchWorkload();
   std::string topo = flags.Get("topo", "dumbbell");
   if (topo != "dumbbell" && topo != "leafspine" && topo != "fattree" &&
-      topo != "incast") {
+      topo != "interdc" && topo != "incast") {
     std::fprintf(stderr, "unknown topo '%s' (see --help)\n", topo.c_str());
     return 2;
   }
@@ -668,14 +741,28 @@ int main(int argc, char** argv) {
   // --topo, so scripts composing `--scenario` never land on incast.
   if (flags.Has("topology")) {
     const std::string value = flags.Get("topology", "");
-    if (value != "dumbbell" && value != "leafspine" && value != "fattree") {
+    if (value != "dumbbell" && value != "leafspine" && value != "fattree" &&
+        value != "interdc") {
       std::fprintf(stderr,
-                   "invalid --topology '%s' (expected dumbbell, leafspine "
-                   "or fattree)\n",
+                   "invalid --topology '%s' (expected dumbbell, leafspine, "
+                   "fattree or interdc)\n",
                    value.c_str());
       return 2;
     }
     topo = value;
+  }
+
+  // Border knobs are meaningless outside the composed topology; naming one
+  // on another topology is a config error, not a silent no-op.
+  if (topo != "interdc" &&
+      (flags.Has("border-rtt-us") || flags.Has("border-gbps") ||
+       flags.Has("border-links") || flags.Has("inter-fraction") ||
+       flags.Has("inter-workload"))) {
+    std::fprintf(stderr,
+                 "--border-rtt-us/--border-gbps/--border-links/"
+                 "--inter-fraction/--inter-workload apply to "
+                 "--topo=interdc\n");
+    return 2;
   }
 
   if (topo == "incast" &&
@@ -859,6 +946,37 @@ int main(int argc, char** argv) {
     std::shared_ptr<const SketchTelemetry> telemetry;
     if (scenario.empty()) {
       const ExperimentResult r = RunFatTree(config);
+      PrintFctResult(r);
+      recorded = r.trace;
+      telemetry = r.sketch;
+    } else {
+      const runner::JobResult job = RunSingleViaRunner(flags, scheme, config);
+      recorded = runner::FctResult(job).trace;
+      telemetry = runner::FctResult(job).sketch;
+    }
+    if (trace.enabled) ExportTraceOrDie(flags, recorded);
+    if (sketch.enabled) ExportSketchOrDie(flags, telemetry);
+  } else if (topo == "interdc") {
+    InterDcExperimentConfig config = InterDcConfigFromFlags(flags, workload);
+    config.scheme = scheme;
+    config.load = flags.GetDouble("load", 0.5);
+    config.flows = flags.GetU64("flows", 1000);
+    config.seed = flags.GetU64("seed", 1);
+    config.scenario = scenario;
+    config.trace = trace;
+    config.sketch = sketch;
+    config.estimator = estimator;
+    config.cc_mix = CcMixFromFlags(flags);
+    config.buffer_policy = BufferPolicyFromFlags(flags);
+    PrintBanner("interdc border " +
+                std::to_string(static_cast<long long>(
+                    config.topo.border_rtt.ToMicroseconds())) +
+                "us / " + std::string(SchemeName(scheme)) + " / " +
+                workload_name);
+    std::shared_ptr<const TraceRecorder> recorded;
+    std::shared_ptr<const SketchTelemetry> telemetry;
+    if (scenario.empty()) {
+      const ExperimentResult r = RunInterDc(config);
       PrintFctResult(r);
       recorded = r.trace;
       telemetry = r.sketch;
